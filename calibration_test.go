@@ -1,0 +1,51 @@
+package dufp_test
+
+import (
+	"testing"
+
+	"dufp"
+)
+
+// TestCalibrationAnchors locks the workload calibration: each
+// application's default per-socket draw must stay in the band the
+// reproduction's shapes were fitted to (DESIGN.md §7, EXPERIMENTS.md).
+// A failing band means a model or workload change silently moved the
+// operating points every figure depends on.
+func TestCalibrationAnchors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep in -short mode")
+	}
+	bands := map[string][2]float64{ // per-socket watts at default settings
+		"BT":     {95, 112},
+		"CG":     {108, 122}, // "almost at the maximum processor budget" (§II-A)
+		"EP":     {74, 90},   // well below PL1: uncore cuts and the 65 W floor do the work
+		"FT":     {95, 115},
+		"LU":     {90, 105},
+		"MG":     {92, 110},
+		"SP":     {95, 115},
+		"UA":     {85, 105},
+		"HPL":    {118, 126}, // rides the 125 W PL1
+		"LAMMPS": {92, 112},
+	}
+	session := dufp.NewSession()
+	sockets := float64(session.Sim.Topo.Sockets)
+	for _, app := range dufp.Suite() {
+		run, err := session.Run(app, dufp.DefaultGovernor(), 0)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		band, ok := bands[app.Name]
+		if !ok {
+			t.Fatalf("no calibration band for %s", app.Name)
+		}
+		perSocket := float64(run.AvgPkgPower) / sockets
+		if perSocket < band[0] || perSocket > band[1] {
+			t.Errorf("%s default draw %.1f W/socket outside the calibration band [%.0f, %.0f]",
+				app.Name, perSocket, band[0], band[1])
+		}
+		// No app may exceed the short-term limit on average.
+		if perSocket > 150 {
+			t.Errorf("%s draws %.1f W/socket, above PL2", app.Name, perSocket)
+		}
+	}
+}

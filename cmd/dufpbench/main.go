@@ -1,0 +1,259 @@
+// Command dufpbench regenerates the paper's tables and figures on the
+// simulated node.
+//
+// Usage:
+//
+//	dufpbench -fig all                 # everything, paper protocol (10 runs)
+//	dufpbench -fig 3b -runs 5          # one figure, fewer repetitions
+//	dufpbench -fig 1a -apps CG         # motivation study
+//	dufpbench -fig 5 -trace-csv out/   # frequency traces as CSV
+//	dufpbench -fig all -md             # markdown rendering (EXPERIMENTS.md)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dufp"
+	"dufp/internal/experiment"
+	"dufp/internal/report"
+	"dufp/internal/trace"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "artefact to regenerate: table1, 1a, 1b, 1c, 3a, 3b, 3c, 4, 5, claims, sweep, period, pathology, autotune, all")
+		runs     = flag.Int("runs", 10, "repetitions per configuration (paper: 10)")
+		apps     = flag.String("apps", "", "comma-separated application subset (default: full suite)")
+		seed     = flag.Int64("seed", 42, "base seed of the measurement campaign")
+		md       = flag.Bool("md", false, "render markdown instead of aligned text")
+		traceCSV = flag.String("trace-csv", "", "directory to write Fig 5 frequency traces as CSV")
+		workers  = flag.Int("parallel", 0, "max concurrent runs (default: GOMAXPROCS)")
+		bars     = flag.Bool("bars", false, "include [min, max] error bars in the grid tables")
+		html     = flag.String("html", "", "write the full campaign as an HTML report (charts + tables) to this file")
+	)
+	flag.Parse()
+
+	opts := experiment.DefaultOptions()
+	opts.Runs = *runs
+	opts.Parallelism = *workers
+	opts.Session.Seed = *seed
+	opts.ErrorBars = *bars
+	if *apps != "" {
+		opts.Apps = strings.Split(*apps, ",")
+	}
+
+	if *html != "" {
+		if err := writeHTML(opts, *html); err != nil {
+			fmt.Fprintln(os.Stderr, "dufpbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(opts, *fig, *md, *traceCSV); err != nil {
+		fmt.Fprintln(os.Stderr, "dufpbench:", err)
+		os.Exit(1)
+	}
+}
+
+func writeHTML(opts experiment.Options, path string) error {
+	fmt.Fprintf(os.Stderr, "running full campaign for the HTML report (%d runs per configuration)...\n", opts.Runs)
+	doc, err := report.Campaign(opts)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := doc.Write(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+func run(opts experiment.Options, fig string, md bool, traceCSV string) error {
+	out := os.Stdout
+	render := func(t experiment.Table) error {
+		if md {
+			return t.Markdown(out)
+		}
+		return t.Render(out)
+	}
+
+	var grid *experiment.Grid
+	needGrid := func() error {
+		if grid != nil {
+			return nil
+		}
+		fmt.Fprintf(os.Stderr, "running measurement campaign: %d apps × %d tolerances × 2 governors × %d runs (+baselines)...\n",
+			len(gridApps(opts)), len(opts.Tolerances), opts.Runs)
+		g, err := experiment.RunGrid(opts)
+		if err != nil {
+			return err
+		}
+		grid = g
+		return nil
+	}
+
+	gridFig := func(build func(*experiment.Grid) (experiment.Table, error)) error {
+		if err := needGrid(); err != nil {
+			return err
+		}
+		t, err := build(grid)
+		if err != nil {
+			return err
+		}
+		return render(t)
+	}
+
+	fig = strings.ToLower(fig)
+	all := fig == "all"
+
+	if all || fig == "table1" {
+		if err := render(experiment.TableI(opts)); err != nil {
+			return err
+		}
+	}
+	if all || fig == "1a" {
+		t, err := experiment.Fig1a(opts)
+		if err != nil {
+			return err
+		}
+		if err := render(t); err != nil {
+			return err
+		}
+	}
+	if all || fig == "1b" || fig == "1c" {
+		b, c, err := experiment.Fig1bc(opts)
+		if err != nil {
+			return err
+		}
+		if all || fig == "1b" {
+			if err := render(b); err != nil {
+				return err
+			}
+		}
+		if all || fig == "1c" {
+			if err := render(c); err != nil {
+				return err
+			}
+		}
+	}
+	switch {
+	case all:
+		for _, b := range []func(*experiment.Grid) (experiment.Table, error){
+			experiment.Fig3a, experiment.Fig3b, experiment.Fig3c, experiment.Fig4, experiment.Claims,
+		} {
+			if err := gridFig(b); err != nil {
+				return err
+			}
+		}
+	case fig == "3a":
+		return gridFig(experiment.Fig3a)
+	case fig == "3b":
+		return gridFig(experiment.Fig3b)
+	case fig == "3c":
+		return gridFig(experiment.Fig3c)
+	case fig == "4":
+		return gridFig(experiment.Fig4)
+	case fig == "claims":
+		return gridFig(experiment.Claims)
+	case fig == "sweep":
+		t, err := experiment.ToleranceSweep(opts, sweepApp(opts), nil)
+		if err != nil {
+			return err
+		}
+		return render(t)
+	case fig == "period":
+		t, err := experiment.PeriodSweep(opts, sweepApp(opts), 0)
+		if err != nil {
+			return err
+		}
+		return render(t)
+	case fig == "pathology":
+		t, err := experiment.Pathology(opts)
+		if err != nil {
+			return err
+		}
+		return render(t)
+	case fig == "autotune":
+		t, err := experiment.AutoTune(opts, sweepApp(opts))
+		if err != nil {
+			return err
+		}
+		return render(t)
+	}
+
+	if all || fig == "5" {
+		res, err := experiment.Fig5(opts)
+		if err != nil {
+			return err
+		}
+		if err := render(res.Table); err != nil {
+			return err
+		}
+		if traceCSV != "" {
+			if err := os.MkdirAll(traceCSV, 0o755); err != nil {
+				return err
+			}
+			for _, s := range []struct {
+				name   string
+				series []dufp.TracePoint
+			}{
+				{"fig5_duf.csv", res.DUFSeries},
+				{"fig5_dufp.csv", res.DUFPSeries},
+			} {
+				f, err := os.Create(filepath.Join(traceCSV, s.name))
+				if err != nil {
+					return err
+				}
+				if err := trace.WriteCSV(f, s.series); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+			}
+			fmt.Fprintf(os.Stderr, "wrote traces to %s\n", traceCSV)
+		}
+	}
+
+	if !all && !valid(fig) {
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	return nil
+}
+
+func valid(fig string) bool {
+	switch fig {
+	case "table1", "1a", "1b", "1c", "3a", "3b", "3c", "4", "5", "claims", "sweep", "period", "pathology", "autotune":
+		return true
+	}
+	return false
+}
+
+// sweepApp picks the sweep target: the first -apps entry, or CG.
+func sweepApp(opts experiment.Options) string {
+	if len(opts.Apps) > 0 {
+		return opts.Apps[0]
+	}
+	return "CG"
+}
+
+func gridApps(opts experiment.Options) []string {
+	if len(opts.Apps) > 0 {
+		return opts.Apps
+	}
+	var names []string
+	for _, a := range dufp.Suite() {
+		names = append(names, a.Name)
+	}
+	return names
+}

@@ -1,0 +1,176 @@
+// Command dufprun runs one application under one governor on the simulated
+// node and reports the paper's metrics, optionally against the default
+// baseline and with a per-socket time-series trace.
+//
+// Usage:
+//
+//	dufprun -app CG -gov dufp -slowdown 10
+//	dufprun -app HPL -gov duf -slowdown 5 -runs 10
+//	dufprun -app CG -gov static -cap 110
+//	dufprun -app CG -gov dufp -slowdown 10 -trace cg.csv
+//	dufprun -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dufp"
+	"dufp/internal/trace"
+	"dufp/internal/workload"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "CG", "application to run (see -list)")
+		appFile  = flag.String("app-file", "", "load the application from a JSON file instead of the suite")
+		export   = flag.String("export", "", "write the selected application's JSON definition to this file and exit")
+		gov      = flag.String("gov", "dufp", "governor: default, duf, dufp, dufpf, dnpc, static, static+duf")
+		slowdown = flag.Float64("slowdown", 10, "tolerated slowdown in percent (duf/dufp)")
+		capW     = flag.Float64("cap", 110, "static power cap in watts (static governors)")
+		runs     = flag.Int("runs", 5, "repetitions (paper protocol: 10)")
+		seed     = flag.Int64("seed", 42, "base seed")
+		traceCSV = flag.String("trace", "", "write socket-0 trace of run 0 to this CSV file")
+		baseline = flag.Bool("baseline", true, "also run the default configuration and print ratios")
+		list     = flag.Bool("list", false, "list applications and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, app := range dufp.Suite() {
+			fmt.Printf("%-8s %-10s %s\n", app.Name, app.Class, app.Description)
+		}
+		return
+	}
+	if err := run(params{
+		appName:  *appName,
+		appFile:  *appFile,
+		export:   *export,
+		gov:      *gov,
+		slowdown: *slowdown / 100,
+		cap:      dufp.Power(*capW),
+		runs:     *runs,
+		seed:     *seed,
+		traceCSV: *traceCSV,
+		baseline: *baseline,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "dufprun:", err)
+		os.Exit(1)
+	}
+}
+
+type params struct {
+	appName, appFile, export, gov, traceCSV string
+	slowdown                                float64
+	cap                                     dufp.Power
+	runs                                    int
+	seed                                    int64
+	baseline                                bool
+}
+
+// loadApp resolves the application from the suite or a JSON file.
+func loadApp(p params) (dufp.App, error) {
+	if p.appFile != "" {
+		f, err := os.Open(p.appFile)
+		if err != nil {
+			return dufp.App{}, err
+		}
+		defer f.Close()
+		return workload.ReadJSON(f)
+	}
+	app, ok := dufp.AppByName(p.appName)
+	if !ok {
+		return dufp.App{}, fmt.Errorf("unknown application %q (try -list)", p.appName)
+	}
+	return app, nil
+}
+
+func governor(name string, cfg dufp.ControlConfig, cap dufp.Power) (dufp.GovernorFunc, error) {
+	switch strings.ToLower(name) {
+	case "default", "none":
+		return dufp.DefaultGovernor(), nil
+	case "duf":
+		return dufp.DUFGovernor(cfg), nil
+	case "dufp":
+		return dufp.DUFPGovernor(cfg), nil
+	case "dnpc":
+		return dufp.DNPCGovernor(cfg), nil
+	case "dufpf", "dufp-f":
+		return dufp.DUFPFGovernor(cfg), nil
+	case "static":
+		return dufp.StaticCapGovernor(cap, cap), nil
+	case "static+duf":
+		return dufp.StaticCapWithDUF(cfg, cap, cap), nil
+	}
+	return nil, fmt.Errorf("unknown governor %q", name)
+}
+
+func run(p params) error {
+	app, err := loadApp(p)
+	if err != nil {
+		return err
+	}
+	if p.export != "" {
+		f, err := os.Create(p.export)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := workload.WriteJSON(f, app); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s definition to %s\n", app.Name, p.export)
+		return nil
+	}
+	session := dufp.NewSession()
+	session.Seed = p.seed
+
+	cfg := dufp.DefaultControlConfig(p.slowdown)
+	mk, err := governor(p.gov, cfg, p.cap)
+	if err != nil {
+		return err
+	}
+
+	sum, err := session.Summarize(app, mk, p.runs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s under %s (%d runs, outliers dropped):\n", app.Name, p.gov, p.runs)
+	fmt.Printf("  time        %8.2f s   [%.2f, %.2f]\n", sum.Time.Mean, sum.Time.Min, sum.Time.Max)
+	fmt.Printf("  proc power  %8.2f W   [%.2f, %.2f]\n", sum.PkgPower.Mean, sum.PkgPower.Min, sum.PkgPower.Max)
+	fmt.Printf("  DRAM power  %8.2f W   [%.2f, %.2f]\n", sum.DramPower.Mean, sum.DramPower.Min, sum.DramPower.Max)
+	fmt.Printf("  energy      %8.0f J   (CPU+DRAM)\n", sum.TotalEnergy.Mean)
+	fmt.Printf("  avg core    %8.2f GHz, avg uncore %.2f GHz\n", sum.CoreFreq.Mean/1e9, sum.UncoreFreq.Mean/1e9)
+
+	if p.baseline && p.gov != "default" {
+		base, err := session.Summarize(app, dufp.DefaultGovernor(), p.runs)
+		if err != nil {
+			return err
+		}
+		cmp := dufp.CompareRuns(sum, base)
+		fmt.Printf("vs default:\n")
+		fmt.Printf("  slowdown    %+8.2f %%\n", cmp.TimeRatio.OverheadPercent())
+		fmt.Printf("  proc power  %+8.2f %%\n", -cmp.PkgPowerRatio.SavingsPercent())
+		fmt.Printf("  DRAM power  %+8.2f %%\n", -cmp.DramPowerRatio.SavingsPercent())
+		fmt.Printf("  energy      %+8.2f %%\n", -cmp.TotalEnergyRatio.SavingsPercent())
+	}
+
+	if p.traceCSV != "" {
+		_, rec, err := session.RunTraced(app, mk, 0)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(p.traceCSV)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.WriteCSV(f, rec.Socket(0)); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (%d points)\n", p.traceCSV, rec.Len())
+	}
+	return nil
+}

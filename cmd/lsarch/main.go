@@ -1,0 +1,53 @@
+// Command lsarch prints the simulated node's architecture, the content of
+// the paper's Table I, plus the MSR-level view of the same facts read back
+// through the register interface.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dufp"
+	"dufp/internal/experiment"
+	"dufp/internal/msr"
+	"dufp/internal/sim"
+)
+
+func main() {
+	opts := experiment.DefaultOptions()
+	if err := experiment.TableI(opts).Render(log.Writer()); err != nil {
+		log.Fatal(err)
+	}
+
+	// Cross-check through the MSR interface, as a management tool would.
+	m, err := sim.New(sim.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev := m.MSR()
+	units_, err := dev.Read(0, msr.MSRRaplPowerUnit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	u := msr.DecodeUnits(units_)
+	fmt.Printf("MSR_RAPL_POWER_UNIT: power %.3f W, energy %.1f µJ, time %.1f µs\n",
+		float64(u.PowerUnit), float64(u.EnergyUnit)*1e6, u.TimeUnit*1e6)
+
+	raw, err := dev.Read(0, msr.MSRPkgPowerLimit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MSR_PKG_POWER_LIMIT: %v\n", msr.DecodePkgPowerLimit(u, raw))
+
+	raw, err = dev.Read(0, msr.MSRUncoreRatioLimit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	band := msr.DecodeUncoreRatioLimit(raw)
+	fmt.Printf("MSR_UNCORE_RATIO_LIMIT: %v .. %v\n",
+		msr.RatioToFrequency(band.Min), msr.RatioToFrequency(band.Max))
+
+	spec := dufp.XeonGold6130()
+	fmt.Printf("peak: %.1f GFLOPS/s per socket, %.0f GB/s per socket\n",
+		float64(spec.PeakFlops(spec.MaxCoreFreq))/1e9, float64(spec.PeakMemoryBandwidth)/1e9)
+}

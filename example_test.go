@@ -1,0 +1,60 @@
+package dufp_test
+
+import (
+	"fmt"
+	"time"
+
+	"dufp"
+)
+
+// The examples below are deterministic (seeded end to end), so their
+// Output comments are verified by `go test`.
+
+// ExampleSession_Run runs EP once in the default configuration.
+func ExampleSession_Run() {
+	session := dufp.NewSession()
+	app, _ := dufp.AppByName("EP")
+	run, err := session.Run(app, dufp.DefaultGovernor(), 0)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%s under %s: %.0f s\n", run.App, run.Governor, run.Time.Seconds())
+	// Output:
+	// EP under default: 24 s
+}
+
+// ExampleCompareRuns reproduces the paper's headline CG result: DUFP at
+// 10 % tolerated slowdown saves both power and energy.
+func ExampleCompareRuns() {
+	session := dufp.NewSession()
+	app, _ := dufp.AppByName("CG")
+
+	baseline, _ := session.Summarize(app, dufp.DefaultGovernor(), 3)
+	capped, _ := session.Summarize(app, dufp.DUFPGovernor(dufp.DefaultControlConfig(0.10)), 3)
+	cmp := dufp.CompareRuns(capped, baseline)
+
+	fmt.Printf("slowdown within tolerance: %t\n", cmp.RespectsSlowdown(0.005))
+	fmt.Printf("saves power: %t\n", cmp.PkgPowerRatio.Mean < 0.95)
+	fmt.Printf("saves energy: %t\n", cmp.TotalEnergyRatio.Mean < 1.0)
+	// Output:
+	// slowdown within tolerance: true
+	// saves power: true
+	// saves energy: true
+}
+
+// ExampleSteadyApp builds and runs a synthetic memory-bound application.
+func ExampleSteadyApp() {
+	app, err := dufp.SteadyApp(dufp.SteadyConfig{
+		Name:     "stream",
+		OIClass:  "memory",
+		Duration: 5 * time.Second,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(app.Name, app.NominalDuration())
+	// Output:
+	// stream 5s
+}

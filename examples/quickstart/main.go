@@ -1,0 +1,51 @@
+// Command quickstart demonstrates the dufp public API end to end: it runs
+// the CG benchmark on the simulated four-socket Xeon Gold 6130 node in the
+// default configuration, under DUF and under DUFP with a 10 % tolerated
+// slowdown, then prints the paper-style ratios (execution time, processor
+// power, DRAM power, total energy).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dufp"
+)
+
+func main() {
+	session := dufp.NewSession()
+	app, ok := dufp.AppByName("CG")
+	if !ok {
+		log.Fatal("CG not in the suite")
+	}
+
+	const runs = 5 // the paper uses 10; 5 keeps the demo quick
+	baseline, err := session.Summarize(app, dufp.DefaultGovernor(), runs)
+	if err != nil {
+		log.Fatalf("baseline: %v", err)
+	}
+	fmt.Printf("CG default: time %.2f s, processor %.1f W, DRAM %.1f W, energy %.0f J\n",
+		baseline.Time.Mean, baseline.PkgPower.Mean, baseline.DramPower.Mean, baseline.TotalEnergy.Mean)
+
+	cfg := dufp.DefaultControlConfig(0.10)
+	for _, gov := range []struct {
+		name string
+		mk   dufp.GovernorFunc
+	}{
+		{"DUF ", dufp.DUFGovernor(cfg)},
+		{"DUFP", dufp.DUFPGovernor(cfg)},
+	} {
+		sum, err := session.Summarize(app, gov.mk, runs)
+		if err != nil {
+			log.Fatalf("%s: %v", gov.name, err)
+		}
+		cmp := dufp.CompareRuns(sum, baseline)
+		fmt.Printf("CG %s @10%%: slowdown %+.2f %%, processor power %+.2f %%, DRAM power %+.2f %%, energy %+.2f %%, avg core %.2f GHz, avg uncore %.2f GHz\n",
+			gov.name,
+			cmp.TimeRatio.OverheadPercent(),
+			-cmp.PkgPowerRatio.SavingsPercent(),
+			-cmp.DramPowerRatio.SavingsPercent(),
+			-cmp.TotalEnergyRatio.SavingsPercent(),
+			cmp.CoreFreqGHz, cmp.UncoreFreqGHz)
+	}
+}

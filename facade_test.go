@@ -1,0 +1,142 @@
+package dufp_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"dufp"
+)
+
+func TestSyntheticBuildersThroughFacade(t *testing.T) {
+	steady, err := dufp.SteadyApp(dufp.SteadyConfig{OIClass: "memory", Duration: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alt, err := dufp.AlternatorApp(dufp.AlternatorConfig{
+		ComputeDur: 100 * time.Millisecond,
+		MemoryDur:  700 * time.Millisecond,
+		Cycles:     8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst, err := dufp.BurstApp(dufp.BurstConfig{
+		BaseDur:       1200 * time.Millisecond,
+		BurstDur:      60 * time.Millisecond,
+		Cycles:        4,
+		BurstFlopFrac: 0.35,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ramp, err := dufp.RampApp("r", 5, 800*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every builder's output must actually run under DUFP.
+	s := dufp.NewSession()
+	for _, app := range []dufp.App{steady, alt, burst, ramp} {
+		run, err := s.Run(app, dufp.DUFPGovernor(dufp.DefaultControlConfig(0.10)), 0)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		if run.Time <= 0 || run.AvgPkgPower <= 0 {
+			t.Fatalf("%s: degenerate run %+v", app.Name, run)
+		}
+	}
+}
+
+func TestAppJSONThroughFacade(t *testing.T) {
+	app, _ := dufp.AppByName("UA")
+	var buf bytes.Buffer
+	if err := dufp.WriteAppJSON(&buf, app); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dufp.ReadAppJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "UA" {
+		t.Fatalf("round trip lost the app: %q", back.Name)
+	}
+}
+
+func TestRunWithEventsFacade(t *testing.T) {
+	s := dufp.NewSession()
+	app, _ := dufp.AppByName("FT")
+	run, events, err := s.RunWithEvents(app, dufp.DUFPGovernor(dufp.DefaultControlConfig(0.10)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Time <= 0 {
+		t.Fatal("degenerate run")
+	}
+	if len(events) == 0 {
+		t.Fatal("no events from DUFP on FT (it has detectable phase changes)")
+	}
+	phaseChanges := 0
+	for _, e := range events {
+		if e.Kind.String() == "phase-change" {
+			phaseChanges++
+		}
+	}
+	// FT alternates FFT and transpose phases; most transitions are
+	// detected.
+	if phaseChanges < 5 {
+		t.Fatalf("only %d phase changes detected on FT", phaseChanges)
+	}
+
+	// Baseline governor records no events.
+	_, events, err = s.RunWithEvents(app, dufp.DefaultGovernor(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events != nil {
+		t.Fatal("baseline produced events")
+	}
+}
+
+func TestDUFPFGovernorFacade(t *testing.T) {
+	s := dufp.NewSession()
+	app, _ := dufp.AppByName("EP")
+	run, err := s.Run(app, dufp.DUFPFGovernor(dufp.DefaultControlConfig(0.10)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Governor != "DUFP-F" || run.Slowdown != 0.10 {
+		t.Fatalf("identity = %s/%v", run.Governor, run.Slowdown)
+	}
+}
+
+func TestDNPCGovernorFacade(t *testing.T) {
+	s := dufp.NewSession()
+	app, _ := dufp.AppByName("EP")
+	run, err := s.Run(app, dufp.DNPCGovernor(dufp.DefaultControlConfig(0.10)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Governor != "DNPC" {
+		t.Fatalf("governor = %s", run.Governor)
+	}
+}
+
+func TestMonitorOverheadSlowsRuns(t *testing.T) {
+	app, _ := dufp.AppByName("EP")
+	free := dufp.NewSession()
+	costly := dufp.NewSession()
+	costly.MonitorOverhead = 2 * time.Millisecond
+
+	a, err := free.Run(app, dufp.DUFPGovernor(dufp.DefaultControlConfig(0.10)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := costly.Run(app, dufp.DUFPGovernor(dufp.DefaultControlConfig(0.10)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Time <= a.Time {
+		t.Fatalf("monitoring overhead did not slow the run: %v vs %v", b.Time, a.Time)
+	}
+}

@@ -1,0 +1,3 @@
+module dufp
+
+go 1.22

@@ -1,0 +1,159 @@
+package arch
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dufp/internal/units"
+)
+
+func TestXeonGold6130Valid(t *testing.T) {
+	spec := XeonGold6130()
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("reference spec invalid: %v", err)
+	}
+	if spec.Cores != 16 {
+		t.Errorf("cores = %d, want 16", spec.Cores)
+	}
+	if spec.DefaultPL1 != 125*units.Watt || spec.DefaultPL2 != 150*units.Watt {
+		t.Errorf("power limits = %v/%v, want 125/150 W", spec.DefaultPL1, spec.DefaultPL2)
+	}
+	if spec.MinUncoreFreq != 1.2*units.Gigahertz || spec.MaxUncoreFreq != 2.4*units.Gigahertz {
+		t.Errorf("uncore range = [%v, %v], want [1.2, 2.4] GHz", spec.MinUncoreFreq, spec.MaxUncoreFreq)
+	}
+}
+
+func TestYeti2Topology(t *testing.T) {
+	topo := Yeti2()
+	if err := topo.Validate(); err != nil {
+		t.Fatalf("yeti-2 invalid: %v", err)
+	}
+	if topo.Sockets != 4 {
+		t.Errorf("sockets = %d, want 4", topo.Sockets)
+	}
+	if topo.TotalCores() != 64 {
+		t.Errorf("total cores = %d, want 64 (paper Table I)", topo.TotalCores())
+	}
+}
+
+func TestValidateRejectsBrokenSpecs(t *testing.T) {
+	base := XeonGold6130()
+	cases := []struct {
+		name   string
+		break_ func(*Spec)
+	}{
+		{"no cores", func(s *Spec) { s.Cores = 0 }},
+		{"negative cores", func(s *Spec) { s.Cores = -4 }},
+		{"inverted core range", func(s *Spec) { s.MaxCoreFreq = s.MinCoreFreq - 1 }},
+		{"base below min", func(s *Spec) { s.BaseCoreFreq = s.MinCoreFreq / 2 }},
+		{"base above max", func(s *Spec) { s.BaseCoreFreq = s.MaxCoreFreq * 2 }},
+		{"zero core step", func(s *Spec) { s.CoreFreqStep = 0 }},
+		{"inverted uncore range", func(s *Spec) { s.MaxUncoreFreq = s.MinUncoreFreq - 1 }},
+		{"zero uncore step", func(s *Spec) { s.UncoreFreqStep = 0 }},
+		{"PL2 below PL1", func(s *Spec) { s.DefaultPL2 = s.DefaultPL1 - 1 }},
+		{"zero PL1", func(s *Spec) { s.DefaultPL1 = 0 }},
+		{"zero PL1 window", func(s *Spec) { s.PL1Window = 0 }},
+		{"zero PL2 window", func(s *Spec) { s.PL2Window = 0 }},
+		{"zero bandwidth", func(s *Spec) { s.PeakMemoryBandwidth = 0 }},
+		{"zero flops", func(s *Spec) { s.FlopsPerCyclePerCore = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := base
+			tc.break_(&spec)
+			if err := spec.Validate(); err == nil {
+				t.Errorf("Validate accepted a spec with %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	topo := Yeti2()
+	topo.Sockets = 0
+	if err := topo.Validate(); err == nil {
+		t.Error("Validate accepted zero sockets")
+	}
+}
+
+func TestLadderSteps(t *testing.T) {
+	spec := XeonGold6130()
+	// Core: 1.0..2.8 GHz in 100 MHz steps = 19 states.
+	if got := spec.CoreSteps(); got != 19 {
+		t.Errorf("CoreSteps = %d, want 19", got)
+	}
+	// Uncore: 1.2..2.4 GHz in 100 MHz steps = 13 states.
+	if got := spec.UncoreSteps(); got != 13 {
+		t.Errorf("UncoreSteps = %d, want 13", got)
+	}
+}
+
+func TestClampCoreFreq(t *testing.T) {
+	spec := XeonGold6130()
+	tests := []struct{ in, want units.Frequency }{
+		{0, spec.MinCoreFreq},
+		{10 * units.Gigahertz, spec.MaxCoreFreq},
+		{2.75 * units.Gigahertz, 2.8 * units.Gigahertz}, // rounds to nearest step
+		{2.74 * units.Gigahertz, 2.7 * units.Gigahertz},
+		{2.8 * units.Gigahertz, 2.8 * units.Gigahertz},
+	}
+	for _, tt := range tests {
+		if got := spec.ClampCoreFreq(tt.in); got != tt.want {
+			t.Errorf("ClampCoreFreq(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestClampPropertiesQuick(t *testing.T) {
+	spec := XeonGold6130()
+	prop := func(raw float64) bool {
+		f := units.Frequency(math.Abs(raw))
+		c := spec.ClampUncoreFreq(f)
+		if c < spec.MinUncoreFreq || c > spec.MaxUncoreFreq {
+			return false
+		}
+		// Result lies on the ladder: offset is a whole number of steps.
+		steps := float64(c-spec.MinUncoreFreq) / float64(spec.UncoreFreqStep)
+		return math.Abs(steps-math.Round(steps)) < 1e-6
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClampIdempotent(t *testing.T) {
+	spec := XeonGold6130()
+	prop := func(raw float64) bool {
+		f := units.Frequency(math.Abs(raw))
+		once := spec.ClampCoreFreq(f)
+		return spec.ClampCoreFreq(once) == once
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPeakFlops(t *testing.T) {
+	spec := XeonGold6130()
+	// 16 cores × 32 flops/cycle × 2.8 GHz = 1433.6 GFLOPS/s.
+	got := float64(spec.PeakFlops(spec.MaxCoreFreq))
+	if math.Abs(got-1433.6e9) > 1e6 {
+		t.Fatalf("PeakFlops(max) = %v, want 1.4336e12", got)
+	}
+	// Linear in frequency.
+	half := float64(spec.PeakFlops(spec.MaxCoreFreq / 2))
+	if math.Abs(half*2-got) > 1e3 {
+		t.Fatalf("PeakFlops not linear: %v at half vs %v at full", half, got)
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	s := XeonGold6130().String()
+	for _, want := range []string{"Xeon Gold 6130", "Skylake-SP", "16 cores", "125.00 W", "150.00 W"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package control
+
+import (
+	"fmt"
+	"time"
+
+	"dufp/internal/units"
+)
+
+// StaticCap applies a fixed power cap for the whole run (the paper's
+// motivation experiment, Fig 1a) and takes no further decisions. It can be
+// combined with DUF by wrapping: see Chain.
+type StaticCap struct {
+	act      Actuators
+	pl1, pl2 units.Power
+}
+
+// NewStaticCap builds a static-cap controller. A zero pl2 uses pl1 for
+// both constraints.
+func NewStaticCap(act Actuators, pl1, pl2 units.Power) (*StaticCap, error) {
+	if act.Zone == nil {
+		return nil, fmt.Errorf("control: static cap needs a powercap zone")
+	}
+	if pl1 <= 0 {
+		return nil, fmt.Errorf("control: static cap must be positive, got %v", pl1)
+	}
+	if pl2 == 0 {
+		pl2 = pl1
+	}
+	if pl2 < pl1 {
+		return nil, fmt.Errorf("control: static short-term cap %v below long-term %v", pl2, pl1)
+	}
+	return &StaticCap{act: act, pl1: pl1, pl2: pl2}, nil
+}
+
+// Name implements Instance.
+func (s *StaticCap) Name() string { return fmt.Sprintf("StaticCap(%v)", s.pl1) }
+
+// Start implements Instance: program the cap once.
+func (s *StaticCap) Start() error {
+	if s.act.Monitor != nil {
+		s.act.Monitor.Start()
+	}
+	return s.act.Zone.SetLimits(s.pl1, s.pl2)
+}
+
+// Tick implements Instance; a static cap takes no runtime decisions.
+func (s *StaticCap) Tick(time.Duration) error { return nil }
+
+// NoOp leaves the machine in its default configuration; it is the paper's
+// "default architecture configuration" baseline.
+type NoOp struct{}
+
+// Name implements Instance.
+func (NoOp) Name() string { return "default" }
+
+// Start implements Instance.
+func (NoOp) Start() error { return nil }
+
+// Tick implements Instance.
+func (NoOp) Tick(time.Duration) error { return nil }
+
+// Chain composes controllers that share a socket: Start and Tick run each
+// member in order. It lets a static cap coexist with DUF (the paper's
+// "uncore frequency scaling under a power cap" configuration).
+type Chain []Instance
+
+// Name implements Instance.
+func (c Chain) Name() string {
+	name := ""
+	for i, in := range c {
+		if i > 0 {
+			name += "+"
+		}
+		name += in.Name()
+	}
+	return name
+}
+
+// Start implements Instance.
+func (c Chain) Start() error {
+	for _, in := range c {
+		if err := in.Start(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tick implements Instance.
+func (c Chain) Tick(now time.Duration) error {
+	for _, in := range c {
+		if err := in.Tick(now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TimedCap applies a static power cap from the start of the run until a
+// deadline, then restores the factory limits. It reproduces the paper's
+// partial power capping of CG's first phase (Fig 1b/1c), where the cap was
+// lifted once the memory-intensive prologue completed.
+type TimedCap struct {
+	act      Actuators
+	pl1, pl2 units.Power
+	until    time.Duration
+	lifted   bool
+}
+
+// NewTimedCap builds a timed-cap controller. A zero pl2 uses pl1 for both
+// constraints.
+func NewTimedCap(act Actuators, pl1, pl2 units.Power, until time.Duration) (*TimedCap, error) {
+	static, err := NewStaticCap(act, pl1, pl2)
+	if err != nil {
+		return nil, err
+	}
+	if until <= 0 {
+		return nil, fmt.Errorf("control: timed cap needs a positive deadline, got %v", until)
+	}
+	return &TimedCap{act: act, pl1: static.pl1, pl2: static.pl2, until: until}, nil
+}
+
+// Name implements Instance.
+func (t *TimedCap) Name() string {
+	return fmt.Sprintf("TimedCap(%v until %v)", t.pl1, t.until)
+}
+
+// Start implements Instance.
+func (t *TimedCap) Start() error {
+	if t.act.Monitor != nil {
+		t.act.Monitor.Start()
+	}
+	return t.act.Zone.SetLimits(t.pl1, t.pl2)
+}
+
+// Tick implements Instance: lift the cap once the deadline passes.
+func (t *TimedCap) Tick(now time.Duration) error {
+	if t.lifted || now < t.until {
+		return nil
+	}
+	t.lifted = true
+	return t.act.Zone.Reset()
+}

@@ -1,0 +1,129 @@
+package control
+
+import (
+	"testing"
+	"time"
+
+	"dufp/internal/units"
+)
+
+func TestStaticCapAppliesOnce(t *testing.T) {
+	h := newHarness(t)
+	s, err := NewStaticCap(h.act, 110*units.Watt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	pl1, pl2, err := h.act.Zone.Limits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl1 != 110 || pl2 != 110 {
+		t.Fatalf("limits = %v/%v, want 110/110 (zero pl2 uses pl1)", pl1, pl2)
+	}
+	// Ticks are no-ops.
+	if err := s.Tick(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	pl1b, _, _ := h.act.Zone.Limits()
+	if pl1b != pl1 {
+		t.Fatal("static cap moved on tick")
+	}
+}
+
+func TestStaticCapValidation(t *testing.T) {
+	h := newHarness(t)
+	if _, err := NewStaticCap(h.act, 0, 0); err == nil {
+		t.Error("accepted zero cap")
+	}
+	if _, err := NewStaticCap(h.act, 110, 100); err == nil {
+		t.Error("accepted PL2 < PL1")
+	}
+	if _, err := NewStaticCap(Actuators{}, 110, 0); err == nil {
+		t.Error("accepted actuators without zone")
+	}
+}
+
+func TestTimedCapLifts(t *testing.T) {
+	h := newHarness(t)
+	tc, err := NewTimedCap(h.act, 100*units.Watt, 0, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if pl1, _, _ := h.act.Zone.Limits(); pl1 != 100 {
+		t.Fatalf("cap not applied: %v", pl1)
+	}
+	if err := tc.Tick(400 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if pl1, _, _ := h.act.Zone.Limits(); pl1 != 100 {
+		t.Fatalf("cap lifted early: %v", pl1)
+	}
+	if err := tc.Tick(600 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	pl1, pl2, _ := h.act.Zone.Limits()
+	if pl1 != h.spec.DefaultPL1 || pl2 != h.spec.DefaultPL2 {
+		t.Fatalf("cap not restored: %v/%v", pl1, pl2)
+	}
+}
+
+func TestTimedCapValidation(t *testing.T) {
+	h := newHarness(t)
+	if _, err := NewTimedCap(h.act, 100, 0, 0); err == nil {
+		t.Error("accepted zero deadline")
+	}
+	if _, err := NewTimedCap(h.act, 0, 0, time.Second); err == nil {
+		t.Error("accepted zero cap")
+	}
+}
+
+func TestNoOp(t *testing.T) {
+	var n NoOp
+	if n.Name() != "default" {
+		t.Fatalf("Name = %q", n.Name())
+	}
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Tick(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChainRunsMembersInOrder(t *testing.T) {
+	h := newHarness(t)
+	static, err := NewStaticCap(Actuators{Spec: h.spec, Zone: h.act.Zone}, 115*units.Watt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	duf, err := NewDUF(h.act, DefaultConfig(0.10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := Chain{static, duf}
+	if chain.Name() != "StaticCap(115.00 W)+DUF" {
+		t.Fatalf("Name = %q", chain.Name())
+	}
+	if err := chain.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Both applied: cap at 115, uncore pinned to max.
+	if pl1, _, _ := h.act.Zone.Limits(); pl1 != 115 {
+		t.Fatalf("cap = %v", pl1)
+	}
+	if got := h.uncoreOf(); got != h.spec.MaxUncoreFreq {
+		t.Fatalf("uncore = %v", got)
+	}
+	// Chain ticks drive DUF.
+	h.set(100*gflops, 25*gbs, 95)
+	h.ticks(chain, 3)
+	if got := duf.Uncore(); got >= h.spec.MaxUncoreFreq {
+		t.Fatal("DUF inside the chain did not act")
+	}
+}

@@ -1,0 +1,229 @@
+// Package control implements the paper's runtime controllers: DUF (dynamic
+// uncore frequency scaling, the prior tool the paper extends) and DUFP
+// (DUF plus dynamic power capping, §III), along with static-cap and no-op
+// baselines.
+//
+// One controller instance drives one package (socket), as in the paper
+// ("one instance of DUFP is started on each user-specified socket"). All
+// hardware interaction goes through the measurement monitor (PAPI), the
+// powercap zone and the uncore MSR control.
+package control
+
+import (
+	"fmt"
+	"time"
+
+	"dufp/internal/arch"
+	"dufp/internal/msr"
+	"dufp/internal/papi"
+	"dufp/internal/powercap"
+	"dufp/internal/uncore"
+	"dufp/internal/units"
+)
+
+// Actuators bundles the per-socket hardware handles a controller needs.
+type Actuators struct {
+	// Spec is the socket's architecture.
+	Spec arch.Spec
+	// Monitor supplies the periodic FLOPS/bandwidth/power samples.
+	Monitor *papi.Monitor
+	// Zone is the package's RAPL powercap zone (nil for uncore-only
+	// controllers).
+	Zone *powercap.Zone
+	// Uncore manipulates the uncore frequency band.
+	Uncore *uncore.Control
+	// Dev is the raw MSR device and CPU the package's addressing CPU, for
+	// controllers that read counters the monitor does not expose (DNPC
+	// reads APERF/MPERF).
+	Dev msr.Device
+	// CPU is the logical CPU used for MSR addressing.
+	CPU int
+}
+
+func (a Actuators) validate(needZone bool) error {
+	if a.Monitor == nil {
+		return fmt.Errorf("control: actuators need a monitor")
+	}
+	if a.Uncore == nil {
+		return fmt.Errorf("control: actuators need an uncore control")
+	}
+	if needZone && a.Zone == nil {
+		return fmt.Errorf("control: actuators need a powercap zone")
+	}
+	return nil
+}
+
+// Config holds the algorithm parameters (paper §III and §IV-A/§IV-D).
+type Config struct {
+	// Slowdown is the user-defined tolerated slowdown (0.05 = 5 %).
+	Slowdown float64
+	// Epsilon is the measurement-error band: performance drops within
+	// Slowdown±Epsilon of the reference hold the current setting.
+	Epsilon float64
+	// CapStep is the power-cap adjustment granularity (5 W in the paper).
+	CapStep units.Power
+	// CapFloor is the minimum power cap (65 W in the paper, §IV-A).
+	CapFloor units.Power
+	// UncoreStep is the uncore adjustment granularity (100 MHz).
+	UncoreStep units.Frequency
+	// HighMemOI classifies highly memory-intensive phases (OI < 0.02):
+	// the cap keeps decreasing regardless of FLOPS/s.
+	HighMemOI float64
+	// HighCPUOI classifies highly CPU-intensive phases (OI > 100): the
+	// cap resets instead of stepping up on violation, and bandwidth drops
+	// also reset it.
+	HighCPUOI float64
+	// MemOIBoundary separates memory- from CPU-intensive phases (OI = 1).
+	MemOIBoundary float64
+	// PhaseFlopsFactor flags a new phase when FLOPS/s exceed the phase
+	// reference by this factor (2 = "FLOPS/s double").
+	PhaseFlopsFactor float64
+	// WindowSamples bounds the per-phase reference window: the reference
+	// performance is the maximum over the last WindowSamples samples.
+	WindowSamples int
+	// PowerMargin is the headroom above the cap before the "consumed
+	// power exceeds the cap" reset triggers (§IV-D).
+	PowerMargin units.Power
+
+	// Ablation switches for the reproduction's own design choices (see
+	// DESIGN.md §7). All default to false — the calibrated behaviour.
+
+	// AblateRateBudget compares rate drops against the raw tolerance
+	// instead of converting the time budget to the s/(1+s) rate budget; a
+	// sustained rate drop of s then inflates time by s/(1-s), overshooting
+	// the tolerance.
+	AblateRateBudget bool
+	// AblateLatch disables the boundary latch: after a violation-driven
+	// raise the loop immediately re-probes the boundary, time-averaging
+	// above the tolerance because the actuation quanta are coarser than
+	// the ε band.
+	AblateLatch bool
+	// AblateProvisionalRef anchors phase references on the sample that
+	// detected the phase change (which straddles the boundary and blends
+	// two phases) instead of the first clean sample.
+	AblateProvisionalRef bool
+}
+
+// DefaultConfig returns the paper's parameters for the given tolerated
+// slowdown.
+func DefaultConfig(slowdown float64) Config {
+	return Config{
+		Slowdown:         slowdown,
+		Epsilon:          0.01,
+		CapStep:          5 * units.Watt,
+		CapFloor:         65 * units.Watt,
+		UncoreStep:       100 * units.Megahertz,
+		HighMemOI:        0.02,
+		HighCPUOI:        100,
+		MemOIBoundary:    1,
+		PhaseFlopsFactor: 2,
+		WindowSamples:    5,
+		PowerMargin:      3 * units.Watt,
+	}
+}
+
+// Validate reports nonsensical configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.Slowdown < 0 || c.Slowdown >= 1:
+		return fmt.Errorf("control: slowdown %v outside [0,1)", c.Slowdown)
+	case c.Epsilon < 0 || c.Epsilon >= 0.5:
+		return fmt.Errorf("control: epsilon %v outside [0,0.5)", c.Epsilon)
+	case c.CapStep <= 0:
+		return fmt.Errorf("control: cap step must be positive")
+	case c.CapFloor <= 0:
+		return fmt.Errorf("control: cap floor must be positive")
+	case c.UncoreStep <= 0:
+		return fmt.Errorf("control: uncore step must be positive")
+	case c.HighMemOI <= 0 || c.HighCPUOI <= c.MemOIBoundary || c.HighMemOI >= c.MemOIBoundary:
+		return fmt.Errorf("control: OI thresholds must satisfy highMem < boundary < highCPU")
+	case c.PhaseFlopsFactor <= 1:
+		return fmt.Errorf("control: phase flops factor must exceed 1")
+	case c.WindowSamples < 1:
+		return fmt.Errorf("control: window must hold at least one sample")
+	}
+	return nil
+}
+
+// Instance is one per-socket controller. It satisfies sim.Governor.
+type Instance interface {
+	// Name identifies the algorithm ("DUF", "DUFP", ...).
+	Name() string
+	// Start arms the monitor and applies any initial actuation.
+	Start() error
+	// Tick runs one decision round.
+	Tick(now time.Duration) error
+}
+
+// decision is the outcome of comparing performance to the reference.
+type decision int
+
+const (
+	holdSetting  decision = iota
+	lowerSetting          // performance within the tolerated slowdown
+	raiseSetting          // performance dropped beyond the tolerated slowdown
+)
+
+// classify compares a relative performance drop against the tolerated
+// slowdown with the measurement-error band of §III: drops beyond the
+// tolerance raise the setting, drops equivalent to the tolerance (within
+// the error band, approaching from below) hold it, and smaller drops keep
+// lowering. The hold band sits *below* the tolerance so the loop settles
+// as it enters the boundary rather than one quantum past it; the ε/2 floor
+// keeps a 0 % tolerance actionable despite the positive noise bias of the
+// phase reference (a maximum of noisy samples).
+func classify(dropped, slowdown, eps float64) decision {
+	return classifyWith(dropped, slowdown, eps, false)
+}
+
+// classifyWith is classify with the rate-budget ablation switch.
+func classifyWith(dropped, slowdown, eps float64, rawBudget bool) decision {
+	var lowerBelow, raiseAbove float64
+	if rawBudget {
+		lowerBelow, raiseAbove = boundsRaw(slowdown, eps)
+	} else {
+		lowerBelow, raiseAbove = bounds(slowdown, eps)
+	}
+	switch {
+	case dropped > raiseAbove:
+		return raiseSetting
+	case dropped < lowerBelow:
+		return lowerSetting
+	default:
+		return holdSetting
+	}
+}
+
+// bounds returns the lower-while-below and raise-when-above thresholds for
+// a tolerance and error band. The user's tolerance bounds the execution
+// *time* overhead; a sustained rate drop of x inflates time by x/(1-x), so
+// the tolerance converts to a rate budget of s/(1+s) before banding.
+func bounds(slowdown, eps float64) (lowerBelow, raiseAbove float64) {
+	return boundsRate(slowdown/(1+slowdown), eps)
+}
+
+// boundsRaw skips the time-to-rate conversion (the AblateRateBudget
+// behaviour).
+func boundsRaw(slowdown, eps float64) (lowerBelow, raiseAbove float64) {
+	return boundsRate(slowdown, eps)
+}
+
+func boundsRate(rate, eps float64) (lowerBelow, raiseAbove float64) {
+	lowerBelow = rate - eps
+	if floor := eps / 2; lowerBelow < floor {
+		lowerBelow = floor
+	}
+	raiseAbove = rate
+	if raiseAbove < eps {
+		raiseAbove = eps
+	}
+	return lowerBelow, raiseAbove
+}
+
+// resumeBelow returns the drop level under which a latched loop may resume
+// lowering: strictly inside the lower threshold, so the boundary is not
+// re-probed by noise.
+func resumeBelow(slowdown, eps float64) float64 {
+	lowerBelow, _ := bounds(slowdown, eps)
+	return lowerBelow - eps
+}

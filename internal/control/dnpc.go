@@ -1,0 +1,133 @@
+package control
+
+import (
+	"fmt"
+	"time"
+
+	"dufp/internal/msr"
+	"dufp/internal/units"
+)
+
+// DNPC is a reimplementation of the dynamic power-capping baseline the
+// paper discusses as its closest related work (§VI, Sharma et al.,
+// CLUSTER'21): a library that adapts the cap against a user-defined
+// degradation limit using a *frequency-linear* performance model — it
+// estimates the current degradation as 1 - f_effective/f_max from the
+// APERF/MPERF ratio and steps the cap down while the estimate stays within
+// the limit.
+//
+// The paper's criticism is built in: because the model equates performance
+// with core frequency, DNPC under-estimates its headroom on memory-bound
+// applications (whose throughput barely depends on frequency) and
+// over-estimates it on none — it simply caps every application as if it
+// were frequency-bound. Comparing DNPC to DUFP on the suite shows exactly
+// the gap the paper argues motivates FLOPS-based monitoring.
+type DNPC struct {
+	act Actuators
+	cfg Config
+	dev msr.Device
+	cpu int
+
+	cap       units.Power
+	lastAperf uint64
+	lastMperf uint64
+	havePerf  bool
+	latched   bool
+	maxRatio  float64 // f_max / f_base: converts APERF/MPERF to f/f_max
+}
+
+// NewDNPC builds a DNPC instance for one socket; act.Dev gives it the
+// APERF/MPERF registers of the package.
+func NewDNPC(act Actuators, cfg Config) (*DNPC, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := act.validate(true); err != nil {
+		return nil, err
+	}
+	if act.Dev == nil {
+		return nil, fmt.Errorf("control: DNPC needs an MSR device for APERF/MPERF")
+	}
+	return &DNPC{
+		act:      act,
+		cfg:      cfg,
+		dev:      act.Dev,
+		cpu:      act.CPU,
+		cap:      act.Spec.DefaultPL1,
+		maxRatio: float64(act.Spec.MaxCoreFreq) / float64(act.Spec.BaseCoreFreq),
+	}, nil
+}
+
+// Name implements Instance.
+func (d *DNPC) Name() string { return "DNPC" }
+
+// Cap returns the current long-term cap target, for tests and traces.
+func (d *DNPC) Cap() units.Power { return d.cap }
+
+// Start implements Instance.
+func (d *DNPC) Start() error {
+	d.act.Monitor.Start()
+	d.cap = d.act.Spec.DefaultPL1
+	d.havePerf = false
+	d.latched = false
+	return d.act.Zone.Reset()
+}
+
+// Tick implements Instance: one frequency-model decision round.
+func (d *DNPC) Tick(now time.Duration) error {
+	// The monitor is still sampled so power accounting stays live, but
+	// unlike DUFP the decision below ignores FLOPS and bandwidth.
+	if _, err := d.act.Monitor.Sample(); err != nil {
+		return fmt.Errorf("DNPC at %v: %w", now, err)
+	}
+	aperf, err := d.dev.Read(d.cpu, msr.IA32APerf)
+	if err != nil {
+		return err
+	}
+	mperf, err := d.dev.Read(d.cpu, msr.IA32MPerf)
+	if err != nil {
+		return err
+	}
+	if !d.havePerf {
+		d.lastAperf, d.lastMperf = aperf, mperf
+		d.havePerf = true
+		return nil
+	}
+	da, dm := aperf-d.lastAperf, mperf-d.lastMperf
+	d.lastAperf, d.lastMperf = aperf, mperf
+	if dm == 0 {
+		return nil
+	}
+
+	// Effective frequency relative to the maximum all-core turbo.
+	fRel := (float64(da) / float64(dm)) / d.maxRatio
+	degradation := 1 - fRel
+
+	dec := classify(degradation, d.cfg.Slowdown, d.cfg.Epsilon)
+	if d.latched && dec == lowerSetting && degradation >= resumeBelow(d.cfg.Slowdown, d.cfg.Epsilon) {
+		dec = holdSetting
+	}
+	switch dec {
+	case lowerSetting:
+		next := (d.cap - d.cfg.CapStep).Clamp(d.cfg.CapFloor, d.act.Spec.DefaultPL1)
+		if next == d.cap {
+			return nil
+		}
+		d.cap = next
+		return d.act.Zone.SetLimits(next, next)
+	case raiseSetting:
+		d.latched = true
+		next := d.cap + d.cfg.CapStep
+		if next >= d.act.Spec.DefaultPL1 {
+			d.cap = d.act.Spec.DefaultPL1
+			return d.act.Zone.Reset()
+		}
+		d.cap = next
+		return d.act.Zone.SetLimits(next, next)
+	default:
+		return nil
+	}
+}
+
+// Config returns the controller's configuration.
+func (d *DNPC) Config() Config { return d.cfg }

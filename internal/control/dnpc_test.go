@@ -1,0 +1,185 @@
+package control
+
+import (
+	"testing"
+
+	"dufp/internal/msr"
+	"dufp/internal/units"
+)
+
+// dnpcHarness extends the control harness with scripted APERF/MPERF
+// counters.
+type dnpcHarness struct {
+	*harness
+	aperf, mperf uint64
+}
+
+func newDNPCHarness(t *testing.T) *dnpcHarness {
+	h := newHarness(t)
+	d := &dnpcHarness{harness: h}
+	h.space.Handle(msr.IA32APerf, msr.Handler{
+		Read:     func(int) (uint64, error) { return d.aperf, nil },
+		ReadOnly: true,
+	})
+	h.space.Handle(msr.IA32MPerf, msr.Handler{
+		Read:     func(int) (uint64, error) { return d.mperf, nil },
+		ReadOnly: true,
+	})
+	return d
+}
+
+// tickAt advances one 200 ms interval at the given effective core
+// frequency (GHz); the TSC base is 2.1 GHz.
+func (d *dnpcHarness) tickAt(in Instance, ghz float64) {
+	d.aperf += uint64(ghz * 0.2 * 1e9)
+	d.mperf += uint64(2.1 * 0.2 * 1e9)
+	d.set(100*gflops, 25*gbs, 90)
+	d.tick(in)
+}
+
+func newDNPCUnderTest(t *testing.T, d *dnpcHarness, slowdown float64) *DNPC {
+	t.Helper()
+	act := d.act
+	act.Dev, act.CPU = d.space, 0
+	c, err := NewDNPC(act, DefaultConfig(slowdown))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDNPCLowersWhileFrequencyHigh(t *testing.T) {
+	d := newDNPCHarness(t)
+	c := newDNPCUnderTest(t, d, 0.10)
+	// Effective frequency stays at the 2.8 GHz maximum: the model sees
+	// zero degradation and keeps lowering.
+	for i := 0; i < 5; i++ {
+		d.tickAt(c, 2.8)
+	}
+	// First tick only latches the counters.
+	want := d.spec.DefaultPL1 - 3*5*units.Watt
+	if got := c.Cap(); got > want {
+		t.Fatalf("cap = %v, want ≤ %v", got, want)
+	}
+}
+
+func TestDNPCRaisesWhenFrequencyDrops(t *testing.T) {
+	d := newDNPCHarness(t)
+	c := newDNPCUnderTest(t, d, 0.10)
+	for i := 0; i < 6; i++ {
+		d.tickAt(c, 2.8)
+	}
+	low := c.Cap()
+	// Frequency collapses 20 %: beyond the 10 % limit.
+	d.tickAt(c, 2.24)
+	if got := c.Cap(); got <= low {
+		t.Fatalf("cap did not rise: %v <= %v", got, low)
+	}
+}
+
+func TestDNPCIgnoresFlopsCollapse(t *testing.T) {
+	// The paper's criticism: DNPC's frequency model misses slowdowns that
+	// do not show up in core frequency (memory-bound pathologies) — FLOPS
+	// collapse while frequency stays at max, and DNPC keeps capping.
+	d := newDNPCHarness(t)
+	c := newDNPCUnderTest(t, d, 0.10)
+	for i := 0; i < 4; i++ {
+		d.tickAt(c, 2.8)
+	}
+	capBefore := c.Cap()
+	// FLOPS crash 40 %, frequency still 2.8 GHz.
+	d.aperf += uint64(2.8 * 0.2 * 1e9)
+	d.mperf += uint64(2.1 * 0.2 * 1e9)
+	d.set(60*gflops, 15*gbs, 90)
+	d.tick(c)
+	if got := c.Cap(); got > capBefore {
+		t.Fatalf("DNPC raised the cap on a FLOPS drop (%v > %v); its model is frequency-only", got, capBefore)
+	}
+}
+
+func TestDNPCFloor(t *testing.T) {
+	d := newDNPCHarness(t)
+	c := newDNPCUnderTest(t, d, 0.10)
+	for i := 0; i < 30; i++ {
+		d.tickAt(c, 2.8)
+	}
+	if got := c.Cap(); got != 65*units.Watt {
+		t.Fatalf("cap floor = %v, want 65 W", got)
+	}
+}
+
+func TestDNPCValidation(t *testing.T) {
+	d := newDNPCHarness(t)
+	if _, err := NewDNPC(d.act, DefaultConfig(0.1)); err == nil {
+		t.Error("accepted actuators without MSR device")
+	}
+	act := d.act
+	act.Dev = d.space
+	bad := DefaultConfig(0.1)
+	bad.CapStep = 0
+	if _, err := NewDNPC(act, bad); err == nil {
+		t.Error("accepted invalid config")
+	}
+	c, _ := NewDNPC(act, DefaultConfig(0.1))
+	if c.Name() != "DNPC" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+}
+
+func TestDUFPFManagesRequest(t *testing.T) {
+	d := newDNPCHarness(t) // reuse the harness with PERF MSR scripting
+	// PERF_STATUS reports the delivered frequency; seed it at max.
+	delivered := uint64(28) << 8
+	d.space.Handle(msr.IA32PerfStatus, msr.Handler{
+		Read:     func(int) (uint64, error) { return delivered, nil },
+		ReadOnly: true,
+	})
+	var requested uint64 = 28 << 8
+	d.space.Handle(msr.IA32PerfCtl, msr.Handler{
+		Read:  func(int) (uint64, error) { return requested, nil },
+		Write: func(_ int, v uint64) error { requested = v; return nil },
+	})
+
+	act := d.act
+	act.Dev, act.CPU = d.space, 0
+	c, err := NewDUFPF(act, DefaultConfig(0.10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "DUFP-F" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+
+	// Steady CPU-ish phase: the cap descends; once it bites, RAPL delivers
+	// below the request and DUFP-F chases the request down.
+	d.set(100*gflops, 25*gbs, 80)
+	d.ticks(c, 6)
+	if c.Cap() >= d.spec.DefaultPL1 {
+		t.Fatal("setup: cap did not descend")
+	}
+	delivered = uint64(24) << 8 // RAPL settled at 2.4 GHz
+	d.ticks(c, 4)
+	if got := c.Request(); got >= d.spec.MaxCoreFreq {
+		t.Fatalf("request still at max (%v) while RAPL delivers 2.4 GHz", got)
+	}
+
+	// Phase change resets the cap; the request must be freed.
+	d.set(5*gflops, 60*gbs, 80)
+	d.tick(c)
+	if got := c.Request(); got != d.spec.MaxCoreFreq {
+		t.Fatalf("request = %v after cap reset, want max", got)
+	}
+}
+
+func TestDUFPFValidation(t *testing.T) {
+	d := newDNPCHarness(t)
+	if _, err := NewDUFPF(d.act, DefaultConfig(0.10)); err == nil {
+		t.Fatal("accepted actuators without MSR device")
+	}
+}

@@ -1,0 +1,246 @@
+package control
+
+import (
+	"testing"
+
+	"dufp/internal/units"
+)
+
+func newDUF(t *testing.T, h *harness, slowdown float64) *DUF {
+	t.Helper()
+	d, err := NewDUF(h.act, DefaultConfig(slowdown))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDUFStartPinsMaxUncore(t *testing.T) {
+	h := newHarness(t)
+	d := newDUF(t, h, 0.10)
+	if got := h.uncoreOf(); got != h.spec.MaxUncoreFreq {
+		t.Fatalf("uncore after Start = %v, want max", got)
+	}
+	if d.Uncore() != h.spec.MaxUncoreFreq {
+		t.Fatalf("target = %v", d.Uncore())
+	}
+}
+
+func TestDUFLowersWhileWithinTolerance(t *testing.T) {
+	h := newHarness(t)
+	d := newDUF(t, h, 0.10)
+	// Steady phase, performance never drops: DUF should walk the uncore
+	// down one step per tick.
+	h.set(100*gflops, 25*gbs, 95)
+	h.ticks(d, 6)
+	want := h.spec.MaxUncoreFreq - 6*h.spec.UncoreFreqStep
+	if got := d.Uncore(); got != want {
+		t.Fatalf("uncore after 6 steady ticks = %v, want %v", got, want)
+	}
+}
+
+func TestDUFRaisesOnViolation(t *testing.T) {
+	h := newHarness(t)
+	d := newDUF(t, h, 0.10)
+	h.set(100*gflops, 25*gbs, 95)
+	h.ticks(d, 5)
+	low := d.Uncore()
+	// FLOPS collapse beyond the tolerance: DUF must step back up.
+	h.set(80*gflops, 20*gbs, 95)
+	h.ticks(d, 2)
+	if got := d.Uncore(); got <= low {
+		t.Fatalf("uncore did not rise after violation: %v <= %v", got, low)
+	}
+}
+
+func TestDUFBandwidthVeto(t *testing.T) {
+	h := newHarness(t)
+	d := newDUF(t, h, 0.10)
+	h.set(100*gflops, 25*gbs, 95)
+	h.ticks(d, 3)
+	low := d.Uncore()
+	// FLOPS fine, bandwidth collapses: the bw monitor must veto further
+	// decreases and force increases (DUF monitors bw for all phases).
+	h.set(100*gflops, 15*gbs, 95)
+	h.ticks(d, 2)
+	if got := d.Uncore(); got <= low {
+		t.Fatalf("bandwidth drop did not raise the uncore: %v <= %v", got, low)
+	}
+}
+
+func TestDUFPhaseChangeResets(t *testing.T) {
+	h := newHarness(t)
+	d := newDUF(t, h, 0.10)
+	h.set(100*gflops, 25*gbs, 95) // OI 4: CPU-intensive
+	h.ticks(d, 6)
+	if d.Uncore() >= h.spec.MaxUncoreFreq {
+		t.Fatal("setup failed: uncore did not descend")
+	}
+	// Cross the OI=1 boundary: memory-intensive phase begins.
+	h.set(10*gflops, 60*gbs, 95)
+	h.tick(d)
+	if got := d.Uncore(); got != h.spec.MaxUncoreFreq {
+		t.Fatalf("uncore after phase change = %v, want max", got)
+	}
+}
+
+func TestDUFFlopsDoublingResets(t *testing.T) {
+	h := newHarness(t)
+	d := newDUF(t, h, 0.10)
+	h.set(100*gflops, 25*gbs, 95)
+	h.ticks(d, 6)
+	// Same OI class but FLOPS more than double: a new phase.
+	h.set(250*gflops, 60*gbs, 110)
+	h.tick(d)
+	if got := d.Uncore(); got != h.spec.MaxUncoreFreq {
+		t.Fatalf("uncore after flops doubling = %v, want max", got)
+	}
+}
+
+func TestDUFLatchParksBelowBoundary(t *testing.T) {
+	h := newHarness(t)
+	d := newDUF(t, h, 0.10)
+	h.set(100*gflops, 25*gbs, 95)
+	h.ticks(d, 4)
+	// Violation forces a raise and latches the loop.
+	h.set(85*gflops, 21*gbs, 95)
+	h.tick(d)
+	raised := d.Uncore()
+	// Performance recovers to just inside the boundary: a latched loop
+	// must hold rather than re-probe.
+	h.set(92*gflops, 23*gbs, 95)
+	h.ticks(d, 5)
+	if got := d.Uncore(); got != raised {
+		t.Fatalf("latched loop moved: %v -> %v", raised, got)
+	}
+}
+
+func TestDUFLatchClearsOnPhaseChange(t *testing.T) {
+	h := newHarness(t)
+	d := newDUF(t, h, 0.10)
+	h.set(100*gflops, 25*gbs, 95)
+	h.ticks(d, 4)
+	h.set(85*gflops, 21*gbs, 95) // violation -> latch
+	h.tick(d)
+	// New phase (OI crossing): reset clears the latch; a fresh descent
+	// must be possible.
+	h.set(10*gflops, 60*gbs, 95)
+	h.tick(d)
+	h.ticks(d, 4) // steady memory phase, full performance
+	if got := d.Uncore(); got >= h.spec.MaxUncoreFreq {
+		t.Fatal("uncore never descended after the phase-change reset")
+	}
+}
+
+func TestDUFZeroToleranceFreeSavingsOnly(t *testing.T) {
+	// At 0 % tolerance DUF may keep descending while the measured impact
+	// is exactly zero (the EP case: free savings), but the first visible
+	// drop must push it back up.
+	h := newHarness(t)
+	d := newDUF(t, h, 0)
+	h.set(100*gflops, 25*gbs, 95)
+	h.ticks(d, 5)
+	if got := d.Uncore(); got >= h.spec.MaxUncoreFreq {
+		t.Fatal("0%% tolerance never descended despite zero impact")
+	}
+	low := d.Uncore()
+	h.set(98.4*gflops, 24.6*gbs, 95) // -1.6 %: beyond ε at 0 % tolerance
+	h.ticks(d, 2)
+	if got := d.Uncore(); got <= low {
+		t.Fatalf("0%% tolerance did not back off on a visible drop: %v <= %v", got, low)
+	}
+}
+
+func TestDUFFloorsAtMinimum(t *testing.T) {
+	h := newHarness(t)
+	d := newDUF(t, h, 0.20)
+	h.set(100*gflops, 25*gbs, 95)
+	h.ticks(d, 40) // plenty of steady ticks
+	if got := d.Uncore(); got != h.spec.MinUncoreFreq {
+		t.Fatalf("uncore floor = %v, want %v", got, h.spec.MinUncoreFreq)
+	}
+	// Further decrease attempts must be harmless.
+	h.ticks(d, 3)
+	if got := d.Uncore(); got != h.spec.MinUncoreFreq {
+		t.Fatalf("uncore left the floor: %v", got)
+	}
+}
+
+func TestDUFConfigValidation(t *testing.T) {
+	h := newHarness(t)
+	bad := DefaultConfig(0.10)
+	bad.Slowdown = -0.1
+	if _, err := NewDUF(h.act, bad); err == nil {
+		t.Error("accepted negative slowdown")
+	}
+	if _, err := NewDUF(Actuators{}, DefaultConfig(0.1)); err == nil {
+		t.Error("accepted empty actuators")
+	}
+}
+
+func TestDUFName(t *testing.T) {
+	h := newHarness(t)
+	d := newDUF(t, h, 0.10)
+	if d.Name() != "DUF" {
+		t.Fatalf("Name = %q", d.Name())
+	}
+	if d.Config().Slowdown != 0.10 {
+		t.Fatalf("Config().Slowdown = %v", d.Config().Slowdown)
+	}
+}
+
+func TestBoundsAndClassify(t *testing.T) {
+	// classify parks below the tolerance and converts the time budget to
+	// a rate budget.
+	eps := 0.01
+	cases := []struct {
+		dropped, slowdown float64
+		want              decision
+	}{
+		{0.00, 0.10, lowerSetting},
+		{0.05, 0.10, lowerSetting},
+		{0.089, 0.10, holdSetting},  // inside [s/(1+s)-ε, s/(1+s)]
+		{0.095, 0.10, raiseSetting}, // beyond the rate budget 0.0909
+		{0.30, 0.10, raiseSetting},
+		{0.004, 0, lowerSetting}, // ε/2 floor keeps 0 % actionable
+		{0.006, 0, holdSetting},
+		{0.02, 0, raiseSetting},
+		{-0.05, 0.10, lowerSetting}, // above the reference
+	}
+	for _, tc := range cases {
+		if got := classify(tc.dropped, tc.slowdown, eps); got != tc.want {
+			t.Errorf("classify(%v, %v) = %v, want %v", tc.dropped, tc.slowdown, got, tc.want)
+		}
+	}
+}
+
+func TestResumeBelowIsStricter(t *testing.T) {
+	for _, s := range []float64{0, 0.05, 0.1, 0.2} {
+		lowerBelow, _ := bounds(s, 0.01)
+		if resumeBelow(s, 0.01) >= lowerBelow {
+			t.Errorf("resumeBelow(%v) not stricter than the lower threshold", s)
+		}
+	}
+}
+
+func TestUncorePinnedThroughMSR(t *testing.T) {
+	// The controller's actuation must be visible at the register level.
+	h := newHarness(t)
+	d := newDUF(t, h, 0.10)
+	h.set(100*gflops, 25*gbs, 95)
+	h.ticks(d, 4)
+	lo, hi, err := h.act.Uncore.Band()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != hi {
+		t.Fatalf("DUF must pin (min==max), got [%v, %v]", lo, hi)
+	}
+	if hi != d.Uncore() {
+		t.Fatalf("MSR band %v != controller target %v", hi, d.Uncore())
+	}
+	_ = units.Frequency(0)
+}

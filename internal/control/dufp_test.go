@@ -1,0 +1,435 @@
+package control
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dufp/internal/units"
+)
+
+func newDUFP(t *testing.T, h *harness, slowdown float64) *DUFP {
+	t.Helper()
+	d, err := NewDUFP(h.act, DefaultConfig(slowdown))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDUFPStartState(t *testing.T) {
+	h := newHarness(t)
+	d := newDUFP(t, h, 0.10)
+	if got := d.Cap(); got != h.spec.DefaultPL1 {
+		t.Fatalf("cap after Start = %v, want default", got)
+	}
+	if got := d.Uncore(); got != h.spec.MaxUncoreFreq {
+		t.Fatalf("uncore after Start = %v, want max", got)
+	}
+}
+
+func TestDUFPLowersCapWithinTolerance(t *testing.T) {
+	h := newHarness(t)
+	d := newDUFP(t, h, 0.10)
+	// CPU-ish phase (OI = 4), steady performance, draw 95 W (below every
+	// cap it will program, so no power-over-cap reset).
+	h.set(100*gflops, 25*gbs, 95)
+	h.ticks(d, 4)
+	want := h.spec.DefaultPL1 - 4*5*units.Watt
+	if got := d.Cap(); got != want {
+		t.Fatalf("cap after 4 steady ticks = %v, want %v", got, want)
+	}
+	// Both constraints are written equal on a decrease (§III).
+	pl1, pl2, err := h.act.Zone.Limits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl1 != pl2 {
+		t.Fatalf("PL1 %v != PL2 %v after a decrease", pl1, pl2)
+	}
+}
+
+func TestDUFPRaisesOnViolation(t *testing.T) {
+	h := newHarness(t)
+	d := newDUFP(t, h, 0.10)
+	h.set(100*gflops, 25*gbs, 95)
+	h.ticks(d, 6)
+	low := d.Cap()
+	h.set(85*gflops, 21.25*gbs, 92) // 15 % down: violation at 10 %, same OI
+	h.tick(d)
+	if got := d.Cap(); got <= low {
+		t.Fatalf("cap did not rise on violation: %v <= %v", got, low)
+	}
+}
+
+func TestDUFPRaiseToDefaultResets(t *testing.T) {
+	h := newHarness(t)
+	d := newDUFP(t, h, 0.10)
+	h.set(100*gflops, 25*gbs, 95)
+	h.ticks(d, 2) // cap 115
+	// Persistent violation: the cap walks back; on reaching the default
+	// it resets both constraints to the factory values (PL2 = 150).
+	h.set(85*gflops, 21.25*gbs, 92)
+	h.ticks(d, 2)
+	if got := d.Cap(); got != h.spec.DefaultPL1 {
+		t.Fatalf("cap = %v, want default after walk-back", got)
+	}
+	_, pl2, err := h.act.Zone.Limits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl2 != h.spec.DefaultPL2 {
+		t.Fatalf("PL2 = %v after reset, want factory %v", pl2, h.spec.DefaultPL2)
+	}
+}
+
+func TestDUFPHighlyMemoryLowersRegardless(t *testing.T) {
+	h := newHarness(t)
+	d := newDUFP(t, h, 0) // even at 0 % tolerance
+	// OI = 0.6/60 = 0.01 < 0.02: highly memory-intensive.
+	h.set(0.6*gflops, 60*gbs, 90)
+	h.ticks(d, 3)
+	start := d.Cap()
+	// Performance visibly dropping would normally stop a 0 % loop; the
+	// highly-memory path keeps decreasing regardless.
+	h.set(0.55*gflops, 55*gbs, 85)
+	h.ticks(d, 3)
+	if got := d.Cap(); got >= start {
+		t.Fatalf("highly-memory phase stopped lowering: %v >= %v", got, start)
+	}
+}
+
+func TestDUFPCapFloor(t *testing.T) {
+	h := newHarness(t)
+	d := newDUFP(t, h, 0.10)
+	h.set(0.6*gflops, 60*gbs, 60) // highly memory, draw below the floor
+	h.ticks(d, 20)
+	if got := d.Cap(); got != 65*units.Watt {
+		t.Fatalf("cap floor = %v, want 65 W (§IV-A)", got)
+	}
+}
+
+func TestDUFPHighCPUResetsOnViolation(t *testing.T) {
+	h := newHarness(t)
+	d := newDUFP(t, h, 0.10)
+	// OI = 500/1 = 500 > 100: highly CPU-intensive.
+	h.set(500*gflops, 1*gbs, 90)
+	h.ticks(d, 5)
+	if d.Cap() >= h.spec.DefaultPL1 {
+		t.Fatal("setup failed: cap did not descend")
+	}
+	h.set(420*gflops, 0.84*gbs, 85) // -16 %: violation
+	h.tick(d)
+	if got := d.Cap(); got != h.spec.DefaultPL1 {
+		t.Fatalf("highly-CPU violation stepped instead of resetting: cap %v", got)
+	}
+}
+
+func TestDUFPHighCPUBandwidthReset(t *testing.T) {
+	h := newHarness(t)
+	d := newDUFP(t, h, 0.10)
+	h.set(500*gflops, 1*gbs, 90)
+	h.ticks(d, 5)
+	if d.Cap() >= h.spec.DefaultPL1 {
+		t.Fatal("setup failed")
+	}
+	// FLOPS within tolerance but bandwidth beyond it: reset (§III: "the
+	// slowdown also applies to memory bandwidth").
+	h.set(480*gflops, 0.8*gbs, 88)
+	h.tick(d)
+	if got := d.Cap(); got != h.spec.DefaultPL1 {
+		t.Fatalf("bandwidth violation did not reset the cap: %v", got)
+	}
+}
+
+func TestDUFPPowerOverCapResets(t *testing.T) {
+	h := newHarness(t)
+	d := newDUFP(t, h, 0.10)
+	h.set(100*gflops, 25*gbs, 80) // draw stays under every cap programmed
+	h.ticks(d, 8)                 // cap at 85
+	if d.Cap() > 90*units.Watt {
+		t.Fatalf("setup: cap = %v", d.Cap())
+	}
+	// Consumed power exceeds the cap by more than the margin (§IV-D).
+	h.set(100*gflops, 25*gbs, float64(d.Cap())+5)
+	h.tick(d)
+	if got := d.Cap(); got != h.spec.DefaultPL1 {
+		t.Fatalf("power-over-cap did not reset: %v", got)
+	}
+}
+
+func TestDUFPShortTermPulledDownAfterReset(t *testing.T) {
+	h := newHarness(t)
+	d := newDUFP(t, h, 0.10)
+	h.set(100*gflops, 25*gbs, 80)
+	h.ticks(d, 8)
+	h.set(100*gflops, 25*gbs, float64(d.Cap())+5) // force a reset
+	h.tick(d)
+	// Next tick: consumption (95 W) below PL1 (125 W) → PL2 := PL1.
+	h.set(100*gflops, 25*gbs, 95)
+	h.tick(d)
+	pl1, pl2, err := h.act.Zone.Limits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl2 != pl1 {
+		t.Fatalf("after the post-reset tick: PL2 %v != PL1 %v", pl2, pl1)
+	}
+}
+
+func TestDUFPPhaseChangeResetsBoth(t *testing.T) {
+	h := newHarness(t)
+	d := newDUFP(t, h, 0.10)
+	h.set(100*gflops, 25*gbs, 95)
+	h.ticks(d, 6)
+	if d.Cap() >= h.spec.DefaultPL1 || d.Uncore() >= h.spec.MaxUncoreFreq {
+		t.Fatal("setup failed")
+	}
+	h.set(10*gflops, 60*gbs, 95) // OI crossing
+	h.tick(d)
+	if d.Cap() != h.spec.DefaultPL1 {
+		t.Fatalf("cap not reset on phase change: %v", d.Cap())
+	}
+	if d.Uncore() != h.spec.MaxUncoreFreq {
+		t.Fatalf("uncore not reset on phase change: %v", d.Uncore())
+	}
+}
+
+func TestDUFPRule2VerifiesUncoreAfterJointReset(t *testing.T) {
+	h := newHarness(t)
+	d := newDUFP(t, h, 0.10)
+	h.set(100*gflops, 25*gbs, 95)
+	h.ticks(d, 6)
+	h.set(10*gflops, 60*gbs, 95) // joint reset
+	h.tick(d)
+
+	// Sabotage: the applied uncore is still held below max (as a real cap
+	// would); rule 2 must re-pin it on the next tick.
+	if err := h.act.Uncore.Pin(2.0 * units.Gigahertz); err != nil {
+		t.Fatal(err)
+	}
+	h.tick(d)
+	_, hi, err := h.act.Uncore.Band()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rule 2 re-pins to max; the same tick's regular decision may then
+	// take at most one legitimate step down.
+	if hi < h.spec.MaxUncoreFreq-h.spec.UncoreFreqStep {
+		t.Fatalf("rule 2 did not re-reset the uncore: %v", hi)
+	}
+}
+
+func TestDUFPRule1FruitlessUncoreRaiseChargesCap(t *testing.T) {
+	h := newHarness(t)
+	d := newDUFP(t, h, 0.10)
+	h.set(100*gflops, 25*gbs, 95)
+	h.ticks(d, 5)
+	capBefore := d.Cap()
+
+	// Bandwidth collapses -> the uncore loop raises; FLOPS stay within
+	// tolerance and do NOT improve on the next tick. Rule 1: the cap is
+	// raised even though FLOPS are within the slowdown.
+	h.set(97*gflops, 15*gbs, 92) // bw violation -> uncore raise
+	h.tick(d)
+	afterFirst := d.Cap()
+	h.set(97*gflops, 15*gbs, 92) // no improvement
+	h.tick(d)
+	if got := d.Cap(); got <= afterFirst {
+		t.Fatalf("rule 1 did not raise the cap: %v <= %v (before: %v)", got, afterFirst, capBefore)
+	}
+}
+
+func TestDUFPLatchedCapHolds(t *testing.T) {
+	h := newHarness(t)
+	d := newDUFP(t, h, 0.10)
+	h.set(100*gflops, 25*gbs, 95)
+	h.ticks(d, 6)
+	h.set(85*gflops, 21.25*gbs, 92) // violation -> raise + latch
+	h.tick(d)
+	parked := d.Cap()
+	h.set(92*gflops, 23*gbs, 92) // back inside the boundary
+	h.ticks(d, 4)
+	if got := d.Cap(); got != parked {
+		t.Fatalf("latched cap moved: %v -> %v", parked, got)
+	}
+}
+
+func TestDUFPRequiresZone(t *testing.T) {
+	h := newHarness(t)
+	act := h.act
+	act.Zone = nil
+	if _, err := NewDUFP(act, DefaultConfig(0.1)); err == nil {
+		t.Fatal("accepted actuators without a powercap zone")
+	}
+}
+
+func TestDUFPName(t *testing.T) {
+	h := newHarness(t)
+	d := newDUFP(t, h, 0.05)
+	if d.Name() != "DUFP" {
+		t.Fatalf("Name = %q", d.Name())
+	}
+	if d.Config().Slowdown != 0.05 {
+		t.Fatalf("Config().Slowdown = %v", d.Config().Slowdown)
+	}
+}
+
+func TestAblationsLoosenTheController(t *testing.T) {
+	// Each ablation must change behaviour in the documented direction on
+	// a boundary-riding script.
+	runScript := func(cfg Config) units.Power {
+		h := newHarness(t)
+		d, err := NewDUFP(h.act, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Start(); err != nil {
+			t.Fatal(err)
+		}
+		// Walk to the boundary, then violate once, then hover just inside.
+		h.set(100*gflops, 25*gbs, 80)
+		h.ticks(d, 6)
+		h.set(85*gflops, 21.25*gbs, 78)
+		h.tick(d)
+		h.set(92*gflops, 23*gbs, 78)
+		h.ticks(d, 6)
+		return d.Cap()
+	}
+
+	base := runScript(DefaultConfig(0.10))
+	noLatch := DefaultConfig(0.10)
+	noLatch.AblateLatch = true
+	// Without the latch the loop re-probes: the cap descends further.
+	if got := runScript(noLatch); got >= base {
+		t.Errorf("AblateLatch cap %v not below calibrated %v", got, base)
+	}
+
+	// Without the rate conversion the thresholds sit at the raw tolerance
+	// (10 % instead of 9.09 %), so a 9.5 % drop reads as within-budget.
+	raw := DefaultConfig(0.10)
+	raw.AblateRateBudget = true
+	h := newHarness(t)
+	d, err := NewDUFP(h.act, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	h.set(100*gflops, 25*gbs, 80)
+	h.ticks(d, 2)
+	capBefore := d.Cap()
+	// A 9.5 % drop violates the converted rate budget (9.09 %) but sits
+	// inside the raw tolerance band [9 %, 10 %]: the calibrated controller
+	// raises, the ablated one holds.
+	h.set(90.5*gflops, 22.6*gbs, 78)
+	h.tick(d)
+	if got := d.Cap(); got != capBefore {
+		t.Errorf("AblateRateBudget moved the cap at a 9.5%% drop: %v != %v", got, capBefore)
+	}
+
+	cal := newHarness(t)
+	dc, err := NewDUFP(cal.act, DefaultConfig(0.10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	cal.set(100*gflops, 25*gbs, 80)
+	cal.ticks(dc, 2)
+	calBefore := dc.Cap()
+	cal.set(90.5*gflops, 22.6*gbs, 78)
+	cal.tick(dc)
+	if got := dc.Cap(); got <= calBefore {
+		t.Errorf("calibrated controller did not raise at a 9.5%% drop: %v <= %v", got, calBefore)
+	}
+}
+
+func TestAblateProvisionalRefKeepsBlendedSample(t *testing.T) {
+	cfg := DefaultConfig(0.10)
+	cfg.AblateProvisionalRef = true
+	tr := newTracker(cfg)
+	tr.Observe(sample(100*gflops, 25*gbs))
+	tr.Observe(sample(30*gflops, 45*gbs)) // blended boundary sample
+	tr.Observe(sample(10*gflops, 60*gbs)) // clean sample
+	// With the ablation the blended sample anchors the reference.
+	if got := tr.FlopsRef(); got != 30*gflops {
+		t.Fatalf("ref = %v, want the blended 30 GFLOPS", got)
+	}
+}
+
+func TestDUFPEventLog(t *testing.T) {
+	h := newHarness(t)
+	d := newDUFP(t, h, 0.10)
+	h.set(100*gflops, 25*gbs, 80)
+	h.ticks(d, 4)                // lowers
+	h.set(10*gflops, 60*gbs, 80) // phase change
+	h.tick(d)
+	h.set(10*gflops, 60*gbs, 80)
+	h.ticks(d, 2)
+
+	events := d.Events()
+	if len(events) == 0 {
+		t.Fatal("no events logged")
+	}
+	kinds := map[EventKind]int{}
+	for _, e := range events {
+		kinds[e.Kind]++
+		if e.Time <= 0 {
+			t.Fatalf("event without a timestamp: %v", e)
+		}
+		if e.String() == "" {
+			t.Fatal("empty event string")
+		}
+	}
+	if kinds[EventCapLower] < 3 {
+		t.Errorf("cap-lower events = %d, want ≥3", kinds[EventCapLower])
+	}
+	if kinds[EventUncoreLower] < 3 {
+		t.Errorf("uncore-lower events = %d, want ≥3", kinds[EventUncoreLower])
+	}
+	if kinds[EventPhaseChange] != 1 {
+		t.Errorf("phase-change events = %d, want 1", kinds[EventPhaseChange])
+	}
+	// Events are ordered.
+	for i := 1; i < len(events); i++ {
+		if events[i].Time < events[i-1].Time {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for k := EventPhaseChange; k <= EventPowerOverCap; k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "EventKind(") {
+			t.Errorf("kind %d has no name", int(k))
+		}
+	}
+	if s := EventKind(99).String(); !strings.HasPrefix(s, "EventKind(") {
+		t.Errorf("unknown kind formatted as %q", s)
+	}
+}
+
+func TestEventLogBounded(t *testing.T) {
+	l := newEventLog(4)
+	for i := 0; i < 10; i++ {
+		l.add(Event{Time: time.Duration(i)})
+	}
+	ev := l.events()
+	if len(ev) != 4 {
+		t.Fatalf("log kept %d events, want 4", len(ev))
+	}
+	if ev[0].Time != 6 || ev[3].Time != 9 {
+		t.Fatalf("wrong window kept: %v", ev)
+	}
+	var nilLog *eventLog
+	nilLog.add(Event{}) // must not panic
+	if nilLog.events() != nil {
+		t.Fatal("nil log returned events")
+	}
+}

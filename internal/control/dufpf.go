@@ -1,0 +1,114 @@
+package control
+
+import (
+	"fmt"
+	"time"
+
+	"dufp/internal/msr"
+	"dufp/internal/units"
+)
+
+// DUFPF implements the first item of the paper's future work (§VII):
+// "study if CPU frequency is properly managed under power capping and
+// manage it with DUFP if not". Under an active cap, RAPL firmware
+// duty-cycles the core frequency between adjacent P-states at millisecond
+// granularity to hold the running average at the limit; DUFPF instead
+// pins the *requested* frequency (IA32_PERF_CTL) to the highest P-state
+// whose steady draw fits under the cap, converting the dither into a
+// steady operating point. RAPL remains armed underneath as a safety net.
+type DUFPF struct {
+	*DUFP
+	dev msr.Device
+	cpu int
+
+	// reqTarget is the pinned frequency request; max when uncapped.
+	reqTarget units.Frequency
+	// settle counts rounds to wait after a request change before judging
+	// its effect (one 200 ms round suffices).
+	settle int
+}
+
+// NewDUFPF builds the frequency-managing variant for one socket; act.Dev
+// gives it the IA32_PERF_CTL register.
+func NewDUFPF(act Actuators, cfg Config) (*DUFPF, error) {
+	base, err := NewDUFP(act, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if act.Dev == nil {
+		return nil, fmt.Errorf("control: DUFPF needs an MSR device for IA32_PERF_CTL")
+	}
+	return &DUFPF{
+		DUFP:      base,
+		dev:       act.Dev,
+		cpu:       act.CPU,
+		reqTarget: act.Spec.MaxCoreFreq,
+	}, nil
+}
+
+// Name implements Instance.
+func (d *DUFPF) Name() string { return "DUFP-F" }
+
+// Request returns the pinned frequency request, for tests and traces.
+func (d *DUFPF) Request() units.Frequency { return d.reqTarget }
+
+// Start implements Instance.
+func (d *DUFPF) Start() error {
+	if err := d.DUFP.Start(); err != nil {
+		return err
+	}
+	return d.setRequest(d.act.Spec.MaxCoreFreq)
+}
+
+func (d *DUFPF) setRequest(f units.Frequency) error {
+	f = d.act.Spec.ClampCoreFreq(f)
+	if f == d.reqTarget {
+		return nil
+	}
+	d.reqTarget = f
+	d.settle = 1
+	return d.dev.Write(d.cpu, msr.IA32PerfCtl, uint64(msr.FrequencyToRatio(f))<<8)
+}
+
+// Tick implements Instance: run the DUFP round, then manage the frequency
+// request against the resulting cap.
+func (d *DUFPF) Tick(now time.Duration) error {
+	capBefore := d.Cap()
+	if err := d.DUFP.Tick(now); err != nil {
+		return err
+	}
+	capNow := d.Cap()
+
+	// Cap released (reset or walked back to default): free the request.
+	if capNow >= d.act.Spec.DefaultPL1 {
+		return d.setRequest(d.act.Spec.MaxCoreFreq)
+	}
+	if capNow > capBefore {
+		// The cap just rose: give the platform headroom immediately.
+		return d.setRequest(d.reqTarget + 2*d.act.Spec.CoreFreqStep)
+	}
+	if d.settle > 0 {
+		d.settle--
+		return nil
+	}
+
+	// Steady capped operation: align the request with what the cap can
+	// sustain. The delivered frequency (PERF_STATUS) reveals where RAPL
+	// actually settled; sitting the request one step above the delivered
+	// floor removes the duty-cycle dither above it.
+	raw, err := d.dev.Read(d.cpu, msr.IA32PerfStatus)
+	if err != nil {
+		return err
+	}
+	delivered := msr.RatioToFrequency(uint8(raw >> 8 & 0x7F))
+	switch {
+	case delivered < d.reqTarget-d.act.Spec.CoreFreqStep:
+		// RAPL is throttling well below the request: chase it down.
+		return d.setRequest(d.reqTarget - d.act.Spec.CoreFreqStep)
+	case delivered >= d.reqTarget && d.reqTarget < d.act.Spec.MaxCoreFreq:
+		// Delivered pegged at the request: probe one step of headroom.
+		return d.setRequest(d.reqTarget + d.act.Spec.CoreFreqStep)
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,110 @@
+package control
+
+import (
+	"fmt"
+	"time"
+
+	"dufp/internal/units"
+)
+
+// EventKind classifies a controller decision for the event log.
+type EventKind int
+
+// Decision kinds.
+const (
+	// EventPhaseChange marks a detected phase change (both levers reset).
+	EventPhaseChange EventKind = iota
+	// EventCapLower, EventCapRaise and EventCapReset are cap actions.
+	EventCapLower
+	EventCapRaise
+	EventCapReset
+	// EventUncoreLower, EventUncoreRaise and EventUncoreReset are uncore
+	// actions.
+	EventUncoreLower
+	EventUncoreRaise
+	EventUncoreReset
+	// EventRule1 marks interaction rule 1 (fruitless uncore raise charged
+	// to the cap); EventRule2 marks rule 2 (post-reset uncore re-pin).
+	EventRule1
+	EventRule2
+	// EventPowerOverCap marks a §IV-D consumed-power-above-cap reset.
+	EventPowerOverCap
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventPhaseChange:
+		return "phase-change"
+	case EventCapLower:
+		return "cap-lower"
+	case EventCapRaise:
+		return "cap-raise"
+	case EventCapReset:
+		return "cap-reset"
+	case EventUncoreLower:
+		return "uncore-lower"
+	case EventUncoreRaise:
+		return "uncore-raise"
+	case EventUncoreReset:
+		return "uncore-reset"
+	case EventRule1:
+		return "rule-1"
+	case EventRule2:
+		return "rule-2"
+	case EventPowerOverCap:
+		return "power-over-cap"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one logged controller decision.
+type Event struct {
+	// Time is the simulation time of the decision round.
+	Time time.Duration
+	// Kind classifies the decision.
+	Kind EventKind
+	// Cap and Uncore are the post-decision targets.
+	Cap    units.Power
+	Uncore units.Frequency
+}
+
+// String formats the event for diagnostics.
+func (e Event) String() string {
+	return fmt.Sprintf("%8.1fs %-14s cap=%3.0fW uncore=%.1fGHz",
+		e.Time.Seconds(), e.Kind, e.Cap.Watts(), e.Uncore.GHz())
+}
+
+// eventLog is a bounded ring of decisions.
+type eventLog struct {
+	buf []Event
+	cap int
+}
+
+func newEventLog(capacity int) *eventLog {
+	return &eventLog{cap: capacity}
+}
+
+func (l *eventLog) add(e Event) {
+	if l == nil || l.cap <= 0 {
+		return
+	}
+	if len(l.buf) >= l.cap {
+		copy(l.buf, l.buf[1:])
+		l.buf = l.buf[:len(l.buf)-1]
+	}
+	l.buf = append(l.buf, e)
+}
+
+func (l *eventLog) events() []Event {
+	if l == nil {
+		return nil
+	}
+	out := make([]Event, len(l.buf))
+	copy(out, l.buf)
+	return out
+}
+
+// eventLogCapacity bounds the per-instance decision history.
+const eventLogCapacity = 4096

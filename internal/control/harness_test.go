@@ -1,0 +1,154 @@
+package control
+
+import (
+	"testing"
+	"time"
+
+	"dufp/internal/arch"
+	"dufp/internal/msr"
+	"dufp/internal/papi"
+	"dufp/internal/powercap"
+	"dufp/internal/rapl"
+	"dufp/internal/uncore"
+	"dufp/internal/units"
+)
+
+// harness drives a controller against a scripted hardware state: counter
+// rates, package power and the MSR-backed cap and uncore actuators, without
+// the full simulator in the loop. It lets tests dictate exactly what the
+// controller observes each tick.
+type harness struct {
+	t     *testing.T
+	space *msr.Space
+	spec  arch.Spec
+	act   Actuators
+
+	now       time.Duration
+	flops     float64 // cumulative
+	bytes     float64
+	pkgEnergy units.Energy // cumulative
+
+	// Per-tick script inputs.
+	flopRate float64 // FLOPS/s over the next interval
+	bwRate   float64 // bytes/s
+	power    float64 // package watts
+}
+
+func (h *harness) Counter(ev papi.Event) float64 {
+	switch ev {
+	case papi.FPOps:
+		return h.flops
+	case papi.MemBytes:
+		return h.bytes
+	}
+	return 0
+}
+
+func (h *harness) Now() time.Duration { return h.now }
+
+func newHarness(t *testing.T) *harness {
+	t.Helper()
+	spec := arch.XeonGold6130()
+	sp := msr.NewSpace(spec.Cores)
+	sp.Seed(msr.MSRRaplPowerUnit, msr.DefaultUnitsValue)
+	raplUnits := msr.DefaultUnits()
+	sp.Seed(msr.MSRPkgPowerLimit, msr.EncodePkgPowerLimit(raplUnits, rapl.DefaultLimits(spec)))
+	sp.Seed(msr.MSRDramEnergyStatus, 0)
+	sp.Seed(msr.MSRUncoreRatioLimit, msr.EncodeUncoreRatioLimit(msr.UncoreRatioLimit{
+		Min: msr.FrequencyToRatio(spec.MinUncoreFreq),
+		Max: msr.FrequencyToRatio(spec.MaxUncoreFreq),
+	}))
+
+	h := &harness{t: t, space: sp, spec: spec}
+
+	// The energy counter reflects the scripted cumulative energy.
+	sp.Handle(msr.MSRPkgEnergyStatus, msr.Handler{
+		Read: func(int) (uint64, error) {
+			return msr.EncodeEnergyCounter(raplUnits.EnergyUnit, h.pkgEnergy), nil
+		},
+		ReadOnly: true,
+	})
+	// The delivered uncore frequency tracks the top of the programmed
+	// band instantly (no slew in the harness).
+	sp.Handle(msr.MSRUncorePerfStatus, msr.Handler{
+		Read: func(cpu int) (uint64, error) {
+			raw, err := sp.Read(cpu, msr.MSRUncoreRatioLimit)
+			if err != nil {
+				return 0, err
+			}
+			return uint64(msr.DecodeUncoreRatioLimit(raw).Max), nil
+		},
+		ReadOnly: true,
+	})
+
+	client, err := rapl.NewClient(sp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zone, err := powercap.OpenPackage(sp, 0, 0, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := papi.NewMonitor(h, client.NewPkgEnergyMeter(), client.NewDramEnergyMeter(), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.act = Actuators{
+		Spec:    spec,
+		Monitor: mon,
+		Zone:    zone,
+		Uncore:  uncore.NewControl(sp, 0, spec),
+	}
+	return h
+}
+
+// set programs the observation for the next tick.
+func (h *harness) set(flopRate, bwRate, power float64) {
+	h.flopRate, h.bwRate, h.power = flopRate, bwRate, power
+}
+
+// tick advances 200 ms of scripted hardware state and runs the controller.
+func (h *harness) tick(in Instance) {
+	h.t.Helper()
+	const dt = 0.2
+	h.now += 200 * time.Millisecond
+	h.flops += h.flopRate * dt
+	h.bytes += h.bwRate * dt
+	h.pkgEnergy += units.Energy(h.power * dt)
+	if err := in.Tick(h.now); err != nil {
+		h.t.Fatalf("tick at %v: %v", h.now, err)
+	}
+}
+
+// ticks advances n identical ticks.
+func (h *harness) ticks(in Instance, n int) {
+	for i := 0; i < n; i++ {
+		h.tick(in)
+	}
+}
+
+// capOf reads the programmed long-term cap back through the zone.
+func (h *harness) capOf() units.Power {
+	pl1, _, err := h.act.Zone.Limits()
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return pl1
+}
+
+// uncoreOf reads the pinned uncore band top back through the MSRs.
+func (h *harness) uncoreOf() units.Frequency {
+	_, hi, err := h.act.Uncore.Band()
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return hi
+}
+
+// Convenient rate constants: a CPU-ish phase (OI = 4), a highly
+// memory-intensive phase (OI = 0.01) and a highly CPU-intensive phase
+// (OI = 500).
+const (
+	gflops = 1e9
+	gbs    = 1e9
+)

@@ -1,0 +1,133 @@
+package control
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dufp/internal/units"
+)
+
+// TestDUFPInvariantsUnderRandomStreams drives DUFP with randomised
+// observation streams and checks the §III/§IV-A hard invariants after
+// every tick:
+//
+//  1. the long-term cap stays within [floor, default]
+//  2. the short-term constraint never sits below the long-term one
+//  3. the pinned uncore frequency stays within the architectural band
+//  4. the MSR-level state matches the controller's own view
+func TestDUFPInvariantsUnderRandomStreams(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := newHarness(t)
+		d, err := NewDUFP(h.act, DefaultConfig([]float64{0, 0.05, 0.10, 0.20}[rng.Intn(4)]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Start(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 120; i++ {
+			// Random walk over wildly different operating regimes,
+			// including OI class flips, bursts and power spikes.
+			flops := rng.Float64() * 600 * gflops
+			bw := rng.Float64() * 80 * gbs
+			power := 50 + rng.Float64()*90
+			h.set(flops, bw, power)
+			h.tick(d)
+
+			if cap := d.Cap(); cap < 65*units.Watt || cap > h.spec.DefaultPL1 {
+				t.Logf("seed %d tick %d: cap %v escaped [65, 125]", seed, i, cap)
+				return false
+			}
+			pl1, pl2, err := h.act.Zone.Limits()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pl2 < pl1 {
+				t.Logf("seed %d tick %d: PL2 %v below PL1 %v", seed, i, pl2, pl1)
+				return false
+			}
+			lo, hi, err := h.act.Uncore.Band()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lo != hi || hi < h.spec.MinUncoreFreq || hi > h.spec.MaxUncoreFreq {
+				t.Logf("seed %d tick %d: uncore band [%v, %v] invalid", seed, i, lo, hi)
+				return false
+			}
+			if hi != d.Uncore() {
+				t.Logf("seed %d tick %d: MSR %v != controller %v", seed, i, hi, d.Uncore())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDUFInvariantsUnderRandomStreams is the uncore-only analogue.
+func TestDUFInvariantsUnderRandomStreams(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := newHarness(t)
+		d, err := NewDUF(h.act, DefaultConfig(0.10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Start(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 120; i++ {
+			h.set(rng.Float64()*600*gflops, rng.Float64()*80*gbs, 50+rng.Float64()*90)
+			h.tick(d)
+			u := d.Uncore()
+			if u < h.spec.MinUncoreFreq || u > h.spec.MaxUncoreFreq {
+				return false
+			}
+			// DUF must never touch the power limits.
+			pl1, pl2, err := h.act.Zone.Limits()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pl1 != h.spec.DefaultPL1 || pl2 != h.spec.DefaultPL2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecisionsDeterministic replays an identical stream twice and expects
+// identical controller trajectories.
+func TestDecisionsDeterministic(t *testing.T) {
+	trajectory := func() []units.Power {
+		rng := rand.New(rand.NewSource(99))
+		h := newHarness(t)
+		d, err := NewDUFP(h.act, DefaultConfig(0.10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Start(); err != nil {
+			t.Fatal(err)
+		}
+		var caps []units.Power
+		for i := 0; i < 60; i++ {
+			h.set(rng.Float64()*300*gflops, rng.Float64()*80*gbs, 60+rng.Float64()*60)
+			h.tick(d)
+			caps = append(caps, d.Cap())
+		}
+		return caps
+	}
+	a, b := trajectory(), trajectory()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tick %d: %v != %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package control
+
+import "dufp/internal/papi"
+
+// tracker detects application phase changes and maintains the per-phase
+// reference performance (§III): a phase change is a crossing of the OI
+// boundary in either direction, or FLOPS/s exceeding the phase reference by
+// PhaseFlopsFactor.
+//
+// The reference FLOPS/s and bandwidth are the maxima observed over the
+// first WindowSamples samples of the phase and are frozen afterwards:
+// a phase begins right after a reset, so its early samples capture the
+// full-speed performance, and freezing prevents the reference from creeping
+// down as the controller's own actions slow the application (which would
+// let the tolerance be re-spent every window).
+type tracker struct {
+	cfg     Config
+	started bool
+	isMem   bool
+	samples int
+	refF    float64
+	refB    float64
+	// provisional marks references taken from the sample that *detected*
+	// the phase change: that measurement interval straddles the phase
+	// boundary and blends both phases, so the next clean sample replaces
+	// it instead of ratcheting against it.
+	provisional bool
+}
+
+func newTracker(cfg Config) *tracker { return &tracker{cfg: cfg} }
+
+// Observe folds in a sample and reports whether it begins a new phase.
+// The first sample initialises the tracker without reporting a change.
+func (t *tracker) Observe(s papi.Sample) bool {
+	oi := s.OperationalIntensity()
+	mem := oi < t.cfg.MemOIBoundary
+	if !t.started {
+		t.begin(s, mem)
+		t.started = true
+		return false
+	}
+	if mem != t.isMem || float64(s.FlopRate) > t.cfg.PhaseFlopsFactor*t.refF {
+		t.begin(s, mem)
+		return true
+	}
+	if t.provisional {
+		t.provisional = false
+		t.refF = float64(s.FlopRate)
+		t.refB = float64(s.Bandwidth)
+		return false
+	}
+	if t.samples < t.cfg.WindowSamples {
+		t.samples++
+		if f := float64(s.FlopRate); f > t.refF {
+			t.refF = f
+		}
+		if b := float64(s.Bandwidth); b > t.refB {
+			t.refB = b
+		}
+	}
+	return false
+}
+
+func (t *tracker) begin(s papi.Sample, mem bool) {
+	t.isMem = mem
+	t.samples = 1
+	t.refF = float64(s.FlopRate)
+	t.refB = float64(s.Bandwidth)
+	t.provisional = t.started && !t.cfg.AblateProvisionalRef
+}
+
+// FlopsRef returns the phase reference FLOPS/s.
+func (t *tracker) FlopsRef() float64 { return t.refF }
+
+// BWRef returns the phase reference bandwidth.
+func (t *tracker) BWRef() float64 { return t.refB }
+
+// IsMem reports whether the current phase is memory-intensive (OI < 1).
+func (t *tracker) IsMem() bool { return t.isMem }
+
+// droppedBy returns the relative drop of value below ref, negative when
+// value exceeds ref. A zero reference reports no drop.
+func droppedBy(value, ref float64) float64 {
+	if ref <= 0 {
+		return 0
+	}
+	return 1 - value/ref
+}

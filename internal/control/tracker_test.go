@@ -1,0 +1,96 @@
+package control
+
+import (
+	"math"
+	"testing"
+
+	"dufp/internal/papi"
+	"dufp/internal/units"
+)
+
+func sample(flops, bw float64) papi.Sample {
+	return papi.Sample{FlopRate: units.FlopRate(flops), Bandwidth: units.Bandwidth(bw)}
+}
+
+func TestTrackerFirstSampleInitialises(t *testing.T) {
+	tr := newTracker(DefaultConfig(0.1))
+	if tr.Observe(sample(100*gflops, 25*gbs)) {
+		t.Fatal("first sample flagged a phase change")
+	}
+	if tr.IsMem() {
+		t.Fatal("OI 4 classified as memory-intensive")
+	}
+	if tr.FlopsRef() != 100*gflops {
+		t.Fatalf("ref = %v", tr.FlopsRef())
+	}
+}
+
+func TestTrackerOICrossingIsPhaseChange(t *testing.T) {
+	tr := newTracker(DefaultConfig(0.1))
+	tr.Observe(sample(100*gflops, 25*gbs)) // OI 4
+	if !tr.Observe(sample(10*gflops, 60*gbs)) {
+		t.Fatal("OI crossing 1 downward not flagged")
+	}
+	if !tr.IsMem() {
+		t.Fatal("memory phase not classified")
+	}
+	if !tr.Observe(sample(100*gflops, 25*gbs)) {
+		t.Fatal("OI crossing 1 upward not flagged")
+	}
+}
+
+func TestTrackerFlopsDoubling(t *testing.T) {
+	tr := newTracker(DefaultConfig(0.1))
+	tr.Observe(sample(100*gflops, 25*gbs))
+	if tr.Observe(sample(150*gflops, 37*gbs)) {
+		t.Fatal("1.5× flagged as a phase change")
+	}
+	if !tr.Observe(sample(320*gflops, 79*gbs)) {
+		t.Fatal("flops doubling not flagged")
+	}
+}
+
+func TestTrackerProvisionalRefReplaced(t *testing.T) {
+	tr := newTracker(DefaultConfig(0.1))
+	tr.Observe(sample(100*gflops, 25*gbs))
+	// Phase change: the detecting sample straddles the boundary (blended
+	// rates) and must not anchor the reference.
+	tr.Observe(sample(30*gflops, 45*gbs)) // blended; OI < 1 -> change
+	tr.Observe(sample(10*gflops, 60*gbs)) // first clean sample
+	if got := tr.FlopsRef(); got != 10*gflops {
+		t.Fatalf("ref = %v, want the clean sample's 10 GFLOPS", got)
+	}
+	if got := tr.BWRef(); got != 60*gbs {
+		t.Fatalf("bw ref = %v, want 60 GB/s", got)
+	}
+}
+
+func TestTrackerRefFreezesAfterWindow(t *testing.T) {
+	cfg := DefaultConfig(0.1)
+	cfg.WindowSamples = 3
+	tr := newTracker(cfg)
+	tr.Observe(sample(100*gflops, 25*gbs))
+	tr.Observe(sample(104*gflops, 26*gbs))
+	tr.Observe(sample(102*gflops, 25*gbs))
+	if got := tr.FlopsRef(); got != 104*gflops {
+		t.Fatalf("ref = %v, want window max 104", got)
+	}
+	// Window exhausted: later (larger but not doubling) samples no longer
+	// ratchet the reference.
+	tr.Observe(sample(120*gflops, 30*gbs))
+	if got := tr.FlopsRef(); got != 104*gflops {
+		t.Fatalf("frozen ref moved to %v", got)
+	}
+}
+
+func TestTrackerDroppedBy(t *testing.T) {
+	if got := droppedBy(90, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("droppedBy = %v", got)
+	}
+	if got := droppedBy(110, 100); math.Abs(got+0.1) > 1e-12 {
+		t.Fatalf("droppedBy above ref = %v", got)
+	}
+	if got := droppedBy(50, 0); got != 0 {
+		t.Fatalf("droppedBy with zero ref = %v", got)
+	}
+}

@@ -1,0 +1,216 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"dufp"
+	"dufp/internal/metrics"
+)
+
+// Options parameterises the experiment harness.
+type Options struct {
+	// Session configures the simulated node and measurement cadence.
+	Session dufp.Session
+	// Runs is the repetition count per configuration (paper: 10).
+	Runs int
+	// Tolerances are the tolerated slowdowns (paper: 0, 5, 10, 20 %).
+	Tolerances []float64
+	// Apps restricts the application set; empty means the full suite.
+	Apps []string
+	// Parallelism bounds concurrent runs; 0 means GOMAXPROCS.
+	Parallelism int
+	// ErrorBars adds [min, max] intervals to the grid tables, mirroring
+	// the paper's error bars (§V: min/max of the 8 retained runs).
+	ErrorBars bool
+}
+
+// DefaultOptions returns the paper's full protocol.
+func DefaultOptions() Options {
+	return Options{
+		Session:    dufp.NewSession(),
+		Runs:       10,
+		Tolerances: []float64{0, 0.05, 0.10, 0.20},
+	}
+}
+
+func (o Options) apps() ([]dufp.App, error) {
+	if len(o.Apps) == 0 {
+		return dufp.Suite(), nil
+	}
+	var out []dufp.App
+	for _, name := range o.Apps {
+		a, ok := dufp.AppByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiment: unknown application %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// GovName identifies a controller column in the grid.
+type GovName string
+
+// Grid columns.
+const (
+	GovDUF  GovName = "DUF"
+	GovDUFP GovName = "DUFP"
+)
+
+// CellKey addresses one (application, tolerance, governor) configuration.
+type CellKey struct {
+	App       string
+	Tolerance float64
+	Gov       GovName
+}
+
+// Grid holds the full Fig 3/Fig 4 measurement campaign: per-application
+// baselines plus one summary per configuration.
+type Grid struct {
+	Opts      Options
+	Baselines map[string]dufp.Summary
+	Cells     map[CellKey]dufp.Summary
+}
+
+// RunGrid executes the campaign: for every application, Runs baseline
+// executions plus Runs executions per (tolerance × {DUF, DUFP}).
+// Individual runs execute in parallel; results are deterministic for a
+// fixed Options.Session seed regardless of parallelism.
+func RunGrid(opts Options) (*Grid, error) {
+	if opts.Runs < 1 {
+		return nil, fmt.Errorf("experiment: need at least 1 run, got %d", opts.Runs)
+	}
+	apps, err := opts.apps()
+	if err != nil {
+		return nil, err
+	}
+
+	type job struct {
+		app dufp.App
+		key CellKey // Gov=="" means baseline
+		mk  dufp.GovernorFunc
+		idx int
+	}
+	type outcome struct {
+		key CellKey
+		idx int
+		run dufp.Run
+		err error
+	}
+
+	var jobs []job
+	for _, app := range apps {
+		for i := 0; i < opts.Runs; i++ {
+			jobs = append(jobs, job{app: app, key: CellKey{App: app.Name}, mk: dufp.DefaultGovernor(), idx: i})
+		}
+		for _, tol := range opts.Tolerances {
+			cfg := dufp.DefaultControlConfig(tol)
+			for _, gov := range []GovName{GovDUF, GovDUFP} {
+				mk := dufp.DUFGovernor(cfg)
+				if gov == GovDUFP {
+					mk = dufp.DUFPGovernor(cfg)
+				}
+				for i := 0; i < opts.Runs; i++ {
+					jobs = append(jobs, job{
+						app: app,
+						key: CellKey{App: app.Name, Tolerance: tol, Gov: gov},
+						mk:  mk,
+						idx: i,
+					})
+				}
+			}
+		}
+	}
+
+	results := make([]outcome, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opts.workers())
+	for ji, j := range jobs {
+		wg.Add(1)
+		go func(ji int, j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			run, err := opts.Session.Run(j.app, j.mk, j.idx)
+			results[ji] = outcome{key: j.key, idx: j.idx, run: run, err: err}
+		}(ji, j)
+	}
+	wg.Wait()
+
+	byKey := make(map[CellKey][]dufp.Run)
+	for _, r := range results {
+		if r.err != nil {
+			return nil, fmt.Errorf("experiment: %s/%s tol=%.0f%% run %d: %w",
+				r.key.App, r.key.Gov, r.key.Tolerance*100, r.idx, r.err)
+		}
+		byKey[r.key] = append(byKey[r.key], r.run)
+	}
+
+	g := &Grid{
+		Opts:      opts,
+		Baselines: make(map[string]dufp.Summary),
+		Cells:     make(map[CellKey]dufp.Summary),
+	}
+	for key, runs := range byKey {
+		// Annotate the tolerance: baseline runs carry none.
+		for i := range runs {
+			runs[i].Slowdown = key.Tolerance
+		}
+		sum, err := metrics.Summarize(runs)
+		if err != nil {
+			return nil, err
+		}
+		if key.Gov == "" {
+			g.Baselines[key.App] = sum
+		} else {
+			g.Cells[key] = sum
+		}
+	}
+	return g, nil
+}
+
+// Compare expresses one cell relative to its application baseline.
+func (g *Grid) Compare(key CellKey) (dufp.Comparison, error) {
+	cell, ok := g.Cells[key]
+	if !ok {
+		return dufp.Comparison{}, fmt.Errorf("experiment: no cell %+v", key)
+	}
+	base, ok := g.Baselines[key.App]
+	if !ok {
+		return dufp.Comparison{}, fmt.Errorf("experiment: no baseline for %s", key.App)
+	}
+	return dufp.CompareRuns(cell, base), nil
+}
+
+// AppNames returns the grid's applications in suite order.
+func (g *Grid) AppNames() []string {
+	var names []string
+	for name := range g.Baselines {
+		names = append(names, name)
+	}
+	order := make(map[string]int)
+	for i, n := range appOrder() {
+		order[n] = i
+	}
+	sort.Slice(names, func(i, j int) bool { return order[names[i]] < order[names[j]] })
+	return names
+}
+
+func appOrder() []string {
+	apps := dufp.Suite()
+	names := make([]string, len(apps))
+	for i, a := range apps {
+		names[i] = a.Name
+	}
+	return names
+}

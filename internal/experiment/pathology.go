@@ -1,0 +1,168 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"dufp"
+)
+
+// Pathology dissects the UA failure mode of §V-A: a short compute-bound
+// iteration following a memory-bound stretch is throttled by the cap the
+// memory stretch earned before the 200 ms detector notices. It sweeps the
+// memory-window length of a synthetic alternator at 0 % tolerance: windows
+// comparable to the control period leave the cap no time to descend (no
+// harm, no savings), long windows let it reach the compute iteration's
+// draw (savings appear, and with them the overhead the paper reports for
+// UA).
+func Pathology(opts Options) (Table, error) {
+	t := Table{
+		ID:    "Pathology",
+		Title: "Alternator at 0 % tolerance: cap-descent vs phase-detection race (§V-A)",
+		Headers: []string{
+			"memory window", "windows/period", "slowdown", "power savings",
+		},
+		Notes: []string{
+			"paper §V-A (UA): the cap lowered during the memory iterations throttles the compute iteration before detection; a smaller monitoring period would fix it at the cost of overhead",
+		},
+	}
+	for _, memWin := range []time.Duration{
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		3200 * time.Millisecond,
+	} {
+		cycles := int((30 * time.Second) / (memWin + 60*time.Millisecond))
+		app, err := dufp.AlternatorApp(dufp.AlternatorConfig{
+			Name:       fmt.Sprintf("alt-%dms", memWin.Milliseconds()),
+			ComputeDur: 60 * time.Millisecond,
+			MemoryDur:  memWin,
+			Cycles:     cycles,
+		})
+		if err != nil {
+			return Table{}, err
+		}
+		base, err := opts.Session.Summarize(app, dufp.DefaultGovernor(), opts.Runs)
+		if err != nil {
+			return Table{}, err
+		}
+		sum, err := opts.Session.Summarize(app, dufp.DUFPGovernor(dufp.DefaultControlConfig(0)), opts.Runs)
+		if err != nil {
+			return Table{}, err
+		}
+		c := dufp.CompareRuns(sum, base)
+		t.Rows = append(t.Rows, []string{
+			memWin.String(),
+			fmt.Sprintf("%.1f", float64(memWin)/float64(opts.Session.ControlPeriod)),
+			pct(c.TimeRatio.OverheadPercent()),
+			pct(c.PkgPowerRatio.SavingsPercent()),
+		})
+	}
+	return t, nil
+}
+
+// AutoTune realises the paper's closing future-work idea — "rely on
+// learning techniques to get the best configuration depending on the
+// application" — as a measurement-driven search: golden-section search
+// over the tolerated slowdown maximising processor power savings subject
+// to no total-energy loss, the paper's stated objective (§I: "save power
+// without energy loss").
+func AutoTune(opts Options, appName string) (Table, error) {
+	app, ok := dufp.AppByName(appName)
+	if !ok {
+		return Table{}, fmt.Errorf("experiment: unknown application %q", appName)
+	}
+	base, err := opts.Session.Summarize(app, dufp.DefaultGovernor(), opts.Runs)
+	if err != nil {
+		return Table{}, err
+	}
+
+	// score returns the objective: power savings, heavily penalised when
+	// energy is lost (>0.25 % loss disqualifies).
+	type probe struct {
+		tol                     float64
+		slowdown, power, energy float64
+		score                   float64
+	}
+	evaluate := func(tol float64) (probe, error) {
+		sum, err := opts.Session.Summarize(app, dufp.DUFPGovernor(dufp.DefaultControlConfig(tol)), opts.Runs)
+		if err != nil {
+			return probe{}, err
+		}
+		c := dufp.CompareRuns(sum, base)
+		p := probe{
+			tol:      tol,
+			slowdown: c.TimeRatio.OverheadPercent(),
+			power:    c.PkgPowerRatio.SavingsPercent(),
+			energy:   c.TotalEnergyRatio.SavingsPercent(),
+		}
+		p.score = p.power
+		if p.energy < -0.25 {
+			p.score = p.energy // disqualified: rank by how badly it loses
+		}
+		return p, nil
+	}
+
+	t := Table{
+		ID:      "AutoTune",
+		Title:   fmt.Sprintf("Golden-section tolerance search on %s (objective: max power savings, no energy loss)", appName),
+		Headers: []string{"step", "tolerance", "slowdown", "power savings", "energy savings", "score"},
+		Notes: []string{
+			"paper §VII future work: learn the best configuration per application",
+		},
+	}
+
+	const phi = 0.6180339887498949
+	lo, hi := 0.0, 0.20
+	a, b := hi-phi*(hi-lo), lo+phi*(hi-lo)
+	pa, err := evaluate(a)
+	if err != nil {
+		return Table{}, err
+	}
+	pb, err := evaluate(b)
+	if err != nil {
+		return Table{}, err
+	}
+	best := pa
+	if pb.score > best.score {
+		best = pb
+	}
+	addRow := func(step int, p probe) {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", step),
+			fmt.Sprintf("%.1f%%", p.tol*100),
+			pct(p.slowdown), pct(p.power), pct(p.energy),
+			fmt.Sprintf("%.2f", p.score),
+		})
+	}
+	addRow(0, pa)
+	addRow(1, pb)
+
+	for step := 2; step < 8; step++ {
+		if pa.score > pb.score {
+			hi, b, pb = b, a, pa
+			a = hi - phi*(hi-lo)
+			if pa, err = evaluate(a); err != nil {
+				return Table{}, err
+			}
+			addRow(step, pa)
+			if pa.score > best.score {
+				best = pa
+			}
+		} else {
+			lo, a, pa = a, b, pb
+			b = lo + phi*(hi-lo)
+			if pb, err = evaluate(b); err != nil {
+				return Table{}, err
+			}
+			addRow(step, pb)
+			if pb.score > best.score {
+				best = pb
+			}
+		}
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"chosen: %.1f %% tolerance — %.2f %% power savings at %.2f %% slowdown, energy %+.2f %%",
+		best.tol*100, best.power, best.slowdown, best.energy))
+	return t, nil
+}

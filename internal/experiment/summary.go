@@ -1,0 +1,157 @@
+package experiment
+
+import "fmt"
+
+// Claims evaluates the paper's aggregate claims (§V-H conclusions) against
+// a measured grid and renders a verdict table — the automated version of
+// EXPERIMENTS.md's headline comparison.
+func Claims(g *Grid) (Table, error) {
+	t := Table{
+		ID:      "Claims",
+		Title:   "Paper conclusions evaluated on the measured grid",
+		Headers: []string{"claim", "paper", "measured", "verdict"},
+	}
+
+	add := func(claim, paper, measured string, ok bool) {
+		verdict := "HOLDS"
+		if !ok {
+			verdict = "DIVERGES"
+		}
+		t.Rows = append(t.Rows, []string{claim, paper, measured, verdict})
+	}
+
+	// 1. Tolerance respected for most configurations (paper: 34/40, with
+	//    a small grace for the reported violations).
+	respected, total := 0, 0
+	worst := 0.0
+	worstKey := ""
+	for _, tol := range g.Opts.Tolerances {
+		for _, app := range g.AppNames() {
+			c, err := g.Compare(CellKey{App: app, Tolerance: tol, Gov: GovDUFP})
+			if err != nil {
+				return Table{}, err
+			}
+			total++
+			if c.RespectsSlowdown(0.005) {
+				respected++
+			} else if ex := c.TimeRatio.Mean - 1 - tol; ex > worst {
+				worst = ex
+				worstKey = fmt.Sprintf("%s@%.0f%%", app, tol*100)
+			}
+		}
+	}
+	add("tolerance respected (DUFP)",
+		"34/40, worst excess 3.17 %",
+		fmt.Sprintf("%d/%d, worst excess %.2f %% (%s)", respected, total, worst*100, worstKey),
+		float64(respected)/float64(total) >= 0.75)
+
+	// 1b. Measurement stability (§V): execution-time spread below 2 % for
+	//     most configurations, very few above 3 %.
+	if gridRuns := g.Opts.Runs; gridRuns >= 3 {
+		stable, over3, cells := 0, 0, 0
+		for key, sum := range g.Cells {
+			_ = key
+			cells++
+			switch spread := sum.Time.SpreadPercent(); {
+			case spread < 2:
+				stable++
+			case spread > 3:
+				over3++
+			}
+		}
+		add("measurement spread < 2 % for most configurations",
+			"yes; very few above 3 %",
+			fmt.Sprintf("%d/%d below 2 %%, %d above 3 %%", stable, cells, over3),
+			float64(stable)/float64(cells) >= 0.75 && float64(over3)/float64(cells) <= 0.1)
+	}
+
+	// 2. DUFP reduces the power consumption of all applications (at the
+	//    highest tolerance measured).
+	maxTol := g.Opts.Tolerances[len(g.Opts.Tolerances)-1]
+	allSave := true
+	for _, app := range g.AppNames() {
+		c, err := g.Compare(CellKey{App: app, Tolerance: maxTol, Gov: GovDUFP})
+		if err != nil {
+			return Table{}, err
+		}
+		if c.PkgPowerRatio.Mean >= 1 {
+			allSave = false
+		}
+	}
+	add("DUFP saves processor power on every application",
+		"yes", fmt.Sprintf("%t at %.0f %% tolerance", allSave, maxTol*100), allSave)
+
+	// 3. DUFP ≥ DUF power savings (the added cap lever never hurts).
+	dominates, cells := 0, 0
+	for _, tol := range g.Opts.Tolerances {
+		for _, app := range g.AppNames() {
+			duf, err := g.Compare(CellKey{App: app, Tolerance: tol, Gov: GovDUF})
+			if err != nil {
+				return Table{}, err
+			}
+			dufp_, err := g.Compare(CellKey{App: app, Tolerance: tol, Gov: GovDUFP})
+			if err != nil {
+				return Table{}, err
+			}
+			cells++
+			if dufp_.PkgPowerRatio.Mean <= duf.PkgPowerRatio.Mean+0.005 {
+				dominates++
+			}
+		}
+	}
+	add("DUFP power savings ≥ DUF's",
+		"holds for most configurations",
+		fmt.Sprintf("%d/%d configurations", dominates, cells),
+		float64(dominates)/float64(cells) >= 0.9)
+
+	// 4. No energy loss at the 5 % tolerance (paper §V-H: "At 5 %
+	//    tolerated slowdown, DUFP improves the power consumed of all
+	//    applications while improving the energy consumption as well").
+	if has(g.Opts.Tolerances, 0.05) {
+		noLoss := true
+		worstE := 0.0
+		for _, app := range g.AppNames() {
+			c, err := g.Compare(CellKey{App: app, Tolerance: 0.05, Gov: GovDUFP})
+			if err != nil {
+				return Table{}, err
+			}
+			if loss := c.TotalEnergyRatio.Mean - 1; loss > 0.01 {
+				noLoss = false
+				if loss > worstE {
+					worstE = loss
+				}
+			}
+		}
+		add("no energy loss at 5 % tolerance",
+			"yes", fmt.Sprintf("%t (worst loss %.2f %%)", noLoss, worstE*100), noLoss)
+	}
+
+	// 5. Energy losses concentrate at 20 % tolerance.
+	if has(g.Opts.Tolerances, 0.20) {
+		losers := 0
+		for _, app := range g.AppNames() {
+			c, err := g.Compare(CellKey{App: app, Tolerance: 0.20, Gov: GovDUFP})
+			if err != nil {
+				return Table{}, err
+			}
+			if c.TotalEnergyRatio.Mean > 1.005 {
+				losers++
+			}
+		}
+		add("energy losses appear at 20 % tolerance",
+			"LAMMPS, CG, LU, MG lose",
+			fmt.Sprintf("%d applications lose energy at 20 %%", losers),
+			losers >= 2)
+	}
+
+	return t, nil
+}
+
+func has(xs []float64, v float64) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

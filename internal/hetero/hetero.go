@@ -1,0 +1,213 @@
+// Package hetero implements the paper's stated future work (§VII): sharing
+// one power budget between a CPU and a GPU, dynamically reducing the CPU's
+// budget when it does not need it and granting the slack to the GPU.
+//
+// The GPU is a deliberately simple analytic accelerator model — a work pool
+// whose throughput is a concave function of its power allocation — since
+// the paper defines no GPU workload; the point of the extension is the
+// budget arbitration, not accelerator micro-architecture.
+package hetero
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"dufp/internal/papi"
+	"dufp/internal/powercap"
+	"dufp/internal/units"
+)
+
+// GPU models an accelerator running one kernel: a pool of work consumed at
+// a power-dependent rate.
+type GPU struct {
+	// Peak is the throughput in work units per second at MaxPower.
+	Peak float64
+	// MinPower is the lowest operating allocation; below it the GPU
+	// makes no progress (clock/voltage floor).
+	MinPower units.Power
+	// MaxPower is the allocation beyond which extra budget is wasted.
+	MaxPower units.Power
+	// IdlePower is the draw once the kernel finishes.
+	IdlePower units.Power
+	// Exponent shapes the concave power-to-throughput curve (≈0.7 for
+	// DVFS-like behaviour: the last watts buy the least performance).
+	Exponent float64
+
+	cap       units.Power
+	remaining float64
+	energy    units.Energy
+	elapsed   time.Duration
+	finished  time.Duration
+	done      bool
+}
+
+// DefaultGPU returns a mid-range accelerator: 250 W ceiling, 60 W floor.
+func DefaultGPU(work float64) *GPU {
+	g := &GPU{
+		Peak:      1,
+		MinPower:  60,
+		MaxPower:  250,
+		IdlePower: 25,
+		Exponent:  0.7,
+	}
+	g.Reset(work)
+	return g
+}
+
+// Reset loads a kernel of the given work volume (in units of Peak-seconds).
+func (g *GPU) Reset(work float64) {
+	g.remaining = work
+	g.energy = 0
+	g.elapsed = 0
+	g.finished = 0
+	g.done = work <= 0
+	g.cap = g.MaxPower
+}
+
+// SetCap allocates a power budget to the GPU.
+func (g *GPU) SetCap(p units.Power) {
+	g.cap = p.Clamp(0, g.MaxPower)
+}
+
+// Cap returns the current allocation.
+func (g *GPU) Cap() units.Power { return g.cap }
+
+// Rate returns the throughput at a given allocation.
+func (g *GPU) Rate(p units.Power) float64 {
+	if p <= g.MinPower {
+		return 0
+	}
+	if p > g.MaxPower {
+		p = g.MaxPower
+	}
+	frac := float64(p-g.MinPower) / float64(g.MaxPower-g.MinPower)
+	return g.Peak * math.Pow(frac, g.Exponent)
+}
+
+// Power returns the draw at the current allocation: the GPU consumes its
+// full allocation while working (boost clocks absorb any headroom) and
+// IdlePower when done.
+func (g *GPU) Power() units.Power {
+	if g.done {
+		return g.IdlePower
+	}
+	if g.cap < g.MinPower {
+		return g.MinPower // floor draw even when making no progress
+	}
+	return g.cap
+}
+
+// Advance runs the GPU for dt.
+func (g *GPU) Advance(dt time.Duration) {
+	sec := dt.Seconds()
+	g.energy += g.Power().Over(dt)
+	g.elapsed += dt
+	if g.done {
+		return
+	}
+	g.remaining -= g.Rate(g.cap) * sec
+	if g.remaining <= 0 {
+		g.done = true
+		g.finished = g.elapsed
+	}
+}
+
+// Done reports whether the kernel completed.
+func (g *GPU) Done() bool { return g.done }
+
+// FinishedAt returns the kernel completion time (zero while running).
+func (g *GPU) FinishedAt() time.Duration { return g.finished }
+
+// Energy returns the energy consumed so far.
+func (g *GPU) Energy() units.Energy { return g.energy }
+
+// Arbiter shifts a shared power budget between a CPU package (through its
+// powercap zone) and a GPU, following the paper's future-work sketch:
+// when the CPU consumes visibly less than its allocation, the slack moves
+// to the GPU; when the CPU is throttled against its cap and the GPU has
+// headroom (or finished), budget moves back.
+type Arbiter struct {
+	// Budget is the shared CPU+GPU power budget.
+	Budget units.Power
+	// Step is the reallocation granularity per decision.
+	Step units.Power
+	// Headroom is how far below its cap the CPU must sit before donating
+	// budget.
+	Headroom units.Power
+	// CPUFloor and bounds protect both sides from starvation.
+	CPUFloor units.Power
+
+	zone *powercap.Zone
+	mon  *papi.Monitor
+	gpu  *GPU
+
+	cpuCap units.Power
+}
+
+// maxCPU returns the CPU zone's factory long-term limit, the most the CPU
+// side can usefully be allocated.
+func maxCPU(z *powercap.Zone) units.Power {
+	pl1, _ := z.Defaults()
+	return pl1
+}
+
+// NewArbiter builds an arbiter for one CPU zone and one GPU, splitting the
+// budget evenly to start.
+func NewArbiter(budget units.Power, zone *powercap.Zone, mon *papi.Monitor, gpu *GPU) (*Arbiter, error) {
+	if zone == nil || mon == nil || gpu == nil {
+		return nil, fmt.Errorf("hetero: arbiter needs a zone, a monitor and a gpu")
+	}
+	if budget <= 0 {
+		return nil, fmt.Errorf("hetero: budget must be positive, got %v", budget)
+	}
+	return &Arbiter{
+		Budget:   budget,
+		Step:     5 * units.Watt,
+		Headroom: 8 * units.Watt,
+		CPUFloor: 65 * units.Watt,
+		zone:     zone,
+		mon:      mon,
+		gpu:      gpu,
+	}, nil
+}
+
+// Start applies the initial even split.
+func (a *Arbiter) Start() error {
+	a.mon.Start()
+	a.cpuCap = (a.Budget / 2).Clamp(a.CPUFloor, maxCPU(a.zone))
+	a.gpu.SetCap(a.Budget - a.cpuCap)
+	return a.zone.SetLimits(a.cpuCap, a.cpuCap)
+}
+
+// CPUCap returns the CPU's current allocation.
+func (a *Arbiter) CPUCap() units.Power { return a.cpuCap }
+
+// Tick runs one arbitration round at simulation time now and advances the
+// GPU by the elapsed interval.
+func (a *Arbiter) Tick(now time.Duration) error {
+	s, err := a.mon.Sample()
+	if err != nil {
+		return fmt.Errorf("hetero: arbiter at %v: %w", now, err)
+	}
+	a.gpu.Advance(s.Interval)
+
+	switch {
+	case a.gpu.Done():
+		// Everything to the CPU.
+		a.cpuCap = a.Budget.Clamp(a.CPUFloor, maxCPU(a.zone))
+	case s.PkgPower < a.cpuCap-a.Headroom && a.cpuCap-a.Step >= a.CPUFloor:
+		// CPU slack: donate one step to the GPU.
+		a.cpuCap -= a.Step
+	case s.PkgPower > a.cpuCap-a.Step && a.gpu.Cap() > a.gpu.MinPower:
+		// CPU pressed against its cap and the GPU can give a step back.
+		a.cpuCap += a.Step
+		if max := maxCPU(a.zone); a.cpuCap > max {
+			a.cpuCap = max
+		}
+	default:
+		return nil
+	}
+	a.gpu.SetCap(a.Budget - a.cpuCap)
+	return a.zone.SetLimits(a.cpuCap, a.cpuCap)
+}

@@ -1,0 +1,229 @@
+package hetero
+
+import (
+	"testing"
+	"time"
+
+	"dufp/internal/arch"
+	"dufp/internal/msr"
+	"dufp/internal/papi"
+	"dufp/internal/powercap"
+	"dufp/internal/rapl"
+	"dufp/internal/units"
+)
+
+func TestGPURateMonotonic(t *testing.T) {
+	g := DefaultGPU(10)
+	prev := -1.0
+	for p := g.MinPower; p <= g.MaxPower; p += 10 {
+		r := g.Rate(p)
+		if r < prev {
+			t.Fatalf("rate not monotonic at %v", p)
+		}
+		prev = r
+	}
+	if g.Rate(g.MinPower) != 0 {
+		t.Fatal("rate at the floor must be zero")
+	}
+	if g.Rate(g.MaxPower) != g.Peak {
+		t.Fatalf("rate at max = %v, want peak %v", g.Rate(g.MaxPower), g.Peak)
+	}
+	if g.Rate(g.MaxPower+100) != g.Peak {
+		t.Fatal("rate above max must saturate")
+	}
+}
+
+func TestGPUCompletesWork(t *testing.T) {
+	g := DefaultGPU(2) // 2 peak-seconds
+	g.SetCap(g.MaxPower)
+	for i := 0; i < 30 && !g.Done(); i++ {
+		g.Advance(100 * time.Millisecond)
+	}
+	if !g.Done() {
+		t.Fatal("kernel did not complete at full power")
+	}
+	if g.FinishedAt() < 1900*time.Millisecond || g.FinishedAt() > 2200*time.Millisecond {
+		t.Fatalf("finished at %v, want ≈2 s", g.FinishedAt())
+	}
+	if g.Energy() <= 0 {
+		t.Fatal("no energy accounted")
+	}
+}
+
+func TestGPUStarvedMakesNoProgress(t *testing.T) {
+	g := DefaultGPU(1)
+	g.SetCap(g.MinPower - 10)
+	g.Advance(10 * time.Second)
+	if g.Done() {
+		t.Fatal("starved GPU completed work")
+	}
+	// But it still burns its floor power.
+	if g.Energy() <= 0 {
+		t.Fatal("starved GPU consumed no energy")
+	}
+}
+
+func TestGPUIdleDraw(t *testing.T) {
+	g := DefaultGPU(0) // no work
+	if !g.Done() {
+		t.Fatal("empty kernel not done")
+	}
+	g.Advance(time.Second)
+	want := g.IdlePower.Over(time.Second)
+	if g.Energy() != want {
+		t.Fatalf("idle energy = %v, want %v", g.Energy(), want)
+	}
+}
+
+// arbiterFixture wires an arbiter against a scripted CPU zone.
+type arbiterFixture struct {
+	arb  *Arbiter
+	gpu  *GPU
+	zone *powercap.Zone
+
+	now       time.Duration
+	pkgEnergy units.Energy
+	power     float64 // scripted CPU draw, watts
+	flops     float64
+}
+
+func (f *arbiterFixture) Counter(ev papi.Event) float64 {
+	if ev == papi.FPOps {
+		return f.flops
+	}
+	return 1 // constant bandwidth counter; irrelevant to the arbiter
+}
+
+func (f *arbiterFixture) Now() time.Duration { return f.now }
+
+func (f *arbiterFixture) tick(t *testing.T) {
+	t.Helper()
+	f.now += 200 * time.Millisecond
+	f.flops += 1e9
+	f.pkgEnergy += units.Energy(f.power * 0.2)
+	if err := f.arb.Tick(f.now); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newArbiterFixture(t *testing.T, budget units.Power, gpuWork float64) *arbiterFixture {
+	t.Helper()
+	spec := arch.XeonGold6130()
+	sp := msr.NewSpace(spec.Cores)
+	sp.Seed(msr.MSRRaplPowerUnit, msr.DefaultUnitsValue)
+	raplUnits := msr.DefaultUnits()
+	sp.Seed(msr.MSRPkgPowerLimit, msr.EncodePkgPowerLimit(raplUnits, rapl.DefaultLimits(spec)))
+	sp.Seed(msr.MSRDramEnergyStatus, 0)
+
+	f := &arbiterFixture{gpu: DefaultGPU(gpuWork)}
+	sp.Handle(msr.MSRPkgEnergyStatus, msr.Handler{
+		Read: func(int) (uint64, error) {
+			return msr.EncodeEnergyCounter(raplUnits.EnergyUnit, f.pkgEnergy), nil
+		},
+		ReadOnly: true,
+	})
+
+	client, err := rapl.NewClient(sp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zone, err := powercap.OpenPackage(sp, 0, 0, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := papi.NewMonitor(f, client.NewPkgEnergyMeter(), client.NewDramEnergyMeter(), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arb, err := NewArbiter(budget, zone, mon, f.gpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := arb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	f.arb, f.zone = arb, zone
+	return f
+}
+
+func TestArbiterConservesBudget(t *testing.T) {
+	f := newArbiterFixture(t, 220, 50)
+	f.power = 80 // CPU slack
+	for i := 0; i < 20; i++ {
+		f.tick(t)
+		total := f.arb.CPUCap() + f.gpu.Cap()
+		if total > f.arb.Budget+1e-9 {
+			t.Fatalf("tick %d: allocations %v exceed the budget %v", i, total, f.arb.Budget)
+		}
+	}
+}
+
+func TestArbiterDonatesSlackToGPU(t *testing.T) {
+	f := newArbiterFixture(t, 220, 50)
+	start := f.gpu.Cap()
+	f.power = 80 // CPU draws well below its 110 W share
+	for i := 0; i < 10; i++ {
+		f.tick(t)
+	}
+	if f.gpu.Cap() <= start {
+		t.Fatalf("GPU allocation did not grow: %v <= %v", f.gpu.Cap(), start)
+	}
+	// CPU cap follows the draw plus headroom.
+	if got := f.arb.CPUCap(); got > 95 {
+		t.Fatalf("CPU cap = %v, want ≈ draw+headroom", got)
+	}
+}
+
+func TestArbiterReclaimsWhenCPUPressed(t *testing.T) {
+	f := newArbiterFixture(t, 220, 50)
+	f.power = 80
+	for i := 0; i < 10; i++ {
+		f.tick(t)
+	}
+	donated := f.arb.CPUCap()
+	// The CPU now rides its cap (throttled).
+	f.power = float64(donated)
+	for i := 0; i < 6; i++ {
+		f.tick(t)
+		f.power = float64(f.arb.CPUCap()) // keep riding the cap
+	}
+	if got := f.arb.CPUCap(); got <= donated {
+		t.Fatalf("CPU cap did not recover: %v <= %v", got, donated)
+	}
+}
+
+func TestArbiterGivesAllToCPUWhenGPUDone(t *testing.T) {
+	f := newArbiterFixture(t, 220, 0.1) // tiny kernel
+	f.power = 80
+	for i := 0; i < 10 && !f.gpu.Done(); i++ {
+		f.tick(t)
+	}
+	f.tick(t)
+	if !f.gpu.Done() {
+		t.Fatal("GPU kernel never finished")
+	}
+	if got := f.arb.CPUCap(); got < 125 {
+		t.Fatalf("CPU cap = %v after GPU completion, want the full PL1", got)
+	}
+}
+
+func TestArbiterValidation(t *testing.T) {
+	if _, err := NewArbiter(0, nil, nil, nil); err == nil {
+		t.Fatal("accepted nil everything")
+	}
+}
+
+func TestArbiterZoneReflectsCap(t *testing.T) {
+	f := newArbiterFixture(t, 220, 50)
+	f.power = 80
+	for i := 0; i < 5; i++ {
+		f.tick(t)
+	}
+	pl1, pl2, err := f.zone.Limits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl1 != f.arb.CPUCap() || pl2 != f.arb.CPUCap() {
+		t.Fatalf("zone %v/%v != arbiter cap %v", pl1, pl2, f.arb.CPUCap())
+	}
+}

@@ -1,0 +1,181 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dufp/internal/units"
+)
+
+func mkRun(sec float64) Run {
+	return Run{
+		App:          "CG",
+		Governor:     "DUFP",
+		Slowdown:     0.1,
+		Time:         time.Duration(sec * float64(time.Second)),
+		PkgEnergy:    units.Energy(sec * 400),
+		DramEnergy:   units.Energy(sec * 80),
+		AvgPkgPower:  400,
+		AvgDramPower: 80,
+		AvgCoreFreq:  2.6e9,
+		AvgUncore:    1.9e9,
+	}
+}
+
+func TestSummarizeDropsOutliers(t *testing.T) {
+	// Paper protocol: drop the lowest and highest execution times, keep 8.
+	runs := make([]Run, 0, 10)
+	for _, sec := range []float64{30, 31, 29, 30.5, 30.2, 29.8, 30.1, 29.9, 25 /*outlier*/, 40 /*outlier*/} {
+		runs = append(runs, mkRun(sec))
+	}
+	s, err := Summarize(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 8 {
+		t.Fatalf("kept %d runs, want 8", s.N)
+	}
+	if s.Time.Min < 29 || s.Time.Max > 31 {
+		t.Fatalf("outliers survived: [%v, %v]", s.Time.Min, s.Time.Max)
+	}
+	want := (30 + 31 + 29 + 30.5 + 30.2 + 29.8 + 30.1 + 29.9) / 8
+	if math.Abs(s.Time.Mean-want) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", s.Time.Mean, want)
+	}
+}
+
+func TestSummarizeSmallCounts(t *testing.T) {
+	// Fewer than 3 runs: no outlier removal possible.
+	s, err := Summarize([]Run{mkRun(30), mkRun(32)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 2 {
+		t.Fatalf("kept %d, want 2", s.N)
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Fatal("accepted empty run list")
+	}
+}
+
+func TestSummarizeRejectsMixedConfigs(t *testing.T) {
+	a, b := mkRun(30), mkRun(31)
+	b.App = "EP"
+	if _, err := Summarize([]Run{a, b}); err == nil {
+		t.Fatal("accepted mixed applications")
+	}
+	b = mkRun(31)
+	b.Governor = "DUF"
+	if _, err := Summarize([]Run{a, b}); err == nil {
+		t.Fatal("accepted mixed governors")
+	}
+}
+
+func TestCompareRatios(t *testing.T) {
+	base, err := Summarize([]Run{mkRun(30), mkRun(30), mkRun(30)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slower := mkRun(33)
+	slower.AvgPkgPower = 360 // -10 %
+	cfg, err := Summarize([]Run{slower, slower, slower})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Compare(cfg, base)
+	if math.Abs(c.TimeRatio.Mean-1.1) > 1e-9 {
+		t.Fatalf("time ratio = %v, want 1.1", c.TimeRatio.Mean)
+	}
+	if math.Abs(c.PkgPowerRatio.SavingsPercent()-10) > 1e-9 {
+		t.Fatalf("power savings = %v, want 10", c.PkgPowerRatio.SavingsPercent())
+	}
+	if math.Abs(c.TimeRatio.OverheadPercent()-10) > 1e-9 {
+		t.Fatalf("overhead = %v, want 10", c.TimeRatio.OverheadPercent())
+	}
+	if c.CoreFreqGHz != 2.6 {
+		t.Fatalf("core GHz = %v", c.CoreFreqGHz)
+	}
+}
+
+func TestRespectsSlowdown(t *testing.T) {
+	c := Comparison{Slowdown: 0.10, TimeRatio: Stat{Mean: 1.098}}
+	if !c.RespectsSlowdown(0) {
+		t.Fatal("1.098 at 10 % tolerance rejected")
+	}
+	c.TimeRatio.Mean = 1.12
+	if c.RespectsSlowdown(0) {
+		t.Fatal("1.12 at 10 % tolerance accepted")
+	}
+	if !c.RespectsSlowdown(0.03) {
+		t.Fatal("grace not applied")
+	}
+}
+
+func TestStatBounds(t *testing.T) {
+	prop := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e9 {
+				continue
+			}
+			vals = append(vals, v)
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		s := statOf(vals)
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatScale(t *testing.T) {
+	s := Stat{Mean: 10, Min: 8, Max: 12}
+	sc := s.Scale(10)
+	if sc.Mean != 1 || sc.Min != 0.8 || sc.Max != 1.2 {
+		t.Fatalf("Scale = %+v", sc)
+	}
+	if zero := s.Scale(0); zero != (Stat{}) {
+		t.Fatalf("Scale(0) = %+v, want zero", zero)
+	}
+}
+
+func TestTotalEnergy(t *testing.T) {
+	r := mkRun(10)
+	if got := r.TotalEnergy(); got != r.PkgEnergy+r.DramEnergy {
+		t.Fatalf("TotalEnergy = %v", got)
+	}
+}
+
+func TestSummaryPreservesIdentity(t *testing.T) {
+	s, err := Summarize([]Run{mkRun(30), mkRun(31), mkRun(32), mkRun(33)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.App != "CG" || s.Governor != "DUFP" || s.Slowdown != 0.1 {
+		t.Fatalf("identity lost: %+v", s)
+	}
+}
+
+func TestStatString(t *testing.T) {
+	if got := (Stat{Mean: 1.05, Min: 1.0, Max: 1.1}).String(); got == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestSpreadPercent(t *testing.T) {
+	s := Stat{Mean: 100, Min: 99, Max: 101}
+	if got := s.SpreadPercent(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("SpreadPercent = %v, want 2", got)
+	}
+	if got := (Stat{}).SpreadPercent(); got != 0 {
+		t.Fatalf("zero-mean spread = %v", got)
+	}
+}

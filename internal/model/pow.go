@@ -1,0 +1,7 @@
+package model
+
+import "math"
+
+// powSlow delegates to math.Pow; split out so the hot path in pow stays
+// inlinable.
+func powSlow(base, exp float64) float64 { return math.Pow(base, exp) }

@@ -1,0 +1,54 @@
+// Package msr models the Intel model-specific-register interface that DUF
+// and DUFP use on real hardware to read energy counters, program RAPL power
+// limits and drive the uncore frequency.
+//
+// The register layouts (addresses, bit fields, unit encodings) follow the
+// Intel SDM definitions for Skylake-SP so that the controller code exercises
+// the same encode/decode paths a port to /dev/cpu/*/msr would. The backing
+// store is a simulated register file (see Space); handlers installed by the
+// simulator give the architectural registers their behaviour.
+package msr
+
+// Architectural and Skylake-SP model-specific register addresses.
+const (
+	// IA32_MPERF counts at the TSC (invariant) frequency while the core is
+	// in C0. Paired with IA32_APERF it yields the effective frequency.
+	IA32MPerf uint32 = 0xE7
+	// IA32_APERF counts at the actual core clock while the core is in C0.
+	IA32APerf uint32 = 0xE8
+
+	// IA32_PERF_STATUS reports the current core ratio in bits 15:8.
+	IA32PerfStatus uint32 = 0x198
+	// IA32_PERF_CTL requests a target core ratio in bits 15:8.
+	IA32PerfCtl uint32 = 0x199
+
+	// MSRPlatformInfo reports the maximum non-turbo ratio in bits 15:8.
+	MSRPlatformInfo uint32 = 0xCE
+
+	// MSRRaplPowerUnit holds the RAPL unit multipliers: power (bits 3:0),
+	// energy (bits 12:8) and time (bits 19:16), each as 1/2^value.
+	MSRRaplPowerUnit uint32 = 0x606
+
+	// MSRPkgPowerLimit programs the package PL1/PL2 limits.
+	MSRPkgPowerLimit uint32 = 0x610
+	// MSRPkgEnergyStatus is the 32-bit wrapping package energy counter.
+	MSRPkgEnergyStatus uint32 = 0x611
+	// MSRPkgPowerInfo reports TDP (bits 14:0) in power units.
+	MSRPkgPowerInfo uint32 = 0x614
+
+	// MSRDramPowerLimit would program the DRAM power limit. The paper notes
+	// memory power capping is unavailable on the Xeon Gold 6130; the
+	// simulated register is present but writes are rejected.
+	MSRDramPowerLimit uint32 = 0x618
+	// MSRDramEnergyStatus is the 32-bit wrapping DRAM energy counter.
+	MSRDramEnergyStatus uint32 = 0x619
+
+	// MSRUncoreRatioLimit programs the uncore frequency band: maximum ratio
+	// in bits 6:0, minimum ratio in bits 14:8, in 100 MHz units.
+	MSRUncoreRatioLimit uint32 = 0x620
+	// MSRUncorePerfStatus reports the current uncore ratio in bits 6:0.
+	MSRUncorePerfStatus uint32 = 0x621
+)
+
+// UncoreRatioMHz is the uncore ratio granularity: one ratio step is 100 MHz.
+const UncoreRatioMHz = 100

@@ -1,0 +1,122 @@
+package msr
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fixtureTree builds a fake /dev/cpu tree whose "msr" files are sparse
+// regular files; ReadAt/WriteAt at the register offset behave like the
+// real driver for testing purposes.
+func fixtureTree(t *testing.T, cpus int) string {
+	t.Helper()
+	root := t.TempDir()
+	for cpu := 0; cpu < cpus; cpu++ {
+		dir := filepath.Join(root, "0")
+		if cpu > 0 {
+			dir = filepath.Join(root, itoa(cpu))
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.Create(filepath.Join(dir, "msr"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Preallocate past the highest register we touch.
+		if err := f.Truncate(0x1000); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestDevFSRoundTrip(t *testing.T) {
+	root := fixtureTree(t, 2)
+	d, err := NewDevFS(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	if err := d.Write(0, MSRPkgPowerLimit, 0xDEADBEEFCAFE); err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.Read(0, MSRPkgPowerLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xDEADBEEFCAFE {
+		t.Fatalf("round trip = %#x", v)
+	}
+	// Other CPU untouched.
+	v, err = d.Read(1, MSRPkgPowerLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Fatalf("cpu 1 = %#x, want 0", v)
+	}
+}
+
+func TestDevFSLittleEndian(t *testing.T) {
+	root := fixtureTree(t, 1)
+	d, err := NewDevFS(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Write(0, 0x10, 0x0102030405060708); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(root, "0", "msr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := binary.LittleEndian.Uint64(raw[0x10:0x18])
+	if got != 0x0102030405060708 {
+		t.Fatalf("on-disk bytes decode to %#x", got)
+	}
+}
+
+func TestDevFSMissingTree(t *testing.T) {
+	if _, err := NewDevFS(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("opened a missing device tree")
+	}
+}
+
+func TestDevFSMissingCPU(t *testing.T) {
+	root := fixtureTree(t, 1)
+	d, err := NewDevFS(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.Read(5, 0x10); err == nil {
+		t.Fatal("read from a missing cpu succeeded")
+	}
+	if _, err := d.Read(-1, 0x10); err == nil {
+		t.Fatal("read from a negative cpu succeeded")
+	}
+}
+
+func TestDevFSImplementsDevice(t *testing.T) {
+	var _ Device = (*DevFS)(nil)
+}

@@ -1,0 +1,209 @@
+package msr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Device is the access interface to model-specific registers, mirroring the
+// semantics of the Linux /dev/cpu/<n>/msr character devices: 64-bit reads
+// and writes addressed by logical CPU and register number.
+type Device interface {
+	// Read returns the value of register addr on logical CPU cpu.
+	Read(cpu int, addr uint32) (uint64, error)
+	// Write stores value into register addr on logical CPU cpu.
+	Write(cpu int, addr uint32, value uint64) error
+}
+
+// Errors returned by Space, matching the failure modes of the real device
+// files (EIO on unimplemented registers, EPERM on read-only ones).
+var (
+	ErrUnknownMSR = errors.New("msr: unimplemented register")
+	ErrReadOnly   = errors.New("msr: register is read-only")
+	ErrBadCPU     = errors.New("msr: cpu index out of range")
+)
+
+// Handler gives an architectural register its behaviour. A nil Read or
+// Write falls back to the plain backing store.
+type Handler struct {
+	// Read computes the current register value (e.g. an energy counter).
+	Read func(cpu int) (uint64, error)
+	// Write applies a side effect (e.g. reprogramming a power limit).
+	Write func(cpu int, value uint64) error
+	// ReadOnly rejects writes with ErrReadOnly when set.
+	ReadOnly bool
+}
+
+// Access records one register operation, for diagnostics and for tests that
+// assert on controller/hardware interaction patterns.
+type Access struct {
+	CPU   int
+	Addr  uint32
+	Value uint64
+	Write bool
+}
+
+// String formats the access like an strace line.
+func (a Access) String() string {
+	op := "rdmsr"
+	if a.Write {
+		op = "wrmsr"
+	}
+	return fmt.Sprintf("%s(cpu=%d, 0x%03X) = 0x%016X", op, a.CPU, a.Addr, a.Value)
+}
+
+// Space is a simulated MSR register file for a node. Registers without a
+// handler behave as plain 64-bit storage initialised to a seed value; the
+// simulator installs handlers to connect the architectural registers to the
+// machine model. Space is safe for concurrent use.
+type Space struct {
+	mu       sync.Mutex
+	cpus     int
+	regs     map[regKey]uint64
+	seeds    map[uint32]uint64
+	handlers map[uint32]Handler
+	trace    []Access
+	traceCap int
+}
+
+type regKey struct {
+	cpu  int
+	addr uint32
+}
+
+// NewSpace creates a register file for cpus logical CPUs.
+func NewSpace(cpus int) *Space {
+	if cpus <= 0 {
+		panic(fmt.Sprintf("msr: NewSpace needs a positive cpu count, got %d", cpus))
+	}
+	return &Space{
+		cpus:     cpus,
+		regs:     make(map[regKey]uint64),
+		seeds:    make(map[uint32]uint64),
+		handlers: make(map[uint32]Handler),
+	}
+}
+
+// CPUs returns the number of logical CPUs in the space.
+func (s *Space) CPUs() int { return s.cpus }
+
+// Seed sets the initial value all CPUs report for register addr before any
+// write. Registers already written keep their written value.
+func (s *Space) Seed(addr uint32, value uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seeds[addr] = value
+}
+
+// Handle installs h as the behaviour of register addr.
+func (s *Space) Handle(addr uint32, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[addr] = h
+}
+
+// SetTraceCapacity enables access tracing, keeping the most recent n
+// operations. n <= 0 disables tracing.
+func (s *Space) SetTraceCapacity(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.traceCap = n
+	if n <= 0 {
+		s.trace = nil
+	}
+}
+
+// Trace returns a copy of the recorded accesses, oldest first.
+func (s *Space) Trace() []Access {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Access, len(s.trace))
+	copy(out, s.trace)
+	return out
+}
+
+func (s *Space) record(a Access) {
+	if s.traceCap <= 0 {
+		return
+	}
+	if len(s.trace) >= s.traceCap {
+		copy(s.trace, s.trace[1:])
+		s.trace = s.trace[:len(s.trace)-1]
+	}
+	s.trace = append(s.trace, a)
+}
+
+// Read implements Device.
+func (s *Space) Read(cpu int, addr uint32) (uint64, error) {
+	if cpu < 0 || cpu >= s.cpus {
+		return 0, fmt.Errorf("%w: cpu %d of %d", ErrBadCPU, cpu, s.cpus)
+	}
+	s.mu.Lock()
+	h, hasHandler := s.handlers[addr]
+	s.mu.Unlock()
+
+	if hasHandler && h.Read != nil {
+		v, err := h.Read(cpu)
+		if err != nil {
+			return 0, err
+		}
+		s.mu.Lock()
+		s.record(Access{CPU: cpu, Addr: addr, Value: v})
+		s.mu.Unlock()
+		return v, nil
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.regs[regKey{cpu, addr}]
+	if !ok {
+		if seed, seeded := s.seeds[addr]; seeded {
+			v = seed
+		} else if !hasHandler {
+			return 0, fmt.Errorf("%w: 0x%03X", ErrUnknownMSR, addr)
+		}
+	}
+	s.record(Access{CPU: cpu, Addr: addr, Value: v})
+	return v, nil
+}
+
+// Write implements Device.
+func (s *Space) Write(cpu int, addr uint32, value uint64) error {
+	if cpu < 0 || cpu >= s.cpus {
+		return fmt.Errorf("%w: cpu %d of %d", ErrBadCPU, cpu, s.cpus)
+	}
+	s.mu.Lock()
+	h, hasHandler := s.handlers[addr]
+	_, seeded := s.seeds[addr]
+	s.mu.Unlock()
+
+	if hasHandler && h.ReadOnly {
+		return fmt.Errorf("%w: 0x%03X", ErrReadOnly, addr)
+	}
+	if hasHandler && h.Write != nil {
+		if err := h.Write(cpu, value); err != nil {
+			return err
+		}
+	} else if !hasHandler && !seeded {
+		return fmt.Errorf("%w: 0x%03X", ErrUnknownMSR, addr)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.regs[regKey{cpu, addr}] = value
+	s.record(Access{CPU: cpu, Addr: addr, Value: value, Write: true})
+	return nil
+}
+
+// Raw returns the backing-store value of (cpu, addr) without invoking the
+// handler, for tests.
+func (s *Space) Raw(cpu int, addr uint32) (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.regs[regKey{cpu, addr}]
+	if !ok {
+		v, ok = s.seeds[addr]
+	}
+	return v, ok
+}

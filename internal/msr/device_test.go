@@ -1,0 +1,195 @@
+package msr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpaceSeededRead(t *testing.T) {
+	s := NewSpace(4)
+	s.Seed(MSRRaplPowerUnit, DefaultUnitsValue)
+	for cpu := 0; cpu < 4; cpu++ {
+		v, err := s.Read(cpu, MSRRaplPowerUnit)
+		if err != nil {
+			t.Fatalf("cpu %d: %v", cpu, err)
+		}
+		if v != DefaultUnitsValue {
+			t.Fatalf("cpu %d: read %#x, want %#x", cpu, v, DefaultUnitsValue)
+		}
+	}
+}
+
+func TestSpaceUnknownRegister(t *testing.T) {
+	s := NewSpace(1)
+	if _, err := s.Read(0, 0xDEAD); !errors.Is(err, ErrUnknownMSR) {
+		t.Fatalf("read of unknown register: err = %v, want ErrUnknownMSR", err)
+	}
+	if err := s.Write(0, 0xDEAD, 1); !errors.Is(err, ErrUnknownMSR) {
+		t.Fatalf("write of unknown register: err = %v, want ErrUnknownMSR", err)
+	}
+}
+
+func TestSpaceBadCPU(t *testing.T) {
+	s := NewSpace(2)
+	s.Seed(0x10, 0)
+	for _, cpu := range []int{-1, 2, 100} {
+		if _, err := s.Read(cpu, 0x10); !errors.Is(err, ErrBadCPU) {
+			t.Errorf("Read(cpu=%d): err = %v, want ErrBadCPU", cpu, err)
+		}
+		if err := s.Write(cpu, 0x10, 1); !errors.Is(err, ErrBadCPU) {
+			t.Errorf("Write(cpu=%d): err = %v, want ErrBadCPU", cpu, err)
+		}
+	}
+}
+
+func TestSpaceWriteIsPerCPU(t *testing.T) {
+	s := NewSpace(2)
+	s.Seed(0x10, 7)
+	if err := s.Write(0, 0x10, 42); err != nil {
+		t.Fatal(err)
+	}
+	v0, _ := s.Read(0, 0x10)
+	v1, _ := s.Read(1, 0x10)
+	if v0 != 42 {
+		t.Errorf("cpu 0 = %d, want 42", v0)
+	}
+	if v1 != 7 {
+		t.Errorf("cpu 1 = %d, want seed 7 (write must not leak across CPUs)", v1)
+	}
+}
+
+func TestSpaceReadHandler(t *testing.T) {
+	s := NewSpace(2)
+	s.Handle(0x611, Handler{
+		Read:     func(cpu int) (uint64, error) { return uint64(1000 + cpu), nil },
+		ReadOnly: true,
+	})
+	v, err := s.Read(1, 0x611)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1001 {
+		t.Fatalf("handler read = %d, want 1001", v)
+	}
+	if err := s.Write(1, 0x611, 5); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("write to read-only register: err = %v, want ErrReadOnly", err)
+	}
+}
+
+func TestSpaceWriteHandlerSideEffect(t *testing.T) {
+	s := NewSpace(1)
+	var applied uint64
+	s.Handle(0x610, Handler{
+		Read:  func(int) (uint64, error) { return applied, nil },
+		Write: func(_ int, v uint64) error { applied = v; return nil },
+	})
+	if err := s.Write(0, 0x610, 0xABCD); err != nil {
+		t.Fatal(err)
+	}
+	if applied != 0xABCD {
+		t.Fatalf("side effect not applied: %#x", applied)
+	}
+	v, _ := s.Read(0, 0x610)
+	if v != 0xABCD {
+		t.Fatalf("read after write = %#x", v)
+	}
+}
+
+func TestSpaceWriteHandlerError(t *testing.T) {
+	s := NewSpace(1)
+	boom := fmt.Errorf("nope")
+	s.Handle(0x618, Handler{
+		Read:  func(int) (uint64, error) { return 0, nil },
+		Write: func(int, uint64) error { return boom },
+	})
+	if err := s.Write(0, 0x618, 1); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want handler error", err)
+	}
+	// A failed handler write must not change the backing store.
+	if v, _ := s.Read(0, 0x618); v != 0 {
+		t.Fatalf("backing store changed after failed write: %d", v)
+	}
+}
+
+func TestSpaceTrace(t *testing.T) {
+	s := NewSpace(1)
+	s.Seed(0x10, 0)
+	s.SetTraceCapacity(2)
+	s.Write(0, 0x10, 1)
+	s.Write(0, 0x10, 2)
+	s.Write(0, 0x10, 3)
+	tr := s.Trace()
+	if len(tr) != 2 {
+		t.Fatalf("trace length = %d, want 2 (capacity)", len(tr))
+	}
+	if tr[0].Value != 2 || tr[1].Value != 3 {
+		t.Fatalf("trace kept wrong entries: %+v", tr)
+	}
+	if !tr[1].Write {
+		t.Fatal("write not flagged")
+	}
+	s.SetTraceCapacity(0)
+	if len(s.Trace()) != 0 {
+		t.Fatal("disabling trace did not clear it")
+	}
+}
+
+func TestAccessString(t *testing.T) {
+	a := Access{CPU: 3, Addr: 0x620, Value: 0x1818, Write: true}
+	s := a.String()
+	if !strings.Contains(s, "wrmsr") || !strings.Contains(s, "0x620") {
+		t.Fatalf("Access.String() = %q", s)
+	}
+	a.Write = false
+	if !strings.Contains(a.String(), "rdmsr") {
+		t.Fatalf("Access.String() = %q", a.String())
+	}
+}
+
+func TestSpaceConcurrentAccess(t *testing.T) {
+	s := NewSpace(8)
+	s.Seed(0x10, 0)
+	s.SetTraceCapacity(64)
+	var wg sync.WaitGroup
+	for cpu := 0; cpu < 8; cpu++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := s.Write(cpu, 0x10, uint64(i)); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+				if _, err := s.Read(cpu, 0x10); err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+			}
+		}(cpu)
+	}
+	wg.Wait()
+}
+
+func TestNewSpacePanicsOnBadCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSpace(0) did not panic")
+		}
+	}()
+	NewSpace(0)
+}
+
+func TestRawBypassesHandlers(t *testing.T) {
+	s := NewSpace(1)
+	s.Handle(0x611, Handler{Read: func(int) (uint64, error) { return 999, nil }})
+	if _, ok := s.Raw(0, 0x611); ok {
+		t.Fatal("Raw reported a value for a never-written handler register")
+	}
+	s.Seed(0x10, 5)
+	if v, ok := s.Raw(0, 0x10); !ok || v != 5 {
+		t.Fatalf("Raw seeded = %d/%t, want 5/true", v, ok)
+	}
+}

@@ -1,0 +1,218 @@
+package papi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dufp/internal/msr"
+	"dufp/internal/rapl"
+	"dufp/internal/units"
+)
+
+// fakeSource is a scripted counter source.
+type fakeSource struct {
+	flops, bytes float64
+	now          time.Duration
+}
+
+func (f *fakeSource) Counter(ev Event) float64 {
+	switch ev {
+	case FPOps:
+		return f.flops
+	case MemBytes:
+		return f.bytes
+	}
+	return 0
+}
+
+func (f *fakeSource) Now() time.Duration { return f.now }
+
+func TestEventNames(t *testing.T) {
+	if FPOps.String() != "PAPI_FP_OPS" {
+		t.Errorf("FPOps name = %q", FPOps.String())
+	}
+	if MemBytes.String() == "" || Event(99).String() == "" {
+		t.Error("empty event name")
+	}
+}
+
+func TestEventSetReadDeltas(t *testing.T) {
+	src := &fakeSource{flops: 100, bytes: 1000}
+	set, err := NewEventSet(src, FPOps, MemBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set.Start()
+	src.flops, src.bytes = 250, 1600
+	got, err := set.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 150 || got[1] != 600 {
+		t.Fatalf("deltas = %v, want [150 600]", got)
+	}
+	// Reset re-latches.
+	set.Reset()
+	src.flops = 300
+	got, _ = set.Read()
+	if got[0] != 50 {
+		t.Fatalf("after reset, delta = %v, want 50", got[0])
+	}
+}
+
+func TestEventSetErrors(t *testing.T) {
+	if _, err := NewEventSet(nil, FPOps); err == nil {
+		t.Error("accepted nil source")
+	}
+	if _, err := NewEventSet(&fakeSource{}); err == nil {
+		t.Error("accepted empty event list")
+	}
+	if _, err := NewEventSet(&fakeSource{}, Event(42)); err == nil {
+		t.Error("accepted unknown event")
+	}
+	set, _ := NewEventSet(&fakeSource{}, FPOps)
+	if _, err := set.Read(); err == nil {
+		t.Error("Read before Start succeeded")
+	}
+}
+
+func newMeters(t *testing.T) (*msr.Space, *rapl.EnergyMeter, *rapl.EnergyMeter) {
+	t.Helper()
+	sp := msr.NewSpace(1)
+	sp.Seed(msr.MSRRaplPowerUnit, msr.DefaultUnitsValue)
+	sp.Seed(msr.MSRPkgEnergyStatus, 0)
+	sp.Seed(msr.MSRDramEnergyStatus, 0)
+	c, err := rapl.NewClient(sp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp, c.NewPkgEnergyMeter(), c.NewDramEnergyMeter()
+}
+
+func TestMonitorSampleRates(t *testing.T) {
+	src := &fakeSource{}
+	sp, pkg, dram := newMeters(t)
+	m, err := NewMonitor(src, pkg, dram, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+
+	// 200 ms pass; 10 GFLOP and 50 GB executed; 20 J package energy.
+	src.now = 200 * time.Millisecond
+	src.flops = 10e9
+	src.bytes = 50e9
+	pkgUnit := msr.DefaultUnits().EnergyUnit
+	dramUnit := float64(msr.DramEnergyUnit)
+	sp.Seed(msr.MSRPkgEnergyStatus, uint64(20/float64(pkgUnit)))
+	sp.Seed(msr.MSRDramEnergyStatus, uint64(4/dramUnit))
+
+	s, err := m.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Interval != 200*time.Millisecond {
+		t.Errorf("interval = %v", s.Interval)
+	}
+	if math.Abs(float64(s.FlopRate)-50e9) > 1 {
+		t.Errorf("flop rate = %v, want 50 GFLOPS/s", s.FlopRate)
+	}
+	if math.Abs(float64(s.Bandwidth)-250e9) > 1 {
+		t.Errorf("bandwidth = %v, want 250 GB/s", s.Bandwidth)
+	}
+	if math.Abs(float64(s.PkgPower)-100) > 0.1 {
+		t.Errorf("package power = %v, want ≈100 W", s.PkgPower)
+	}
+	if math.Abs(float64(s.DramPower)-20) > 0.1 {
+		t.Errorf("DRAM power = %v, want ≈20 W", s.DramPower)
+	}
+	if oi := s.OperationalIntensity(); math.Abs(oi-0.2) > 1e-9 {
+		t.Errorf("OI = %v, want 0.2", oi)
+	}
+}
+
+func TestMonitorEmptyInterval(t *testing.T) {
+	src := &fakeSource{}
+	_, pkg, dram := newMeters(t)
+	m, _ := NewMonitor(src, pkg, dram, nil, 0)
+	m.Start()
+	if _, err := m.Sample(); err == nil {
+		t.Fatal("Sample with zero elapsed time succeeded")
+	}
+}
+
+func TestMonitorNotStarted(t *testing.T) {
+	src := &fakeSource{}
+	_, pkg, dram := newMeters(t)
+	m, _ := NewMonitor(src, pkg, dram, nil, 0)
+	if _, err := m.Sample(); err == nil {
+		t.Fatal("Sample before Start succeeded")
+	}
+}
+
+func TestMonitorNoiseDeterministic(t *testing.T) {
+	run := func(seed int64) units.FlopRate {
+		src := &fakeSource{}
+		_, pkg, dram := newMeters(t)
+		m, err := NewMonitor(src, pkg, dram, rand.New(rand.NewSource(seed)), 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Start()
+		src.now = 200 * time.Millisecond
+		src.flops = 10e9
+		src.bytes = 50e9
+		s, err := m.Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.FlopRate
+	}
+	a, b := run(7), run(7)
+	if a != b {
+		t.Fatalf("same seed produced different samples: %v vs %v", a, b)
+	}
+	c := run(8)
+	if a == c {
+		t.Fatal("different seeds produced identical noisy samples")
+	}
+	// Noise is multiplicative and small.
+	if rel := math.Abs(float64(a)-50e9) / 50e9; rel > 0.1 {
+		t.Fatalf("noise moved the sample by %.1f %%", rel*100)
+	}
+}
+
+func TestMonitorNoiseRequiresRNG(t *testing.T) {
+	src := &fakeSource{}
+	_, pkg, dram := newMeters(t)
+	if _, err := NewMonitor(src, pkg, dram, nil, 0.01); err == nil {
+		t.Fatal("noise without rng accepted")
+	}
+}
+
+func TestOperationalIntensityZeroBandwidth(t *testing.T) {
+	s := Sample{FlopRate: 1e9, Bandwidth: 0}
+	if oi := s.OperationalIntensity(); oi < 1e9 {
+		t.Fatalf("OI with zero bandwidth = %v, want very large", oi)
+	}
+}
+
+func TestMonitorWithoutMeters(t *testing.T) {
+	src := &fakeSource{}
+	m, err := NewMonitor(src, nil, nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	src.now = 100 * time.Millisecond
+	src.flops = 1e9
+	s, err := m.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PkgPower != 0 || s.DramPower != 0 {
+		t.Fatalf("meterless monitor reported power %v/%v", s.PkgPower, s.DramPower)
+	}
+}

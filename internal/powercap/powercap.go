@@ -1,0 +1,208 @@
+// Package powercap mirrors the Linux powercap (intel-rapl) sysfs interface
+// the paper's tool drives through the powercap library: one zone per
+// package, with constraint 0 (long_term) and constraint 1 (short_term),
+// power limits in microwatts and time windows in microseconds. The zone is
+// backed by the MSR-level RAPL client, the same layering as the real stack.
+package powercap
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"dufp/internal/arch"
+	"dufp/internal/msr"
+	"dufp/internal/rapl"
+	"dufp/internal/units"
+)
+
+// Constraint indices, matching the intel-rapl sysfs naming.
+const (
+	LongTerm  = 0 // constraint_0: PL1
+	ShortTerm = 1 // constraint_1: PL2
+)
+
+// Zone is one intel-rapl package power zone.
+type Zone struct {
+	name    string
+	client  *rapl.Client
+	spec    arch.Spec
+	meter   *rapl.EnergyMeter
+	maxUJ   uint64
+	defPL1  units.Power
+	defPL2  units.Power
+	pl1Win  float64
+	pl2Win  float64
+	enabled bool
+}
+
+// OpenPackage opens the zone of the package containing logical CPU cpu.
+func OpenPackage(dev msr.Device, cpu, pkg int, spec arch.Spec) (*Zone, error) {
+	c, err := rapl.NewClient(dev, cpu)
+	if err != nil {
+		return nil, fmt.Errorf("powercap: opening package %d: %w", pkg, err)
+	}
+	maxRange := uint64(float64(1<<32) * float64(c.Units().EnergyUnit) * 1e6)
+	return &Zone{
+		name:    fmt.Sprintf("package-%d", pkg),
+		client:  c,
+		spec:    spec,
+		meter:   c.NewPkgEnergyMeter(),
+		maxUJ:   maxRange,
+		defPL1:  spec.DefaultPL1,
+		defPL2:  spec.DefaultPL2,
+		pl1Win:  spec.PL1Window,
+		pl2Win:  spec.PL2Window,
+		enabled: true,
+	}, nil
+}
+
+// Name returns the sysfs-style zone name, e.g. "package-0".
+func (z *Zone) Name() string { return z.name }
+
+// Limits returns the current (long-term, short-term) power limits.
+func (z *Zone) Limits() (pl1, pl2 units.Power, err error) {
+	l, err := z.client.PkgLimit()
+	if err != nil {
+		return 0, 0, err
+	}
+	return l.PL1.Limit, l.PL2.Limit, nil
+}
+
+// SetLimits programs both constraints in one MSR write, preserving the
+// default windows. This is the "decrease both constraints at the same
+// time" operation DUFP performs (§III).
+func (z *Zone) SetLimits(pl1, pl2 units.Power) error {
+	if pl1 <= 0 || pl2 <= 0 {
+		return fmt.Errorf("powercap: non-positive power limit (%v, %v)", pl1, pl2)
+	}
+	if pl2 < pl1 {
+		return fmt.Errorf("powercap: short-term limit %v below long-term %v", pl2, pl1)
+	}
+	return z.client.SetPkgLimit(msr.PkgPowerLimit{
+		PL1: msr.PowerLimit{Limit: pl1, Window: z.pl1Win, Enabled: z.enabled, Clamp: true},
+		PL2: msr.PowerLimit{Limit: pl2, Window: z.pl2Win, Enabled: z.enabled, Clamp: true},
+	})
+}
+
+// Reset restores both constraints to their factory defaults.
+func (z *Zone) Reset() error { return z.SetLimits(z.defPL1, z.defPL2) }
+
+// Defaults returns the factory (long-term, short-term) limits.
+func (z *Zone) Defaults() (pl1, pl2 units.Power) { return z.defPL1, z.defPL2 }
+
+// EnergyUJ returns the zone's cumulative energy counter in microjoules,
+// wrapping at MaxEnergyRangeUJ like the sysfs file does.
+func (z *Zone) EnergyUJ() (uint64, error) {
+	if _, err := z.meter.Sample(); err != nil {
+		return 0, err
+	}
+	uj := uint64(float64(z.meter.Total()) * 1e6)
+	if z.maxUJ > 0 {
+		uj %= z.maxUJ
+	}
+	return uj, nil
+}
+
+// MaxEnergyRangeUJ returns the wrap point of EnergyUJ in microjoules.
+func (z *Zone) MaxEnergyRangeUJ() uint64 { return z.maxUJ }
+
+// Attr exposes the zone as sysfs-style attribute files. Supported names:
+//
+//	energy_uj, max_energy_range_uj, enabled, name,
+//	constraint_{0,1}_name, constraint_{0,1}_power_limit_uw,
+//	constraint_{0,1}_time_window_us, constraint_{0,1}_max_power_uw
+//
+// Reads return the attribute's textual value; unknown names fail like a
+// missing file would.
+func (z *Zone) Attr(name string) (string, error) {
+	switch name {
+	case "name":
+		return z.name, nil
+	case "enabled":
+		if z.enabled {
+			return "1", nil
+		}
+		return "0", nil
+	case "energy_uj":
+		uj, err := z.EnergyUJ()
+		if err != nil {
+			return "", err
+		}
+		return strconv.FormatUint(uj, 10), nil
+	case "max_energy_range_uj":
+		return strconv.FormatUint(z.maxUJ, 10), nil
+	case "constraint_0_name":
+		return "long_term", nil
+	case "constraint_1_name":
+		return "short_term", nil
+	case "constraint_0_max_power_uw":
+		return strconv.FormatInt(z.defPL1.Microwatts(), 10), nil
+	case "constraint_1_max_power_uw":
+		return strconv.FormatInt(z.defPL2.Microwatts(), 10), nil
+	}
+
+	l, err := z.client.PkgLimit()
+	if err != nil {
+		return "", err
+	}
+	switch name {
+	case "constraint_0_power_limit_uw":
+		return strconv.FormatInt(l.PL1.Limit.Microwatts(), 10), nil
+	case "constraint_1_power_limit_uw":
+		return strconv.FormatInt(l.PL2.Limit.Microwatts(), 10), nil
+	case "constraint_0_time_window_us":
+		return strconv.FormatInt(int64(l.PL1.Window*1e6), 10), nil
+	case "constraint_1_time_window_us":
+		return strconv.FormatInt(int64(l.PL2.Window*1e6), 10), nil
+	}
+	return "", fmt.Errorf("powercap: no attribute %q in zone %s", name, z.name)
+}
+
+// SetAttr writes a sysfs-style attribute. Only the constraint power limits
+// and enabled are writable, as on real hardware.
+func (z *Zone) SetAttr(name, value string) error {
+	switch name {
+	case "enabled":
+		z.enabled = value == "1"
+		pl1, pl2, err := z.Limits()
+		if err != nil {
+			return err
+		}
+		return z.SetLimits(pl1, pl2)
+	case "constraint_0_power_limit_uw", "constraint_1_power_limit_uw":
+		uw, err := strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			return fmt.Errorf("powercap: attribute %s: %w", name, err)
+		}
+		p := units.Power(float64(uw) / 1e6)
+		pl1, pl2, err := z.Limits()
+		if err != nil {
+			return err
+		}
+		if name == "constraint_0_power_limit_uw" {
+			pl1 = p
+			if pl2 < pl1 {
+				pl2 = pl1
+			}
+		} else {
+			pl2 = p
+		}
+		return z.SetLimits(pl1, pl2)
+	}
+	return fmt.Errorf("powercap: attribute %q is not writable", name)
+}
+
+// AttrNames lists the supported attribute names, sorted, for discovery and
+// tests.
+func (z *Zone) AttrNames() []string {
+	names := []string{
+		"name", "enabled", "energy_uj", "max_energy_range_uj",
+		"constraint_0_name", "constraint_1_name",
+		"constraint_0_power_limit_uw", "constraint_1_power_limit_uw",
+		"constraint_0_time_window_us", "constraint_1_time_window_us",
+		"constraint_0_max_power_uw", "constraint_1_max_power_uw",
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,213 @@
+package powercap
+
+import (
+	"strconv"
+	"testing"
+
+	"dufp/internal/arch"
+	"dufp/internal/msr"
+	"dufp/internal/units"
+)
+
+func newZone(t *testing.T) (*Zone, *msr.Space) {
+	t.Helper()
+	sp := msr.NewSpace(16)
+	sp.Seed(msr.MSRRaplPowerUnit, msr.DefaultUnitsValue)
+	spec := arch.XeonGold6130()
+	raplUnits := msr.DefaultUnits()
+	sp.Seed(msr.MSRPkgPowerLimit, msr.EncodePkgPowerLimit(raplUnits, msr.PkgPowerLimit{
+		PL1: msr.PowerLimit{Limit: spec.DefaultPL1, Window: spec.PL1Window, Enabled: true},
+		PL2: msr.PowerLimit{Limit: spec.DefaultPL2, Window: spec.PL2Window, Enabled: true},
+	}))
+	sp.Seed(msr.MSRPkgEnergyStatus, 0)
+	z, err := OpenPackage(sp, 0, 0, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return z, sp
+}
+
+func TestZoneName(t *testing.T) {
+	z, _ := newZone(t)
+	if z.Name() != "package-0" {
+		t.Fatalf("Name = %q, want package-0", z.Name())
+	}
+}
+
+func TestZoneLimitsAndSet(t *testing.T) {
+	z, _ := newZone(t)
+	pl1, pl2, err := z.Limits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl1 != 125 || pl2 != 150 {
+		t.Fatalf("initial limits = %v/%v, want 125/150", pl1, pl2)
+	}
+	if err := z.SetLimits(90, 90); err != nil {
+		t.Fatal(err)
+	}
+	pl1, pl2, _ = z.Limits()
+	if pl1 != 90 || pl2 != 90 {
+		t.Fatalf("after SetLimits(90,90): %v/%v", pl1, pl2)
+	}
+}
+
+func TestZoneSetRejectsInvalid(t *testing.T) {
+	z, _ := newZone(t)
+	if err := z.SetLimits(0, 100); err == nil {
+		t.Error("accepted zero PL1")
+	}
+	if err := z.SetLimits(100, 90); err == nil {
+		t.Error("accepted PL2 < PL1")
+	}
+	if err := z.SetLimits(-5, -5); err == nil {
+		t.Error("accepted negative limits")
+	}
+}
+
+func TestZoneReset(t *testing.T) {
+	z, _ := newZone(t)
+	if err := z.SetLimits(70, 70); err != nil {
+		t.Fatal(err)
+	}
+	if err := z.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	pl1, pl2, _ := z.Limits()
+	d1, d2 := z.Defaults()
+	if pl1 != d1 || pl2 != d2 {
+		t.Fatalf("after Reset: %v/%v, want %v/%v", pl1, pl2, d1, d2)
+	}
+}
+
+func TestZoneAttrs(t *testing.T) {
+	z, _ := newZone(t)
+	tests := map[string]string{
+		"name":                        "package-0",
+		"enabled":                     "1",
+		"constraint_0_name":           "long_term",
+		"constraint_1_name":           "short_term",
+		"constraint_0_power_limit_uw": "125000000",
+		"constraint_1_power_limit_uw": "150000000",
+		"constraint_0_max_power_uw":   "125000000",
+	}
+	for name, want := range tests {
+		got, err := z.Attr(name)
+		if err != nil {
+			t.Errorf("Attr(%s): %v", name, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("Attr(%s) = %q, want %q", name, got, want)
+		}
+	}
+	if _, err := z.Attr("nonsense"); err == nil {
+		t.Error("Attr accepted an unknown attribute")
+	}
+}
+
+func TestZoneTimeWindows(t *testing.T) {
+	z, _ := newZone(t)
+	w0, err := z.Attr("constraint_0_time_window_us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	us, err := strconv.ParseInt(w0, 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~1 s window, snapped to the RAPL grid.
+	if us < 850_000 || us > 1_150_000 {
+		t.Fatalf("PL1 window = %d µs, want ≈1e6", us)
+	}
+}
+
+func TestZoneSetAttr(t *testing.T) {
+	z, _ := newZone(t)
+	if err := z.SetAttr("constraint_0_power_limit_uw", "90000000"); err != nil {
+		t.Fatal(err)
+	}
+	pl1, pl2, _ := z.Limits()
+	if pl1 != 90 {
+		t.Fatalf("PL1 = %v, want 90", pl1)
+	}
+	if pl2 < pl1 {
+		t.Fatalf("PL2 = %v dropped below PL1", pl2)
+	}
+	if err := z.SetAttr("constraint_1_power_limit_uw", "95000000"); err != nil {
+		t.Fatal(err)
+	}
+	_, pl2, _ = z.Limits()
+	if pl2 != 95 {
+		t.Fatalf("PL2 = %v, want 95", pl2)
+	}
+	if err := z.SetAttr("constraint_0_power_limit_uw", "bogus"); err == nil {
+		t.Error("accepted non-numeric value")
+	}
+	if err := z.SetAttr("name", "x"); err == nil {
+		t.Error("accepted write to read-only attribute")
+	}
+}
+
+func TestZoneEnergyUJ(t *testing.T) {
+	z, sp := newZone(t)
+	uj, err := z.EnergyUJ()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uj != 0 {
+		t.Fatalf("initial energy = %d, want 0", uj)
+	}
+	// Advance the counter by 1 J (16384 ticks at 61 µJ).
+	sp.Seed(msr.MSRPkgEnergyStatus, 16384)
+	uj, err = z.EnergyUJ()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uj < 990_000 || uj > 1_010_000 {
+		t.Fatalf("energy = %d µJ, want ≈1e6", uj)
+	}
+	if z.MaxEnergyRangeUJ() == 0 {
+		t.Fatal("MaxEnergyRangeUJ = 0")
+	}
+}
+
+func TestZoneAttrNamesSorted(t *testing.T) {
+	z, _ := newZone(t)
+	names := z.AttrNames()
+	if len(names) < 10 {
+		t.Fatalf("AttrNames returned %d entries", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatalf("AttrNames not sorted at %d: %q < %q", i, names[i], names[i-1])
+		}
+	}
+	for _, n := range names {
+		if _, err := z.Attr(n); err != nil {
+			t.Errorf("listed attribute %q unreadable: %v", n, err)
+		}
+	}
+}
+
+func TestZoneQuantisation(t *testing.T) {
+	// Limits written through the zone are quantised to 1/8 W by the MSR
+	// encoding; 5 W steps from 125 are exact.
+	z, _ := newZone(t)
+	for w := 125.0; w >= 65; w -= 5 {
+		if err := z.SetLimits(units.Power(w), units.Power(w)); err != nil {
+			t.Fatal(err)
+		}
+		pl1, _, _ := z.Limits()
+		if float64(pl1) != w {
+			t.Fatalf("cap %v W read back as %v", w, pl1)
+		}
+	}
+}
+
+func TestOpenPackageWithoutUnits(t *testing.T) {
+	sp := msr.NewSpace(1)
+	if _, err := OpenPackage(sp, 0, 0, arch.XeonGold6130()); err == nil {
+		t.Fatal("OpenPackage succeeded without RAPL units register")
+	}
+}

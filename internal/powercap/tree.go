@@ -1,0 +1,131 @@
+package powercap
+
+import (
+	"fmt"
+	"sort"
+
+	"dufp/internal/arch"
+	"dufp/internal/msr"
+	"dufp/internal/rapl"
+	"dufp/internal/units"
+)
+
+// Tree mirrors the /sys/class/powercap hierarchy of the intel-rapl
+// control type: one package zone per socket ("intel-rapl:N") with a DRAM
+// subzone ("intel-rapl:N:0"). On the paper's Xeon Gold 6130 the DRAM
+// subzone exposes energy but rejects power-limit writes (§II-B).
+type Tree struct {
+	zones map[string]*Zone
+	dram  map[string]*DramZone
+	names []string
+}
+
+// DramZone is the read-only DRAM subzone: energy metering without capping.
+type DramZone struct {
+	name  string
+	meter *rapl.EnergyMeter
+	maxUJ uint64
+}
+
+// Name returns the sysfs-style zone name, e.g. "intel-rapl:0:0".
+func (z *DramZone) Name() string { return z.name }
+
+// EnergyUJ returns the DRAM energy counter in microjoules.
+func (z *DramZone) EnergyUJ() (uint64, error) {
+	if _, err := z.meter.Sample(); err != nil {
+		return 0, err
+	}
+	uj := uint64(float64(z.meter.Total()) * 1e6)
+	if z.maxUJ > 0 {
+		uj %= z.maxUJ
+	}
+	return uj, nil
+}
+
+// SetLimit rejects DRAM power capping, as the paper's hardware does.
+func (z *DramZone) SetLimit(units.Power) error {
+	return fmt.Errorf("powercap: %s: DRAM power capping not supported on this model", z.name)
+}
+
+// NewTree enumerates the zones of a node over an MSR device.
+func NewTree(dev msr.Device, topo arch.Topology) (*Tree, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Tree{zones: make(map[string]*Zone), dram: make(map[string]*DramZone)}
+	for pkg := 0; pkg < topo.Sockets; pkg++ {
+		cpu := pkg * topo.Spec.Cores
+		zone, err := OpenPackage(dev, cpu, pkg, topo.Spec)
+		if err != nil {
+			return nil, err
+		}
+		pkgName := fmt.Sprintf("intel-rapl:%d", pkg)
+		t.zones[pkgName] = zone
+		t.names = append(t.names, pkgName)
+
+		client, err := rapl.NewClient(dev, cpu)
+		if err != nil {
+			return nil, err
+		}
+		dramName := fmt.Sprintf("intel-rapl:%d:0", pkg)
+		dramRange := float64(uint64(1)<<32) * float64(msr.DramEnergyUnit) * 1e6
+		t.dram[dramName] = &DramZone{
+			name:  dramName,
+			meter: client.NewDramEnergyMeter(),
+			maxUJ: uint64(dramRange),
+		}
+		t.names = append(t.names, dramName)
+	}
+	sort.Strings(t.names)
+	return t, nil
+}
+
+// Names lists all zone names, sorted.
+func (t *Tree) Names() []string {
+	out := make([]string, len(t.names))
+	copy(out, t.names)
+	return out
+}
+
+// Package returns the package zone with the given index.
+func (t *Tree) Package(pkg int) (*Zone, error) {
+	z, ok := t.zones[fmt.Sprintf("intel-rapl:%d", pkg)]
+	if !ok {
+		return nil, fmt.Errorf("powercap: no package zone %d", pkg)
+	}
+	return z, nil
+}
+
+// Dram returns the DRAM subzone of the given package.
+func (t *Tree) Dram(pkg int) (*DramZone, error) {
+	z, ok := t.dram[fmt.Sprintf("intel-rapl:%d:0", pkg)]
+	if !ok {
+		return nil, fmt.Errorf("powercap: no DRAM subzone for package %d", pkg)
+	}
+	return z, nil
+}
+
+// SetAll programs the same limits on every package zone, the way a
+// node-wide static cap is applied.
+func (t *Tree) SetAll(pl1, pl2 units.Power) error {
+	for _, name := range t.names {
+		if z, ok := t.zones[name]; ok {
+			if err := z.SetLimits(pl1, pl2); err != nil {
+				return fmt.Errorf("powercap: %s: %w", name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// ResetAll restores every package zone's factory limits.
+func (t *Tree) ResetAll() error {
+	for _, name := range t.names {
+		if z, ok := t.zones[name]; ok {
+			if err := z.Reset(); err != nil {
+				return fmt.Errorf("powercap: %s: %w", name, err)
+			}
+		}
+	}
+	return nil
+}

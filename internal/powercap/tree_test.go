@@ -1,0 +1,136 @@
+package powercap
+
+import (
+	"strings"
+	"testing"
+
+	"dufp/internal/arch"
+	"dufp/internal/model"
+	"dufp/internal/sim"
+	"dufp/internal/units"
+)
+
+// newNodeTree builds a tree over a live simulated machine, so the energy
+// counters behave.
+func newNodeTree(t *testing.T) (*Tree, *sim.Machine) {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	m, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := NewTree(m.MSR(), cfg.Topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, m
+}
+
+func TestTreeEnumeration(t *testing.T) {
+	tree, _ := newNodeTree(t)
+	names := tree.Names()
+	// 4 packages × (zone + dram subzone).
+	if len(names) != 8 {
+		t.Fatalf("enumerated %d zones, want 8: %v", len(names), names)
+	}
+	for _, want := range []string{"intel-rapl:0", "intel-rapl:0:0", "intel-rapl:3", "intel-rapl:3:0"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("zone %s missing from %v", want, names)
+		}
+	}
+}
+
+func TestTreePackageAccess(t *testing.T) {
+	tree, _ := newNodeTree(t)
+	z, err := tree.Package(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Name() != "package-2" {
+		t.Fatalf("zone name = %q", z.Name())
+	}
+	if _, err := tree.Package(9); err == nil {
+		t.Error("found a nonexistent package")
+	}
+	if _, err := tree.Dram(9); err == nil {
+		t.Error("found a nonexistent DRAM subzone")
+	}
+}
+
+func TestTreeSetAllAndResetAll(t *testing.T) {
+	tree, _ := newNodeTree(t)
+	if err := tree.SetAll(100, 100); err != nil {
+		t.Fatal(err)
+	}
+	for pkg := 0; pkg < 4; pkg++ {
+		z, _ := tree.Package(pkg)
+		pl1, pl2, err := z.Limits()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pl1 != 100 || pl2 != 100 {
+			t.Fatalf("package %d limits = %v/%v", pkg, pl1, pl2)
+		}
+	}
+	if err := tree.ResetAll(); err != nil {
+		t.Fatal(err)
+	}
+	z, _ := tree.Package(0)
+	pl1, pl2, _ := z.Limits()
+	if pl1 != 125 || pl2 != 150 {
+		t.Fatalf("after reset: %v/%v", pl1, pl2)
+	}
+}
+
+func TestTreeDramZoneReadOnly(t *testing.T) {
+	tree, m := newNodeTree(t)
+	d, err := tree.Dram(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(d.Name(), ":0") {
+		t.Fatalf("dram zone name = %q", d.Name())
+	}
+	if err := d.SetLimit(30 * units.Watt); err == nil {
+		t.Fatal("DRAM capping accepted; the paper's hardware rejects it")
+	}
+
+	// Energy advances as the machine runs.
+	before, err := d.EnergyUJ()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load([]model.PhaseShape{{
+		Name:         "t",
+		FlopFrac:     0.1,
+		MemFrac:      0.5,
+		ComputeShare: 0.5,
+		Overlap:      0.4,
+		Duration:     300 * 1e6, // 300 ms
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(sim.RunOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := d.EnergyUJ()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after <= before {
+		t.Fatalf("DRAM energy did not advance: %d -> %d", before, after)
+	}
+}
+
+func TestTreeValidation(t *testing.T) {
+	_, m := newNodeTree(t)
+	if _, err := NewTree(m.MSR(), arch.Topology{}); err == nil {
+		t.Fatal("accepted invalid topology")
+	}
+}

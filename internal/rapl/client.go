@@ -1,0 +1,92 @@
+package rapl
+
+import (
+	"fmt"
+
+	"dufp/internal/msr"
+	"dufp/internal/units"
+)
+
+// Client is the software-side RAPL accessor for one package. It talks to
+// the hardware exclusively through the MSR device, the way the powercap
+// library and PAPI do on a real system.
+type Client struct {
+	dev   msr.Device
+	cpu   int // any logical CPU belonging to the package
+	units msr.Units
+}
+
+// NewClient opens the RAPL interface of the package that logical CPU cpu
+// belongs to, reading the unit multipliers from MSR_RAPL_POWER_UNIT.
+func NewClient(dev msr.Device, cpu int) (*Client, error) {
+	raw, err := dev.Read(cpu, msr.MSRRaplPowerUnit)
+	if err != nil {
+		return nil, fmt.Errorf("rapl: reading power units: %w", err)
+	}
+	return &Client{dev: dev, cpu: cpu, units: msr.DecodeUnits(raw)}, nil
+}
+
+// Units returns the decoded RAPL unit multipliers.
+func (c *Client) Units() msr.Units { return c.units }
+
+// PkgLimit reads and decodes MSR_PKG_POWER_LIMIT.
+func (c *Client) PkgLimit() (msr.PkgPowerLimit, error) {
+	raw, err := c.dev.Read(c.cpu, msr.MSRPkgPowerLimit)
+	if err != nil {
+		return msr.PkgPowerLimit{}, fmt.Errorf("rapl: reading package power limit: %w", err)
+	}
+	return msr.DecodePkgPowerLimit(c.units, raw), nil
+}
+
+// SetPkgLimit encodes and writes MSR_PKG_POWER_LIMIT.
+func (c *Client) SetPkgLimit(pl msr.PkgPowerLimit) error {
+	if err := c.dev.Write(c.cpu, msr.MSRPkgPowerLimit, msr.EncodePkgPowerLimit(c.units, pl)); err != nil {
+		return fmt.Errorf("rapl: writing package power limit: %w", err)
+	}
+	return nil
+}
+
+// EnergyMeter accumulates a wrapping 32-bit RAPL energy counter into a
+// monotonic total, tolerating at most one wraparound between readings.
+type EnergyMeter struct {
+	dev   msr.Device
+	cpu   int
+	addr  uint32
+	unit  units.Energy
+	last  uint64
+	total units.Energy
+	begun bool
+}
+
+// NewPkgEnergyMeter returns a meter over MSR_PKG_ENERGY_STATUS using the
+// client's energy unit.
+func (c *Client) NewPkgEnergyMeter() *EnergyMeter {
+	return &EnergyMeter{dev: c.dev, cpu: c.cpu, addr: msr.MSRPkgEnergyStatus, unit: c.units.EnergyUnit}
+}
+
+// NewDramEnergyMeter returns a meter over MSR_DRAM_ENERGY_STATUS using the
+// fixed Skylake-SP DRAM energy unit.
+func (c *Client) NewDramEnergyMeter() *EnergyMeter {
+	return &EnergyMeter{dev: c.dev, cpu: c.cpu, addr: msr.MSRDramEnergyStatus, unit: msr.DramEnergyUnit}
+}
+
+// Sample reads the counter and returns the energy accumulated since the
+// previous Sample (zero on the first call).
+func (m *EnergyMeter) Sample() (units.Energy, error) {
+	raw, err := m.dev.Read(m.cpu, m.addr)
+	if err != nil {
+		return 0, fmt.Errorf("rapl: reading energy counter 0x%03X: %w", m.addr, err)
+	}
+	if !m.begun {
+		m.begun = true
+		m.last = raw
+		return 0, nil
+	}
+	d := msr.EnergyCounterDelta(m.unit, m.last, raw)
+	m.last = raw
+	m.total += d
+	return d, nil
+}
+
+// Total returns the energy accumulated across all samples.
+func (m *EnergyMeter) Total() units.Energy { return m.total }

@@ -1,0 +1,251 @@
+package rapl
+
+import (
+	"math"
+	"testing"
+
+	"dufp/internal/arch"
+	"dufp/internal/msr"
+	"dufp/internal/units"
+)
+
+func TestDefaultLimits(t *testing.T) {
+	spec := arch.XeonGold6130()
+	l := DefaultLimits(spec)
+	if l.PL1.Limit != spec.DefaultPL1 || l.PL2.Limit != spec.DefaultPL2 {
+		t.Fatalf("defaults = %v/%v, want %v/%v", l.PL1.Limit, l.PL2.Limit, spec.DefaultPL1, spec.DefaultPL2)
+	}
+	if !l.PL1.Enabled || !l.PL2.Enabled {
+		t.Fatal("default constraints must be enabled")
+	}
+}
+
+// powerOf is a toy power model for limiter tests: linear in frequency.
+func powerOf(f units.Frequency) units.Power {
+	return units.Power(50 * f.GHz())
+}
+
+// settle runs the limiter to steady state and returns the final frequency.
+func settle(l *Limiter, spec arch.Spec, ticks int) units.Frequency {
+	f := spec.MaxCoreFreq
+	for i := 0; i < ticks; i++ {
+		f = l.Step(powerOf(f), 1e-3, f, spec.MaxCoreFreq)
+	}
+	return f
+}
+
+func TestLimiterEnforcesPL1(t *testing.T) {
+	spec := arch.XeonGold6130()
+	l := NewLimiter(spec)
+	l.SetLimits(msr.PkgPowerLimit{
+		PL1: msr.PowerLimit{Limit: 110, Window: 1.0, Enabled: true},
+		PL2: msr.PowerLimit{Limit: 110, Window: 0.01, Enabled: true},
+	})
+	f := settle(l, spec, 5000)
+	if p := powerOf(f); p > 111*units.Watt {
+		t.Fatalf("steady power %v above the 110 W cap (f=%v)", p, f)
+	}
+	// It should not over-throttle far below the cap either.
+	if p := powerOf(f + spec.CoreFreqStep); p < 105 {
+		t.Fatalf("over-throttled: one step above steady state only draws %v", powerOf(f+spec.CoreFreqStep))
+	}
+}
+
+func TestLimiterUnconstrainedStaysAtRequest(t *testing.T) {
+	spec := arch.XeonGold6130()
+	l := NewLimiter(spec) // default 125 W; powerOf(2.8 GHz) = 140 W... use lower draw
+	f := spec.MaxCoreFreq
+	for i := 0; i < 3000; i++ {
+		f = l.Step(90*units.Watt, 1e-3, f, spec.MaxCoreFreq)
+	}
+	if f != spec.MaxCoreFreq {
+		t.Fatalf("throttled to %v although draw 90 W is below the 125 W cap", f)
+	}
+}
+
+func TestLimiterRecoversAfterReset(t *testing.T) {
+	spec := arch.XeonGold6130()
+	// Draw model whose maximum (112 W at 2.8 GHz) stays under the default
+	// 125 W cap, so a full recovery is possible.
+	draw := func(f units.Frequency) units.Power { return units.Power(40 * f.GHz()) }
+	l := NewLimiter(spec)
+	l.SetLimits(msr.PkgPowerLimit{
+		PL1: msr.PowerLimit{Limit: 70, Window: 1.0, Enabled: true},
+		PL2: msr.PowerLimit{Limit: 70, Window: 0.01, Enabled: true},
+	})
+	f := spec.MaxCoreFreq
+	for i := 0; i < 5000; i++ {
+		f = l.Step(draw(f), 1e-3, f, spec.MaxCoreFreq)
+	}
+	if f >= spec.MaxCoreFreq {
+		t.Fatal("cap at 70 W did not throttle")
+	}
+	l.SetLimits(DefaultLimits(spec))
+	for i := 0; i < 5000; i++ {
+		f = l.Step(draw(f), 1e-3, f, spec.MaxCoreFreq)
+	}
+	if f != spec.MaxCoreFreq {
+		t.Fatalf("did not recover to max after reset: %v", f)
+	}
+}
+
+func TestLimiterSlewRate(t *testing.T) {
+	spec := arch.XeonGold6130()
+	l := NewLimiter(spec)
+	l.SetLimits(msr.PkgPowerLimit{
+		PL1: msr.PowerLimit{Limit: 70, Window: 1.0, Enabled: true},
+		PL2: msr.PowerLimit{Limit: 70, Window: 0.01, Enabled: true},
+	})
+	f := spec.MaxCoreFreq
+	next := l.Step(powerOf(f), 1e-3, f, spec.MaxCoreFreq)
+	if f-next > spec.CoreFreqStep {
+		t.Fatalf("moved more than one P-state in a tick: %v -> %v", f, next)
+	}
+}
+
+func TestLimiterEnforcementLag(t *testing.T) {
+	// The paper (§IV-D) relies on enforcement lag: right after a cap
+	// decrease, consumed power still exceeds the cap for a while.
+	spec := arch.XeonGold6130()
+	l := NewLimiter(spec)
+	f := spec.MaxCoreFreq
+	// Warm up at default limits with a high draw.
+	for i := 0; i < 2000; i++ {
+		f = l.Step(120*units.Watt, 1e-3, f, spec.MaxCoreFreq)
+	}
+	l.SetLimits(msr.PkgPowerLimit{
+		PL1: msr.PowerLimit{Limit: 90, Window: 1.0, Enabled: true},
+		PL2: msr.PowerLimit{Limit: 90, Window: 0.01, Enabled: true},
+	})
+	// Immediately after the decrease the delivered frequency is still
+	// high; it takes multiple ticks to walk down.
+	steps := 0
+	for cur := f; cur > spec.ClampCoreFreq(2.0*units.Gigahertz); steps++ {
+		cur = l.Step(powerOf(cur), 1e-3, cur, spec.MaxCoreFreq)
+		if steps > 100 {
+			break
+		}
+	}
+	if steps < 3 {
+		t.Fatalf("enforcement settled implausibly fast (%d ticks)", steps)
+	}
+}
+
+func TestLimiterDisabledConstraint(t *testing.T) {
+	spec := arch.XeonGold6130()
+	l := NewLimiter(spec)
+	l.SetLimits(msr.PkgPowerLimit{
+		PL1: msr.PowerLimit{Limit: 60, Window: 1.0, Enabled: false},
+		PL2: msr.PowerLimit{Limit: 60, Window: 0.01, Enabled: false},
+	})
+	f := spec.MaxCoreFreq
+	for i := 0; i < 2000; i++ {
+		f = l.Step(140*units.Watt, 1e-3, f, spec.MaxCoreFreq)
+	}
+	if f != spec.MaxCoreFreq {
+		t.Fatalf("disabled constraints still throttled to %v", f)
+	}
+}
+
+func TestLimiterAverages(t *testing.T) {
+	spec := arch.XeonGold6130()
+	l := NewLimiter(spec)
+	for i := 0; i < 5000; i++ {
+		l.Step(100*units.Watt, 1e-3, spec.MaxCoreFreq, spec.MaxCoreFreq)
+	}
+	a1, a2 := l.Averages()
+	if math.Abs(float64(a1)-100) > 1 || math.Abs(float64(a2)-100) > 1 {
+		t.Fatalf("averages = %v/%v, want ≈100 W", a1, a2)
+	}
+}
+
+func newTestDevice(t *testing.T) *msr.Space {
+	t.Helper()
+	sp := msr.NewSpace(2)
+	sp.Seed(msr.MSRRaplPowerUnit, msr.DefaultUnitsValue)
+	sp.Seed(msr.MSRPkgPowerLimit, 0)
+	sp.Seed(msr.MSRPkgEnergyStatus, 0)
+	sp.Seed(msr.MSRDramEnergyStatus, 0)
+	return sp
+}
+
+func TestClientLimitRoundTrip(t *testing.T) {
+	sp := newTestDevice(t)
+	c, err := NewClient(sp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := msr.PkgPowerLimit{
+		PL1: msr.PowerLimit{Limit: 95, Window: 1, Enabled: true},
+		PL2: msr.PowerLimit{Limit: 95, Window: 0.01, Enabled: true},
+	}
+	if err := c.SetPkgLimit(in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.PkgLimit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.PL1.Limit != 95 || out.PL2.Limit != 95 {
+		t.Fatalf("round trip = %v/%v, want 95/95", out.PL1.Limit, out.PL2.Limit)
+	}
+}
+
+func TestEnergyMeterAccumulatesAcrossWrap(t *testing.T) {
+	sp := newTestDevice(t)
+	c, err := NewClient(sp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := c.Units().EnergyUnit
+	m := c.NewPkgEnergyMeter()
+
+	write := func(ticks uint64) {
+		// Bypass the read-only protection by re-seeding.
+		sp.Seed(msr.MSRPkgEnergyStatus, ticks&0xFFFFFFFF)
+	}
+
+	write(0xFFFFFFF0)
+	if _, err := m.Sample(); err != nil { // latch
+		t.Fatal(err)
+	}
+	write(0x10) // wrapped: +0x20 ticks
+	d, err := m.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := units.Energy(float64(0x20) * float64(unit))
+	if math.Abs(float64(d-want)) > 1e-12 {
+		t.Fatalf("delta across wrap = %v, want %v", d, want)
+	}
+	if m.Total() != d {
+		t.Fatalf("total = %v, want %v", m.Total(), d)
+	}
+}
+
+func TestDramMeterUsesFixedUnit(t *testing.T) {
+	sp := newTestDevice(t)
+	c, err := NewClient(sp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.NewDramEnergyMeter()
+	sp.Seed(msr.MSRDramEnergyStatus, 0)
+	m.Sample()
+	sp.Seed(msr.MSRDramEnergyStatus, 1000)
+	d, err := m.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := units.Energy(1000 * float64(msr.DramEnergyUnit))
+	if math.Abs(float64(d-want)) > 1e-12 {
+		t.Fatalf("DRAM delta = %v, want %v (15.3 µJ units)", d, want)
+	}
+}
+
+func TestClientFailsWithoutUnits(t *testing.T) {
+	sp := msr.NewSpace(1) // no units register
+	if _, err := NewClient(sp, 0); err == nil {
+		t.Fatal("NewClient succeeded without MSR_RAPL_POWER_UNIT")
+	}
+}

@@ -1,0 +1,145 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dufp/internal/experiment"
+)
+
+func TestGroupedBars(t *testing.T) {
+	svg, err := GroupedBars("demo", "percent", []string{"CG", "EP"}, []BarSeries{
+		{Label: "DUF@10%", Values: []float64{5, 15}, Lo: []float64{4, 14}, Hi: []float64{6, 16}},
+		{Label: "DUFP@10%", Values: []float64{10, 17}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<svg", "</svg>", "demo", "DUF@10%", "DUFP@10%", "<rect"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// One legend swatch + bars per series/group, plus grid: at least 6 rects.
+	if strings.Count(svg, "<rect") < 6 {
+		t.Fatalf("too few rects: %d", strings.Count(svg, "<rect"))
+	}
+}
+
+func TestGroupedBarsNegativeValues(t *testing.T) {
+	svg, err := GroupedBars("loss", "%", []string{"A"}, []BarSeries{
+		{Label: "s", Values: []float64{-3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "<rect") {
+		t.Fatal("no bars for negative values")
+	}
+}
+
+func TestGroupedBarsValidation(t *testing.T) {
+	if _, err := GroupedBars("x", "y", nil, nil); err == nil {
+		t.Error("accepted empty chart")
+	}
+	if _, err := GroupedBars("x", "y", []string{"A", "B"}, []BarSeries{{Label: "s", Values: []float64{1}}}); err == nil {
+		t.Error("accepted mismatched series length")
+	}
+}
+
+func TestLines(t *testing.T) {
+	svg, err := Lines("trace", "s", "GHz", []LineSeries{
+		{Label: "DUF", X: []float64{0, 1, 2}, Y: []float64{2.8, 2.8, 2.8}},
+		{Label: "DUFP", X: []float64{0, 1, 2}, Y: []float64{2.8, 2.5, 2.4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Fatalf("polylines = %d, want 2", strings.Count(svg, "<polyline"))
+	}
+}
+
+func TestLinesValidation(t *testing.T) {
+	if _, err := Lines("x", "a", "b", nil); err == nil {
+		t.Error("accepted empty chart")
+	}
+	if _, err := Lines("x", "a", "b", []LineSeries{{Label: "s", X: []float64{1}, Y: nil}}); err == nil {
+		t.Error("accepted mismatched axes")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 100, 6)
+	if len(ticks) < 4 || len(ticks) > 8 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatalf("ticks not increasing: %v", ticks)
+		}
+	}
+	// Round steps.
+	step := ticks[1] - ticks[0]
+	if math.Mod(step, 5) > 1e-9 && math.Mod(step, 2) > 1e-9 && math.Mod(step, 1) > 1e-9 {
+		t.Fatalf("step %v not round", step)
+	}
+	if got := niceTicks(5, 5, 4); got != nil {
+		t.Fatalf("degenerate range produced ticks %v", got)
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if got := escape(`a<b&"c"`); got != "a&lt;b&amp;&quot;c&quot;" {
+		t.Fatalf("escape = %q", got)
+	}
+}
+
+func TestDocumentWrite(t *testing.T) {
+	tab := experiment.Table{
+		Headers: []string{"a", "b"},
+		Rows:    [][]string{{"1", "2"}},
+		Notes:   []string{"n"},
+	}
+	doc := Document{
+		Title: "T",
+		Sections: []Section{
+			{Title: "S", Prose: "p", Table: &tab},
+		},
+	}
+	var b strings.Builder
+	if err := doc.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"<h1>T</h1>", "<h2>S</h2>", "<th>a</th>", "<td>1</td>", `class="note"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("document missing %q", want)
+		}
+	}
+}
+
+func TestCampaignSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign in -short mode")
+	}
+	opts := experiment.DefaultOptions()
+	opts.Runs = 1
+	opts.Tolerances = []float64{0.10}
+	opts.Apps = []string{"CG", "EP"}
+	doc, err := Campaign(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Sections) < 8 {
+		t.Fatalf("campaign has %d sections", len(doc.Sections))
+	}
+	var b strings.Builder
+	if err := doc.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(b.String(), "<svg") < 5 {
+		t.Fatalf("report has %d charts, want ≥5", strings.Count(b.String(), "<svg"))
+	}
+}

@@ -1,0 +1,275 @@
+// Package report renders a measurement campaign as a self-contained HTML
+// document with inline SVG charts: grouped bar charts with error bars for
+// the Fig 3/Fig 4 grids (the paper's presentation) and a line chart for the
+// Fig 5 frequency traces. Everything is stdlib-only and deterministic.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// svgBuilder accumulates SVG elements.
+type svgBuilder struct {
+	w, h int
+	b    strings.Builder
+}
+
+func newSVG(w, h int) *svgBuilder {
+	s := &svgBuilder{w: w, h: h}
+	fmt.Fprintf(&s.b, `<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 %d %d" width="%d" height="%d" font-family="sans-serif">`, w, h, w, h)
+	return s
+}
+
+func (s *svgBuilder) rect(x, y, w, h float64, fill string) {
+	fmt.Fprintf(&s.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`, x, y, w, h, fill)
+}
+
+func (s *svgBuilder) line(x1, y1, x2, y2 float64, stroke string, width float64) {
+	fmt.Fprintf(&s.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"/>`, x1, y1, x2, y2, stroke, width)
+}
+
+func (s *svgBuilder) text(x, y float64, size int, anchor, content string) {
+	fmt.Fprintf(&s.b, `<text x="%.1f" y="%.1f" font-size="%d" text-anchor="%s">%s</text>`, x, y, size, anchor, escape(content))
+}
+
+func (s *svgBuilder) textRotated(x, y float64, size int, content string) {
+	fmt.Fprintf(&s.b, `<text x="%.1f" y="%.1f" font-size="%d" text-anchor="end" transform="rotate(-45 %.1f %.1f)">%s</text>`, x, y, size, x, y, escape(content))
+}
+
+func (s *svgBuilder) polyline(points []point, stroke string, width float64) {
+	var b strings.Builder
+	for i, p := range points {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.1f,%.1f", p.x, p.y)
+	}
+	fmt.Fprintf(&s.b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="%.1f"/>`, b.String(), stroke, width)
+}
+
+func (s *svgBuilder) String() string {
+	return s.b.String() + "</svg>"
+}
+
+type point struct{ x, y float64 }
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// palette holds the series colours: one per (governor × tolerance) column.
+var palette = []string{
+	"#4878a8", "#9cb9d8", // DUF/DUFP pairs per tolerance
+	"#b8860b", "#e8c468",
+	"#38761d", "#93c47d",
+	"#990000", "#dd7e6b",
+}
+
+// BarSeries is one legend entry of a grouped bar chart.
+type BarSeries struct {
+	// Label names the series (e.g. "DUFP@10%").
+	Label string
+	// Values holds one bar per group; Lo/Hi are the error-bar bounds
+	// (ignored when equal to the value).
+	Values, Lo, Hi []float64
+}
+
+// GroupedBars renders a grouped bar chart: one group per label (the
+// applications), one bar per series (governor × tolerance), in percent.
+func GroupedBars(title, yLabel string, groups []string, series []BarSeries) (string, error) {
+	if len(groups) == 0 || len(series) == 0 {
+		return "", fmt.Errorf("report: empty chart %q", title)
+	}
+	for _, s := range series {
+		if len(s.Values) != len(groups) {
+			return "", fmt.Errorf("report: series %q has %d values for %d groups", s.Label, len(s.Values), len(groups))
+		}
+	}
+
+	const (
+		w, h          = 960, 380
+		mLeft, mRight = 60, 20
+		mTop, mBottom = 44, 70
+	)
+	plotW := float64(w - mLeft - mRight)
+	plotH := float64(h - mTop - mBottom)
+
+	// Value range across all series, padded, always spanning zero.
+	lo, hi := 0.0, 0.0
+	for _, s := range series {
+		for i, v := range s.Values {
+			lo = math.Min(lo, math.Min(v, s.lo(i)))
+			hi = math.Max(hi, math.Max(v, s.hi(i)))
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	span := hi - lo
+	lo -= span * 0.08
+	hi += span * 0.08
+
+	y := func(v float64) float64 { return float64(mTop) + plotH*(hi-v)/(hi-lo) }
+
+	svg := newSVG(w, h)
+	svg.text(float64(w)/2, 20, 15, "middle", title)
+	svg.text(14, float64(mTop)+plotH/2, 11, "middle", yLabel)
+
+	// Horizontal grid and axis labels.
+	for _, tick := range niceTicks(lo, hi, 6) {
+		yy := y(tick)
+		svg.line(mLeft, yy, float64(w-mRight), yy, "#dddddd", 1)
+		svg.text(mLeft-6, yy+4, 10, "end", fmt.Sprintf("%.0f", tick))
+	}
+	svg.line(mLeft, y(0), float64(w-mRight), y(0), "#444444", 1.5)
+
+	groupW := plotW / float64(len(groups))
+	barW := groupW * 0.8 / float64(len(series))
+
+	for gi, g := range groups {
+		gx := float64(mLeft) + groupW*float64(gi) + groupW*0.1
+		for si, s := range series {
+			v := s.Values[gi]
+			x := gx + barW*float64(si)
+			top, bottom := y(math.Max(v, 0)), y(math.Min(v, 0))
+			svg.rect(x, top, barW*0.92, math.Max(bottom-top, 0.5), palette[si%len(palette)])
+			// Error bar.
+			if s.lo(gi) != v || s.hi(gi) != v {
+				cx := x + barW*0.46
+				svg.line(cx, y(s.hi(gi)), cx, y(s.lo(gi)), "#222222", 1)
+				svg.line(cx-2.5, y(s.hi(gi)), cx+2.5, y(s.hi(gi)), "#222222", 1)
+				svg.line(cx-2.5, y(s.lo(gi)), cx+2.5, y(s.lo(gi)), "#222222", 1)
+			}
+		}
+		svg.textRotated(gx+groupW*0.4, float64(h-mBottom)+16, 11, g)
+	}
+
+	// Legend.
+	lx := float64(mLeft)
+	for si, s := range series {
+		svg.rect(lx, 26, 10, 10, palette[si%len(palette)])
+		svg.text(lx+14, 35, 10, "start", s.Label)
+		lx += 14 + float64(len(s.Label))*6.2 + 16
+	}
+	return svg.String(), nil
+}
+
+func (s BarSeries) lo(i int) float64 {
+	if len(s.Lo) == len(s.Values) {
+		return s.Lo[i]
+	}
+	return s.Values[i]
+}
+
+func (s BarSeries) hi(i int) float64 {
+	if len(s.Hi) == len(s.Values) {
+		return s.Hi[i]
+	}
+	return s.Values[i]
+}
+
+// LineSeries is one trace of a line chart.
+type LineSeries struct {
+	Label  string
+	X, Y   []float64
+	Stroke string
+}
+
+// Lines renders a line chart (Fig 5-style time series).
+func Lines(title, xLabel, yLabel string, series []LineSeries) (string, error) {
+	if len(series) == 0 {
+		return "", fmt.Errorf("report: empty line chart %q", title)
+	}
+	const (
+		w, h          = 960, 320
+		mLeft, mRight = 60, 20
+		mTop, mBottom = 44, 40
+	)
+	plotW := float64(w - mLeft - mRight)
+	plotH := float64(h - mTop - mBottom)
+
+	xLo, xHi := math.Inf(1), math.Inf(-1)
+	yLo, yHi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.X) != len(s.Y) || len(s.X) == 0 {
+			return "", fmt.Errorf("report: series %q has mismatched or empty axes", s.Label)
+		}
+		for i := range s.X {
+			xLo, xHi = math.Min(xLo, s.X[i]), math.Max(xHi, s.X[i])
+			yLo, yHi = math.Min(yLo, s.Y[i]), math.Max(yHi, s.Y[i])
+		}
+	}
+	if xHi == xLo {
+		xHi = xLo + 1
+	}
+	pad := (yHi - yLo) * 0.1
+	if pad == 0 {
+		pad = 0.5
+	}
+	yLo -= pad
+	yHi += pad
+
+	px := func(v float64) float64 { return float64(mLeft) + plotW*(v-xLo)/(xHi-xLo) }
+	py := func(v float64) float64 { return float64(mTop) + plotH*(yHi-v)/(yHi-yLo) }
+
+	svg := newSVG(w, h)
+	svg.text(float64(w)/2, 20, 15, "middle", title)
+	svg.text(14, float64(mTop)+plotH/2, 11, "middle", yLabel)
+	svg.text(float64(w)/2, float64(h)-8, 11, "middle", xLabel)
+
+	for _, tick := range niceTicks(yLo, yHi, 5) {
+		yy := py(tick)
+		svg.line(mLeft, yy, float64(w-mRight), yy, "#dddddd", 1)
+		svg.text(mLeft-6, yy+4, 10, "end", fmt.Sprintf("%.1f", tick))
+	}
+	for _, tick := range niceTicks(xLo, xHi, 8) {
+		xx := px(tick)
+		svg.line(xx, mTop, xx, float64(h-mBottom), "#eeeeee", 1)
+		svg.text(xx, float64(h-mBottom)+14, 10, "middle", fmt.Sprintf("%.0f", tick))
+	}
+
+	lx := float64(mLeft)
+	for si, s := range series {
+		stroke := s.Stroke
+		if stroke == "" {
+			stroke = palette[(si*2)%len(palette)]
+		}
+		pts := make([]point, len(s.X))
+		for i := range s.X {
+			pts[i] = point{px(s.X[i]), py(s.Y[i])}
+		}
+		svg.polyline(pts, stroke, 1.6)
+		svg.rect(lx, 26, 10, 10, stroke)
+		svg.text(lx+14, 35, 10, "start", s.Label)
+		lx += 14 + float64(len(s.Label))*6.2 + 16
+	}
+	return svg.String(), nil
+}
+
+// niceTicks returns ~n round tick values covering [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if n < 2 || hi <= lo {
+		return nil
+	}
+	rawStep := (hi - lo) / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(rawStep)))
+	var step float64
+	switch {
+	case rawStep/mag < 1.5:
+		step = mag
+	case rawStep/mag < 3.5:
+		step = 2 * mag
+	case rawStep/mag < 7.5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	var out []float64
+	for v := math.Ceil(lo/step) * step; v <= hi; v += step {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,251 @@
+// Package sim is the discrete-time simulator of the target node: a
+// multi-socket machine whose packages execute phase-structured workloads
+// under the analytic power/performance model, with RAPL firmware enforcing
+// power limits by DVFS every millisecond tick and all architectural state
+// exposed through the MSR register file.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dufp/internal/arch"
+	"dufp/internal/model"
+	"dufp/internal/msr"
+	"dufp/internal/papi"
+	"dufp/internal/rapl"
+	"dufp/internal/units"
+)
+
+// Config parameterises a machine.
+type Config struct {
+	// Topo is the node topology; defaults to the paper's yeti-2.
+	Topo arch.Topology
+	// Power holds the power-model calibration.
+	Power model.PowerParams
+	// Tick is the physics step; RAPL enforcement and uncore transitions
+	// advance once per tick.
+	Tick time.Duration
+	// Seed drives all stochastic elements (power jitter) deterministically.
+	Seed int64
+	// PowerJitterSD is the per-tick Gaussian jitter of package power, in
+	// watts, modelling sensor and workload micro-variability.
+	PowerJitterSD float64
+	// IdlePower is the package draw once its workload has finished.
+	IdlePower units.Power
+	// MaxDuration aborts runaway runs.
+	MaxDuration time.Duration
+}
+
+// DefaultConfig returns the yeti-2 configuration with a 1 ms tick.
+func DefaultConfig() Config {
+	return Config{
+		Topo:          arch.Yeti2(),
+		Power:         model.DefaultPowerParams(),
+		Tick:          time.Millisecond,
+		Seed:          1,
+		PowerJitterSD: 0.4,
+		IdlePower:     18 * units.Watt,
+		MaxDuration:   30 * time.Minute,
+	}
+}
+
+// Machine is one simulated node. It is not safe for concurrent use; run
+// independent machines in parallel instead.
+type Machine struct {
+	cfg     Config
+	space   *msr.Space
+	sockets []*Socket
+	now     time.Duration
+	rng     *rand.Rand
+	// stall is pending monitoring-overhead time (seconds) during which
+	// the workload makes no progress.
+	stall float64
+}
+
+// New builds a machine and wires the architectural MSRs of every package.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Topo.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Tick <= 0 {
+		return nil, fmt.Errorf("sim: tick must be positive, got %v", cfg.Tick)
+	}
+	if cfg.MaxDuration <= 0 {
+		return nil, fmt.Errorf("sim: max duration must be positive, got %v", cfg.MaxDuration)
+	}
+	m := &Machine{
+		cfg:   cfg,
+		space: msr.NewSpace(cfg.Topo.TotalCores()),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	spec := cfg.Topo.Spec
+	for i := 0; i < cfg.Topo.Sockets; i++ {
+		s := &Socket{
+			m:          m,
+			id:         i,
+			cpu0:       i * spec.Cores,
+			spec:       spec,
+			limiter:    rapl.NewLimiter(spec),
+			request:    spec.MaxCoreFreq,
+			coreFreq:   spec.MaxCoreFreq,
+			uncoreFreq: spec.MaxUncoreFreq,
+			band: msr.UncoreRatioLimit{
+				Min: msr.FrequencyToRatio(spec.MinUncoreFreq),
+				Max: msr.FrequencyToRatio(spec.MaxUncoreFreq),
+			},
+			jitter: rand.New(rand.NewSource(cfg.Seed*1009 + int64(i))),
+		}
+		m.sockets = append(m.sockets, s)
+	}
+	m.wireMSRs()
+	return m, nil
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// MSR returns the machine's register file, the device controllers talk to.
+func (m *Machine) MSR() *msr.Space { return m.space }
+
+// Now returns the current simulation time.
+func (m *Machine) Now() time.Duration { return m.now }
+
+// Sockets returns the number of packages.
+func (m *Machine) Sockets() int { return len(m.sockets) }
+
+// Socket returns package i.
+func (m *Machine) Socket(i int) *Socket { return m.sockets[i] }
+
+// socketOf maps a logical CPU to its package.
+func (m *Machine) socketOf(cpu int) *Socket {
+	return m.sockets[cpu/m.cfg.Topo.Spec.Cores]
+}
+
+// wireMSRs installs the handlers that give the architectural registers
+// their behaviour.
+func (m *Machine) wireMSRs() {
+	sp := m.space
+	spec := m.cfg.Topo.Spec
+
+	sp.Seed(msr.MSRRaplPowerUnit, msr.DefaultUnitsValue)
+	baseRatio := uint64(msr.FrequencyToRatio(spec.BaseCoreFreq))
+	sp.Seed(msr.MSRPlatformInfo, baseRatio<<8)
+
+	raplUnits := msr.DefaultUnits()
+	tdpField := uint64(float64(spec.TDP) / float64(raplUnits.PowerUnit))
+	sp.Seed(msr.MSRPkgPowerInfo, tdpField)
+
+	sp.Handle(msr.MSRPkgPowerLimit, msr.Handler{
+		Read: func(cpu int) (uint64, error) {
+			return msr.EncodePkgPowerLimit(raplUnits, m.socketOf(cpu).limiter.Limits()), nil
+		},
+		Write: func(cpu int, v uint64) error {
+			m.socketOf(cpu).limiter.SetLimits(msr.DecodePkgPowerLimit(raplUnits, v))
+			return nil
+		},
+	})
+	sp.Handle(msr.MSRPkgEnergyStatus, msr.Handler{
+		Read: func(cpu int) (uint64, error) {
+			return msr.EncodeEnergyCounter(raplUnits.EnergyUnit, m.socketOf(cpu).pkgEnergy), nil
+		},
+		ReadOnly: true,
+	})
+	sp.Handle(msr.MSRDramEnergyStatus, msr.Handler{
+		Read: func(cpu int) (uint64, error) {
+			return msr.EncodeEnergyCounter(msr.DramEnergyUnit, m.socketOf(cpu).dramEnergy), nil
+		},
+		ReadOnly: true,
+	})
+	// DRAM power capping is not available on the Xeon Gold 6130 (§II-B).
+	sp.Handle(msr.MSRDramPowerLimit, msr.Handler{
+		Read: func(int) (uint64, error) { return 0, nil },
+		Write: func(int, uint64) error {
+			return fmt.Errorf("%w: DRAM power limit not supported on this model", msr.ErrReadOnly)
+		},
+	})
+	sp.Handle(msr.MSRUncoreRatioLimit, msr.Handler{
+		Read: func(cpu int) (uint64, error) {
+			return msr.EncodeUncoreRatioLimit(m.socketOf(cpu).band), nil
+		},
+		Write: func(cpu int, v uint64) error {
+			s := m.socketOf(cpu)
+			l := msr.DecodeUncoreRatioLimit(v)
+			if l.Min > l.Max {
+				return fmt.Errorf("sim: inverted uncore band %d..%d", l.Min, l.Max)
+			}
+			s.band = l
+			return nil
+		},
+	})
+	sp.Handle(msr.MSRUncorePerfStatus, msr.Handler{
+		Read: func(cpu int) (uint64, error) {
+			return uint64(msr.FrequencyToRatio(m.socketOf(cpu).uncoreFreq)), nil
+		},
+		ReadOnly: true,
+	})
+	sp.Handle(msr.IA32PerfStatus, msr.Handler{
+		Read: func(cpu int) (uint64, error) {
+			return uint64(msr.FrequencyToRatio(m.socketOf(cpu).coreFreq)) << 8, nil
+		},
+		ReadOnly: true,
+	})
+	sp.Handle(msr.IA32PerfCtl, msr.Handler{
+		Read: func(cpu int) (uint64, error) {
+			return uint64(msr.FrequencyToRatio(m.socketOf(cpu).request)) << 8, nil
+		},
+		Write: func(cpu int, v uint64) error {
+			s := m.socketOf(cpu)
+			s.request = s.spec.ClampCoreFreq(msr.RatioToFrequency(uint8(v >> 8 & 0x7F)))
+			return nil
+		},
+	})
+	sp.Handle(msr.IA32APerf, msr.Handler{
+		Read: func(cpu int) (uint64, error) {
+			return uint64(m.socketOf(cpu).aperf), nil
+		},
+		ReadOnly: true,
+	})
+	sp.Handle(msr.IA32MPerf, msr.Handler{
+		Read: func(cpu int) (uint64, error) {
+			return uint64(m.socketOf(cpu).mperf), nil
+		},
+		ReadOnly: true,
+	})
+}
+
+// Load assigns the same phase sequence to every socket (the SPMD execution
+// of the paper's OpenMP/MPI benchmarks across the four packages).
+func (m *Machine) Load(phases []model.PhaseShape) error {
+	if len(phases) == 0 {
+		return fmt.Errorf("sim: empty phase sequence")
+	}
+	spec := m.cfg.Topo.Spec
+	compiled := make([]model.Kinetics, len(phases))
+	for i, ph := range phases {
+		k, err := model.Compile(spec, ph)
+		if err != nil {
+			return fmt.Errorf("sim: phase %d: %w", i, err)
+		}
+		compiled[i] = k
+	}
+	for _, s := range m.sockets {
+		s.reset(compiled)
+	}
+	m.now = 0
+	m.stall = 0
+	return nil
+}
+
+// done reports whether every socket has finished its workload.
+func (m *Machine) done() bool {
+	for _, s := range m.sockets {
+		if !s.done {
+			return false
+		}
+	}
+	return true
+}
+
+var _ papi.Source = (*Socket)(nil)

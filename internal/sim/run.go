@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"dufp/internal/units"
+)
+
+// Governor is a per-socket runtime controller invoked every control
+// period. DUF and DUFP implement it (via the control package); a nil
+// governor leaves the socket in its default configuration.
+type Governor interface {
+	// Tick runs one decision round at simulation time now.
+	Tick(now time.Duration) error
+}
+
+// TracePoint is one time-series sample for Fig 5-style plots.
+type TracePoint struct {
+	Time       time.Duration
+	CoreFreq   units.Frequency
+	UncoreFreq units.Frequency
+	PkgPower   units.Power
+	DramPower  units.Power
+	CapPL1     units.Power
+	CapPL2     units.Power
+	Bandwidth  units.Bandwidth
+	FlopRate   units.FlopRate
+}
+
+// RunOpts parameterises one run.
+type RunOpts struct {
+	// ControlPeriod is the governor invocation interval (the paper's
+	// 200 ms measurement interval). Ignored when Governors is empty.
+	ControlPeriod time.Duration
+	// Governors holds one controller per socket (nil entries allowed).
+	Governors []Governor
+	// Trace, when non-nil, receives a TracePoint per socket every
+	// TraceEvery ticks.
+	Trace func(socket int, p TracePoint)
+	// TraceEvery subsamples the trace; it defaults to every 10 ticks.
+	TraceEvery int
+	// GovernorOverhead is the monitoring cost of one decision round: after
+	// every governor invocation the application stalls for this long
+	// (counter reads, MSR writes and cache pollution on real hardware).
+	// Zero models free monitoring; §IV-D's interval trade-off appears once
+	// it is positive.
+	GovernorOverhead time.Duration
+}
+
+// Result summarises one completed run.
+type Result struct {
+	// Duration is the application's execution time: the latest socket
+	// finish.
+	Duration time.Duration
+	// SocketDurations holds each socket's own finish time.
+	SocketDurations []time.Duration
+	// PkgEnergy and DramEnergy are node totals across sockets.
+	PkgEnergy  units.Energy
+	DramEnergy units.Energy
+	// AvgPkgPower and AvgDramPower are node totals divided by Duration.
+	AvgPkgPower  units.Power
+	AvgDramPower units.Power
+	// AvgCoreFreq and AvgUncoreFreq are busy-time-weighted averages over
+	// all sockets.
+	AvgCoreFreq   units.Frequency
+	AvgUncoreFreq units.Frequency
+}
+
+// TotalEnergy returns processor + DRAM energy, the paper's Fig 3c metric.
+func (r Result) TotalEnergy() units.Energy { return r.PkgEnergy + r.DramEnergy }
+
+// stepPhysics advances all sockets by one tick. The sockets execute an
+// SPMD application whose barriers couple them: every package progresses at
+// the same global rate and observes the same global counter rates, so a
+// throttled socket drags the whole application — exactly the situation one
+// DUFP instance per socket contends with on real hardware.
+//
+// Barriers sit at iteration granularity (hundreds of milliseconds), far
+// coarser than the millisecond actuation of the RAPL limiter, so the
+// sub-barrier duty-cycle dips of statistically identical sockets average
+// out between barriers; the global rate is therefore the mean of the
+// sockets' potentials rather than their instantaneous minimum.
+func (m *Machine) stepPhysics(dt float64) {
+	for _, s := range m.sockets {
+		s.prepare()
+	}
+	left := dt
+	// Monitoring stall: the application makes no progress while the
+	// controllers read counters and write MSRs, but the package keeps
+	// drawing power at its current operating point.
+	if m.stall > 0 && !m.done() {
+		stall := m.stall
+		if stall > left {
+			stall = left
+		}
+		for _, s := range m.sockets {
+			s.advance(stall, 0)
+		}
+		m.stall -= stall
+		left -= stall
+	}
+	for left > 1e-12 && !m.done() {
+		var sum float64
+		for _, s := range m.sockets {
+			sum += s.potential().Progress
+		}
+		progress := sum / float64(len(m.sockets))
+		step := left
+		if progress > 0 {
+			if tEnd := m.sockets[0].remaining / progress; tEnd < step {
+				step = tEnd
+			}
+		}
+		for _, s := range m.sockets {
+			s.advance(step, progress)
+		}
+		left -= step
+		if m.done() {
+			finished := m.now + time.Duration((dt-left)*float64(time.Second))
+			for _, s := range m.sockets {
+				s.finished = finished
+			}
+		}
+	}
+	for _, s := range m.sockets {
+		s.settle(dt, left)
+	}
+}
+
+// Run executes the loaded workload to completion.
+func (m *Machine) Run(opts RunOpts) (Result, error) {
+	if len(opts.Governors) != 0 && len(opts.Governors) != len(m.sockets) {
+		return Result{}, fmt.Errorf("sim: got %d governors for %d sockets", len(opts.Governors), len(m.sockets))
+	}
+	for _, s := range m.sockets {
+		if len(s.phases) == 0 && !s.done {
+			return Result{}, fmt.Errorf("sim: no workload loaded")
+		}
+	}
+	ctrlTicks := 0
+	if len(opts.Governors) != 0 {
+		if opts.ControlPeriod <= 0 {
+			return Result{}, fmt.Errorf("sim: governors need a positive control period")
+		}
+		ctrlTicks = int(opts.ControlPeriod / m.cfg.Tick)
+		if ctrlTicks < 1 {
+			ctrlTicks = 1
+		}
+	}
+	traceEvery := opts.TraceEvery
+	if traceEvery <= 0 {
+		traceEvery = 10
+	}
+
+	dt := m.cfg.Tick.Seconds()
+	maxTicks := int(m.cfg.MaxDuration / m.cfg.Tick)
+	tick := 0
+	for ; !m.done(); tick++ {
+		if tick >= maxTicks {
+			return Result{}, fmt.Errorf("sim: run exceeded MaxDuration %v", m.cfg.MaxDuration)
+		}
+		m.stepPhysics(dt)
+		m.now += m.cfg.Tick
+
+		if ctrlTicks > 0 && (tick+1)%ctrlTicks == 0 {
+			ran := false
+			for i, g := range opts.Governors {
+				if g == nil || m.sockets[i].done {
+					continue
+				}
+				if err := g.Tick(m.now); err != nil {
+					return Result{}, fmt.Errorf("sim: governor for socket %d at %v: %w", i, m.now, err)
+				}
+				ran = true
+			}
+			if ran && opts.GovernorOverhead > 0 {
+				m.stall += opts.GovernorOverhead.Seconds()
+			}
+		}
+		if opts.Trace != nil && tick%traceEvery == 0 {
+			for i, s := range m.sockets {
+				lim := s.limiter.Limits()
+				opts.Trace(i, TracePoint{
+					Time:       m.now,
+					CoreFreq:   s.coreFreq,
+					UncoreFreq: s.uncoreFreq,
+					PkgPower:   s.lastPower,
+					DramPower:  s.lastDram,
+					CapPL1:     lim.PL1.Limit,
+					CapPL2:     lim.PL2.Limit,
+					Bandwidth:  s.lastBW,
+					FlopRate:   s.lastFlopRate,
+				})
+			}
+		}
+	}
+
+	res := Result{SocketDurations: make([]time.Duration, len(m.sockets))}
+	var hzSecs, uncHzSecs, busy float64
+	for i, s := range m.sockets {
+		res.SocketDurations[i] = s.finished
+		if s.finished > res.Duration {
+			res.Duration = s.finished
+		}
+		res.PkgEnergy += s.pkgEnergy
+		res.DramEnergy += s.dramEnergy
+		hzSecs += s.coreHzSecs
+		uncHzSecs += s.uncHzSecs
+		busy += s.busySecs
+	}
+	res.AvgPkgPower = res.PkgEnergy.DividedBy(res.Duration)
+	res.AvgDramPower = res.DramEnergy.DividedBy(res.Duration)
+	if busy > 0 {
+		res.AvgCoreFreq = units.Frequency(hzSecs / busy)
+		res.AvgUncoreFreq = units.Frequency(uncHzSecs / busy)
+	}
+	return res, nil
+}

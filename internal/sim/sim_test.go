@@ -1,0 +1,538 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dufp/internal/arch"
+	"dufp/internal/model"
+	"dufp/internal/msr"
+	"dufp/internal/papi"
+	"dufp/internal/rapl"
+	"dufp/internal/units"
+)
+
+// PAPI event aliases for the conservation tests.
+const (
+	papiFPOps    = papi.FPOps
+	papiMemBytes = papi.MemBytes
+)
+
+func steadyShape(d time.Duration) model.PhaseShape {
+	return model.PhaseShape{
+		Name:         "steady",
+		FlopFrac:     0.2,
+		MemFrac:      0.4,
+		ComputeShare: 0.7,
+		Overlap:      0.4,
+		BWUncoreKnee: 2.0 * units.Gigahertz,
+		Duration:     d,
+	}
+}
+
+func newMachine(t *testing.T, phases ...model.PhaseShape) *Machine {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.PowerJitterSD = 0 // determinism for exact assertions
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) > 0 {
+		if err := m.Load(phases); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func TestDefaultRunMatchesNominalDuration(t *testing.T) {
+	m := newMachine(t, steadyShape(2*time.Second))
+	res, err := m.Run(RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Duration.Seconds()-2.0) > 0.01 {
+		t.Fatalf("duration = %v, want ≈2 s", res.Duration)
+	}
+	if res.PkgEnergy <= 0 || res.DramEnergy <= 0 {
+		t.Fatalf("energies = %v/%v, want positive", res.PkgEnergy, res.DramEnergy)
+	}
+	if math.Abs(res.AvgCoreFreq.GHz()-2.8) > 1e-6 {
+		t.Fatalf("avg core freq = %v, want 2.8 GHz (no cap active)", res.AvgCoreFreq)
+	}
+	if math.Abs(res.AvgUncoreFreq.GHz()-2.4) > 1e-6 {
+		t.Fatalf("avg uncore freq = %v, want 2.4 GHz (default policy)", res.AvgUncoreFreq)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	run := func() Result {
+		cfg := DefaultConfig()
+		cfg.Seed = 99
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Load([]model.PhaseShape{steadyShape(time.Second)}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run(RunOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Duration != b.Duration || a.PkgEnergy != b.PkgEnergy {
+		t.Fatalf("same seed, different results: %+v vs %+v", a, b)
+	}
+}
+
+func TestSocketsFinishTogether(t *testing.T) {
+	m := newMachine(t, steadyShape(time.Second))
+	res, err := m.Run(RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range res.SocketDurations {
+		if d != res.Duration {
+			t.Fatalf("socket %d finished at %v, app at %v (barrier coupling broken)", i, d, res.Duration)
+		}
+	}
+}
+
+func TestStaticCapSlowsComputePhase(t *testing.T) {
+	sh := model.PhaseShape{
+		Name:         "hot",
+		FlopFrac:     0.74,
+		MemFrac:      0.10,
+		ComputeShare: 0.97,
+		Overlap:      0.3,
+		Duration:     2 * time.Second,
+	}
+	base := newMachine(t, sh)
+	resBase, err := base.Run(RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	capped := newMachine(t, sh)
+	// Program a 100 W cap on every package directly through the MSRs.
+	raplUnits := msr.DefaultUnits()
+	raw := msr.EncodePkgPowerLimit(raplUnits, msr.PkgPowerLimit{
+		PL1: msr.PowerLimit{Limit: 100, Window: 1, Enabled: true},
+		PL2: msr.PowerLimit{Limit: 100, Window: 0.01, Enabled: true},
+	})
+	for s := 0; s < capped.Sockets(); s++ {
+		if err := capped.MSR().Write(capped.Socket(s).CPU0(), msr.MSRPkgPowerLimit, raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resCap, err := capped.Run(RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if resCap.Duration <= resBase.Duration {
+		t.Fatalf("cap did not slow the run: %v vs %v", resCap.Duration, resBase.Duration)
+	}
+	if resCap.AvgPkgPower >= resBase.AvgPkgPower {
+		t.Fatalf("cap did not reduce power: %v vs %v", resCap.AvgPkgPower, resBase.AvgPkgPower)
+	}
+	// Average per-socket power must respect the cap (with slack for the
+	// enforcement transient).
+	perSocket := float64(resCap.AvgPkgPower) / float64(capped.Sockets())
+	if perSocket > 102 {
+		t.Fatalf("per-socket power %v W above the 100 W cap", perSocket)
+	}
+}
+
+func TestUncoreBandPinsFrequency(t *testing.T) {
+	m := newMachine(t, steadyShape(500*time.Millisecond))
+	raw := msr.EncodeUncoreRatioLimit(msr.UncoreRatioLimit{Min: 15, Max: 15}) // 1.5 GHz
+	for s := 0; s < m.Sockets(); s++ {
+		if err := m.MSR().Write(m.Socket(s).CPU0(), msr.MSRUncoreRatioLimit, raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := m.Run(RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The uncore slews 100 MHz/ms from 2.4 to 1.5 (9 ms), so the average
+	// sits just above 1.5 GHz.
+	if res.AvgUncoreFreq > 1.55*units.Gigahertz {
+		t.Fatalf("avg uncore = %v, want ≈1.5 GHz", res.AvgUncoreFreq)
+	}
+}
+
+func TestGovernorCadence(t *testing.T) {
+	m := newMachine(t, steadyShape(time.Second))
+	var calls []time.Duration
+	gov := governorFunc(func(now time.Duration) error {
+		calls = append(calls, now)
+		return nil
+	})
+	govs := make([]Governor, m.Sockets())
+	govs[0] = gov
+	if _, err := m.Run(RunOpts{ControlPeriod: 200 * time.Millisecond, Governors: govs}); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 4 { // 200, 400, 600, 800 ms; the app ends at 1 s
+		t.Fatalf("governor called %d times: %v", len(calls), calls)
+	}
+	for i, now := range calls {
+		want := time.Duration(i+1) * 200 * time.Millisecond
+		if now != want {
+			t.Fatalf("call %d at %v, want %v", i, now, want)
+		}
+	}
+}
+
+type governorFunc func(time.Duration) error
+
+func (g governorFunc) Tick(now time.Duration) error { return g(now) }
+
+func TestGovernorErrorPropagates(t *testing.T) {
+	m := newMachine(t, steadyShape(time.Second))
+	govs := make([]Governor, m.Sockets())
+	govs[0] = governorFunc(func(time.Duration) error { return errBoom })
+	if _, err := m.Run(RunOpts{ControlPeriod: 200 * time.Millisecond, Governors: govs}); err == nil {
+		t.Fatal("governor error swallowed")
+	}
+}
+
+var errBoom = &boomError{}
+
+type boomError struct{}
+
+func (*boomError) Error() string { return "boom" }
+
+func TestRunOptValidation(t *testing.T) {
+	m := newMachine(t, steadyShape(time.Second))
+	if _, err := m.Run(RunOpts{Governors: []Governor{nil}}); err == nil {
+		t.Error("accepted wrong governor count")
+	}
+	govs := make([]Governor, m.Sockets())
+	govs[0] = governorFunc(func(time.Duration) error { return nil })
+	if _, err := m.Run(RunOpts{Governors: govs}); err == nil {
+		t.Error("accepted governors without control period")
+	}
+}
+
+func TestRunWithoutWorkload(t *testing.T) {
+	cfg := DefaultConfig()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(RunOpts{}); err == nil {
+		t.Fatal("run without workload succeeded")
+	}
+}
+
+func TestMaxDurationGuard(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxDuration = 100 * time.Millisecond
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load([]model.PhaseShape{steadyShape(10 * time.Second)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(RunOpts{}); err == nil {
+		t.Fatal("runaway run not aborted")
+	}
+}
+
+func TestTraceDelivery(t *testing.T) {
+	m := newMachine(t, steadyShape(500*time.Millisecond))
+	count := 0
+	_, err := m.Run(RunOpts{
+		Trace:      func(socket int, p TracePoint) { count++ },
+		TraceEvery: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 500 ticks / 10 × 4 sockets = 200 points.
+	if count != 200 {
+		t.Fatalf("trace points = %d, want 200", count)
+	}
+}
+
+func TestMSRWiring(t *testing.T) {
+	m := newMachine(t, steadyShape(time.Second))
+	dev := m.MSR()
+
+	v, err := dev.Read(0, msr.MSRRaplPowerUnit)
+	if err != nil || v != msr.DefaultUnitsValue {
+		t.Fatalf("RAPL units = %#x, %v", v, err)
+	}
+	if v, err = dev.Read(0, msr.MSRPlatformInfo); err != nil || (v>>8)&0xFF != 21 {
+		t.Fatalf("platform info ratio = %d, %v; want 21 (2.1 GHz base)", (v>>8)&0xFF, err)
+	}
+	// Power limit readback reflects the limiter state.
+	raw, err := dev.Read(0, msr.MSRPkgPowerLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim := msr.DecodePkgPowerLimit(msr.DefaultUnits(), raw)
+	if lim.PL1.Limit != 125 || lim.PL2.Limit != 150 {
+		t.Fatalf("default limits = %v/%v", lim.PL1.Limit, lim.PL2.Limit)
+	}
+	// DRAM power limit writes fail, as on the paper's hardware (§II-B).
+	if err := dev.Write(0, msr.MSRDramPowerLimit, 1); err == nil {
+		t.Fatal("DRAM power limit write succeeded; unsupported on Xeon Gold 6130")
+	}
+	// Uncore perf status is read-only.
+	if err := dev.Write(0, msr.MSRUncorePerfStatus, 1); err == nil {
+		t.Fatal("wrote to read-only uncore status")
+	}
+}
+
+func TestEnergyCountersAdvance(t *testing.T) {
+	m := newMachine(t, steadyShape(time.Second))
+	client, err := rapl.NewClient(m.MSR(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := client.NewPkgEnergyMeter()
+	pkg.Sample() // latch zero
+	if _, err := m.Run(RunOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	delta, err := pkg.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Socket 0 ran ≈1 s at roughly 100-125 W.
+	if delta < 50 || delta > 200 {
+		t.Fatalf("package energy over the run = %v, want 50-200 J", delta)
+	}
+	if got := m.Socket(0).PkgEnergy(); math.Abs(float64(got-delta)) > 1 {
+		t.Fatalf("meter %v disagrees with socket accounting %v", delta, got)
+	}
+}
+
+func TestAperfMperfRatio(t *testing.T) {
+	m := newMachine(t, steadyShape(time.Second))
+	if _, err := m.Run(RunOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	aperf, err := m.MSR().Read(0, msr.IA32APerf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mperf, err := m.MSR().Read(0, msr.IA32MPerf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Effective frequency = base × aperf/mperf = 2.8 GHz uncapped.
+	eff := 2.1e9 * float64(aperf) / float64(mperf)
+	if math.Abs(eff-2.8e9) > 0.05e9 {
+		t.Fatalf("APERF/MPERF frequency = %.2f GHz, want 2.8", eff/1e9)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Tick = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("accepted zero tick")
+	}
+	cfg = DefaultConfig()
+	cfg.MaxDuration = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("accepted zero max duration")
+	}
+	cfg = DefaultConfig()
+	cfg.Topo = arch.Topology{}
+	if _, err := New(cfg); err == nil {
+		t.Error("accepted invalid topology")
+	}
+}
+
+func TestLoadValidation(t *testing.T) {
+	m := newMachine(t)
+	if err := m.Load(nil); err == nil {
+		t.Error("accepted empty phase list")
+	}
+	if err := m.Load([]model.PhaseShape{{Name: "bad"}}); err == nil {
+		t.Error("accepted invalid phase")
+	}
+}
+
+func TestMachineReusableAcrossLoads(t *testing.T) {
+	m := newMachine(t, steadyShape(300*time.Millisecond))
+	r1, err := m.Run(RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load([]model.PhaseShape{steadyShape(300 * time.Millisecond)}); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := m.Run(RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r1.Duration.Seconds()-r2.Duration.Seconds()) > 1e-6 {
+		t.Fatalf("reloaded run differs: %v vs %v", r1.Duration, r2.Duration)
+	}
+}
+
+func TestPhaseTransitionsMidTick(t *testing.T) {
+	// Phases whose durations are not tick multiples must still complete
+	// exactly.
+	phases := []model.PhaseShape{
+		steadyShape(333500 * time.Microsecond),
+		steadyShape(250300 * time.Microsecond),
+	}
+	m := newMachine(t, phases...)
+	res, err := m.Run(RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.3335 + 0.2503
+	if math.Abs(res.Duration.Seconds()-want) > 0.002 {
+		t.Fatalf("duration = %v, want ≈%v s", res.Duration, want)
+	}
+}
+
+func TestEnergyConservation(t *testing.T) {
+	// Average power × duration must equal the integrated energy (the
+	// Result fields are derived, not independently accumulated).
+	m := newMachine(t, steadyShape(1500*time.Millisecond))
+	res, err := m.Run(RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := float64(res.AvgPkgPower) * res.Duration.Seconds()
+	if rel := math.Abs(back-float64(res.PkgEnergy)) / float64(res.PkgEnergy); rel > 1e-9 {
+		t.Fatalf("power×time %.3f J != energy %.3f J", back, float64(res.PkgEnergy))
+	}
+}
+
+func TestWorkConservation(t *testing.T) {
+	// The counters must account for exactly the compiled work volumes,
+	// independent of caps or frequencies along the way.
+	sh := steadyShape(time.Second)
+	spec := arch.XeonGold6130()
+	kin, err := model.Compile(spec, sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := newMachine(t, sh)
+	// Throttle midway through: the work total must not change.
+	raw := msr.EncodePkgPowerLimit(msr.DefaultUnits(), msr.PkgPowerLimit{
+		PL1: msr.PowerLimit{Limit: 95, Window: 1, Enabled: true},
+		PL2: msr.PowerLimit{Limit: 95, Window: 0.01, Enabled: true},
+	})
+	for s := 0; s < m.Sockets(); s++ {
+		if err := m.MSR().Write(m.Socket(s).CPU0(), msr.MSRPkgPowerLimit, raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Run(RunOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Socket(0).Counter(papiFPOps)
+	if rel := math.Abs(got-kin.Flops) / kin.Flops; rel > 1e-6 {
+		t.Fatalf("flops done %.3e != compiled work %.3e", got, kin.Flops)
+	}
+	gotB := m.Socket(0).Counter(papiMemBytes)
+	if rel := math.Abs(gotB-kin.Bytes) / kin.Bytes; rel > 1e-6 {
+		t.Fatalf("bytes done %.3e != compiled work %.3e", gotB, kin.Bytes)
+	}
+}
+
+func TestGovernorOverheadStallsApplication(t *testing.T) {
+	run := func(overhead time.Duration) time.Duration {
+		m := newMachine(t, steadyShape(time.Second))
+		govs := make([]Governor, m.Sockets())
+		for i := range govs {
+			govs[i] = governorFunc(func(time.Duration) error { return nil })
+		}
+		res, err := m.Run(RunOpts{
+			ControlPeriod:    100 * time.Millisecond,
+			Governors:        govs,
+			GovernorOverhead: overhead,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Duration
+	}
+	free := run(0)
+	costly := run(2 * time.Millisecond)
+	// ~10 decision rounds × 2 ms = ~20 ms extra on a 1 s run.
+	extra := costly - free
+	if extra < 10*time.Millisecond || extra > 40*time.Millisecond {
+		t.Fatalf("overhead stretched the run by %v, want ≈20 ms", extra)
+	}
+}
+
+func TestAlternativeTopologies(t *testing.T) {
+	for _, sockets := range []int{1, 2, 8} {
+		cfg := DefaultConfig()
+		cfg.Topo = arch.Topology{Sockets: sockets, Spec: arch.XeonGold6130()}
+		cfg.PowerJitterSD = 0
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatalf("%d sockets: %v", sockets, err)
+		}
+		if err := m.Load([]model.PhaseShape{steadyShape(300 * time.Millisecond)}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run(RunOpts{})
+		if err != nil {
+			t.Fatalf("%d sockets: %v", sockets, err)
+		}
+		if math.Abs(res.Duration.Seconds()-0.3) > 0.01 {
+			t.Errorf("%d sockets: duration %v", sockets, res.Duration)
+		}
+		// Energy scales with the socket count.
+		perSocket := float64(res.PkgEnergy) / float64(sockets)
+		if perSocket < 20 || perSocket > 45 {
+			t.Errorf("%d sockets: per-socket energy %.1f J", sockets, perSocket)
+		}
+		// The MSRs of the last socket are addressable.
+		lastCPU := m.Socket(sockets - 1).CPU0()
+		if _, err := m.MSR().Read(lastCPU, msr.MSRPkgEnergyStatus); err != nil {
+			t.Errorf("%d sockets: MSR read on last socket: %v", sockets, err)
+		}
+	}
+}
+
+func TestSocketAccessors(t *testing.T) {
+	m := newMachine(t, steadyShape(200*time.Millisecond))
+	s := m.Socket(2)
+	if s.ID() != 2 || s.CPU0() != 32 {
+		t.Fatalf("socket 2: ID=%d CPU0=%d", s.ID(), s.CPU0())
+	}
+	if s.Done() {
+		t.Fatal("socket done before running")
+	}
+	if _, err := m.Run(RunOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Done() {
+		t.Fatal("socket not done after the run")
+	}
+	if s.FinishedAt() <= 0 {
+		t.Fatal("no finish time")
+	}
+	if s.PkgEnergy() <= 0 || s.DramEnergy() <= 0 {
+		t.Fatal("no energy accounted")
+	}
+	if s.AvgCoreFreq() <= 0 || s.AvgUncoreFreq() <= 0 {
+		t.Fatal("no frequency accounting")
+	}
+	if s.CoreFreq() <= 0 || s.UncoreFreq() <= 0 {
+		t.Fatal("no delivered frequencies")
+	}
+}

@@ -1,0 +1,118 @@
+// Package trace records per-socket time series (frequencies, power, caps)
+// during a run, the data behind the paper's Fig 5, and renders them as CSV
+// or as summary statistics.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dufp/internal/sim"
+	"dufp/internal/units"
+)
+
+// Recorder collects trace points for every socket of a machine.
+type Recorder struct {
+	series [][]sim.TracePoint
+}
+
+// NewRecorder creates a recorder for a machine with the given socket
+// count.
+func NewRecorder(sockets int) *Recorder {
+	return &Recorder{series: make([][]sim.TracePoint, sockets)}
+}
+
+// Hook returns the callback to pass as sim.RunOpts.Trace.
+func (r *Recorder) Hook() func(socket int, p sim.TracePoint) {
+	return func(socket int, p sim.TracePoint) {
+		if socket >= 0 && socket < len(r.series) {
+			r.series[socket] = append(r.series[socket], p)
+		}
+	}
+}
+
+// Socket returns the recorded series of one socket.
+func (r *Recorder) Socket(i int) []sim.TracePoint {
+	if i < 0 || i >= len(r.series) {
+		return nil
+	}
+	return r.series[i]
+}
+
+// Len returns the number of points recorded for socket 0.
+func (r *Recorder) Len() int {
+	if len(r.series) == 0 {
+		return 0
+	}
+	return len(r.series[0])
+}
+
+// AvgCoreFreq returns the average delivered core frequency of a socket's
+// series, the Fig 5 headline number.
+func AvgCoreFreq(points []sim.TracePoint) units.Frequency {
+	if len(points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range points {
+		sum += float64(p.CoreFreq)
+	}
+	return units.Frequency(sum / float64(len(points)))
+}
+
+// AvgPower returns the average package power of a series.
+func AvgPower(points []sim.TracePoint) units.Power {
+	if len(points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range points {
+		sum += float64(p.PkgPower)
+	}
+	return units.Power(sum / float64(len(points)))
+}
+
+// WriteCSV renders one socket's series with a header row. Times are in
+// seconds, frequencies in GHz, powers in watts.
+func WriteCSV(w io.Writer, points []sim.TracePoint) error {
+	if _, err := fmt.Fprintln(w, "time_s,core_ghz,uncore_ghz,pkg_w,dram_w,cap_pl1_w,cap_pl2_w,bw_gbs"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%.3f,%.2f,%.2f,%.2f,%.2f,%.1f,%.1f,%.2f\n",
+			p.Time.Seconds(), p.CoreFreq.GHz(), p.UncoreFreq.GHz(),
+			p.PkgPower.Watts(), p.DramPower.Watts(),
+			p.CapPL1.Watts(), p.CapPL2.Watts(), p.Bandwidth.GBs()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Downsample keeps roughly every n-th point, preserving the first and
+// last, for compact plotting.
+func Downsample(points []sim.TracePoint, n int) []sim.TracePoint {
+	if n <= 1 || len(points) <= 2 {
+		return points
+	}
+	out := make([]sim.TracePoint, 0, len(points)/n+2)
+	for i := 0; i < len(points); i += n {
+		out = append(out, points[i])
+	}
+	if last := points[len(points)-1]; len(out) == 0 || out[len(out)-1].Time != last.Time {
+		out = append(out, last)
+	}
+	return out
+}
+
+// Window returns the sub-series within [from, to).
+func Window(points []sim.TracePoint, from, to time.Duration) []sim.TracePoint {
+	var out []sim.TracePoint
+	for _, p := range points {
+		if p.Time >= from && p.Time < to {
+			out = append(out, p)
+		}
+	}
+	return out
+}

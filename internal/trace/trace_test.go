@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"dufp/internal/sim"
+	"dufp/internal/units"
+)
+
+func points(n int) []sim.TracePoint {
+	out := make([]sim.TracePoint, n)
+	for i := range out {
+		out[i] = sim.TracePoint{
+			Time:       time.Duration(i) * 10 * time.Millisecond,
+			CoreFreq:   units.Frequency(2.0e9 + float64(i%5)*1e8),
+			UncoreFreq: 1.8 * units.Gigahertz,
+			PkgPower:   units.Power(90 + float64(i%3)),
+			DramPower:  20,
+			CapPL1:     100,
+			CapPL2:     100,
+			Bandwidth:  40 * units.GBPerSecond,
+		}
+	}
+	return out
+}
+
+func TestRecorderCollects(t *testing.T) {
+	r := NewRecorder(4)
+	hook := r.Hook()
+	for i := 0; i < 10; i++ {
+		for s := 0; s < 4; s++ {
+			hook(s, sim.TracePoint{Time: time.Duration(i) * time.Millisecond})
+		}
+	}
+	if r.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", r.Len())
+	}
+	if got := len(r.Socket(3)); got != 10 {
+		t.Fatalf("socket 3 has %d points", got)
+	}
+	if r.Socket(7) != nil || r.Socket(-1) != nil {
+		t.Fatal("out-of-range socket returned points")
+	}
+	// Out-of-range hook calls are dropped, not panicking.
+	hook(99, sim.TracePoint{})
+}
+
+func TestAverages(t *testing.T) {
+	pts := points(100)
+	avg := AvgCoreFreq(pts)
+	if avg < 2.0*units.Gigahertz || avg > 2.4*units.Gigahertz {
+		t.Fatalf("avg core = %v", avg)
+	}
+	if AvgCoreFreq(nil) != 0 {
+		t.Fatal("empty series average not zero")
+	}
+	p := AvgPower(pts)
+	if math.Abs(float64(p)-91) > 1 {
+		t.Fatalf("avg power = %v, want ≈91", p)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := WriteCSV(&b, points(3)); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV has %d lines, want header+3", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "time_s,core_ghz,uncore_ghz") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "2.00") {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	pts := points(100)
+	down := Downsample(pts, 10)
+	if len(down) < 10 || len(down) > 12 {
+		t.Fatalf("downsampled to %d points", len(down))
+	}
+	if down[0].Time != pts[0].Time {
+		t.Fatal("first point lost")
+	}
+	if down[len(down)-1].Time != pts[len(pts)-1].Time {
+		t.Fatal("last point lost")
+	}
+	if got := Downsample(pts, 1); len(got) != len(pts) {
+		t.Fatal("n=1 changed the series")
+	}
+	short := points(2)
+	if got := Downsample(short, 10); len(got) != 2 {
+		t.Fatal("short series truncated")
+	}
+}
+
+func TestWindow(t *testing.T) {
+	pts := points(100) // 0..990 ms
+	w := Window(pts, 100*time.Millisecond, 200*time.Millisecond)
+	if len(w) != 10 {
+		t.Fatalf("window has %d points, want 10", len(w))
+	}
+	for _, p := range w {
+		if p.Time < 100*time.Millisecond || p.Time >= 200*time.Millisecond {
+			t.Fatalf("point at %v outside window", p.Time)
+		}
+	}
+	if got := Window(pts, 5*time.Second, 6*time.Second); got != nil {
+		t.Fatal("empty window returned points")
+	}
+}

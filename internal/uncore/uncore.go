@@ -1,0 +1,85 @@
+// Package uncore provides the software-side control of the uncore frequency
+// band through MSR_UNCORE_RATIO_LIMIT, the mechanism DUF uses on real
+// Skylake hardware, plus the hardware-default uncore frequency selection
+// policy the simulator applies inside the programmed band.
+package uncore
+
+import (
+	"fmt"
+
+	"dufp/internal/arch"
+	"dufp/internal/msr"
+	"dufp/internal/units"
+)
+
+// Control manipulates the uncore frequency band of one package via MSRs.
+type Control struct {
+	dev  msr.Device
+	cpu  int
+	spec arch.Spec
+}
+
+// NewControl opens the uncore interface of the package containing cpu.
+func NewControl(dev msr.Device, cpu int, spec arch.Spec) *Control {
+	return &Control{dev: dev, cpu: cpu, spec: spec}
+}
+
+// Band reads the currently programmed [min, max] uncore frequency band.
+func (c *Control) Band() (lo, hi units.Frequency, err error) {
+	raw, err := c.dev.Read(c.cpu, msr.MSRUncoreRatioLimit)
+	if err != nil {
+		return 0, 0, fmt.Errorf("uncore: reading ratio limit: %w", err)
+	}
+	l := msr.DecodeUncoreRatioLimit(raw)
+	return msr.RatioToFrequency(l.Min), msr.RatioToFrequency(l.Max), nil
+}
+
+// SetBand programs the [lo, hi] uncore frequency band, snapping both ends
+// to the ratio ladder and to the architectural range.
+func (c *Control) SetBand(lo, hi units.Frequency) error {
+	lo = c.spec.ClampUncoreFreq(lo)
+	hi = c.spec.ClampUncoreFreq(hi)
+	if lo > hi {
+		return fmt.Errorf("uncore: inverted band [%v, %v]", lo, hi)
+	}
+	raw := msr.EncodeUncoreRatioLimit(msr.UncoreRatioLimit{
+		Min: msr.FrequencyToRatio(lo),
+		Max: msr.FrequencyToRatio(hi),
+	})
+	if err := c.dev.Write(c.cpu, msr.MSRUncoreRatioLimit, raw); err != nil {
+		return fmt.Errorf("uncore: writing ratio limit: %w", err)
+	}
+	return nil
+}
+
+// Pin forces the uncore to a single frequency by programming min == max,
+// the way DUF applies its decisions.
+func (c *Control) Pin(f units.Frequency) error { return c.SetBand(f, f) }
+
+// Current reads the delivered uncore frequency from
+// MSR_UNCORE_PERF_STATUS.
+func (c *Control) Current() (units.Frequency, error) {
+	raw, err := c.dev.Read(c.cpu, msr.MSRUncorePerfStatus)
+	if err != nil {
+		return 0, fmt.Errorf("uncore: reading perf status: %w", err)
+	}
+	return msr.RatioToFrequency(uint8(raw & 0x7F)), nil
+}
+
+// DefaultPolicy models the hardware's built-in uncore frequency selection
+// within the programmed band. Per the DUF paper's observation (cited in
+// §I/§II-C), the default policy fails to adapt to the application: it runs
+// the uncore at the top of the band whenever the package is active and only
+// drops to the bottom when idle.
+type DefaultPolicy struct{}
+
+// Target returns the uncore frequency the hardware picks inside [lo, hi]
+// given the current memory-traffic utilisation and whether any core is
+// active.
+func (DefaultPolicy) Target(lo, hi units.Frequency, memUtil float64, active bool) units.Frequency {
+	if !active {
+		return lo
+	}
+	_ = memUtil // the default policy ignores traffic while active
+	return hi
+}

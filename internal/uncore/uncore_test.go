@@ -1,0 +1,122 @@
+package uncore
+
+import (
+	"testing"
+
+	"dufp/internal/arch"
+	"dufp/internal/msr"
+	"dufp/internal/units"
+)
+
+func newControl(t *testing.T) (*Control, *msr.Space) {
+	t.Helper()
+	sp := msr.NewSpace(16)
+	spec := arch.XeonGold6130()
+	sp.Seed(msr.MSRUncoreRatioLimit, msr.EncodeUncoreRatioLimit(msr.UncoreRatioLimit{
+		Min: msr.FrequencyToRatio(spec.MinUncoreFreq),
+		Max: msr.FrequencyToRatio(spec.MaxUncoreFreq),
+	}))
+	sp.Seed(msr.MSRUncorePerfStatus, uint64(msr.FrequencyToRatio(spec.MaxUncoreFreq)))
+	return NewControl(sp, 0, spec), sp
+}
+
+func TestBandReadback(t *testing.T) {
+	c, _ := newControl(t)
+	lo, hi, err := c.Band()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 1.2*units.Gigahertz || hi != 2.4*units.Gigahertz {
+		t.Fatalf("band = [%v, %v], want [1.2, 2.4] GHz", lo, hi)
+	}
+}
+
+func TestSetBand(t *testing.T) {
+	c, _ := newControl(t)
+	if err := c.SetBand(1.5*units.Gigahertz, 2.0*units.Gigahertz); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, _ := c.Band()
+	if lo != 1.5*units.Gigahertz || hi != 2.0*units.Gigahertz {
+		t.Fatalf("band = [%v, %v]", lo, hi)
+	}
+}
+
+func TestSetBandSnapsToLadder(t *testing.T) {
+	c, _ := newControl(t)
+	// Out-of-range and off-grid values snap.
+	if err := c.SetBand(0.5*units.Gigahertz, 7*units.Gigahertz); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, _ := c.Band()
+	if lo != 1.2*units.Gigahertz || hi != 2.4*units.Gigahertz {
+		t.Fatalf("band = [%v, %v], want clamped to [1.2, 2.4]", lo, hi)
+	}
+	if err := c.SetBand(1.77*units.Gigahertz, 1.77*units.Gigahertz); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, _ = c.Band()
+	if lo != 1.8*units.Gigahertz || hi != 1.8*units.Gigahertz {
+		t.Fatalf("band = [%v, %v], want snapped to 1.8 GHz", lo, hi)
+	}
+}
+
+func TestSetBandRejectsInverted(t *testing.T) {
+	c, _ := newControl(t)
+	if err := c.SetBand(2.0*units.Gigahertz, 1.5*units.Gigahertz); err == nil {
+		t.Fatal("accepted inverted band")
+	}
+}
+
+func TestPin(t *testing.T) {
+	c, _ := newControl(t)
+	if err := c.Pin(1.6 * units.Gigahertz); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, _ := c.Band()
+	if lo != hi || lo != 1.6*units.Gigahertz {
+		t.Fatalf("Pin produced band [%v, %v]", lo, hi)
+	}
+}
+
+func TestCurrent(t *testing.T) {
+	c, sp := newControl(t)
+	sp.Seed(msr.MSRUncorePerfStatus, 18) // 1.8 GHz
+	got, err := c.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1.8*units.Gigahertz {
+		t.Fatalf("Current = %v, want 1.8 GHz", got)
+	}
+}
+
+func TestDefaultPolicy(t *testing.T) {
+	var p DefaultPolicy
+	lo, hi := 1.2*units.Gigahertz, 2.4*units.Gigahertz
+	// Active: always the top of the band, regardless of traffic (the
+	// paper's "default UFS fails to adapt").
+	for _, traffic := range []float64{0, 0.01, 0.5, 1} {
+		if got := p.Target(lo, hi, traffic, true); got != hi {
+			t.Fatalf("active target at traffic %v = %v, want %v", traffic, got, hi)
+		}
+	}
+	if got := p.Target(lo, hi, 0, false); got != lo {
+		t.Fatalf("idle target = %v, want %v", got, lo)
+	}
+	// A pinned band leaves no choice.
+	if got := p.Target(1.6*units.Gigahertz, 1.6*units.Gigahertz, 1, true); got != 1.6*units.Gigahertz {
+		t.Fatalf("pinned target = %v", got)
+	}
+}
+
+func TestControlErrorsPropagate(t *testing.T) {
+	sp := msr.NewSpace(1) // registers not seeded -> unknown MSR
+	c := NewControl(sp, 0, arch.XeonGold6130())
+	if _, _, err := c.Band(); err == nil {
+		t.Error("Band succeeded on unwired device")
+	}
+	if _, err := c.Current(); err == nil {
+		t.Error("Current succeeded on unwired device")
+	}
+}

@@ -1,0 +1,166 @@
+// Package units defines the physical quantities used throughout the
+// simulator and the controllers: frequency, power, energy and time ratios.
+//
+// All quantities are thin wrappers around float64 with explicit unit
+// semantics. Arithmetic that mixes units (power × duration → energy) is
+// expressed through named methods so call sites stay dimensionally honest.
+package units
+
+import (
+	"fmt"
+	"time"
+)
+
+// Frequency is a clock frequency in hertz.
+type Frequency float64
+
+// Common frequency scales.
+const (
+	Hertz     Frequency = 1
+	Kilohertz           = 1e3 * Hertz
+	Megahertz           = 1e6 * Hertz
+	Gigahertz           = 1e9 * Hertz
+)
+
+// GHz returns the frequency expressed in gigahertz.
+func (f Frequency) GHz() float64 { return float64(f) / 1e9 }
+
+// MHz returns the frequency expressed in megahertz.
+func (f Frequency) MHz() float64 { return float64(f) / 1e6 }
+
+// String formats the frequency with an adaptive scale suffix.
+func (f Frequency) String() string {
+	switch {
+	case f >= Gigahertz:
+		return fmt.Sprintf("%.2f GHz", f.GHz())
+	case f >= Megahertz:
+		return fmt.Sprintf("%.0f MHz", f.MHz())
+	case f >= Kilohertz:
+		return fmt.Sprintf("%.0f kHz", float64(f)/1e3)
+	default:
+		return fmt.Sprintf("%.0f Hz", float64(f))
+	}
+}
+
+// Clamp limits f to the inclusive range [lo, hi].
+func (f Frequency) Clamp(lo, hi Frequency) Frequency {
+	if f < lo {
+		return lo
+	}
+	if f > hi {
+		return hi
+	}
+	return f
+}
+
+// Power is an instantaneous power draw in watts.
+type Power float64
+
+// Common power scales.
+const (
+	Microwatt Power = 1e-6
+	Milliwatt Power = 1e-3
+	Watt      Power = 1
+)
+
+// Watts returns the power expressed in watts.
+func (p Power) Watts() float64 { return float64(p) }
+
+// Microwatts returns the power expressed in microwatts, as used by the
+// powercap sysfs interface.
+func (p Power) Microwatts() int64 { return int64(float64(p) * 1e6) }
+
+// String formats the power in watts.
+func (p Power) String() string { return fmt.Sprintf("%.2f W", float64(p)) }
+
+// Clamp limits p to the inclusive range [lo, hi].
+func (p Power) Clamp(lo, hi Power) Power {
+	if p < lo {
+		return lo
+	}
+	if p > hi {
+		return hi
+	}
+	return p
+}
+
+// Over returns the energy accumulated by drawing p for the duration d.
+func (p Power) Over(d time.Duration) Energy {
+	return Energy(float64(p) * d.Seconds())
+}
+
+// Energy is an amount of energy in joules.
+type Energy float64
+
+// Common energy scales.
+const (
+	Microjoule Energy = 1e-6
+	Millijoule Energy = 1e-3
+	Joule      Energy = 1
+	Kilojoule  Energy = 1e3
+)
+
+// Joules returns the energy expressed in joules.
+func (e Energy) Joules() float64 { return float64(e) }
+
+// String formats the energy with an adaptive scale suffix.
+func (e Energy) String() string {
+	if e >= Kilojoule {
+		return fmt.Sprintf("%.2f kJ", float64(e)/1e3)
+	}
+	return fmt.Sprintf("%.2f J", float64(e))
+}
+
+// DividedBy returns the average power of spending e over the duration d.
+// It returns 0 for non-positive durations.
+func (e Energy) DividedBy(d time.Duration) Power {
+	if d <= 0 {
+		return 0
+	}
+	return Power(float64(e) / d.Seconds())
+}
+
+// Bandwidth is a data-transfer rate in bytes per second.
+type Bandwidth float64
+
+// Common bandwidth scales.
+const (
+	BytePerSecond Bandwidth = 1
+	KBPerSecond             = 1e3 * BytePerSecond
+	MBPerSecond             = 1e6 * BytePerSecond
+	GBPerSecond             = 1e9 * BytePerSecond
+)
+
+// GBs returns the bandwidth in gigabytes per second.
+func (b Bandwidth) GBs() float64 { return float64(b) / 1e9 }
+
+// String formats the bandwidth in GB/s.
+func (b Bandwidth) String() string { return fmt.Sprintf("%.2f GB/s", b.GBs()) }
+
+// FlopRate is a floating-point operation rate in FLOPS per second.
+type FlopRate float64
+
+// Common flop-rate scales.
+const (
+	FlopsPerSecond  FlopRate = 1
+	GFlopsPerSecond          = 1e9 * FlopsPerSecond
+)
+
+// GFlops returns the rate in GFLOPS/s.
+func (r FlopRate) GFlops() float64 { return float64(r) / 1e9 }
+
+// String formats the rate in GFLOPS/s.
+func (r FlopRate) String() string { return fmt.Sprintf("%.2f GFLOPS/s", r.GFlops()) }
+
+// Ratio is a dimensionless proportion; 1.0 means parity with the reference.
+type Ratio float64
+
+// Percent returns the ratio expressed as a percentage.
+func (r Ratio) Percent() float64 { return float64(r) * 100 }
+
+// String formats the ratio as a percentage.
+func (r Ratio) String() string { return fmt.Sprintf("%.2f %%", r.Percent()) }
+
+// SavingsPercent interprets the receiver as value/reference and returns the
+// savings percentage (positive when the value is below the reference).
+func (r Ratio) SavingsPercent() float64 { return (1 - float64(r)) * 100 }

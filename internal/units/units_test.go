@@ -1,0 +1,150 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFrequencyConversions(t *testing.T) {
+	tests := []struct {
+		f    Frequency
+		ghz  float64
+		mhz  float64
+		text string
+	}{
+		{2.4 * Gigahertz, 2.4, 2400, "2.40 GHz"},
+		{100 * Megahertz, 0.1, 100, "100 MHz"},
+		{1 * Gigahertz, 1, 1000, "1.00 GHz"},
+		{5 * Kilohertz, 5e-6, 5e-3, "5 kHz"},
+		{42 * Hertz, 42e-9, 42e-6, "42 Hz"},
+	}
+	for _, tt := range tests {
+		if got := tt.f.GHz(); math.Abs(got-tt.ghz) > 1e-12 {
+			t.Errorf("(%v).GHz() = %v, want %v", float64(tt.f), got, tt.ghz)
+		}
+		if got := tt.f.MHz(); math.Abs(got-tt.mhz) > 1e-9 {
+			t.Errorf("(%v).MHz() = %v, want %v", float64(tt.f), got, tt.mhz)
+		}
+		if got := tt.f.String(); got != tt.text {
+			t.Errorf("(%v).String() = %q, want %q", float64(tt.f), got, tt.text)
+		}
+	}
+}
+
+func TestFrequencyClamp(t *testing.T) {
+	lo, hi := 1.2*Gigahertz, 2.4*Gigahertz
+	tests := []struct{ in, want Frequency }{
+		{1.0 * Gigahertz, lo},
+		{3.0 * Gigahertz, hi},
+		{1.8 * Gigahertz, 1.8 * Gigahertz},
+		{lo, lo},
+		{hi, hi},
+	}
+	for _, tt := range tests {
+		if got := tt.in.Clamp(lo, hi); got != tt.want {
+			t.Errorf("Clamp(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestFrequencyClampProperty(t *testing.T) {
+	lo, hi := 1.2*Gigahertz, 2.4*Gigahertz
+	prop := func(raw float64) bool {
+		f := Frequency(math.Abs(raw))
+		c := f.Clamp(lo, hi)
+		return c >= lo && c <= hi && (f < lo || f > hi || c == f)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerOverDuration(t *testing.T) {
+	e := (100 * Watt).Over(2 * time.Second)
+	if math.Abs(float64(e)-200) > 1e-9 {
+		t.Fatalf("100 W over 2 s = %v J, want 200 J", float64(e))
+	}
+}
+
+func TestPowerEnergyRoundTrip(t *testing.T) {
+	prop := func(pw uint16, ms int16) bool {
+		p := Power(float64(pw) / 16) // 0..4096 W in eighth-watt-ish steps
+		d := time.Duration(int(ms)%10000+10001) * time.Millisecond
+		back := p.Over(d).DividedBy(d)
+		return math.Abs(float64(back-p)) <= 1e-9*math.Max(1, float64(p))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnergyDividedByZero(t *testing.T) {
+	if got := Energy(100).DividedBy(0); got != 0 {
+		t.Fatalf("DividedBy(0) = %v, want 0", got)
+	}
+	if got := Energy(100).DividedBy(-time.Second); got != 0 {
+		t.Fatalf("DividedBy(-1s) = %v, want 0", got)
+	}
+}
+
+func TestPowerMicrowatts(t *testing.T) {
+	if got := (125 * Watt).Microwatts(); got != 125_000_000 {
+		t.Fatalf("Microwatts = %d, want 125000000", got)
+	}
+	if got := (1 * Microwatt).Microwatts(); got != 1 {
+		t.Fatalf("Microwatts = %d, want 1", got)
+	}
+}
+
+func TestPowerClamp(t *testing.T) {
+	if got := Power(200).Clamp(65, 125); got != 125 {
+		t.Fatalf("Clamp high = %v", got)
+	}
+	if got := Power(10).Clamp(65, 125); got != 65 {
+		t.Fatalf("Clamp low = %v", got)
+	}
+	if got := Power(90).Clamp(65, 125); got != 90 {
+		t.Fatalf("Clamp mid = %v", got)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	tests := []struct {
+		got, want string
+	}{
+		{(90.5 * Watt).String(), "90.50 W"},
+		{Energy(1500).String(), "1.50 kJ"},
+		{Energy(2.5).String(), "2.50 J"},
+		{Bandwidth(85e9).String(), "85.00 GB/s"},
+		{FlopRate(1.4336e12).String(), "1433.60 GFLOPS/s"},
+		{Ratio(0.85).String(), "85.00 %"},
+	}
+	for _, tt := range tests {
+		if tt.got != tt.want {
+			t.Errorf("got %q, want %q", tt.got, tt.want)
+		}
+	}
+}
+
+func TestRatioSavings(t *testing.T) {
+	if got := Ratio(0.86).SavingsPercent(); math.Abs(got-14) > 1e-9 {
+		t.Fatalf("SavingsPercent = %v, want 14", got)
+	}
+	if got := Ratio(1.05).Percent(); math.Abs(got-105) > 1e-9 {
+		t.Fatalf("Percent = %v, want 105", got)
+	}
+}
+
+func TestBandwidthGBs(t *testing.T) {
+	if got := (85 * GBPerSecond).GBs(); math.Abs(got-85) > 1e-12 {
+		t.Fatalf("GBs = %v, want 85", got)
+	}
+}
+
+func TestFlopRateGFlops(t *testing.T) {
+	if got := (1433.6 * GFlopsPerSecond).GFlops(); math.Abs(got-1433.6) > 1e-9 {
+		t.Fatalf("GFlops = %v, want 1433.6", got)
+	}
+}

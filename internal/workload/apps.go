@@ -1,0 +1,355 @@
+package workload
+
+import (
+	"time"
+
+	"dufp/internal/model"
+	"dufp/internal/units"
+)
+
+// The shapes below encode each application's decision-relevant behaviour.
+// Operational intensities follow from FlopFrac/MemFrac against the Xeon
+// Gold 6130 peaks (1433.6 GFLOPS/s, 85 GB/s): OI ≈ 16.87·FlopFrac/MemFrac.
+// Durations are scaled to ≈20-40 s per run (paper: 20-400 s); every result
+// is a ratio against the application's own default run, so the scaling
+// cancels out.
+
+// BT models NPB BT class D: a compute-dominated multi-diagonal solver whose
+// sub-iteration structure is much faster than the 200 ms sampling interval,
+// so the controllers observe a steady blend. Its compute rate is strongly
+// LLC-latency bound (high UncoreLatSens) and its bandwidth tracks the
+// uncore almost immediately (knee at 2.35 GHz), which is why uncore scaling
+// alone struggles to slow it down gracefully while power capping can.
+func BT() App {
+	return App{
+		Name:        "BT",
+		Class:       "D",
+		Description: "block tri-diagonal solver; steady compute blend, uncore-latency sensitive",
+		Loops: []Loop{{
+			Count: 70,
+			Body: []model.PhaseShape{{
+				Name:          "bt.iter",
+				FlopFrac:      0.15,
+				MemFrac:       0.50,
+				ComputeShare:  0.55,
+				Overlap:       0.45,
+				UncoreLatSens: 0.35,
+				BWUncoreKnee:  2.4 * units.Gigahertz,
+				BWCoreExp:     0.10,
+				BWCoreKnee:    1.2 * units.Gigahertz,
+				Duration:      400 * time.Millisecond,
+			}},
+		}},
+	}
+}
+
+// CG models NPB CG class D: a long highly-memory-intensive prologue
+// (OI ≈ 0.01, ≈5 % of the run, paper §II-A) followed by memory-bound SpMV
+// iterations (OI ≈ 0.16). The iteration bandwidth degrades mildly with core
+// frequency (lost memory-level parallelism), which produces the paper's
+// Fig. 1a cap sensitivity (≈7 % overhead at 110 W, ≈12 % at 100 W).
+func CG() App {
+	return App{
+		Name:        "CG",
+		Class:       "D",
+		Description: "conjugate gradient; memory prologue then memory-bound SpMV iterations",
+		Loops: []Loop{
+			{Count: 1, Body: []model.PhaseShape{{
+				Name:          "cg.init",
+				FlopFrac:      0.0005,
+				MemFrac:       0.88,
+				ActivityExtra: 0.16,
+				ComputeShare:  0.03,
+				Overlap:       0.30,
+				BWUncoreKnee:  2.0 * units.Gigahertz,
+				BWCoreExp:     0.02,
+				BWCoreKnee:    1.2 * units.Gigahertz,
+				Duration:      1800 * time.Millisecond,
+			}}},
+			{Count: 24, Body: []model.PhaseShape{{
+				Name:          "cg.spmv",
+				FlopFrac:      0.008,
+				MemFrac:       0.85,
+				ActivityExtra: 0.16,
+				ComputeShare:  0.45,
+				Overlap:       0.30,
+				BWUncoreKnee:  2.1 * units.Gigahertz,
+				BWCoreExp:     0.20,
+				BWCoreKnee:    1.3 * units.Gigahertz,
+				Duration:      1450 * time.Millisecond,
+			}}},
+		},
+	}
+}
+
+// EP models NPB EP class D: embarrassingly parallel random-number work with
+// essentially no memory traffic (OI > 400) and a modest activity factor.
+// The uncore is pure overhead for it, and its package power sits well below
+// PL1, so power capping only bites near the 65 W floor.
+func EP() App {
+	return App{
+		Name:        "EP",
+		Class:       "D",
+		Description: "embarrassingly parallel; pure compute, OI>100, uncore-insensitive",
+		Loops: []Loop{{
+			Count: 48,
+			Body: []model.PhaseShape{{
+				Name:         "ep.chunk",
+				FlopFrac:     0.08,
+				MemFrac:      0.002,
+				ComputeShare: 0.995,
+				Overlap:      0,
+				Duration:     500 * time.Millisecond,
+			}},
+		}},
+	}
+}
+
+// FT models NPB FT class D: alternating FFT compute phases (OI ≈ 3.4) and
+// all-to-all transposes that are highly memory-intensive (OI ≈ 0.011,
+// below the 0.02 threshold). Phases last longer than the sampling period,
+// so the controllers genuinely detect the alternation and reset on it.
+func FT() App {
+	return App{
+		Name:        "FT",
+		Class:       "D",
+		Description: "3-D FFT; alternating compute and highly-memory transpose phases",
+		Loops: []Loop{{
+			Count: 8,
+			Body: []model.PhaseShape{
+				{
+					Name:          "ft.fft",
+					FlopFrac:      0.11,
+					MemFrac:       0.55,
+					ComputeShare:  0.60,
+					Overlap:       0.40,
+					UncoreLatSens: 0.15,
+					BWUncoreKnee:  2.1 * units.Gigahertz,
+					BWCoreExp:     0.15,
+					BWCoreKnee:    1.2 * units.Gigahertz,
+					Duration:      2200 * time.Millisecond,
+				},
+				{
+					Name:         "ft.transpose",
+					FlopFrac:     0.0006,
+					MemFrac:      0.90,
+					ComputeShare: 0.02,
+					Overlap:      0.20,
+					BWUncoreKnee: 2.0 * units.Gigahertz,
+					BWCoreExp:    0,
+					BWCoreKnee:   1.2 * units.Gigahertz,
+					Duration:     2000 * time.Millisecond,
+				},
+			},
+		}},
+	}
+}
+
+// LU models NPB LU class D: a pipelined SSOR solver whose wavefront
+// parallelism makes it strongly LLC-latency sensitive: lowering the uncore
+// slows it directly, which is why the paper observes an (equivalent) DUF-
+// and DUFP-induced overhead driven by uncore decisions (§V-A).
+func LU() App {
+	return App{
+		Name:        "LU",
+		Class:       "D",
+		Description: "SSOR solver; pipelined wavefronts, LLC-latency sensitive",
+		Loops: []Loop{{
+			Count: 60,
+			Body: []model.PhaseShape{{
+				Name:          "lu.ssor",
+				FlopFrac:      0.13,
+				MemFrac:       0.42,
+				ComputeShare:  0.70,
+				Overlap:       0.45,
+				UncoreLatSens: 0.45,
+				BWUncoreKnee:  2.25 * units.Gigahertz,
+				BWCoreExp:     0.10,
+				BWCoreKnee:    1.2 * units.Gigahertz,
+				Duration:      500 * time.Millisecond,
+			}},
+		}},
+	}
+}
+
+// MG models NPB MG class D: bandwidth-saturating multigrid smoothing
+// (OI ≈ 0.25) whose bandwidth is comparatively sensitive to core frequency;
+// at 20 % tolerated slowdown the power savings no longer cover the
+// performance loss (paper Fig. 3c energy loss).
+func MG() App {
+	return App{
+		Name:        "MG",
+		Class:       "D",
+		Description: "multigrid; bandwidth-saturating, core-frequency-sensitive bandwidth",
+		Loops: []Loop{{
+			Count: 40,
+			Body: []model.PhaseShape{{
+				Name:          "mg.vcycle",
+				FlopFrac:      0.012,
+				MemFrac:       0.80,
+				ComputeShare:  0.38,
+				Overlap:       0.30,
+				UncoreLatSens: 0.05,
+				BWUncoreKnee:  1.95 * units.Gigahertz,
+				BWCoreExp:     0.65,
+				BWCoreKnee:    1.3 * units.Gigahertz,
+				Duration:      700 * time.Millisecond,
+			}},
+		}},
+	}
+}
+
+// SP models NPB SP class C: a balanced scalar penta-diagonal solver sitting
+// just on the memory side of the OI = 1 boundary.
+func SP() App {
+	return App{
+		Name:        "SP",
+		Class:       "C",
+		Description: "scalar penta-diagonal solver; balanced, OI just below 1",
+		Loops: []Loop{{
+			Count: 56,
+			Body: []model.PhaseShape{{
+				Name:          "sp.iter",
+				FlopFrac:      0.04,
+				MemFrac:       0.72,
+				ComputeShare:  0.50,
+				Overlap:       0.35,
+				UncoreLatSens: 0.20,
+				BWUncoreKnee:  2.05 * units.Gigahertz,
+				BWCoreExp:     0.20,
+				BWCoreKnee:    1.25 * units.Gigahertz,
+				Duration:      500 * time.Millisecond,
+			}},
+		}},
+	}
+}
+
+// UA models NPB UA class D: one compute-bound iteration (OI ≈ 10) followed
+// by several memory-bound ones (OI ≈ 0.13), a cycle of 600 ms that defeats
+// the 200 ms phase detector: the cap lowered during the memory iterations
+// suppresses the FLOPS rise that would flag the compute iteration, which is
+// exactly the pathology behind UA's overhead at 0 % tolerance (§V-A).
+func UA() App {
+	return App{
+		Name:        "UA",
+		Class:       "D",
+		Description: "unstructured adaptive mesh; fast compute/memory alternation",
+		Loops: []Loop{{
+			Count: 15,
+			Body: []model.PhaseShape{
+				{
+					Name:          "ua.compute",
+					FlopFrac:      0.35,
+					MemFrac:       0.30,
+					ComputeShare:  0.85,
+					Overlap:       0.40,
+					UncoreLatSens: 0.25,
+					BWUncoreKnee:  2.2 * units.Gigahertz,
+					BWCoreExp:     0.10,
+					BWCoreKnee:    1.2 * units.Gigahertz,
+					Duration:      60 * time.Millisecond,
+				},
+				{
+					Name:         "ua.mem",
+					FlopFrac:     0.0015,
+					MemFrac:      0.80,
+					ComputeShare: 0.05,
+					Overlap:      0.30,
+					BWUncoreKnee: 1.95 * units.Gigahertz,
+					BWCoreExp:    0.05,
+					BWCoreKnee:   1.2 * units.Gigahertz,
+					// Several memory-bound iterations back to back;
+					// identical consecutive shapes are equivalent to one
+					// phase. Long enough (~10 control periods) for the
+					// cap to walk well below the compute burst's draw.
+					Duration: 1920 * time.Millisecond,
+				},
+			},
+		}},
+	}
+}
+
+// HPL models High-Performance Linpack (N=91840, NB=224, P×Q=8×8 in the
+// paper): dominant DGEMM updates (OI ≈ 125, > 100: highly CPU-intensive)
+// at near-peak activity — package power rides the 125 W PL1 even in the
+// default configuration — interleaved with short memory-leaning panel
+// factorisations.
+func HPL() App {
+	return App{
+		Name:        "HPL",
+		Class:       "N=91840",
+		Description: "Linpack; DGEMM at the PL1 boundary with panel factorisations",
+		Loops: []Loop{{
+			Count: 13,
+			Body: []model.PhaseShape{
+				{
+					Name:          "hpl.update",
+					FlopFrac:      0.74,
+					MemFrac:       0.10,
+					ComputeShare:  0.97,
+					Overlap:       0.30,
+					UncoreLatSens: 0.10,
+					BWUncoreKnee:  1.8 * units.Gigahertz,
+					BWCoreExp:     0.05,
+					BWCoreKnee:    1.2 * units.Gigahertz,
+					Duration:      2100 * time.Millisecond,
+				},
+				{
+					Name:          "hpl.panel",
+					FlopFrac:      0.04,
+					MemFrac:       0.70,
+					ComputeShare:  0.45,
+					Overlap:       0.30,
+					UncoreLatSens: 0.10,
+					BWUncoreKnee:  2.0 * units.Gigahertz,
+					BWCoreExp:     0.20,
+					BWCoreKnee:    1.25 * units.Gigahertz,
+					Duration:      280 * time.Millisecond,
+				},
+			},
+		}},
+	}
+}
+
+// LAMMPS models the in.lj molecular-dynamics run: steady pair-force
+// computation punctuated every ≈1.6 s by a 60 ms neighbour-list rebuild
+// whose power burst is shorter than the 200 ms sampling interval. The
+// bursts alias away in the controller's samples — the mechanism behind
+// LAMMPS' small tolerance violations in the paper (§V-A: bursts "missed
+// with a 200 ms interval").
+func LAMMPS() App {
+	return App{
+		Name:        "LAMMPS",
+		Class:       "in.lj",
+		Description: "molecular dynamics; steady pair forces with sub-interval rebuild bursts",
+		Loops: []Loop{{
+			Count: 18,
+			Body: []model.PhaseShape{
+				{
+					Name:          "lmp.pair",
+					FlopFrac:      0.13,
+					MemFrac:       0.45,
+					ComputeShare:  0.65,
+					Overlap:       0.45,
+					UncoreLatSens: 0.30,
+					BWUncoreKnee:  2.15 * units.Gigahertz,
+					BWCoreExp:     0.15,
+					BWCoreKnee:    1.2 * units.Gigahertz,
+					Duration:      1540 * time.Millisecond,
+				},
+				{
+					Name:          "lmp.neigh",
+					FlopFrac:      0.30,
+					MemFrac:       0.70,
+					ComputeShare:  0.60,
+					Overlap:       0.30,
+					UncoreLatSens: 0.30,
+					BWUncoreKnee:  2.3 * units.Gigahertz,
+					BWCoreExp:     0.20,
+					BWCoreKnee:    1.25 * units.Gigahertz,
+					Duration:      60 * time.Millisecond,
+				},
+			},
+		}},
+	}
+}

@@ -1,0 +1,232 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"dufp/internal/model"
+	"dufp/internal/units"
+)
+
+// This file provides parametric builders for synthetic applications, used
+// by tests, examples and anyone composing workloads beyond the paper's
+// suite: steady single-phase apps, compute/memory alternators (UA-like),
+// burst apps (LAMMPS-like) and intensity ramps.
+
+// SteadyConfig parameterises a single-phase application.
+type SteadyConfig struct {
+	// Name labels the application.
+	Name string
+	// OIClass positions the phase: "compute" (OI ≈ 5), "memory"
+	// (OI ≈ 0.2) or "balanced" (OI ≈ 1.5).
+	OIClass string
+	// Duration is the total run length.
+	Duration time.Duration
+}
+
+// Steady builds a one-phase application of the requested intensity class.
+func Steady(cfg SteadyConfig) (App, error) {
+	var shape model.PhaseShape
+	switch cfg.OIClass {
+	case "compute":
+		shape = model.PhaseShape{
+			FlopFrac: 0.20, MemFrac: 0.40,
+			ComputeShare: 0.70, Overlap: 0.45,
+			UncoreLatSens: 0.30,
+			BWUncoreKnee:  2.2 * units.Gigahertz,
+			BWCoreKnee:    1.2 * units.Gigahertz,
+		}
+	case "memory":
+		shape = model.PhaseShape{
+			FlopFrac: 0.01, MemFrac: 0.82,
+			ComputeShare: 0.40, Overlap: 0.30,
+			BWUncoreKnee: 2.0 * units.Gigahertz,
+			BWCoreExp:    0.25,
+			BWCoreKnee:   1.3 * units.Gigahertz,
+		}
+	case "balanced":
+		shape = model.PhaseShape{
+			FlopFrac: 0.06, MemFrac: 0.65,
+			ComputeShare: 0.50, Overlap: 0.35,
+			UncoreLatSens: 0.15,
+			BWUncoreKnee:  2.05 * units.Gigahertz,
+			BWCoreExp:     0.20,
+			BWCoreKnee:    1.25 * units.Gigahertz,
+		}
+	default:
+		return App{}, fmt.Errorf("workload: unknown intensity class %q", cfg.OIClass)
+	}
+	if cfg.Duration <= 0 {
+		return App{}, fmt.Errorf("workload: steady app needs a positive duration")
+	}
+	name := cfg.Name
+	if name == "" {
+		name = "steady-" + cfg.OIClass
+	}
+	shape.Name = name + ".phase"
+	shape.Duration = cfg.Duration
+	app := App{
+		Name:        name,
+		Class:       "synthetic",
+		Description: fmt.Sprintf("steady %s-intensity synthetic application", cfg.OIClass),
+		Loops:       []Loop{{Count: 1, Body: []model.PhaseShape{shape}}},
+	}
+	return app, app.Validate()
+}
+
+// AlternatorConfig parameterises a UA-like compute/memory alternator.
+type AlternatorConfig struct {
+	Name string
+	// ComputeDur and MemoryDur are the per-iteration phase lengths.
+	ComputeDur, MemoryDur time.Duration
+	// Cycles is the iteration count.
+	Cycles int
+}
+
+// Alternator builds an application that alternates a compute-bound phase
+// (OI ≈ 10) with a memory-bound one (OI ≈ 0.15). Choose phase durations
+// relative to the 200 ms control period to study detection behaviour:
+// sub-period phases alias (the UA pathology), longer phases are detected.
+func Alternator(cfg AlternatorConfig) (App, error) {
+	if cfg.ComputeDur <= 0 || cfg.MemoryDur <= 0 || cfg.Cycles < 1 {
+		return App{}, fmt.Errorf("workload: alternator needs positive durations and cycles")
+	}
+	name := cfg.Name
+	if name == "" {
+		name = "alternator"
+	}
+	app := App{
+		Name:        name,
+		Class:       "synthetic",
+		Description: "alternating compute/memory synthetic application",
+		Loops: []Loop{{
+			Count: cfg.Cycles,
+			Body: []model.PhaseShape{
+				{
+					Name:          name + ".compute",
+					FlopFrac:      0.30,
+					MemFrac:       0.35,
+					ComputeShare:  0.85,
+					Overlap:       0.40,
+					UncoreLatSens: 0.25,
+					BWUncoreKnee:  2.2 * units.Gigahertz,
+					BWCoreKnee:    1.2 * units.Gigahertz,
+					Duration:      cfg.ComputeDur,
+				},
+				{
+					Name:         name + ".memory",
+					FlopFrac:     0.0075,
+					MemFrac:      0.80,
+					ComputeShare: 0.15,
+					Overlap:      0.30,
+					BWUncoreKnee: 1.95 * units.Gigahertz,
+					BWCoreExp:    0.10,
+					BWCoreKnee:   1.25 * units.Gigahertz,
+					Duration:     cfg.MemoryDur,
+				},
+			},
+		}},
+	}
+	return app, app.Validate()
+}
+
+// BurstConfig parameterises a LAMMPS-like steady application with periodic
+// high-activity bursts.
+type BurstConfig struct {
+	Name string
+	// BaseDur is the steady segment between bursts; BurstDur the burst
+	// length. Bursts shorter than the 200 ms control period alias in the
+	// controllers' samples.
+	BaseDur, BurstDur time.Duration
+	// Cycles is the number of base+burst repetitions.
+	Cycles int
+	// BurstFlopFrac is the burst's achieved FLOP fraction (its power
+	// spike); the base runs at 0.13.
+	BurstFlopFrac float64
+}
+
+// Burst builds the bursty application.
+func Burst(cfg BurstConfig) (App, error) {
+	if cfg.BaseDur <= 0 || cfg.BurstDur <= 0 || cfg.Cycles < 1 {
+		return App{}, fmt.Errorf("workload: burst app needs positive durations and cycles")
+	}
+	if cfg.BurstFlopFrac <= 0 || cfg.BurstFlopFrac > 1 {
+		return App{}, fmt.Errorf("workload: burst FlopFrac %v outside (0,1]", cfg.BurstFlopFrac)
+	}
+	name := cfg.Name
+	if name == "" {
+		name = "burst"
+	}
+	app := App{
+		Name:        name,
+		Class:       "synthetic",
+		Description: "steady synthetic application with periodic power bursts",
+		Loops: []Loop{{
+			Count: cfg.Cycles,
+			Body: []model.PhaseShape{
+				{
+					Name:          name + ".base",
+					FlopFrac:      0.13,
+					MemFrac:       0.45,
+					ComputeShare:  0.65,
+					Overlap:       0.45,
+					UncoreLatSens: 0.30,
+					BWUncoreKnee:  2.15 * units.Gigahertz,
+					BWCoreExp:     0.15,
+					BWCoreKnee:    1.2 * units.Gigahertz,
+					Duration:      cfg.BaseDur,
+				},
+				{
+					Name:          name + ".burst",
+					FlopFrac:      cfg.BurstFlopFrac,
+					MemFrac:       0.70,
+					ComputeShare:  0.60,
+					Overlap:       0.30,
+					UncoreLatSens: 0.30,
+					BWUncoreKnee:  2.3 * units.Gigahertz,
+					BWCoreExp:     0.20,
+					BWCoreKnee:    1.25 * units.Gigahertz,
+					Duration:      cfg.BurstDur,
+				},
+			},
+		}},
+	}
+	return app, app.Validate()
+}
+
+// Ramp builds an application whose operational intensity steps from
+// memory-bound toward compute-bound across `steps` equal-duration phases —
+// a staircase for testing phase detection and per-phase re-exploration.
+func Ramp(name string, steps int, stepDur time.Duration) (App, error) {
+	if steps < 2 {
+		return App{}, fmt.Errorf("workload: ramp needs at least 2 steps")
+	}
+	if stepDur <= 0 {
+		return App{}, fmt.Errorf("workload: ramp needs a positive step duration")
+	}
+	if name == "" {
+		name = "ramp"
+	}
+	body := make([]model.PhaseShape, steps)
+	for i := range body {
+		t := float64(i) / float64(steps-1) // 0 = memory, 1 = compute
+		body[i] = model.PhaseShape{
+			Name:         fmt.Sprintf("%s.step%02d", name, i),
+			FlopFrac:     model.Interp(0.005, 0.25, t),
+			MemFrac:      model.Interp(0.85, 0.25, t),
+			ComputeShare: model.Interp(0.25, 0.85, t),
+			Overlap:      0.35,
+			BWUncoreKnee: 2.0 * units.Gigahertz,
+			BWCoreExp:    model.Interp(0.25, 0.05, t),
+			BWCoreKnee:   1.25 * units.Gigahertz,
+			Duration:     stepDur,
+		}
+	}
+	app := App{
+		Name:        name,
+		Class:       "synthetic",
+		Description: "memory-to-compute intensity staircase",
+		Loops:       []Loop{{Count: 1, Body: body}},
+	}
+	return app, app.Validate()
+}

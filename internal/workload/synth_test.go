@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"dufp/internal/arch"
+)
+
+func TestSteadyClasses(t *testing.T) {
+	spec := arch.XeonGold6130()
+	cases := []struct {
+		class  string
+		lo, hi float64
+	}{
+		{"compute", 1, 100},
+		{"memory", 0.02, 1},
+		{"balanced", 0.5, 3},
+	}
+	for _, tc := range cases {
+		app, err := Steady(SteadyConfig{OIClass: tc.class, Duration: 10 * time.Second})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.class, err)
+		}
+		oi := app.Loops[0].Body[0].OperationalIntensity(spec)
+		if oi < tc.lo || oi > tc.hi {
+			t.Errorf("%s OI = %.3f, want [%g, %g]", tc.class, oi, tc.lo, tc.hi)
+		}
+		if app.NominalDuration() != 10*time.Second {
+			t.Errorf("%s duration = %v", tc.class, app.NominalDuration())
+		}
+	}
+}
+
+func TestSteadyValidation(t *testing.T) {
+	if _, err := Steady(SteadyConfig{OIClass: "weird", Duration: time.Second}); err == nil {
+		t.Error("accepted unknown class")
+	}
+	if _, err := Steady(SteadyConfig{OIClass: "compute"}); err == nil {
+		t.Error("accepted zero duration")
+	}
+}
+
+func TestAlternatorStructure(t *testing.T) {
+	app, err := Alternator(AlternatorConfig{ComputeDur: 100 * time.Millisecond, MemoryDur: 900 * time.Millisecond, Cycles: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.NominalDuration() != 10*time.Second {
+		t.Fatalf("duration = %v, want 10 s", app.NominalDuration())
+	}
+	spec := arch.XeonGold6130()
+	c := app.Loops[0].Body[0].OperationalIntensity(spec)
+	m := app.Loops[0].Body[1].OperationalIntensity(spec)
+	if c <= 1 || m >= 1 {
+		t.Fatalf("OIs = %.2f/%.2f, want straddling 1", c, m)
+	}
+}
+
+func TestAlternatorValidation(t *testing.T) {
+	if _, err := Alternator(AlternatorConfig{ComputeDur: time.Second, MemoryDur: time.Second}); err == nil {
+		t.Error("accepted zero cycles")
+	}
+	if _, err := Alternator(AlternatorConfig{MemoryDur: time.Second, Cycles: 1}); err == nil {
+		t.Error("accepted zero compute duration")
+	}
+}
+
+func TestBurstStructure(t *testing.T) {
+	app, err := Burst(BurstConfig{BaseDur: 1500 * time.Millisecond, BurstDur: 60 * time.Millisecond, Cycles: 5, BurstFlopFrac: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(app.Unroll(nil, Jitter{})); got != 10 {
+		t.Fatalf("unrolled %d phases, want 10", got)
+	}
+	// The burst's power spike: higher FlopFrac than the base.
+	base := app.Loops[0].Body[0]
+	burst := app.Loops[0].Body[1]
+	if burst.FlopFrac <= base.FlopFrac {
+		t.Fatal("burst does not spike")
+	}
+}
+
+func TestBurstValidation(t *testing.T) {
+	if _, err := Burst(BurstConfig{BaseDur: time.Second, BurstDur: time.Second, Cycles: 1, BurstFlopFrac: 1.5}); err == nil {
+		t.Error("accepted FlopFrac > 1")
+	}
+	if _, err := Burst(BurstConfig{BaseDur: time.Second, Cycles: 1, BurstFlopFrac: 0.5}); err == nil {
+		t.Error("accepted zero burst duration")
+	}
+}
+
+func TestRampMonotonicOI(t *testing.T) {
+	app, err := Ramp("r", 6, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := arch.XeonGold6130()
+	prev := -1.0
+	for _, ph := range app.Loops[0].Body {
+		oi := ph.OperationalIntensity(spec)
+		if oi <= prev {
+			t.Fatalf("OI not increasing along the ramp: %v after %v", oi, prev)
+		}
+		prev = oi
+	}
+	first := app.Loops[0].Body[0].OperationalIntensity(spec)
+	last := app.Loops[0].Body[5].OperationalIntensity(spec)
+	if first >= 1 || last <= 1 {
+		t.Fatalf("ramp endpoints = %.2f..%.2f, want crossing 1", first, last)
+	}
+}
+
+func TestRampValidation(t *testing.T) {
+	if _, err := Ramp("r", 1, time.Second); err == nil {
+		t.Error("accepted a 1-step ramp")
+	}
+	if _, err := Ramp("r", 4, 0); err == nil {
+		t.Error("accepted zero step duration")
+	}
+}

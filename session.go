@@ -1,0 +1,339 @@
+package dufp
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dufp/internal/control"
+	"dufp/internal/metrics"
+	"dufp/internal/papi"
+	"dufp/internal/powercap"
+	"dufp/internal/rapl"
+	"dufp/internal/sim"
+	"dufp/internal/trace"
+	"dufp/internal/uncore"
+	"dufp/internal/units"
+	"dufp/internal/workload"
+)
+
+// Session is a configured experiment runner: it owns the simulated node's
+// configuration, the measurement cadence and the stochastic seeds, and can
+// execute applications under governors repeatedly per the paper's protocol.
+type Session struct {
+	// Sim is the machine configuration.
+	Sim sim.Config
+	// ControlPeriod is the controllers' measurement interval (paper: 200 ms).
+	ControlPeriod time.Duration
+	// NoiseSD is the relative measurement noise of the PAPI layer.
+	NoiseSD float64
+	// MonitorOverhead is the per-decision-round stall (§IV-D); zero keeps
+	// monitoring free, the paper-calibrated default.
+	MonitorOverhead time.Duration
+	// Jitter is the run-to-run workload variability.
+	Jitter workload.Jitter
+	// Seed is the base seed; run i of a config derives its own seeds
+	// from it, so sequences are reproducible and runs are independent.
+	Seed int64
+}
+
+// NewSession returns a session with the paper's configuration: yeti-2,
+// 1 ms physics, 200 ms control period, sub-percent measurement noise.
+func NewSession() Session {
+	return Session{
+		Sim:           sim.DefaultConfig(),
+		ControlPeriod: 200 * time.Millisecond,
+		NoiseSD:       0.006,
+		Jitter:        workload.DefaultJitter(),
+		Seed:          42,
+	}
+}
+
+// GovernorFunc builds one controller instance for a socket. A nil instance
+// leaves the socket in its default configuration.
+type GovernorFunc func(act control.Actuators) (control.Instance, error)
+
+// DefaultGovernor leaves the machine in its default configuration (the
+// paper's baseline).
+func DefaultGovernor() GovernorFunc {
+	return func(control.Actuators) (control.Instance, error) { return nil, nil }
+}
+
+// DUFGovernor attaches the uncore-only DUF controller.
+func DUFGovernor(cfg ControlConfig) GovernorFunc {
+	return func(act control.Actuators) (control.Instance, error) {
+		return control.NewDUF(act, cfg)
+	}
+}
+
+// DUFPGovernor attaches the paper's DUFP controller.
+func DUFPGovernor(cfg ControlConfig) GovernorFunc {
+	return func(act control.Actuators) (control.Instance, error) {
+		return control.NewDUFP(act, cfg)
+	}
+}
+
+// DNPCGovernor attaches the frequency-model dynamic-capping baseline from
+// the paper's related work (§VI): it estimates degradation from the
+// APERF/MPERF effective frequency instead of FLOPS.
+func DNPCGovernor(cfg ControlConfig) GovernorFunc {
+	return func(act control.Actuators) (control.Instance, error) {
+		return control.NewDNPC(act, cfg)
+	}
+}
+
+// DUFPFGovernor attaches the future-work variant (§VII) that additionally
+// manages the core-frequency request under an active cap.
+func DUFPFGovernor(cfg ControlConfig) GovernorFunc {
+	return func(act control.Actuators) (control.Instance, error) {
+		return control.NewDUFPF(act, cfg)
+	}
+}
+
+// StaticCapGovernor applies a fixed power cap for the whole run.
+func StaticCapGovernor(pl1, pl2 Power) GovernorFunc {
+	return func(act control.Actuators) (control.Instance, error) {
+		return control.NewStaticCap(act, pl1, pl2)
+	}
+}
+
+// StaticCapWithDUF applies a fixed power cap and runs DUF under it, the
+// configuration of the paper's Fig 1a capped bars.
+func StaticCapWithDUF(cfg ControlConfig, pl1, pl2 Power) GovernorFunc {
+	return func(act control.Actuators) (control.Instance, error) {
+		static, err := control.NewStaticCap(control.Actuators{Spec: act.Spec, Zone: act.Zone}, pl1, pl2)
+		if err != nil {
+			return nil, err
+		}
+		duf, err := control.NewDUF(act, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return control.Chain{static, duf}, nil
+	}
+}
+
+// TimedCapGovernor applies a fixed cap until the deadline, then restores
+// the defaults (Fig 1b/1c partial-phase capping). DUF runs throughout.
+func TimedCapGovernor(cfg ControlConfig, pl1, pl2 Power, until time.Duration) GovernorFunc {
+	return func(act control.Actuators) (control.Instance, error) {
+		timed, err := control.NewTimedCap(control.Actuators{Spec: act.Spec, Zone: act.Zone}, pl1, pl2, until)
+		if err != nil {
+			return nil, err
+		}
+		duf, err := control.NewDUF(act, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return control.Chain{timed, duf}, nil
+	}
+}
+
+// attach builds per-socket actuators and controller instances on a
+// machine.
+func (s Session) attach(m *sim.Machine, mk GovernorFunc, runSeed int64) ([]sim.Governor, []control.Instance, error) {
+	spec := m.Config().Topo.Spec
+	govs := make([]sim.Governor, m.Sockets())
+	insts := make([]control.Instance, m.Sockets())
+	for i := 0; i < m.Sockets(); i++ {
+		sock := m.Socket(i)
+		client, err := rapl.NewClient(m.MSR(), sock.CPU0())
+		if err != nil {
+			return nil, nil, err
+		}
+		zone, err := powercap.OpenPackage(m.MSR(), sock.CPU0(), i, spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		rng := rand.New(rand.NewSource(runSeed*7919 + int64(i)*104729 + 13))
+		mon, err := papi.NewMonitor(sock, client.NewPkgEnergyMeter(), client.NewDramEnergyMeter(), rng, s.NoiseSD)
+		if err != nil {
+			return nil, nil, err
+		}
+		inst, err := mk(control.Actuators{
+			Spec:    spec,
+			Monitor: mon,
+			Zone:    zone,
+			Uncore:  uncore.NewControl(m.MSR(), sock.CPU0(), spec),
+			Dev:     m.MSR(),
+			CPU:     sock.CPU0(),
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if inst != nil {
+			insts[i] = inst
+			govs[i] = inst
+		}
+	}
+	return govs, insts, nil
+}
+
+// runSeed derives the deterministic seed of run index idx.
+func (s Session) runSeed(app string, idx int) int64 {
+	h := int64(1469598103934665603)
+	for _, c := range app {
+		h ^= int64(c)
+		h *= 1099511628211
+	}
+	return s.Seed + h%100003 + int64(idx)*6700417
+}
+
+// Run executes one run of app under the governor. idx selects the run's
+// deterministic seeds; repeated calls with the same idx reproduce the run
+// exactly.
+func (s Session) Run(app App, mk GovernorFunc, idx int) (Run, error) {
+	r, _, _, err := s.run(app, mk, idx, false)
+	return r, err
+}
+
+// RunTraced is Run plus a full time-series recording.
+func (s Session) RunTraced(app App, mk GovernorFunc, idx int) (Run, *trace.Recorder, error) {
+	r, rec, _, err := s.run(app, mk, idx, true)
+	return r, rec, err
+}
+
+// RunWithEvents is Run plus the decision log of socket 0's controller
+// instance (nil for controllers that do not record one).
+func (s Session) RunWithEvents(app App, mk GovernorFunc, idx int) (Run, []ControlEvent, error) {
+	r, _, insts, err := s.run(app, mk, idx, false)
+	if err != nil {
+		return r, nil, err
+	}
+	for _, inst := range insts {
+		if inst != nil {
+			return r, EventsOf(inst), nil
+		}
+	}
+	return r, nil, nil
+}
+
+func (s Session) run(app App, mk GovernorFunc, idx int, traced bool) (Run, *trace.Recorder, []control.Instance, error) {
+	if err := app.Validate(); err != nil {
+		return Run{}, nil, nil, err
+	}
+	seed := s.runSeed(app.Name, idx)
+
+	cfg := s.Sim
+	cfg.Seed = seed
+	m, err := sim.New(cfg)
+	if err != nil {
+		return Run{}, nil, nil, err
+	}
+	phases := app.Unroll(rand.New(rand.NewSource(seed*31+7)), s.Jitter)
+	if err := m.Load(phases); err != nil {
+		return Run{}, nil, nil, err
+	}
+
+	govs, insts, err := s.attach(m, mk, seed)
+	if err != nil {
+		return Run{}, nil, nil, err
+	}
+	var govName string
+	for _, inst := range insts {
+		if inst == nil {
+			continue
+		}
+		if err := inst.Start(); err != nil {
+			return Run{}, nil, nil, err
+		}
+		govName = inst.Name()
+	}
+	if govName == "" {
+		govName = control.NoOp{}.Name()
+	}
+
+	opts := sim.RunOpts{
+		ControlPeriod:    s.ControlPeriod,
+		Governors:        govs,
+		GovernorOverhead: s.MonitorOverhead,
+	}
+	if allNil(govs) {
+		opts.Governors = nil
+	}
+	var rec *trace.Recorder
+	if traced {
+		rec = trace.NewRecorder(m.Sockets())
+		opts.Trace = rec.Hook()
+		opts.TraceEvery = 10
+	}
+	res, err := m.Run(opts)
+	if err != nil {
+		return Run{}, nil, nil, fmt.Errorf("dufp: running %s under %s: %w", app.Name, govName, err)
+	}
+
+	return Run{
+		App:          app.Name,
+		Governor:     govName,
+		Slowdown:     slowdownOf(insts),
+		Time:         res.Duration,
+		PkgEnergy:    res.PkgEnergy,
+		DramEnergy:   res.DramEnergy,
+		AvgPkgPower:  res.AvgPkgPower,
+		AvgDramPower: res.AvgDramPower,
+		AvgCoreFreq:  res.AvgCoreFreq,
+		AvgUncore:    res.AvgUncoreFreq,
+	}, rec, insts, nil
+}
+
+// Summarize performs n runs and aggregates them with the paper's protocol
+// (drop fastest and slowest, average the rest).
+func (s Session) Summarize(app App, mk GovernorFunc, n int) (Summary, error) {
+	if n < 1 {
+		return Summary{}, fmt.Errorf("dufp: need at least one run, got %d", n)
+	}
+	runs := make([]metrics.Run, 0, n)
+	for i := 0; i < n; i++ {
+		r, err := s.Run(app, mk, i)
+		if err != nil {
+			return Summary{}, err
+		}
+		runs = append(runs, r)
+	}
+	return metrics.Summarize(runs)
+}
+
+func allNil(govs []sim.Governor) bool {
+	for _, g := range govs {
+		if g != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// slowdownOf extracts the tolerated slowdown from the first DUF/DUFP
+// instance, if any.
+func slowdownOf(insts []control.Instance) float64 {
+	for _, in := range insts {
+		if s, ok := slowdownOfInstance(in); ok {
+			return s
+		}
+	}
+	return 0
+}
+
+func slowdownOfInstance(in control.Instance) (float64, bool) {
+	switch g := in.(type) {
+	case *control.DUF:
+		return g.Config().Slowdown, true
+	case *control.DUFP:
+		return g.Config().Slowdown, true
+	case *control.DNPC:
+		return g.Config().Slowdown, true
+	case *control.DUFPF:
+		return g.Config().Slowdown, true
+	case control.Chain:
+		for _, member := range g {
+			if s, ok := slowdownOfInstance(member); ok {
+				return s, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// DefaultPL returns the node's factory long- and short-term power limits.
+func (s Session) DefaultPL() (pl1, pl2 units.Power) {
+	return s.Sim.Topo.Spec.DefaultPL1, s.Sim.Topo.Spec.DefaultPL2
+}
