@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all tier1 build test short race vet
+
+all: tier1 race vet
+
+# tier1 is the gate every change must keep green: everything builds and
+# the full test suite passes.
+tier1: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# short skips the multi-second measurement campaigns.
+short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...

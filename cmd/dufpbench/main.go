@@ -8,14 +8,20 @@
 //	dufpbench -fig 1a -apps CG         # motivation study
 //	dufpbench -fig 5 -trace-csv out/   # frequency traces as CSV
 //	dufpbench -fig all -md             # markdown rendering (EXPERIMENTS.md)
+//	dufpbench -fig all -progress       # live scheduler progress on stderr
+//	dufpbench -fig all -stats -        # executor statistics as JSON
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync"
 
 	"dufp"
 	"dufp/internal/experiment"
@@ -34,29 +40,90 @@ func main() {
 		workers  = flag.Int("parallel", 0, "max concurrent runs (default: GOMAXPROCS)")
 		bars     = flag.Bool("bars", false, "include [min, max] error bars in the grid tables")
 		html     = flag.String("html", "", "write the full campaign as an HTML report (charts + tables) to this file")
+		progress = flag.Bool("progress", false, "print live scheduler progress to stderr")
+		stats    = flag.String("stats", "", "write executor statistics as JSON to this file ('-' for stdout)")
 	)
 	flag.Parse()
+
+	// Interrupt cancels the campaign between decision rounds.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// All tables of the invocation share one executor, so cross-table
+	// requests (a sweep after a grid, say) are served from its memo cache.
+	executor := dufp.SharedExecutor()
+	if *workers > 0 {
+		executor = dufp.NewExecutor(dufp.ExecWorkers(*workers))
+	}
+	if *progress {
+		executor.SetObserver(progressObserver())
+		defer executor.SetObserver(nil)
+	}
 
 	opts := experiment.DefaultOptions()
 	opts.Runs = *runs
 	opts.Parallelism = *workers
 	opts.Session.Seed = *seed
 	opts.ErrorBars = *bars
+	opts.Context = ctx
+	opts.Executor = executor
 	if *apps != "" {
 		opts.Apps = strings.Split(*apps, ",")
 	}
 
-	if *html != "" {
-		if err := writeHTML(opts, *html); err != nil {
-			fmt.Fprintln(os.Stderr, "dufpbench:", err)
-			os.Exit(1)
+	err := func() error {
+		if *html != "" {
+			return writeHTML(opts, *html)
 		}
-		return
+		return run(opts, *fig, *md, *traceCSV)
+	}()
+	if *stats != "" {
+		if serr := writeStats(executor, *stats); serr != nil && err == nil {
+			err = serr
+		}
 	}
-	if err := run(opts, *fig, *md, *traceCSV); err != nil {
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dufpbench:", err)
 		os.Exit(1)
 	}
+}
+
+// progressObserver renders the executor's structured events as one stderr
+// line each. The executor calls it from many goroutines; the mutex keeps
+// lines whole and the counter monotone.
+func progressObserver() func(dufp.ExecutorEvent) {
+	var (
+		mu   sync.Mutex
+		done int
+	)
+	return func(ev dufp.ExecutorEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch ev.Kind {
+		case dufp.ExecCompleted, dufp.ExecFailed:
+			done++
+			fmt.Fprintf(os.Stderr, "[%4d done] %-9s %s (%.2fs, %d in flight)\n",
+				done, ev.Kind, ev.Key, ev.Wall.Seconds(), ev.QueueDepth)
+		case dufp.ExecCached, dufp.ExecCoalesced:
+			fmt.Fprintf(os.Stderr, "[%4d done] %-9s %s\n", done, ev.Kind, ev.Key)
+		}
+	}
+}
+
+// writeStats dumps the executor's counters as JSON.
+func writeStats(executor *dufp.Executor, path string) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(executor.Stats())
 }
 
 func writeHTML(opts experiment.Options, path string) error {

@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"dufp"
@@ -44,7 +46,9 @@ func main() {
 		}
 		return
 	}
-	if err := run(params{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, params{
 		appName:  *appName,
 		appFile:  *appFile,
 		export:   *export,
@@ -80,34 +84,34 @@ func loadApp(p params) (dufp.App, error) {
 		defer f.Close()
 		return workload.ReadJSON(f)
 	}
-	app, ok := dufp.AppByName(p.appName)
-	if !ok {
-		return dufp.App{}, fmt.Errorf("unknown application %q (try -list)", p.appName)
+	app, err := dufp.AppNamed(p.appName)
+	if err != nil {
+		return dufp.App{}, fmt.Errorf("%w (try -list)", err)
 	}
 	return app, nil
 }
 
-func governor(name string, cfg dufp.ControlConfig, cap dufp.Power) (dufp.GovernorFunc, error) {
+func governor(name string, cfg dufp.ControlConfig, cap dufp.Power) (dufp.Governor, error) {
 	switch strings.ToLower(name) {
 	case "default", "none":
-		return dufp.DefaultGovernor(), nil
+		return dufp.Baseline(), nil
 	case "duf":
-		return dufp.DUFGovernor(cfg), nil
+		return dufp.DUF(cfg), nil
 	case "dufp":
-		return dufp.DUFPGovernor(cfg), nil
+		return dufp.DUFP(cfg), nil
 	case "dnpc":
-		return dufp.DNPCGovernor(cfg), nil
+		return dufp.DNPC(cfg), nil
 	case "dufpf", "dufp-f":
-		return dufp.DUFPFGovernor(cfg), nil
+		return dufp.DUFPF(cfg), nil
 	case "static":
-		return dufp.StaticCapGovernor(cap, cap), nil
+		return dufp.StaticCap(cap, cap), nil
 	case "static+duf":
-		return dufp.StaticCapWithDUF(cfg, cap, cap), nil
+		return dufp.StaticCapDUF(cfg, cap, cap), nil
 	}
-	return nil, fmt.Errorf("unknown governor %q", name)
+	return dufp.Governor{}, fmt.Errorf("unknown governor %q: %w", name, dufp.ErrBadConfig)
 }
 
-func run(p params) error {
+func run(ctx context.Context, p params) error {
 	app, err := loadApp(p)
 	if err != nil {
 		return err
@@ -124,16 +128,15 @@ func run(p params) error {
 		fmt.Printf("wrote %s definition to %s\n", app.Name, p.export)
 		return nil
 	}
-	session := dufp.NewSession()
-	session.Seed = p.seed
+	session := dufp.NewSession(dufp.WithSeed(p.seed))
 
 	cfg := dufp.DefaultControlConfig(p.slowdown)
-	mk, err := governor(p.gov, cfg, p.cap)
+	gov, err := governor(p.gov, cfg, p.cap)
 	if err != nil {
 		return err
 	}
 
-	sum, err := session.Summarize(app, mk, p.runs)
+	sum, err := session.SummarizeCtx(ctx, app, gov, p.runs)
 	if err != nil {
 		return err
 	}
@@ -145,7 +148,7 @@ func run(p params) error {
 	fmt.Printf("  avg core    %8.2f GHz, avg uncore %.2f GHz\n", sum.CoreFreq.Mean/1e9, sum.UncoreFreq.Mean/1e9)
 
 	if p.baseline && p.gov != "default" {
-		base, err := session.Summarize(app, dufp.DefaultGovernor(), p.runs)
+		base, err := session.SummarizeCtx(ctx, app, dufp.Baseline(), p.runs)
 		if err != nil {
 			return err
 		}
@@ -158,7 +161,7 @@ func run(p params) error {
 	}
 
 	if p.traceCSV != "" {
-		_, rec, err := session.RunTraced(app, mk, 0)
+		_, rec, err := session.RunTracedCtx(ctx, app, gov, 0)
 		if err != nil {
 			return err
 		}

@@ -8,11 +8,18 @@
 //
 // Quick start:
 //
+//	ctx := context.Background()
 //	session := dufp.NewSession()
-//	app, _ := dufp.AppByName("CG")
-//	summary, _ := session.Summarize(app, dufp.DUFPGovernor(dufp.DefaultControlConfig(0.10)), 10)
-//	baseline, _ := session.Summarize(app, dufp.DefaultGovernor(), 10)
+//	app, _ := dufp.AppNamed("CG")
+//	summary, _ := session.SummarizeCtx(ctx, app, dufp.DUFP(dufp.DefaultControlConfig(0.10)), 10)
+//	baseline, _ := session.SummarizeCtx(ctx, app, dufp.Baseline(), 10)
 //	fmt.Println(dufp.CompareRuns(summary, baseline))
+//
+// Runs are scheduled on a shared, memoising executor: identical
+// (app, governor, session, run index) requests — e.g. the baseline above
+// and the same baseline needed by an experiment table — compute once.
+// The pre-context forms (Session.Summarize with a GovernorFunc) remain as
+// thin wrappers.
 package dufp
 
 import (

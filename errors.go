@@ -1,0 +1,27 @@
+package dufp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors of the public API. They satisfy errors.Is through every
+// wrapping layer (session, experiment harness, CLIs).
+var (
+	// ErrUnknownApp reports an application name outside the suite.
+	ErrUnknownApp = errors.New("dufp: unknown application")
+	// ErrBadConfig reports an invalid configuration value (non-positive
+	// run counts, malformed options, executor keys without payloads).
+	ErrBadConfig = errors.New("dufp: invalid configuration")
+)
+
+// AppNamed returns a suite application by name, or an error satisfying
+// errors.Is(err, ErrUnknownApp). It is the error-returning form of
+// AppByName.
+func AppNamed(name string) (App, error) {
+	app, ok := AppByName(name)
+	if !ok {
+		return App{}, fmt.Errorf("%w: %q", ErrUnknownApp, name)
+	}
+	return app, nil
+}

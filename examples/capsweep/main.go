@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,27 +17,31 @@ import (
 )
 
 func main() {
-	session := dufp.NewSession()
-	app, _ := dufp.AppByName("CG")
+	ctx := context.Background()
+	session := dufp.NewSession(dufp.WithSeed(42))
+	app, err := dufp.AppNamed("CG")
+	if err != nil {
+		log.Fatal(err)
+	}
 	cfg := dufp.DefaultControlConfig(0.05)
 	const runs = 5
 
 	budget := 4 * 125.0 // node processor budget: 4 sockets × PL1
 
-	base, err := session.Summarize(app, dufp.DefaultGovernor(), runs)
+	base, err := session.SummarizeCtx(ctx, app, dufp.Baseline(), runs)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("whole-run capping (uncore scaling active under each cap):")
 	fmt.Printf("  %-12s time %6.2f s  power/budget %.3f\n", "default", base.Time.Mean, base.PkgPower.Mean/budget)
 	for _, cap := range []dufp.Power{0, 110, 100, 90} {
-		mk := dufp.DUFGovernor(cfg)
+		gov := dufp.DUF(cfg)
 		label := "UFS"
 		if cap > 0 {
-			mk = dufp.StaticCapWithDUF(cfg, cap, cap)
+			gov = dufp.StaticCapDUF(cfg, cap, cap)
 			label = fmt.Sprintf("UFS+%.0f W", float64(cap))
 		}
-		sum, err := session.Summarize(app, mk, runs)
+		sum, err := session.SummarizeCtx(ctx, app, gov, runs)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -49,7 +54,7 @@ func main() {
 	prologue := app.Loops[0].Body[0].Duration
 	fmt.Printf("\npartial capping (cap lifted after the %.1f s memory prologue):\n", prologue.Seconds())
 	for _, cap := range []dufp.Power{110, 100} {
-		sum, err := session.Summarize(app, dufp.TimedCapGovernor(cfg, cap, cap, prologue), runs)
+		sum, err := session.SummarizeCtx(ctx, app, dufp.TimedCap(cfg, cap, cap, prologue), runs)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -38,7 +38,10 @@ func scenario(dynamic bool) (cpuTime, gpuTime time.Duration, energy units.Energy
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	app, _ := dufp.AppByName(cpuApp)
+	app, err := dufp.AppNamed(cpuApp)
+	if err != nil {
+		return 0, 0, 0, err
+	}
 	if err := m.Load(app.Unroll(nil, dufp.NewSession().Jitter)); err != nil {
 		return 0, 0, 0, err
 	}

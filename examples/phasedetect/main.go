@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -44,13 +45,14 @@ func main() {
 		log.Fatal(err)
 	}
 
-	session := dufp.NewSession()
+	ctx := context.Background()
+	session := dufp.NewSession(dufp.WithSeed(42))
 	cfg := dufp.DefaultControlConfig(0.10)
-	run, rec, err := session.RunTraced(app, dufp.DUFPGovernor(cfg), 0)
+	run, rec, err := session.RunTracedCtx(ctx, app, dufp.DUFP(cfg), 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	base, err := session.Run(app, dufp.DefaultGovernor(), 0)
+	base, err := session.RunCtx(ctx, app, dufp.Baseline(), 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,7 +64,7 @@ func main() {
 		(float64(run.AvgPkgPower)/float64(base.AvgPkgPower)-1)*100)
 
 	// The controller's own account of its decisions.
-	_, events, err := session.RunWithEvents(app, dufp.DUFPGovernor(cfg), 0)
+	_, events, err := session.RunWithEventsCtx(ctx, app, dufp.DUFP(cfg), 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,14 +14,15 @@ import (
 )
 
 func main() {
-	session := dufp.NewSession()
-	app, ok := dufp.AppByName("CG")
-	if !ok {
-		log.Fatal("CG not in the suite")
+	ctx := context.Background()
+	session := dufp.NewSession(dufp.WithSeed(42))
+	app, err := dufp.AppNamed("CG")
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	const runs = 5 // the paper uses 10; 5 keeps the demo quick
-	baseline, err := session.Summarize(app, dufp.DefaultGovernor(), runs)
+	baseline, err := session.SummarizeCtx(ctx, app, dufp.Baseline(), runs)
 	if err != nil {
 		log.Fatalf("baseline: %v", err)
 	}
@@ -30,12 +32,12 @@ func main() {
 	cfg := dufp.DefaultControlConfig(0.10)
 	for _, gov := range []struct {
 		name string
-		mk   dufp.GovernorFunc
+		g    dufp.Governor
 	}{
-		{"DUF ", dufp.DUFGovernor(cfg)},
-		{"DUFP", dufp.DUFPGovernor(cfg)},
+		{"DUF ", dufp.DUF(cfg)},
+		{"DUFP", dufp.DUFP(cfg)},
 	} {
-		sum, err := session.Summarize(app, gov.mk, runs)
+		sum, err := session.SummarizeCtx(ctx, app, gov.g, runs)
 		if err != nil {
 			log.Fatalf("%s: %v", gov.name, err)
 		}

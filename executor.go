@@ -1,0 +1,167 @@
+package dufp
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sync"
+
+	"dufp/internal/control"
+	"dufp/internal/exec"
+	"dufp/internal/metrics"
+	"dufp/internal/trace"
+)
+
+// The run executor is the single execution path of the harness: every
+// Session method and every experiment entry point submits runs to one,
+// which bounds concurrency, coalesces identical in-flight runs and
+// memoises completed ones (see internal/exec). These aliases expose the
+// scheduler's types on the public facade.
+type (
+	// Executor is the shared concurrent run scheduler.
+	Executor = exec.Executor
+	// ExecutorStats aggregates an executor's counters.
+	ExecutorStats = exec.Stats
+	// ExecutorEvent is one structured scheduler progress event.
+	ExecutorEvent = exec.Event
+	// ExecutorOption configures NewExecutor.
+	ExecutorOption = exec.Option
+	// RunKey content-addresses one run inside the executor.
+	RunKey = exec.Key
+	// ExecutorEventKind classifies an ExecutorEvent.
+	ExecutorEventKind = exec.EventKind
+)
+
+// Executor progress event kinds.
+const (
+	// ExecStarted fires when a run acquires a worker and begins.
+	ExecStarted = exec.EventStarted
+	// ExecCompleted fires when a run finishes successfully.
+	ExecCompleted = exec.EventCompleted
+	// ExecFailed fires when a run returns an error.
+	ExecFailed = exec.EventFailed
+	// ExecCached fires when a submission is served from the memo cache.
+	ExecCached = exec.EventCached
+	// ExecCoalesced fires when a submission joins an in-flight run.
+	ExecCoalesced = exec.EventCoalesced
+)
+
+// Executor option constructors.
+
+// ExecWorkers bounds an executor's concurrent runs; n <= 0 means
+// GOMAXPROCS.
+func ExecWorkers(n int) ExecutorOption { return exec.WithWorkers(n) }
+
+// ExecCacheSize bounds an executor's completed-run LRU.
+func ExecCacheSize(n int) ExecutorOption { return exec.WithCacheSize(n) }
+
+// ExecObserver registers an executor's progress observer.
+func ExecObserver(fn func(ExecutorEvent)) ExecutorOption { return exec.WithObserver(fn) }
+
+// NewExecutor builds an isolated run executor backed by the session run
+// path. Use it when cache statistics must not be shared (tests) or when a
+// campaign needs its own concurrency bound; everything else should use
+// SharedExecutor.
+func NewExecutor(opts ...ExecutorOption) *Executor { return exec.New(executeKey, opts...) }
+
+var (
+	sharedOnce sync.Once
+	sharedExec *Executor
+)
+
+// SharedExecutor returns the process-wide run executor that sessions use
+// by default. Because keys are content-addressed, independent sessions
+// and tables safely share it — and profit from each other's cached runs.
+func SharedExecutor() *Executor {
+	sharedOnce.Do(func() { sharedExec = NewExecutor() })
+	return sharedExec
+}
+
+// runPayload carries the materialised inputs of one executor key. The
+// sideband fields are written only by uncached submissions (each of which
+// owns its payload), never by the memoised path, so payload sharing
+// across a Summary fan-out is race-free.
+type runPayload struct {
+	session Session
+	app     App
+	mk      GovernorFunc
+	// traced attaches a trace recorder to the run.
+	traced bool
+	// keep retains the recorder and controller instances on the payload
+	// after the run; only SubmitUncached callers set it.
+	keep bool
+
+	rec   *trace.Recorder
+	insts []control.Instance
+}
+
+// executeKey is the Runner behind every executor built by this package.
+func executeKey(ctx context.Context, key exec.Key) (metrics.Run, error) {
+	p, ok := key.Payload.(*runPayload)
+	if !ok {
+		return metrics.Run{}, fmt.Errorf("%w: executor key %v carries no run payload", ErrBadConfig, key)
+	}
+	run, rec, insts, err := p.session.execute(ctx, p.app, p.mk, key.Idx, p.traced)
+	if err != nil {
+		return metrics.Run{}, err
+	}
+	if p.keep {
+		p.rec, p.insts = rec, insts
+	}
+	return run, nil
+}
+
+// hash64 returns the FNV-1a fingerprint of s as fixed-width hex.
+func hash64(s string) string {
+	h := fnv.New64a()
+	io.WriteString(h, s)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// appFingerprint content-addresses an application: the name for
+// readability plus a structure hash, so synthetic apps that reuse a name
+// with different phase programs do not collide.
+func appFingerprint(a App) string {
+	return a.Name + "#" + hash64(fmt.Sprintf("%+v", a))
+}
+
+// fingerprint content-addresses the session configuration. The executor
+// handle is excluded: two sessions with equal configuration are the same
+// computation wherever their runs are scheduled.
+func (s Session) fingerprint() string {
+	s.exec = nil
+	return hash64(fmt.Sprintf("%+v", s))
+}
+
+// execKey builds the content-addressed executor key of one run.
+func (s Session) execKey(app App, gov Governor, idx int, traced, keep bool) exec.Key {
+	return exec.Key{
+		App:      appFingerprint(app),
+		Governor: gov.ID(),
+		Session:  s.fingerprint(),
+		Idx:      idx,
+		Payload: &runPayload{
+			session: s,
+			app:     app,
+			mk:      gov.Func(),
+			traced:  traced,
+			keep:    keep,
+		},
+	}
+}
+
+// executor returns the scheduler this session's runs submit to.
+func (s Session) executor() *Executor {
+	if s.exec != nil {
+		return s.exec
+	}
+	return SharedExecutor()
+}
+
+// OnExecutor returns a copy of the session whose runs schedule on e. A
+// nil e restores the shared executor.
+func (s Session) OnExecutor(e *Executor) Session {
+	s.exec = e
+	return s
+}

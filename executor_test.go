@@ -1,0 +1,220 @@
+package dufp_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"dufp"
+)
+
+// fastApp builds a short synthetic application so executor tests stay
+// quick.
+func fastApp(t *testing.T) dufp.App {
+	t.Helper()
+	app, err := dufp.SteadyApp(dufp.SteadyConfig{OIClass: "memory", Duration: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+func TestCachedRunBitIdentical(t *testing.T) {
+	app := fastApp(t)
+	gov := dufp.DUFP(dufp.DefaultControlConfig(0.10))
+	ctx := context.Background()
+
+	cachedSession := dufp.NewSession(dufp.WithExecutor(dufp.NewExecutor()))
+	first, err := cachedSession.RunCtx(ctx, app, gov, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := cachedSession.RunCtx(ctx, app, gov, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != cached {
+		t.Fatalf("cached run differs from original:\n%+v\n%+v", first, cached)
+	}
+
+	// A fresh executor recomputes the run from scratch; determinism makes
+	// the result bit-identical to the memoised one.
+	freshSession := dufp.NewSession(dufp.WithExecutor(dufp.NewExecutor()))
+	fresh, err := freshSession.RunCtx(ctx, app, gov, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh != cached {
+		t.Fatalf("uncached run differs from cached:\n%+v\n%+v", fresh, cached)
+	}
+}
+
+func TestMemoisationAcrossSessionsAndGovernorValues(t *testing.T) {
+	app := fastApp(t)
+	e := dufp.NewExecutor()
+	ctx := context.Background()
+
+	// Two independently built sessions and governor values with equal
+	// configuration content-address identically.
+	a := dufp.NewSession(dufp.WithExecutor(e))
+	b := dufp.NewSession(dufp.WithExecutor(e))
+	if _, err := a.RunCtx(ctx, app, dufp.DUF(dufp.DefaultControlConfig(0.10)), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.RunCtx(ctx, app, dufp.DUF(dufp.DefaultControlConfig(0.10)), 0); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Started != 1 || st.CacheHits != 1 {
+		t.Fatalf("stats = %+v, want one execution and one cache hit", st)
+	}
+
+	// A different configuration is a different computation.
+	if _, err := a.RunCtx(ctx, app, dufp.DUF(dufp.DefaultControlConfig(0.20)), 0); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Started != 2 {
+		t.Fatalf("stats = %+v, want a second execution", st)
+	}
+}
+
+func TestSummarizeCtxMatchesLegacySummarize(t *testing.T) {
+	app := fastApp(t)
+	cfg := dufp.DefaultControlConfig(0.10)
+	session := dufp.NewSession(dufp.WithExecutor(dufp.NewExecutor()))
+
+	viaCtx, err := session.SummarizeCtx(context.Background(), app, dufp.DUFP(cfg), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := session.Summarize(app, dufp.DUFPGovernor(cfg), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaCtx != legacy {
+		t.Fatalf("context path diverges from legacy wrapper:\n%+v\n%+v", viaCtx, legacy)
+	}
+}
+
+func TestSummarizeCtxCancellation(t *testing.T) {
+	// Long enough that the summary cannot complete before the cancel.
+	app, err := dufp.SteadyApp(dufp.SteadyConfig{OIClass: "memory", Duration: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	session := dufp.NewSession(dufp.WithExecutor(dufp.NewExecutor()))
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+
+	start := time.Now()
+	_, err = session.SummarizeCtx(ctx, app, dufp.DUFP(dufp.DefaultControlConfig(0.10)), 4)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Cancellation is checked between decision rounds (200 ms of simulated
+	// time, far less of wall time), so the return must be prompt.
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+func TestRunCtxPreCancelled(t *testing.T) {
+	app := fastApp(t)
+	session := dufp.NewSession(dufp.WithExecutor(dufp.NewExecutor()))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := session.RunCtx(ctx, app, dufp.Baseline(), 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSessionFunctionalOptions(t *testing.T) {
+	jit := dufp.Jitter{}
+	s := dufp.NewSession(
+		dufp.WithSeed(7),
+		dufp.WithControlPeriod(100*time.Millisecond),
+		dufp.WithNoise(0.001),
+		dufp.WithJitter(jit),
+		dufp.WithMonitorOverhead(time.Millisecond),
+	)
+	if s.Seed != 7 || s.ControlPeriod != 100*time.Millisecond || s.NoiseSD != 0.001 ||
+		s.Jitter != jit || s.MonitorOverhead != time.Millisecond {
+		t.Fatalf("options not applied: %+v", s)
+	}
+	// No options means the paper's defaults.
+	d := dufp.NewSession()
+	if d.Seed != 42 || d.ControlPeriod != 200*time.Millisecond {
+		t.Fatalf("defaults changed: %+v", d)
+	}
+}
+
+func TestSentinelErrors(t *testing.T) {
+	if _, err := dufp.AppNamed("NOPE"); !errors.Is(err, dufp.ErrUnknownApp) {
+		t.Fatalf("AppNamed error = %v, want ErrUnknownApp", err)
+	}
+	app, err := dufp.AppNamed("CG")
+	if err != nil || app.Name != "CG" {
+		t.Fatalf("AppNamed(CG) = %v, %v", app.Name, err)
+	}
+
+	session := dufp.NewSession(dufp.WithExecutor(dufp.NewExecutor()))
+	if _, err := session.SummarizeCtx(context.Background(), app, dufp.Baseline(), 0); !errors.Is(err, dufp.ErrBadConfig) {
+		t.Fatalf("SummarizeCtx(n=0) error = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestTracedRunsBypassCache(t *testing.T) {
+	app := fastApp(t)
+	e := dufp.NewExecutor()
+	session := dufp.NewSession(dufp.WithExecutor(e))
+	gov := dufp.DUFP(dufp.DefaultControlConfig(0.10))
+	ctx := context.Background()
+
+	run1, rec1, err := session.RunTracedCtx(ctx, app, gov, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run2, rec2, err := session.RunTracedCtx(ctx, app, gov, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec1 == nil || rec2 == nil || rec1 == rec2 {
+		t.Fatal("traced runs must produce fresh recorders")
+	}
+	if rec1.Len() == 0 {
+		t.Fatal("empty trace")
+	}
+	if run1 != run2 {
+		t.Fatalf("traced runs diverged:\n%+v\n%+v", run1, run2)
+	}
+	if st := e.Stats(); st.CacheHits != 0 || st.Started != 2 {
+		t.Fatalf("stats = %+v, traced runs must not be memoised", st)
+	}
+}
+
+func TestGovernorIdentity(t *testing.T) {
+	cfg := dufp.DefaultControlConfig(0.10)
+	if a, b := dufp.DUFP(cfg).ID(), dufp.DUFP(cfg).ID(); a != b {
+		t.Fatalf("equal configs produced different identities: %q vs %q", a, b)
+	}
+	if a, b := dufp.DUFP(cfg).ID(), dufp.DUF(cfg).ID(); a == b {
+		t.Fatalf("different governors share identity %q", a)
+	}
+	if a, b := dufp.DUFP(cfg).ID(), dufp.DUFP(dufp.DefaultControlConfig(0.20)).ID(); a == b {
+		t.Fatalf("different configs share identity %q", a)
+	}
+	if got := dufp.Baseline().ID(); got != "default" {
+		t.Fatalf("baseline identity = %q", got)
+	}
+	// Wrapped bare funcs get process-unique identities: never wrongly
+	// deduplicated.
+	mk := dufp.DUFPGovernor(cfg)
+	if a, b := dufp.GovernorOf(mk).ID(), dufp.GovernorOf(mk).ID(); a == b {
+		t.Fatalf("anonymous governors share identity %q", a)
+	}
+}

@@ -1,0 +1,340 @@
+// Package exec is the harness's shared run scheduler: a bounded worker
+// pool that deduplicates in-flight runs (singleflight-style coalescing),
+// memoises completed ones in a bounded LRU keyed by content address, and
+// reports structured progress through an observer hook.
+//
+// Every harness entry point — the Session facade, the experiment grid and
+// sweeps, and the CLIs — submits work here, so two tables requesting the
+// same baseline summary share one computation. Runs are deterministic
+// functions of their Key (the simulator is seeded end to end), which is
+// what makes memoisation sound: a cached Run is bit-identical to a fresh
+// one.
+package exec
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"dufp/internal/metrics"
+)
+
+// Key content-addresses one run: the application (name plus structure
+// hash), the governor (id plus configuration fingerprint), the session
+// configuration fingerprint and the run index. Two keys with equal
+// identity fields denote the same computation.
+type Key struct {
+	// App is the application fingerprint.
+	App string
+	// Governor is the governor id + configuration fingerprint.
+	Governor string
+	// Session is the session configuration fingerprint.
+	Session string
+	// Idx is the run index (selects the run's deterministic seeds).
+	Idx int
+
+	// Payload carries the materialised inputs the runner needs to execute
+	// the key (application definition, governor constructor, session). It
+	// is NOT part of the key's identity: two keys with equal identity
+	// fields are interchangeable regardless of payload.
+	Payload any
+}
+
+// ID is the comparable content address of a Key.
+type ID struct {
+	App, Governor, Session string
+	Idx                    int
+}
+
+// ID returns the key's content address.
+func (k Key) ID() ID { return ID{App: k.App, Governor: k.Governor, Session: k.Session, Idx: k.Idx} }
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s under %s [run %d]", k.App, k.Governor, k.Idx)
+}
+
+// Runner materialises one key into a completed run. It must be safe for
+// concurrent use and deterministic in the key's identity fields.
+type Runner func(ctx context.Context, key Key) (metrics.Run, error)
+
+// EventKind classifies a progress event.
+type EventKind int
+
+// Progress event kinds.
+const (
+	// EventStarted fires when a run acquires a worker and begins.
+	EventStarted EventKind = iota
+	// EventCompleted fires when a run finishes successfully.
+	EventCompleted
+	// EventFailed fires when a run returns an error.
+	EventFailed
+	// EventCached fires when a submission is served from the LRU.
+	EventCached
+	// EventCoalesced fires when a submission joins an in-flight run.
+	EventCoalesced
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventStarted:
+		return "started"
+	case EventCompleted:
+		return "completed"
+	case EventFailed:
+		return "failed"
+	case EventCached:
+		return "cached"
+	case EventCoalesced:
+		return "coalesced"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one structured progress notification.
+type Event struct {
+	Kind EventKind
+	Key  Key
+	// Wall is the run's wall-clock time (Completed and Failed only).
+	Wall time.Duration
+	// QueueDepth is the number of submissions accepted but not yet
+	// resolved at the moment the event was emitted.
+	QueueDepth int
+	// Err carries the failure (Failed only).
+	Err error
+}
+
+// Observer receives progress events. It may be called concurrently from
+// many submissions and must not block for long.
+type Observer func(Event)
+
+// Stats aggregates the executor's counters. RunWall sums the wall-clock
+// time of executed runs, so RunWall divided by the campaign's elapsed time
+// approximates the achieved parallelism.
+type Stats struct {
+	Submitted int64         `json:"submitted"`
+	Started   int64         `json:"started"`
+	Completed int64         `json:"completed"`
+	Failed    int64         `json:"failed"`
+	CacheHits int64         `json:"cache_hits"`
+	Coalesced int64         `json:"coalesced"`
+	Evicted   int64         `json:"evicted"`
+	RunWall   time.Duration `json:"run_wall_ns"`
+}
+
+// Option configures a new Executor.
+type Option func(*Executor)
+
+// WithWorkers bounds concurrent runs; n <= 0 means GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return func(e *Executor) {
+		if n > 0 {
+			e.workers = n
+		}
+	}
+}
+
+// WithCacheSize bounds the completed-run LRU to n entries; n <= 0 keeps
+// the default (4096).
+func WithCacheSize(n int) Option {
+	return func(e *Executor) {
+		if n > 0 {
+			e.cacheSize = n
+		}
+	}
+}
+
+// WithObserver registers the progress observer.
+func WithObserver(fn Observer) Option {
+	return func(e *Executor) { e.obs = fn }
+}
+
+// Executor schedules runs on a bounded worker pool, coalescing concurrent
+// submissions of the same key and memoising completed runs.
+type Executor struct {
+	run       Runner
+	workers   int
+	cacheSize int
+	slots     chan struct{}
+
+	mu       sync.Mutex
+	inflight map[ID]*call
+	cache    *lruCache
+	stats    Stats
+	queued   int
+	obs      Observer
+}
+
+type call struct {
+	done chan struct{}
+	run  metrics.Run
+	err  error
+}
+
+// New builds an executor around run.
+func New(run Runner, opts ...Option) *Executor {
+	e := &Executor{
+		run:       run,
+		workers:   runtime.GOMAXPROCS(0),
+		cacheSize: 4096,
+		inflight:  make(map[ID]*call),
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	e.slots = make(chan struct{}, e.workers)
+	e.cache = newLRU(e.cacheSize)
+	return e
+}
+
+// SetObserver replaces the progress observer (nil disables it).
+func (e *Executor) SetObserver(fn Observer) {
+	e.mu.Lock()
+	e.obs = fn
+	e.mu.Unlock()
+}
+
+// Stats returns a snapshot of the executor's counters.
+func (e *Executor) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Workers returns the concurrency bound.
+func (e *Executor) Workers() int { return e.workers }
+
+// Submit schedules the key and returns its run. Submissions of a key
+// already in flight join it instead of re-executing (and then observe the
+// leader's outcome, including its cancellation); completed runs are served
+// from the LRU. Cancelling ctx while queued or while this submission leads
+// the execution returns ctx.Err() promptly.
+func (e *Executor) Submit(ctx context.Context, key Key) (metrics.Run, error) {
+	id := key.ID()
+	e.mu.Lock()
+	e.stats.Submitted++
+	if run, ok := e.cache.get(id); ok {
+		e.stats.CacheHits++
+		obs, depth := e.obs, e.queued
+		e.mu.Unlock()
+		emit(obs, Event{Kind: EventCached, Key: key, QueueDepth: depth})
+		return run, nil
+	}
+	if c, ok := e.inflight[id]; ok {
+		e.stats.Coalesced++
+		obs, depth := e.obs, e.queued
+		e.mu.Unlock()
+		emit(obs, Event{Kind: EventCoalesced, Key: key, QueueDepth: depth})
+		select {
+		case <-c.done:
+			return c.run, c.err
+		case <-ctx.Done():
+			return metrics.Run{}, ctx.Err()
+		}
+	}
+	c := &call{done: make(chan struct{})}
+	e.inflight[id] = c
+	e.queued++
+	e.mu.Unlock()
+
+	c.run, c.err = e.execute(ctx, key)
+
+	e.mu.Lock()
+	delete(e.inflight, id)
+	e.queued--
+	if c.err == nil {
+		e.stats.Evicted += int64(e.cache.add(id, c.run))
+	}
+	e.mu.Unlock()
+	close(c.done)
+	return c.run, c.err
+}
+
+// SubmitUncached schedules the key through the same bounded worker pool
+// and event stream, but neither coalesces nor memoises it. It exists for
+// side-effectful runs — tracing, decision-log capture — whose outputs live
+// outside the returned Run and must be produced fresh every time.
+func (e *Executor) SubmitUncached(ctx context.Context, key Key) (metrics.Run, error) {
+	e.mu.Lock()
+	e.stats.Submitted++
+	e.queued++
+	e.mu.Unlock()
+	run, err := e.execute(ctx, key)
+	e.mu.Lock()
+	e.queued--
+	e.mu.Unlock()
+	return run, err
+}
+
+// execute waits for a worker slot and runs the key, emitting progress
+// events and maintaining the run counters.
+func (e *Executor) execute(ctx context.Context, key Key) (metrics.Run, error) {
+	if err := ctx.Err(); err != nil {
+		return metrics.Run{}, err
+	}
+	select {
+	case e.slots <- struct{}{}:
+	case <-ctx.Done():
+		return metrics.Run{}, ctx.Err()
+	}
+	defer func() { <-e.slots }()
+
+	e.mu.Lock()
+	e.stats.Started++
+	obs, depth := e.obs, e.queued
+	e.mu.Unlock()
+	emit(obs, Event{Kind: EventStarted, Key: key, QueueDepth: depth})
+
+	start := time.Now()
+	run, err := e.run(ctx, key)
+	wall := time.Since(start)
+
+	e.mu.Lock()
+	e.stats.RunWall += wall
+	kind := EventCompleted
+	if err != nil {
+		e.stats.Failed++
+		kind = EventFailed
+	} else {
+		e.stats.Completed++
+	}
+	obs, depth = e.obs, e.queued
+	e.mu.Unlock()
+	emit(obs, Event{Kind: kind, Key: key, Wall: wall, QueueDepth: depth, Err: err})
+	return run, err
+}
+
+// Summary schedules runs 0..n-1 of the key's configuration concurrently
+// and aggregates them with the paper's protocol (drop the fastest and
+// slowest, average the rest). The template key's Idx is ignored.
+func (e *Executor) Summary(ctx context.Context, key Key, n int) (metrics.Summary, error) {
+	if n < 1 {
+		return metrics.Summary{}, fmt.Errorf("exec: need at least one run, got %d", n)
+	}
+	runs := make([]metrics.Run, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k := key
+			k.Idx = i
+			runs[i], errs[i] = e.Submit(ctx, k)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return metrics.Summary{}, err
+		}
+	}
+	return metrics.Summarize(runs)
+}
+
+func emit(obs Observer, ev Event) {
+	if obs != nil {
+		obs(ev)
+	}
+}

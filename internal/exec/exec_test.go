@@ -1,0 +1,373 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dufp/internal/metrics"
+)
+
+// testKey builds a key of the shared test configuration at run idx.
+func testKey(idx int) Key {
+	return Key{App: "app", Governor: "gov", Session: "sess", Idx: idx}
+}
+
+// countRunner returns a runner that counts executions and produces a run
+// whose time encodes the run index (idx+1 seconds).
+func countRunner(execs *atomic.Int64) Runner {
+	return func(ctx context.Context, key Key) (metrics.Run, error) {
+		execs.Add(1)
+		return metrics.Run{
+			App:      key.App,
+			Governor: key.Governor,
+			Time:     time.Duration(key.Idx+1) * time.Second,
+		}, nil
+	}
+}
+
+func TestSubmitMemoises(t *testing.T) {
+	var execs atomic.Int64
+	e := New(countRunner(&execs))
+
+	first, err := e.Submit(context.Background(), testKey(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.Submit(context.Background(), testKey(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatalf("cached run differs: %+v vs %+v", first, second)
+	}
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("runner executed %d times, want 1", n)
+	}
+	st := e.Stats()
+	if st.Submitted != 2 || st.Started != 1 || st.Completed != 1 || st.CacheHits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestKeyIdentityIgnoresPayload(t *testing.T) {
+	var execs atomic.Int64
+	e := New(countRunner(&execs))
+	a := testKey(0)
+	a.Payload = "first materialisation"
+	b := testKey(0)
+	b.Payload = "second materialisation"
+	if _, err := e.Submit(context.Background(), a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit(context.Background(), b); err != nil {
+		t.Fatal(err)
+	}
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("payload leaked into identity: %d executions", n)
+	}
+}
+
+func TestSubmitCoalesces(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var execs atomic.Int64
+	e := New(func(ctx context.Context, key Key) (metrics.Run, error) {
+		execs.Add(1)
+		close(started)
+		<-release
+		return metrics.Run{App: key.App, Governor: key.Governor, Time: time.Second}, nil
+	})
+
+	results := make(chan metrics.Run, 2)
+	go func() {
+		r, _ := e.Submit(context.Background(), testKey(0))
+		results <- r
+	}()
+	<-started
+	go func() {
+		r, _ := e.Submit(context.Background(), testKey(0))
+		results <- r
+	}()
+	// Wait for the second submission to join the in-flight call, then let
+	// the leader finish.
+	for e.Stats().Coalesced == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+
+	a, b := <-results, <-results
+	if a != b {
+		t.Fatalf("coalesced runs differ: %+v vs %+v", a, b)
+	}
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("runner executed %d times, want 1", n)
+	}
+	st := e.Stats()
+	if st.Started != 1 || st.Coalesced != 1 || st.Completed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	var execs atomic.Int64
+	e := New(countRunner(&execs), WithCacheSize(2))
+	ctx := context.Background()
+	for _, idx := range []int{0, 1, 2} {
+		if _, err := e.Submit(ctx, testKey(idx)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Key 0 was evicted by key 2; resubmitting recomputes it.
+	if _, err := e.Submit(ctx, testKey(0)); err != nil {
+		t.Fatal(err)
+	}
+	if n := execs.Load(); n != 4 {
+		t.Fatalf("runner executed %d times, want 4", n)
+	}
+	st := e.Stats()
+	if st.Evicted < 1 {
+		t.Fatalf("stats = %+v, want at least one eviction", st)
+	}
+	if st.CacheHits != 0 {
+		t.Fatalf("unexpected cache hit: %+v", st)
+	}
+	// Key 2 stayed resident through the reshuffle.
+	if _, err := e.Submit(ctx, testKey(2)); err != nil {
+		t.Fatal(err)
+	}
+	if n := execs.Load(); n != 4 {
+		t.Fatalf("resident key recomputed: %d executions", n)
+	}
+}
+
+func TestSubmitCancelWhileQueued(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	e := New(func(ctx context.Context, key Key) (metrics.Run, error) {
+		close(started)
+		<-release
+		return metrics.Run{App: key.App, Governor: key.Governor}, nil
+	}, WithWorkers(1))
+	defer close(release)
+
+	go e.Submit(context.Background(), testKey(0)) // occupies the only worker
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := e.Submit(ctx, testKey(1))
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let it queue on the worker slot
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued submission did not observe cancellation")
+	}
+}
+
+func TestCoalescedFollowerCancel(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	e := New(func(ctx context.Context, key Key) (metrics.Run, error) {
+		close(started)
+		<-release
+		return metrics.Run{App: key.App, Governor: key.Governor}, nil
+	})
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := e.Submit(context.Background(), testKey(0))
+		leaderDone <- err
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	followerDone := make(chan error, 1)
+	go func() {
+		_, err := e.Submit(ctx, testKey(0))
+		followerDone <- err
+	}()
+	for e.Stats().Coalesced == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-followerDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("follower err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled follower did not return")
+	}
+	// The leader is unaffected by the follower's cancellation.
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader err = %v", err)
+	}
+}
+
+func TestFailedRunsAreNotCached(t *testing.T) {
+	var execs atomic.Int64
+	boom := errors.New("boom")
+	e := New(func(ctx context.Context, key Key) (metrics.Run, error) {
+		if execs.Add(1) == 1 {
+			return metrics.Run{}, boom
+		}
+		return metrics.Run{App: key.App, Governor: key.Governor}, nil
+	})
+	if _, err := e.Submit(context.Background(), testKey(0)); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, err := e.Submit(context.Background(), testKey(0)); err != nil {
+		t.Fatalf("retry after failure: %v", err)
+	}
+	st := e.Stats()
+	if st.Failed != 1 || st.Completed != 1 || st.CacheHits != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSubmitUncachedBypassesMemoisation(t *testing.T) {
+	var execs atomic.Int64
+	e := New(countRunner(&execs))
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := e.SubmitUncached(ctx, testKey(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Uncached submissions neither read nor populate the cache.
+	if _, err := e.Submit(ctx, testKey(0)); err != nil {
+		t.Fatal(err)
+	}
+	if n := execs.Load(); n != 3 {
+		t.Fatalf("runner executed %d times, want 3", n)
+	}
+	if st := e.Stats(); st.CacheHits != 0 || st.Started != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var execs atomic.Int64
+	e := New(countRunner(&execs))
+	sum, err := e.Summary(context.Background(), testKey(99), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Runs take 1..5 s; the protocol drops the fastest and slowest.
+	if sum.N != 3 || sum.Time.Mean != 3 || sum.Time.Min != 2 || sum.Time.Max != 4 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if n := execs.Load(); n != 5 {
+		t.Fatalf("runner executed %d times, want 5", n)
+	}
+	// A second identical summary is served entirely from cache.
+	if _, err := e.Summary(context.Background(), testKey(0), 5); err != nil {
+		t.Fatal(err)
+	}
+	if n := execs.Load(); n != 5 {
+		t.Fatalf("cached summary re-executed: %d", n)
+	}
+	if st := e.Stats(); st.CacheHits != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	if _, err := e.Summary(context.Background(), testKey(0), 0); err == nil {
+		t.Fatal("Summary accepted n=0")
+	}
+}
+
+func TestObserverEvents(t *testing.T) {
+	var (
+		mu    sync.Mutex
+		kinds []EventKind
+	)
+	var execs atomic.Int64
+	e := New(countRunner(&execs), WithObserver(func(ev Event) {
+		mu.Lock()
+		kinds = append(kinds, ev.Kind)
+		mu.Unlock()
+	}))
+	ctx := context.Background()
+	if _, err := e.Submit(ctx, testKey(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit(ctx, testKey(0)); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []EventKind{EventStarted, EventCompleted, EventCached}
+	if len(kinds) != len(want) {
+		t.Fatalf("events = %v, want %v", kinds, want)
+	}
+	for i, k := range want {
+		if kinds[i] != k {
+			t.Fatalf("events = %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	for kind, want := range map[EventKind]string{
+		EventStarted:   "started",
+		EventCompleted: "completed",
+		EventFailed:    "failed",
+		EventCached:    "cached",
+		EventCoalesced: "coalesced",
+		EventKind(99):  "EventKind(99)",
+	} {
+		if got := kind.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(kind), got, want)
+		}
+	}
+}
+
+func TestWorkersBound(t *testing.T) {
+	var peak, cur, execs atomic.Int64
+	release := make(chan struct{})
+	e := New(func(ctx context.Context, key Key) (metrics.Run, error) {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		execs.Add(1)
+		<-release
+		cur.Add(-1)
+		return metrics.Run{App: key.App, Governor: key.Governor}, nil
+	}, WithWorkers(2))
+
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e.Submit(context.Background(), testKey(i))
+		}(i)
+	}
+	for execs.Load() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("observed %d concurrent runs, worker bound is 2", p)
+	}
+	if e.Workers() != 2 {
+		t.Fatalf("Workers() = %d", e.Workers())
+	}
+}

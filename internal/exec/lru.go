@@ -1,0 +1,58 @@
+package exec
+
+import (
+	"container/list"
+
+	"dufp/internal/metrics"
+)
+
+// lruCache is a bounded least-recently-used map of completed runs. It is
+// not safe for concurrent use; the Executor serialises access under its
+// mutex.
+type lruCache struct {
+	cap   int
+	order *list.List
+	items map[ID]*list.Element
+}
+
+type lruEntry struct {
+	id  ID
+	run metrics.Run
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[ID]*list.Element),
+	}
+}
+
+func (c *lruCache) get(id ID) (metrics.Run, bool) {
+	el, ok := c.items[id]
+	if !ok {
+		return metrics.Run{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).run, true
+}
+
+// add inserts or refreshes an entry and returns how many were evicted.
+func (c *lruCache) add(id ID, run metrics.Run) int {
+	if el, ok := c.items[id]; ok {
+		el.Value.(*lruEntry).run = run
+		c.order.MoveToFront(el)
+		return 0
+	}
+	c.items[id] = c.order.PushFront(&lruEntry{id: id, run: run})
+	evicted := 0
+	for c.order.Len() > c.cap {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.items, back.Value.(*lruEntry).id)
+		evicted++
+	}
+	return evicted
+}
+
+func (c *lruCache) len() int { return c.order.Len() }

@@ -1,0 +1,104 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"dufp"
+)
+
+// TestFullGridIssuesEachRunOnce asserts the executor contract on the
+// paper's complete protocol: a DefaultOptions grid submits one execution
+// per (app, governor, tolerance, run index) and never computes any of
+// them twice — in particular each baseline (app, idx) run is issued
+// exactly once even though every tolerance's comparison needs it.
+func TestFullGridIssuesEachRunOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-protocol campaign in -short mode")
+	}
+	opts := DefaultOptions()
+	opts.Executor = dufp.NewExecutor()
+	g, err := RunGrid(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := len(g.Baselines)
+	unique := int64(apps * (1 + 2*len(opts.Tolerances)) * opts.Runs)
+	st := opts.Executor.Stats()
+	if st.Started != unique || st.Completed != unique {
+		t.Fatalf("stats = %+v, want exactly %d unique runs executed", st, unique)
+	}
+	if st.CacheHits != 0 || st.Failed != 0 {
+		t.Fatalf("stats = %+v, want no cache hits or failures on a cold executor", st)
+	}
+
+	// Re-running the identical campaign is served entirely from cache.
+	if _, err := RunGrid(opts); err != nil {
+		t.Fatal(err)
+	}
+	st = opts.Executor.Stats()
+	if st.Started != unique {
+		t.Fatalf("stats = %+v: re-run executed %d extra runs", st, st.Started-unique)
+	}
+	if st.CacheHits != unique {
+		t.Fatalf("stats = %+v, want %d cache hits on the re-run", st, unique)
+	}
+}
+
+// TestSweepReusesGridRuns checks cross-table memoisation: a tolerance
+// sweep whose configurations a grid already measured recomputes nothing.
+func TestSweepReusesGridRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid campaign in -short mode")
+	}
+	opts := fastOptions()
+	opts.Apps = []string{"EP"}
+	opts.Executor = dufp.NewExecutor()
+	if _, err := RunGrid(opts); err != nil {
+		t.Fatal(err)
+	}
+	executed := opts.Executor.Stats().Started
+
+	// Baseline and DUFP@10% were both part of the grid.
+	if _, err := ToleranceSweep(opts, "EP", []float64{0.10}); err != nil {
+		t.Fatal(err)
+	}
+	st := opts.Executor.Stats()
+	if st.Started != executed {
+		t.Fatalf("sweep recomputed %d runs the grid already measured", st.Started-executed)
+	}
+	if st.CacheHits < int64(2*opts.Runs) {
+		t.Fatalf("stats = %+v, want at least %d cache hits", st, 2*opts.Runs)
+	}
+}
+
+func TestGridCancellation(t *testing.T) {
+	opts := fastOptions()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts.Context = ctx
+	opts.Executor = dufp.NewExecutor()
+	if _, err := RunGrid(opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestUnknownAppIsSentinel(t *testing.T) {
+	opts := fastOptions()
+	opts.Apps = []string{"NOPE"}
+	if _, err := RunGrid(opts); !errors.Is(err, dufp.ErrUnknownApp) {
+		t.Fatalf("RunGrid error = %v, want ErrUnknownApp", err)
+	}
+	if _, err := ToleranceSweep(fastOptions(), "NOPE", nil); !errors.Is(err, dufp.ErrUnknownApp) {
+		t.Fatalf("ToleranceSweep error = %v, want ErrUnknownApp", err)
+	}
+	if _, err := AutoTune(fastOptions(), "NOPE"); !errors.Is(err, dufp.ErrUnknownApp) {
+		t.Fatalf("AutoTune error = %v, want ErrUnknownApp", err)
+	}
+	opts = fastOptions()
+	opts.Runs = 0
+	if _, err := RunGrid(opts); !errors.Is(err, dufp.ErrBadConfig) {
+		t.Fatalf("RunGrid(Runs=0) error = %v, want ErrBadConfig", err)
+	}
+}

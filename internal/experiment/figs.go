@@ -57,8 +57,9 @@ func Fig1a(opts Options) (Table, error) {
 	app, _ := dufp.AppByName("CG")
 	cfg := dufp.DefaultControlConfig(fig1Tolerance)
 	budget := float64(opts.Session.Sim.Topo.Spec.DefaultPL1) * float64(opts.Session.Sim.Topo.Sockets)
+	ctx, session := opts.campaign()
 
-	base, err := opts.Session.Summarize(app, dufp.DefaultGovernor(), opts.Runs)
+	base, err := session.SummarizeCtx(ctx, app, dufp.Baseline(), opts.Runs)
 	if err != nil {
 		return Table{}, err
 	}
@@ -77,11 +78,11 @@ func Fig1a(opts Options) (Table, error) {
 		},
 	}
 	for _, c := range fig1Configs() {
-		mk := dufp.DUFGovernor(cfg)
+		gov := dufp.DUF(cfg)
 		if c.Cap > 0 {
-			mk = dufp.StaticCapWithDUF(cfg, c.Cap, c.Cap)
+			gov = dufp.StaticCapDUF(cfg, c.Cap, c.Cap)
 		}
-		sum, err := opts.Session.Summarize(app, mk, opts.Runs)
+		sum, err := session.SummarizeCtx(ctx, app, gov, opts.Runs)
 		if err != nil {
 			return Table{}, err
 		}
@@ -112,6 +113,7 @@ func Fig1bc(opts Options) (Table, Table, error) {
 	spec := opts.Session.Sim.Topo.Spec
 	budget := float64(spec.DefaultPL1) * float64(opts.Session.Sim.Topo.Sockets)
 	window := cgPrologue()
+	ctx, session := opts.campaign()
 
 	type row struct {
 		label      string
@@ -119,10 +121,12 @@ func Fig1bc(opts Options) (Table, Table, error) {
 		timeRatio  float64
 	}
 
-	measure := func(mk dufp.GovernorFunc) (float64, float64, error) {
+	// Traced runs carry a side-effect (the recording), so they flow
+	// through the executor's worker pool uncached.
+	measure := func(gov dufp.Governor) (float64, float64, error) {
 		var phasePower, total float64
 		for i := 0; i < opts.Runs; i++ {
-			run, rec, err := opts.Session.RunTraced(app, mk, i)
+			run, rec, err := session.RunTracedCtx(ctx, app, gov, i)
 			if err != nil {
 				return 0, 0, err
 			}
@@ -137,18 +141,18 @@ func Fig1bc(opts Options) (Table, Table, error) {
 		return phasePower / n, total / n, nil
 	}
 
-	basePhase, baseTime, err := measure(dufp.DefaultGovernor())
+	basePhase, baseTime, err := measure(dufp.Baseline())
 	if err != nil {
 		return Table{}, Table{}, err
 	}
 
 	rows := []row{{label: "default", phasePower: basePhase, timeRatio: 1}}
 	for _, c := range fig1Configs() {
-		mk := dufp.DUFGovernor(cfg)
+		gov := dufp.DUF(cfg)
 		if c.Cap > 0 {
-			mk = dufp.TimedCapGovernor(cfg, c.Cap, c.Cap, window)
+			gov = dufp.TimedCap(cfg, c.Cap, c.Cap, window)
 		}
-		phase, total, err := measure(mk)
+		phase, total, err := measure(gov)
 		if err != nil {
 			return Table{}, Table{}, err
 		}
@@ -281,12 +285,13 @@ type Fig5Result struct {
 func Fig5(opts Options) (Fig5Result, error) {
 	app, _ := dufp.AppByName("CG")
 	cfg := dufp.DefaultControlConfig(0.10)
+	ctx, session := opts.campaign()
 
-	_, dufRec, err := opts.Session.RunTraced(app, dufp.DUFGovernor(cfg), 0)
+	_, dufRec, err := session.RunTracedCtx(ctx, app, dufp.DUF(cfg), 0)
 	if err != nil {
 		return Fig5Result{}, err
 	}
-	_, dufpRec, err := opts.Session.RunTraced(app, dufp.DUFPGovernor(cfg), 0)
+	_, dufpRec, err := session.RunTracedCtx(ctx, app, dufp.DUFP(cfg), 0)
 	if err != nil {
 		return Fig5Result{}, err
 	}

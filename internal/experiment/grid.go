@@ -1,13 +1,12 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 
 	"dufp"
-	"dufp/internal/metrics"
 )
 
 // Options parameterises the experiment harness.
@@ -20,11 +19,21 @@ type Options struct {
 	Tolerances []float64
 	// Apps restricts the application set; empty means the full suite.
 	Apps []string
-	// Parallelism bounds concurrent runs; 0 means GOMAXPROCS.
+	// Parallelism bounds concurrent runs. Zero schedules on the shared
+	// executor at its default width (GOMAXPROCS); a positive value gives
+	// the campaign a private executor of that width.
 	Parallelism int
 	// ErrorBars adds [min, max] intervals to the grid tables, mirroring
 	// the paper's error bars (§V: min/max of the 8 retained runs).
 	ErrorBars bool
+	// Context cancels an in-flight campaign between decision rounds; nil
+	// means context.Background().
+	Context context.Context
+	// Executor overrides the run scheduler — isolated cache statistics in
+	// tests, a shared progress-observed instance in CLIs. It takes
+	// precedence over Parallelism; nil uses the session's (usually the
+	// shared process-wide one).
+	Executor *dufp.Executor
 }
 
 // DefaultOptions returns the paper's full protocol.
@@ -42,20 +51,31 @@ func (o Options) apps() ([]dufp.App, error) {
 	}
 	var out []dufp.App
 	for _, name := range o.Apps {
-		a, ok := dufp.AppByName(name)
-		if !ok {
-			return nil, fmt.Errorf("experiment: unknown application %q", name)
+		a, err := dufp.AppNamed(name)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %w", err)
 		}
 		out = append(out, a)
 	}
 	return out, nil
 }
 
-func (o Options) workers() int {
-	if o.Parallelism > 0 {
-		return o.Parallelism
+// campaign resolves the execution environment once per harness entry
+// point: the cancellation context and the session bound to the campaign's
+// executor.
+func (o Options) campaign() (context.Context, dufp.Session) {
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	return runtime.GOMAXPROCS(0)
+	session := o.Session
+	switch {
+	case o.Executor != nil:
+		session = session.OnExecutor(o.Executor)
+	case o.Parallelism > 0:
+		session = session.OnExecutor(dufp.NewExecutor(dufp.ExecWorkers(o.Parallelism)))
+	}
+	return ctx, session
 }
 
 // GovName identifies a controller column in the grid.
@@ -83,97 +103,67 @@ type Grid struct {
 }
 
 // RunGrid executes the campaign: for every application, Runs baseline
-// executions plus Runs executions per (tolerance × {DUF, DUFP}).
-// Individual runs execute in parallel; results are deterministic for a
-// fixed Options.Session seed regardless of parallelism.
+// executions plus Runs executions per (tolerance × {DUF, DUFP}). All runs
+// flow through the run executor, which bounds concurrency and issues each
+// distinct (app, governor, session, idx) run exactly once — re-running a
+// grid, or requesting its baselines from another table, is served from
+// cache. Results are deterministic for a fixed Options.Session seed
+// regardless of parallelism.
 func RunGrid(opts Options) (*Grid, error) {
 	if opts.Runs < 1 {
-		return nil, fmt.Errorf("experiment: need at least 1 run, got %d", opts.Runs)
+		return nil, fmt.Errorf("experiment: need at least 1 run, got %d: %w", opts.Runs, dufp.ErrBadConfig)
 	}
 	apps, err := opts.apps()
 	if err != nil {
 		return nil, err
 	}
+	ctx, session := opts.campaign()
 
-	type job struct {
-		app dufp.App
+	type cell struct {
 		key CellKey // Gov=="" means baseline
-		mk  dufp.GovernorFunc
-		idx int
+		app dufp.App
+		gov dufp.Governor
 	}
-	type outcome struct {
-		key CellKey
-		idx int
-		run dufp.Run
-		err error
-	}
-
-	var jobs []job
+	var cells []cell
 	for _, app := range apps {
-		for i := 0; i < opts.Runs; i++ {
-			jobs = append(jobs, job{app: app, key: CellKey{App: app.Name}, mk: dufp.DefaultGovernor(), idx: i})
-		}
+		cells = append(cells, cell{key: CellKey{App: app.Name}, app: app, gov: dufp.Baseline()})
 		for _, tol := range opts.Tolerances {
 			cfg := dufp.DefaultControlConfig(tol)
-			for _, gov := range []GovName{GovDUF, GovDUFP} {
-				mk := dufp.DUFGovernor(cfg)
-				if gov == GovDUFP {
-					mk = dufp.DUFPGovernor(cfg)
-				}
-				for i := 0; i < opts.Runs; i++ {
-					jobs = append(jobs, job{
-						app: app,
-						key: CellKey{App: app.Name, Tolerance: tol, Gov: gov},
-						mk:  mk,
-						idx: i,
-					})
-				}
-			}
+			cells = append(cells,
+				cell{key: CellKey{App: app.Name, Tolerance: tol, Gov: GovDUF}, app: app, gov: dufp.DUF(cfg)},
+				cell{key: CellKey{App: app.Name, Tolerance: tol, Gov: GovDUFP}, app: app, gov: dufp.DUFP(cfg)})
 		}
 	}
 
-	results := make([]outcome, len(jobs))
+	sums := make([]dufp.Summary, len(cells))
+	errs := make([]error, len(cells))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, opts.workers())
-	for ji, j := range jobs {
+	for i, c := range cells {
 		wg.Add(1)
-		go func(ji int, j job) {
+		go func(i int, c cell) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			run, err := opts.Session.Run(j.app, j.mk, j.idx)
-			results[ji] = outcome{key: j.key, idx: j.idx, run: run, err: err}
-		}(ji, j)
+			sums[i], errs[i] = session.SummarizeCtx(ctx, c.app, c.gov, opts.Runs)
+		}(i, c)
 	}
 	wg.Wait()
-
-	byKey := make(map[CellKey][]dufp.Run)
-	for _, r := range results {
-		if r.err != nil {
-			return nil, fmt.Errorf("experiment: %s/%s tol=%.0f%% run %d: %w",
-				r.key.App, r.key.Gov, r.key.Tolerance*100, r.idx, r.err)
-		}
-		byKey[r.key] = append(byKey[r.key], r.run)
-	}
 
 	g := &Grid{
 		Opts:      opts,
 		Baselines: make(map[string]dufp.Summary),
 		Cells:     make(map[CellKey]dufp.Summary),
 	}
-	for key, runs := range byKey {
-		// Annotate the tolerance: baseline runs carry none.
-		for i := range runs {
-			runs[i].Slowdown = key.Tolerance
+	for i, c := range cells {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("experiment: %s/%s tol=%.0f%%: %w",
+				c.key.App, c.key.Gov, c.key.Tolerance*100, errs[i])
 		}
-		sum, err := metrics.Summarize(runs)
-		if err != nil {
-			return nil, err
-		}
-		if key.Gov == "" {
-			g.Baselines[key.App] = sum
+		sum := sums[i]
+		// Annotate the tolerance: baseline summaries carry none.
+		sum.Slowdown = c.key.Tolerance
+		if c.key.Gov == "" {
+			g.Baselines[c.key.App] = sum
 		} else {
-			g.Cells[key] = sum
+			g.Cells[c.key] = sum
 		}
 	}
 	return g, nil

@@ -16,6 +16,7 @@ import (
 // draw (savings appear, and with them the overhead the paper reports for
 // UA).
 func Pathology(opts Options) (Table, error) {
+	ctx, session := opts.campaign()
 	t := Table{
 		ID:    "Pathology",
 		Title: "Alternator at 0 % tolerance: cap-descent vs phase-detection race (§V-A)",
@@ -42,11 +43,11 @@ func Pathology(opts Options) (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
-		base, err := opts.Session.Summarize(app, dufp.DefaultGovernor(), opts.Runs)
+		base, err := session.SummarizeCtx(ctx, app, dufp.Baseline(), opts.Runs)
 		if err != nil {
 			return Table{}, err
 		}
-		sum, err := opts.Session.Summarize(app, dufp.DUFPGovernor(dufp.DefaultControlConfig(0)), opts.Runs)
+		sum, err := session.SummarizeCtx(ctx, app, dufp.DUFP(dufp.DefaultControlConfig(0)), opts.Runs)
 		if err != nil {
 			return Table{}, err
 		}
@@ -68,11 +69,12 @@ func Pathology(opts Options) (Table, error) {
 // to no total-energy loss, the paper's stated objective (§I: "save power
 // without energy loss").
 func AutoTune(opts Options, appName string) (Table, error) {
-	app, ok := dufp.AppByName(appName)
-	if !ok {
-		return Table{}, fmt.Errorf("experiment: unknown application %q", appName)
+	app, err := dufp.AppNamed(appName)
+	if err != nil {
+		return Table{}, fmt.Errorf("experiment: %w", err)
 	}
-	base, err := opts.Session.Summarize(app, dufp.DefaultGovernor(), opts.Runs)
+	ctx, session := opts.campaign()
+	base, err := session.SummarizeCtx(ctx, app, dufp.Baseline(), opts.Runs)
 	if err != nil {
 		return Table{}, err
 	}
@@ -85,7 +87,7 @@ func AutoTune(opts Options, appName string) (Table, error) {
 		score                   float64
 	}
 	evaluate := func(tol float64) (probe, error) {
-		sum, err := opts.Session.Summarize(app, dufp.DUFPGovernor(dufp.DefaultControlConfig(tol)), opts.Runs)
+		sum, err := session.SummarizeCtx(ctx, app, dufp.DUFP(dufp.DefaultControlConfig(tol)), opts.Runs)
 		if err != nil {
 			return probe{}, err
 		}

@@ -10,17 +10,20 @@ import (
 // ToleranceSweep studies one application across a fine tolerance range,
 // the analysis behind the paper's §V-H conclusion that 0 % gives the best
 // energy savings while ~10 % gives the best power savings without energy
-// loss.
+// loss. Summaries flow through the run executor, so the baseline (and any
+// tolerance already measured by a grid on the same executor) is reused,
+// not recomputed.
 func ToleranceSweep(opts Options, appName string, tolerances []float64) (Table, error) {
-	app, ok := dufp.AppByName(appName)
-	if !ok {
-		return Table{}, fmt.Errorf("experiment: unknown application %q", appName)
+	app, err := dufp.AppNamed(appName)
+	if err != nil {
+		return Table{}, fmt.Errorf("experiment: %w", err)
 	}
 	if len(tolerances) == 0 {
 		tolerances = []float64{0, 0.025, 0.05, 0.075, 0.10, 0.15, 0.20}
 	}
+	ctx, session := opts.campaign()
 
-	base, err := opts.Session.Summarize(app, dufp.DefaultGovernor(), opts.Runs)
+	base, err := session.SummarizeCtx(ctx, app, dufp.Baseline(), opts.Runs)
 	if err != nil {
 		return Table{}, err
 	}
@@ -37,7 +40,7 @@ func ToleranceSweep(opts Options, appName string, tolerances []float64) (Table, 
 	bestEnergyTol, bestEnergy := 0.0, -1e9
 	bestPowerNoLossTol, bestPowerNoLoss := 0.0, -1e9
 	for _, tol := range tolerances {
-		sum, err := opts.Session.Summarize(app, dufp.DUFPGovernor(dufp.DefaultControlConfig(tol)), opts.Runs)
+		sum, err := session.SummarizeCtx(ctx, app, dufp.DUFP(dufp.DefaultControlConfig(tol)), opts.Runs)
 		if err != nil {
 			return Table{}, err
 		}
@@ -68,15 +71,16 @@ func ToleranceSweep(opts Options, appName string, tolerances []float64) (Table, 
 // round; longer intervals hold stale caps across phase changes. The paper
 // settled on 200 ms.
 func PeriodSweep(opts Options, appName string, overhead time.Duration) (Table, error) {
-	app, ok := dufp.AppByName(appName)
-	if !ok {
-		return Table{}, fmt.Errorf("experiment: unknown application %q", appName)
+	app, err := dufp.AppNamed(appName)
+	if err != nil {
+		return Table{}, fmt.Errorf("experiment: %w", err)
 	}
 	if overhead <= 0 {
 		overhead = 800 * time.Microsecond
 	}
+	ctx, session := opts.campaign()
 
-	base, err := opts.Session.Summarize(app, dufp.DefaultGovernor(), opts.Runs)
+	base, err := session.SummarizeCtx(ctx, app, dufp.Baseline(), opts.Runs)
 	if err != nil {
 		return Table{}, err
 	}
@@ -97,10 +101,13 @@ func PeriodSweep(opts Options, appName string, overhead time.Duration) (Table, e
 		500 * time.Millisecond,
 		1000 * time.Millisecond,
 	} {
-		session := opts.Session
-		session.ControlPeriod = period
-		session.MonitorOverhead = overhead
-		sum, err := session.Summarize(app, dufp.DUFPGovernor(cfg), opts.Runs)
+		// A distinct session configuration per period: its fingerprint
+		// changes, so these runs never collide with the base session's in
+		// the executor cache.
+		periodSession := session
+		periodSession.ControlPeriod = period
+		periodSession.MonitorOverhead = overhead
+		sum, err := periodSession.SummarizeCtx(ctx, app, dufp.DUFP(cfg), opts.Runs)
 		if err != nil {
 			return Table{}, err
 		}

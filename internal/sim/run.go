@@ -1,11 +1,16 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"dufp/internal/units"
 )
+
+// defaultCancelTicks is the cancellation-check interval for ungoverned
+// runs: one default control period's worth of 1 ms ticks.
+const defaultCancelTicks = 200
 
 // Governor is a per-socket runtime controller invoked every control
 // period. DUF and DUFP implement it (via the control package); a nil
@@ -30,6 +35,10 @@ type TracePoint struct {
 
 // RunOpts parameterises one run.
 type RunOpts struct {
+	// Ctx, when non-nil, cancels the run: it is checked between decision
+	// rounds (or every defaultCancelTicks physics ticks when no governors
+	// are attached) and the run aborts with ctx.Err() once done.
+	Ctx context.Context
 	// ControlPeriod is the governor invocation interval (the paper's
 	// 200 ms measurement interval). Ignored when Governors is empty.
 	ControlPeriod time.Duration
@@ -153,12 +162,22 @@ func (m *Machine) Run(opts RunOpts) (Result, error) {
 		traceEvery = 10
 	}
 
+	cancelTicks := ctrlTicks
+	if cancelTicks <= 0 {
+		cancelTicks = defaultCancelTicks
+	}
+
 	dt := m.cfg.Tick.Seconds()
 	maxTicks := int(m.cfg.MaxDuration / m.cfg.Tick)
 	tick := 0
 	for ; !m.done(); tick++ {
 		if tick >= maxTicks {
 			return Result{}, fmt.Errorf("sim: run exceeded MaxDuration %v", m.cfg.MaxDuration)
+		}
+		if opts.Ctx != nil && tick%cancelTicks == 0 {
+			if err := opts.Ctx.Err(); err != nil {
+				return Result{}, err
+			}
 		}
 		m.stepPhysics(dt)
 		m.now += m.cfg.Tick

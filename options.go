@@ -1,0 +1,47 @@
+package dufp
+
+import (
+	"time"
+
+	"dufp/internal/workload"
+)
+
+// Jitter is the run-to-run workload variability (re-exported).
+type Jitter = workload.Jitter
+
+// SessionOption customises NewSession. Options apply over the paper's
+// defaults, so NewSession() without options is the paper's configuration.
+type SessionOption func(*Session)
+
+// WithSeed sets the base seed of the session's deterministic run seeds.
+func WithSeed(seed int64) SessionOption {
+	return func(s *Session) { s.Seed = seed }
+}
+
+// WithControlPeriod sets the controllers' measurement interval (the
+// paper's 200 ms).
+func WithControlPeriod(d time.Duration) SessionOption {
+	return func(s *Session) { s.ControlPeriod = d }
+}
+
+// WithNoise sets the relative measurement noise of the PAPI layer.
+func WithNoise(sd float64) SessionOption {
+	return func(s *Session) { s.NoiseSD = sd }
+}
+
+// WithJitter sets the run-to-run workload variability.
+func WithJitter(j Jitter) SessionOption {
+	return func(s *Session) { s.Jitter = j }
+}
+
+// WithMonitorOverhead sets the per-decision-round stall (§IV-D).
+func WithMonitorOverhead(d time.Duration) SessionOption {
+	return func(s *Session) { s.MonitorOverhead = d }
+}
+
+// WithExecutor schedules the session's runs on e instead of the shared
+// executor — isolated cache statistics for tests, private concurrency
+// bounds for campaigns.
+func WithExecutor(e *Executor) SessionOption {
+	return func(s *Session) { s.exec = e }
+}

@@ -1,12 +1,12 @@
 package dufp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"dufp/internal/control"
-	"dufp/internal/metrics"
 	"dufp/internal/papi"
 	"dufp/internal/powercap"
 	"dufp/internal/rapl"
@@ -19,7 +19,11 @@ import (
 
 // Session is a configured experiment runner: it owns the simulated node's
 // configuration, the measurement cadence and the stochastic seeds, and can
-// execute applications under governors repeatedly per the paper's protocol.
+// execute applications under governors repeatedly per the paper's
+// protocol. Runs are scheduled on a shared executor (see internal/exec)
+// that bounds concurrency, coalesces identical in-flight runs and
+// memoises completed ones, so repeated requests for the same
+// (app, governor, session, run index) compute once.
 type Session struct {
 	// Sim is the machine configuration.
 	Sim sim.Config
@@ -35,99 +39,32 @@ type Session struct {
 	// Seed is the base seed; run i of a config derives its own seeds
 	// from it, so sequences are reproducible and runs are independent.
 	Seed int64
+
+	// exec schedules this session's runs; nil means SharedExecutor. Set
+	// it with WithExecutor or OnExecutor.
+	exec *Executor
 }
 
-// NewSession returns a session with the paper's configuration: yeti-2,
-// 1 ms physics, 200 ms control period, sub-percent measurement noise.
-func NewSession() Session {
-	return Session{
+// NewSession returns a session with the paper's configuration — yeti-2,
+// 1 ms physics, 200 ms control period, sub-percent measurement noise —
+// adjusted by the given options.
+func NewSession(opts ...SessionOption) Session {
+	s := Session{
 		Sim:           sim.DefaultConfig(),
 		ControlPeriod: 200 * time.Millisecond,
 		NoiseSD:       0.006,
 		Jitter:        workload.DefaultJitter(),
 		Seed:          42,
 	}
+	for _, opt := range opts {
+		opt(&s)
+	}
+	return s
 }
 
 // GovernorFunc builds one controller instance for a socket. A nil instance
 // leaves the socket in its default configuration.
 type GovernorFunc func(act control.Actuators) (control.Instance, error)
-
-// DefaultGovernor leaves the machine in its default configuration (the
-// paper's baseline).
-func DefaultGovernor() GovernorFunc {
-	return func(control.Actuators) (control.Instance, error) { return nil, nil }
-}
-
-// DUFGovernor attaches the uncore-only DUF controller.
-func DUFGovernor(cfg ControlConfig) GovernorFunc {
-	return func(act control.Actuators) (control.Instance, error) {
-		return control.NewDUF(act, cfg)
-	}
-}
-
-// DUFPGovernor attaches the paper's DUFP controller.
-func DUFPGovernor(cfg ControlConfig) GovernorFunc {
-	return func(act control.Actuators) (control.Instance, error) {
-		return control.NewDUFP(act, cfg)
-	}
-}
-
-// DNPCGovernor attaches the frequency-model dynamic-capping baseline from
-// the paper's related work (§VI): it estimates degradation from the
-// APERF/MPERF effective frequency instead of FLOPS.
-func DNPCGovernor(cfg ControlConfig) GovernorFunc {
-	return func(act control.Actuators) (control.Instance, error) {
-		return control.NewDNPC(act, cfg)
-	}
-}
-
-// DUFPFGovernor attaches the future-work variant (§VII) that additionally
-// manages the core-frequency request under an active cap.
-func DUFPFGovernor(cfg ControlConfig) GovernorFunc {
-	return func(act control.Actuators) (control.Instance, error) {
-		return control.NewDUFPF(act, cfg)
-	}
-}
-
-// StaticCapGovernor applies a fixed power cap for the whole run.
-func StaticCapGovernor(pl1, pl2 Power) GovernorFunc {
-	return func(act control.Actuators) (control.Instance, error) {
-		return control.NewStaticCap(act, pl1, pl2)
-	}
-}
-
-// StaticCapWithDUF applies a fixed power cap and runs DUF under it, the
-// configuration of the paper's Fig 1a capped bars.
-func StaticCapWithDUF(cfg ControlConfig, pl1, pl2 Power) GovernorFunc {
-	return func(act control.Actuators) (control.Instance, error) {
-		static, err := control.NewStaticCap(control.Actuators{Spec: act.Spec, Zone: act.Zone}, pl1, pl2)
-		if err != nil {
-			return nil, err
-		}
-		duf, err := control.NewDUF(act, cfg)
-		if err != nil {
-			return nil, err
-		}
-		return control.Chain{static, duf}, nil
-	}
-}
-
-// TimedCapGovernor applies a fixed cap until the deadline, then restores
-// the defaults (Fig 1b/1c partial-phase capping). DUF runs throughout.
-func TimedCapGovernor(cfg ControlConfig, pl1, pl2 Power, until time.Duration) GovernorFunc {
-	return func(act control.Actuators) (control.Instance, error) {
-		timed, err := control.NewTimedCap(control.Actuators{Spec: act.Spec, Zone: act.Zone}, pl1, pl2, until)
-		if err != nil {
-			return nil, err
-		}
-		duf, err := control.NewDUF(act, cfg)
-		if err != nil {
-			return nil, err
-		}
-		return control.Chain{timed, duf}, nil
-	}
-}
 
 // attach builds per-socket actuators and controller instances on a
 // machine.
@@ -179,28 +116,50 @@ func (s Session) runSeed(app string, idx int) int64 {
 	return s.Seed + h%100003 + int64(idx)*6700417
 }
 
+// RunCtx executes run idx of app under the governor through the run
+// executor: identical requests coalesce while in flight and memoise once
+// complete, and ctx cancels the run between decision rounds. idx selects
+// the run's deterministic seeds; a memoised result is bit-identical to a
+// fresh one.
+func (s Session) RunCtx(ctx context.Context, app App, gov Governor, idx int) (Run, error) {
+	return s.executor().Submit(ctx, s.execKey(app, gov, idx, false, false))
+}
+
 // Run executes one run of app under the governor. idx selects the run's
 // deterministic seeds; repeated calls with the same idx reproduce the run
-// exactly.
+// exactly. It is RunCtx without cancellation, wrapping the bare
+// constructor via GovernorOf.
 func (s Session) Run(app App, mk GovernorFunc, idx int) (Run, error) {
-	r, _, _, err := s.run(app, mk, idx, false)
-	return r, err
+	return s.RunCtx(context.Background(), app, GovernorOf(mk), idx)
+}
+
+// RunTracedCtx is RunCtx plus a full time-series recording. Traced runs
+// flow through the executor's worker pool and event stream but are never
+// memoised: the recording is a side effect that must be produced fresh.
+func (s Session) RunTracedCtx(ctx context.Context, app App, gov Governor, idx int) (Run, *trace.Recorder, error) {
+	key := s.execKey(app, gov, idx, true, true)
+	r, err := s.executor().SubmitUncached(ctx, key)
+	if err != nil {
+		return Run{}, nil, err
+	}
+	return r, key.Payload.(*runPayload).rec, nil
 }
 
 // RunTraced is Run plus a full time-series recording.
 func (s Session) RunTraced(app App, mk GovernorFunc, idx int) (Run, *trace.Recorder, error) {
-	r, rec, _, err := s.run(app, mk, idx, true)
-	return r, rec, err
+	return s.RunTracedCtx(context.Background(), app, GovernorOf(mk), idx)
 }
 
-// RunWithEvents is Run plus the decision log of socket 0's controller
-// instance (nil for controllers that do not record one).
-func (s Session) RunWithEvents(app App, mk GovernorFunc, idx int) (Run, []ControlEvent, error) {
-	r, _, insts, err := s.run(app, mk, idx, false)
+// RunWithEventsCtx is RunCtx plus the decision log of socket 0's
+// controller instance (nil for controllers that do not record one). Like
+// traced runs, it bypasses the memo cache: the log lives on the instance.
+func (s Session) RunWithEventsCtx(ctx context.Context, app App, gov Governor, idx int) (Run, []ControlEvent, error) {
+	key := s.execKey(app, gov, idx, false, true)
+	r, err := s.executor().SubmitUncached(ctx, key)
 	if err != nil {
-		return r, nil, err
+		return Run{}, nil, err
 	}
-	for _, inst := range insts {
+	for _, inst := range key.Payload.(*runPayload).insts {
 		if inst != nil {
 			return r, EventsOf(inst), nil
 		}
@@ -208,7 +167,16 @@ func (s Session) RunWithEvents(app App, mk GovernorFunc, idx int) (Run, []Contro
 	return r, nil, nil
 }
 
-func (s Session) run(app App, mk GovernorFunc, idx int, traced bool) (Run, *trace.Recorder, []control.Instance, error) {
+// RunWithEvents is Run plus the decision log of socket 0's controller
+// instance (nil for controllers that do not record one).
+func (s Session) RunWithEvents(app App, mk GovernorFunc, idx int) (Run, []ControlEvent, error) {
+	return s.RunWithEventsCtx(context.Background(), app, GovernorOf(mk), idx)
+}
+
+// execute is the uncached run path behind the executor: build a machine,
+// load the unrolled workload, attach the governor and run to completion.
+// ctx is checked between decision rounds.
+func (s Session) execute(ctx context.Context, app App, mk GovernorFunc, idx int, traced bool) (Run, *trace.Recorder, []control.Instance, error) {
 	if err := app.Validate(); err != nil {
 		return Run{}, nil, nil, err
 	}
@@ -244,6 +212,7 @@ func (s Session) run(app App, mk GovernorFunc, idx int, traced bool) (Run, *trac
 	}
 
 	opts := sim.RunOpts{
+		Ctx:              ctx,
 		ControlPeriod:    s.ControlPeriod,
 		Governors:        govs,
 		GovernorOverhead: s.MonitorOverhead,
@@ -276,21 +245,21 @@ func (s Session) run(app App, mk GovernorFunc, idx int, traced bool) (Run, *trac
 	}, rec, insts, nil
 }
 
+// SummarizeCtx performs n runs through the executor — concurrently, up to
+// its worker bound — and aggregates them with the paper's protocol (drop
+// fastest and slowest, average the rest). Runs already memoised are
+// served from cache; ctx cancels the remainder between decision rounds.
+func (s Session) SummarizeCtx(ctx context.Context, app App, gov Governor, n int) (Summary, error) {
+	if n < 1 {
+		return Summary{}, fmt.Errorf("dufp: need at least one run, got %d: %w", n, ErrBadConfig)
+	}
+	return s.executor().Summary(ctx, s.execKey(app, gov, 0, false, false), n)
+}
+
 // Summarize performs n runs and aggregates them with the paper's protocol
 // (drop fastest and slowest, average the rest).
 func (s Session) Summarize(app App, mk GovernorFunc, n int) (Summary, error) {
-	if n < 1 {
-		return Summary{}, fmt.Errorf("dufp: need at least one run, got %d", n)
-	}
-	runs := make([]metrics.Run, 0, n)
-	for i := 0; i < n; i++ {
-		r, err := s.Run(app, mk, i)
-		if err != nil {
-			return Summary{}, err
-		}
-		runs = append(runs, r)
-	}
-	return metrics.Summarize(runs)
+	return s.SummarizeCtx(context.Background(), app, GovernorOf(mk), n)
 }
 
 func allNil(govs []sim.Governor) bool {
