@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 build test short race vet
+.PHONY: all tier1 build test short race vet cover
 
 all: tier1 race vet
 
@@ -23,3 +23,15 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# cover enforces a floor on the telemetry layer's test coverage: the
+# registry and timeline are pure data plumbing, so near-total coverage is
+# cheap and regressions there are silent otherwise.
+COVER_PKGS = ./internal/obs/...
+COVER_MIN  = 85.0
+
+cover:
+	$(GO) test -coverprofile=cover.out $(COVER_PKGS)
+	@$(GO) tool cover -func=cover.out | tail -n 1
+	@total=$$($(GO) tool cover -func=cover.out | tail -n 1 | awk '{gsub(/%/, "", $$3); print $$3}'); \
+	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { if (t+0 < min+0) { printf "coverage %.1f%% is below the %.1f%% floor\n", t, min; exit 1 } }'

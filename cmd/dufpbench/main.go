@@ -22,9 +22,11 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"dufp"
 	"dufp/internal/experiment"
+	"dufp/internal/obs/obshttp"
 	"dufp/internal/report"
 	"dufp/internal/trace"
 )
@@ -42,6 +44,7 @@ func main() {
 		html     = flag.String("html", "", "write the full campaign as an HTML report (charts + tables) to this file")
 		progress = flag.Bool("progress", false, "print live scheduler progress to stderr")
 		stats    = flag.String("stats", "", "write executor statistics as JSON to this file ('-' for stdout)")
+		listen   = flag.String("listen", "", "serve live introspection on this address (/metrics, /runs, /timeline, /debug/pprof), e.g. :8080")
 	)
 	flag.Parse()
 
@@ -58,6 +61,21 @@ func main() {
 	if *progress {
 		executor.SetObserver(progressObserver())
 		defer executor.SetObserver(nil)
+		// With live progress on, executor statistics are also emitted
+		// periodically instead of only at exit.
+		stop := statsTicker(ctx, executor)
+		defer stop()
+	}
+
+	var srv *obshttp.Server
+	if *listen != "" {
+		srv = obshttp.New(nil, executor)
+		go func() {
+			if lerr := srv.ListenAndServe(*listen); lerr != nil {
+				fmt.Fprintln(os.Stderr, "dufpbench: listen:", lerr)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "serving introspection on %s (/metrics, /runs, /timeline, /debug/pprof)\n", *listen)
 	}
 
 	opts := experiment.DefaultOptions()
@@ -75,7 +93,7 @@ func main() {
 		if *html != "" {
 			return writeHTML(opts, *html)
 		}
-		return run(opts, *fig, *md, *traceCSV)
+		return run(opts, *fig, *md, *traceCSV, srv)
 	}()
 	if *stats != "" {
 		if serr := writeStats(executor, *stats); serr != nil && err == nil {
@@ -86,6 +104,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dufpbench:", err)
 		os.Exit(1)
 	}
+	if srv != nil {
+		fmt.Fprintf(os.Stderr, "campaign done; still serving on %s (interrupt to exit)\n", *listen)
+		<-ctx.Done()
+	}
+}
+
+// statsTicker periodically prints one-line executor statistics to stderr
+// until stopped or the context is cancelled.
+func statsTicker(ctx context.Context, executor *dufp.Executor) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(10 * time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				st := executor.Stats()
+				fmt.Fprintf(os.Stderr, "[stats] submitted=%d started=%d completed=%d failed=%d cached=%d coalesced=%d wall=%s\n",
+					st.Submitted, st.Started, st.Completed, st.Failed, st.CacheHits, st.Coalesced, st.RunWall.Round(time.Millisecond))
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
 }
 
 // progressObserver renders the executor's structured events as one stderr
@@ -144,7 +190,7 @@ func writeHTML(opts experiment.Options, path string) error {
 	return nil
 }
 
-func run(opts experiment.Options, fig string, md bool, traceCSV string) error {
+func run(opts experiment.Options, fig string, md bool, traceCSV string, srv *obshttp.Server) error {
 	out := os.Stdout
 	render := func(t experiment.Table) error {
 		if md {
@@ -264,6 +310,10 @@ func run(opts experiment.Options, fig string, md bool, traceCSV string) error {
 		}
 		if err := render(res.Table); err != nil {
 			return err
+		}
+		if srv != nil {
+			srv.AddTimeline("fig5-duf", dufp.BuildTimeline(res.DUFEvents, res.DUFSeries))
+			srv.AddTimeline("fig5-dufp", dufp.BuildTimeline(res.DUFPEvents, res.DUFPSeries))
 		}
 		if traceCSV != "" {
 			if err := os.MkdirAll(traceCSV, 0o755); err != nil {

@@ -8,6 +8,7 @@
 //	dufprun -app HPL -gov duf -slowdown 5 -runs 10
 //	dufprun -app CG -gov static -cap 110
 //	dufprun -app CG -gov dufp -slowdown 10 -trace cg.csv
+//	dufprun -app CG -gov dufp -slowdown 10 -timeline cg.jsonl
 //	dufprun -list
 package main
 
@@ -35,6 +36,7 @@ func main() {
 		runs     = flag.Int("runs", 5, "repetitions (paper protocol: 10)")
 		seed     = flag.Int64("seed", 42, "base seed")
 		traceCSV = flag.String("trace", "", "write socket-0 trace of run 0 to this CSV file")
+		timeline = flag.String("timeline", "", "write the run-0 decision timeline (events joined with trace samples) to this JSONL file")
 		baseline = flag.Bool("baseline", true, "also run the default configuration and print ratios")
 		list     = flag.Bool("list", false, "list applications and exit")
 	)
@@ -58,6 +60,7 @@ func main() {
 		runs:     *runs,
 		seed:     *seed,
 		traceCSV: *traceCSV,
+		timeline: *timeline,
 		baseline: *baseline,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "dufprun:", err)
@@ -66,12 +69,12 @@ func main() {
 }
 
 type params struct {
-	appName, appFile, export, gov, traceCSV string
-	slowdown                                float64
-	cap                                     dufp.Power
-	runs                                    int
-	seed                                    int64
-	baseline                                bool
+	appName, appFile, export, gov, traceCSV, timeline string
+	slowdown                                          float64
+	cap                                               dufp.Power
+	runs                                              int
+	seed                                              int64
+	baseline                                          bool
 }
 
 // loadApp resolves the application from the suite or a JSON file.
@@ -174,6 +177,23 @@ func run(ctx context.Context, p params) error {
 			return err
 		}
 		fmt.Printf("trace written to %s (%d points)\n", p.traceCSV, rec.Len())
+	}
+
+	if p.timeline != "" {
+		_, tl, err := session.RunWithTimelineCtx(ctx, app, gov, 0)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(p.timeline)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := tl.WriteJSONL(f); err != nil {
+			return err
+		}
+		fmt.Printf("timeline written to %s (%d entries, %d decisions)\n",
+			p.timeline, len(tl.Entries), len(tl.Decisions()))
 	}
 	return nil
 }

@@ -139,12 +139,25 @@ func ReadAppJSON(r io.Reader) (App, error) { return workload.ReadJSON(r) }
 // ControlEvent is one logged controller decision.
 type ControlEvent = control.Event
 
+// eventLogger is satisfied by controllers that record a decision log
+// (DUF and DUFP do).
+type eventLogger interface {
+	Events() []control.Event
+}
+
 // EventsOf returns the decision log of a controller instance built by a
-// governor func, when that controller records one (DUFP does); nil
-// otherwise.
+// governor func, when that controller records one (DUF and DUFP do); nil
+// otherwise. Chains yield the first member with a log.
 func EventsOf(inst control.Instance) []ControlEvent {
-	if d, ok := inst.(*control.DUFP); ok {
-		return d.Events()
+	switch g := inst.(type) {
+	case eventLogger:
+		return g.Events()
+	case control.Chain:
+		for _, member := range g {
+			if evs := EventsOf(member); evs != nil {
+				return evs
+			}
+		}
 	}
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"dufp/internal/control"
 	"dufp/internal/exec"
 	"dufp/internal/metrics"
+	"dufp/internal/obs"
 	"dufp/internal/trace"
 )
 
@@ -58,6 +59,9 @@ func ExecCacheSize(n int) ExecutorOption { return exec.WithCacheSize(n) }
 
 // ExecObserver registers an executor's progress observer.
 func ExecObserver(fn func(ExecutorEvent)) ExecutorOption { return exec.WithObserver(fn) }
+
+// execWithRegistry backs ExecRegistry (see telemetry.go).
+func execWithRegistry(r *obs.Registry) ExecutorOption { return exec.WithRegistry(r) }
 
 // NewExecutor builds an isolated run executor backed by the session run
 // path. Use it when cache statistics must not be shared (tests) or when a

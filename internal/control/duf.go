@@ -110,6 +110,10 @@ type DUF struct {
 	cfg  Config
 	tr   *tracker
 	loop *uncoreLoop
+
+	log    *eventLog
+	events *eventCounters
+	attr   *phaseAttr
 }
 
 // NewDUF builds a DUF instance for one socket.
@@ -120,7 +124,15 @@ func NewDUF(act Actuators, cfg Config) (*DUF, error) {
 	if err := act.validate(false); err != nil {
 		return nil, err
 	}
-	return &DUF{act: act, cfg: cfg, tr: newTracker(cfg), loop: newUncoreLoop(act, cfg)}, nil
+	return &DUF{
+		act:    act,
+		cfg:    cfg,
+		tr:     newTracker(cfg),
+		loop:   newUncoreLoop(act, cfg),
+		log:    newEventLog(eventLogCapacity),
+		events: countersFor("DUF"),
+		attr:   newPhaseAttr("DUF", cfg),
+	}, nil
 }
 
 // Name implements Instance.
@@ -139,12 +151,29 @@ func (d *DUF) Tick(now time.Duration) error {
 	if err != nil {
 		return fmt.Errorf("DUF at %v: %w", now, err)
 	}
+	d.attr.observe(s)
 	if d.tr.Observe(s) {
-		return d.loop.Reset()
+		err := d.loop.Reset()
+		d.logEvent(now, EventPhaseChange)
+		return err
 	}
-	_, err = d.loop.Step(s, d.tr)
+	dec, err := d.loop.Step(s, d.tr)
+	switch dec {
+	case lowerSetting:
+		d.logEvent(now, EventUncoreLower)
+	case raiseSetting:
+		d.logEvent(now, EventUncoreRaise)
+	}
 	return err
 }
+
+func (d *DUF) logEvent(now time.Duration, kind EventKind) {
+	d.log.add(Event{Time: now, Kind: kind, Uncore: d.loop.target})
+	d.events.count(kind)
+}
+
+// Events returns the logged decision history, oldest first (bounded).
+func (d *DUF) Events() []Event { return d.log.events() }
 
 // Uncore returns the currently targeted uncore frequency, for tests and
 // traces.

@@ -81,7 +81,9 @@ type DUFP struct {
 	// reset it again if not.
 	verifyUncore bool
 
-	log *eventLog
+	log    *eventLog
+	events *eventCounters
+	attr   *phaseAttr
 }
 
 // NewDUFP builds a DUFP instance for one socket.
@@ -99,6 +101,8 @@ func NewDUFP(act Actuators, cfg Config) (*DUFP, error) {
 		uncore: newUncoreLoop(act, cfg),
 		cap:    newCapLoop(act, cfg),
 		log:    newEventLog(eventLogCapacity),
+		events: countersFor("DUFP"),
+		attr:   newPhaseAttr("DUFP", cfg),
 	}, nil
 }
 
@@ -127,6 +131,7 @@ func (d *DUFP) Events() []Event { return d.log.events() }
 
 func (d *DUFP) logEvent(now time.Duration, kind EventKind) {
 	d.log.add(Event{Time: now, Kind: kind, Cap: d.cap.Cap(), Uncore: d.uncore.target})
+	d.events.count(kind)
 }
 
 // Tick implements Instance: one §III decision round.
@@ -135,6 +140,7 @@ func (d *DUFP) Tick(now time.Duration) error {
 	if err != nil {
 		return fmt.Errorf("DUFP at %v: %w", now, err)
 	}
+	d.attr.observe(s)
 
 	// Interaction rule 2: after a joint reset the applied uncore
 	// frequency may still be held down by the old cap; re-reset it.

@@ -31,6 +31,10 @@ const (
 	EventPowerOverCap
 )
 
+// numEventKinds is the number of defined kinds; keep it in sync with the
+// enum above (the exhaustiveness test enforces both it and String).
+const numEventKinds = int(EventPowerOverCap) + 1
+
 // String names the kind.
 func (k EventKind) String() string {
 	switch k {

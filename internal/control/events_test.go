@@ -1,0 +1,30 @@
+package control
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEventKindStringExhaustive walks the kinds from zero until String
+// falls through to the EventKind(%d) fallback, pinning both that every
+// defined kind has a name and that numEventKinds matches the enum.
+func TestEventKindStringExhaustive(t *testing.T) {
+	seen := make(map[string]EventKind)
+	n := 0
+	for ; ; n++ {
+		name := EventKind(n).String()
+		if strings.HasPrefix(name, "EventKind(") {
+			break
+		}
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("kinds %d and %d share the name %q", prev, n, name)
+		}
+		seen[name] = EventKind(n)
+	}
+	if n != numEventKinds {
+		t.Fatalf("String names %d kinds, numEventKinds = %d: enum and switch are out of sync", n, numEventKinds)
+	}
+	if EventKind(-1).String() != "EventKind(-1)" {
+		t.Fatalf("negative kind = %q, want fallback", EventKind(-1).String())
+	}
+}

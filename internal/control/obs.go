@@ -1,0 +1,125 @@
+// Telemetry for the controllers: every logged decision increments a
+// registry counter labelled by governor and kind, and each measurement
+// sample attributes its interval's time and package energy to the phase
+// class the sample's operational intensity falls in — the per-phase
+// accounting the paper's figures reason about.
+package control
+
+import (
+	"sync"
+
+	"dufp/internal/obs"
+	"dufp/internal/papi"
+)
+
+var (
+	eventsVec = obs.Default().Counter(
+		"control_events_total", "controller decisions by governor and kind",
+		"governor", "kind")
+	phaseSecondsVec = obs.Default().Counter(
+		"control_phase_seconds_total", "measured application time attributed to phase classes",
+		"governor", "class")
+	phaseJoulesVec = obs.Default().Counter(
+		"control_phase_energy_joules_total", "package energy attributed to phase classes",
+		"governor", "class")
+)
+
+// eventCounters caches one governor's per-kind counter handles so the
+// per-tick path is a single atomic add with no label lookup.
+type eventCounters [numEventKinds]*obs.Counter
+
+var (
+	countersMu    sync.Mutex
+	countersByGov = map[string]*eventCounters{}
+)
+
+// countersFor resolves (once per governor name) the decision counters.
+func countersFor(governor string) *eventCounters {
+	countersMu.Lock()
+	defer countersMu.Unlock()
+	if c, ok := countersByGov[governor]; ok {
+		return c
+	}
+	c := &eventCounters{}
+	for k := range c {
+		c[k] = eventsVec.With(governor, EventKind(k).String())
+	}
+	countersByGov[governor] = c
+	return c
+}
+
+func (c *eventCounters) count(kind EventKind) {
+	if c == nil || kind < 0 || int(kind) >= numEventKinds {
+		return
+	}
+	c[kind].Inc()
+}
+
+// phaseClass buckets operational intensity the way the decision logic
+// does (§III): the same thresholds that steer the cap loop delimit the
+// attribution classes.
+type phaseClass int
+
+const (
+	classMemHigh phaseClass = iota // OI < HighMemOI
+	classMem                       // OI < MemOIBoundary
+	classCPU                       // OI <= HighCPUOI
+	classCPUHigh                   // OI > HighCPUOI
+	numPhaseClasses
+)
+
+func (c phaseClass) String() string {
+	switch c {
+	case classMemHigh:
+		return "mem-high"
+	case classMem:
+		return "mem"
+	case classCPU:
+		return "cpu"
+	case classCPUHigh:
+		return "cpu-high"
+	}
+	return "unknown"
+}
+
+// classOf maps an operational intensity to its phase class.
+func (c Config) classOf(oi float64) phaseClass {
+	switch {
+	case oi < c.HighMemOI:
+		return classMemHigh
+	case oi < c.MemOIBoundary:
+		return classMem
+	case oi <= c.HighCPUOI:
+		return classCPU
+	default:
+		return classCPUHigh
+	}
+}
+
+// phaseAttr attributes each sample's interval time and package energy to
+// its phase class, with handles pre-resolved per governor.
+type phaseAttr struct {
+	cfg    Config
+	secs   [numPhaseClasses]*obs.Counter
+	joules [numPhaseClasses]*obs.Counter
+}
+
+func newPhaseAttr(governor string, cfg Config) *phaseAttr {
+	a := &phaseAttr{cfg: cfg}
+	for cl := phaseClass(0); cl < numPhaseClasses; cl++ {
+		a.secs[cl] = phaseSecondsVec.With(governor, cl.String())
+		a.joules[cl] = phaseJoulesVec.With(governor, cl.String())
+	}
+	return a
+}
+
+// observe charges one sample's interval to its phase class.
+func (a *phaseAttr) observe(s papi.Sample) {
+	if a == nil {
+		return
+	}
+	cl := a.cfg.classOf(s.OperationalIntensity())
+	dt := s.Interval.Seconds()
+	a.secs[cl].Add(dt)
+	a.joules[cl].Add(float64(s.PkgPower) * dt)
+}

@@ -1,0 +1,27 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEventKindStringExhaustive pins that every defined progress-event
+// kind has a name: String must not fall through to the EventKind(%d)
+// fallback before the enum ends.
+func TestEventKindStringExhaustive(t *testing.T) {
+	const numKinds = int(EventCoalesced) + 1
+	seen := make(map[string]EventKind)
+	for k := 0; k < numKinds; k++ {
+		name := EventKind(k).String()
+		if strings.HasPrefix(name, "EventKind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("kinds %d and %d share the name %q", prev, k, name)
+		}
+		seen[name] = EventKind(k)
+	}
+	if got := EventKind(numKinds).String(); !strings.HasPrefix(got, "EventKind(") {
+		t.Fatalf("kind %d = %q: a new kind was added without extending the test", numKinds, got)
+	}
+}

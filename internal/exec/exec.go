@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"dufp/internal/metrics"
+	"dufp/internal/obs"
 )
 
 // Key content-addresses one run: the application (name plus structure
@@ -150,6 +151,41 @@ func WithObserver(fn Observer) Option {
 	return func(e *Executor) { e.obs = fn }
 }
 
+// WithRegistry directs the executor's telemetry at r instead of the
+// process-wide obs.Default() registry. Tests use it to read counters in
+// isolation.
+func WithRegistry(r *obs.Registry) Option {
+	return func(e *Executor) {
+		if r != nil {
+			e.registry = r
+		}
+	}
+}
+
+// execMetrics holds the executor's pre-resolved registry handles, so the
+// hot path records each event with one atomic operation and no lookup.
+type execMetrics struct {
+	submitted, cacheHits, coalesced *obs.Counter
+	started, completed, failed      *obs.Counter
+	evicted                         *obs.Counter
+	queueDepth                      *obs.Gauge
+	runSeconds                      *obs.Histogram
+}
+
+func newExecMetrics(r *obs.Registry) *execMetrics {
+	return &execMetrics{
+		submitted:  r.Counter("exec_submitted_total", "run submissions accepted by the executor").With(),
+		cacheHits:  r.Counter("exec_cache_hits_total", "submissions served from the completed-run LRU").With(),
+		coalesced:  r.Counter("exec_coalesced_total", "submissions that joined an in-flight run").With(),
+		started:    r.Counter("exec_runs_started_total", "runs that acquired a worker and began").With(),
+		completed:  r.Counter("exec_runs_completed_total", "runs that finished successfully").With(),
+		failed:     r.Counter("exec_runs_failed_total", "runs that returned an error").With(),
+		evicted:    r.Counter("exec_cache_evictions_total", "completed runs evicted from the LRU").With(),
+		queueDepth: r.Gauge("exec_queue_depth", "submissions accepted but not yet resolved").With(),
+		runSeconds: r.Histogram("exec_run_seconds", "wall-clock time of executed runs", nil).With(),
+	}
+}
+
 // Executor schedules runs on a bounded worker pool, coalescing concurrent
 // submissions of the same key and memoising completed runs.
 type Executor struct {
@@ -157,6 +193,8 @@ type Executor struct {
 	workers   int
 	cacheSize int
 	slots     chan struct{}
+	registry  *obs.Registry
+	metrics   *execMetrics
 
 	mu       sync.Mutex
 	inflight map[ID]*call
@@ -178,6 +216,7 @@ func New(run Runner, opts ...Option) *Executor {
 		run:       run,
 		workers:   runtime.GOMAXPROCS(0),
 		cacheSize: 4096,
+		registry:  obs.Default(),
 		inflight:  make(map[ID]*call),
 	}
 	for _, opt := range opts {
@@ -185,6 +224,7 @@ func New(run Runner, opts ...Option) *Executor {
 	}
 	e.slots = make(chan struct{}, e.workers)
 	e.cache = newLRU(e.cacheSize)
+	e.metrics = newExecMetrics(e.registry)
 	return e
 }
 
@@ -212,12 +252,14 @@ func (e *Executor) Workers() int { return e.workers }
 // the execution returns ctx.Err() promptly.
 func (e *Executor) Submit(ctx context.Context, key Key) (metrics.Run, error) {
 	id := key.ID()
+	e.metrics.submitted.Inc()
 	e.mu.Lock()
 	e.stats.Submitted++
 	if run, ok := e.cache.get(id); ok {
 		e.stats.CacheHits++
 		obs, depth := e.obs, e.queued
 		e.mu.Unlock()
+		e.metrics.cacheHits.Inc()
 		emit(obs, Event{Kind: EventCached, Key: key, QueueDepth: depth})
 		return run, nil
 	}
@@ -225,6 +267,7 @@ func (e *Executor) Submit(ctx context.Context, key Key) (metrics.Run, error) {
 		e.stats.Coalesced++
 		obs, depth := e.obs, e.queued
 		e.mu.Unlock()
+		e.metrics.coalesced.Inc()
 		emit(obs, Event{Kind: EventCoalesced, Key: key, QueueDepth: depth})
 		select {
 		case <-c.done:
@@ -236,6 +279,7 @@ func (e *Executor) Submit(ctx context.Context, key Key) (metrics.Run, error) {
 	c := &call{done: make(chan struct{})}
 	e.inflight[id] = c
 	e.queued++
+	e.metrics.queueDepth.Set(float64(e.queued))
 	e.mu.Unlock()
 
 	c.run, c.err = e.execute(ctx, key)
@@ -243,10 +287,14 @@ func (e *Executor) Submit(ctx context.Context, key Key) (metrics.Run, error) {
 	e.mu.Lock()
 	delete(e.inflight, id)
 	e.queued--
+	e.metrics.queueDepth.Set(float64(e.queued))
+	var evicted int64
 	if c.err == nil {
-		e.stats.Evicted += int64(e.cache.add(id, c.run))
+		evicted = int64(e.cache.add(id, c.run))
+		e.stats.Evicted += evicted
 	}
 	e.mu.Unlock()
+	e.metrics.evicted.Add(float64(evicted))
 	close(c.done)
 	return c.run, c.err
 }
@@ -256,13 +304,16 @@ func (e *Executor) Submit(ctx context.Context, key Key) (metrics.Run, error) {
 // side-effectful runs — tracing, decision-log capture — whose outputs live
 // outside the returned Run and must be produced fresh every time.
 func (e *Executor) SubmitUncached(ctx context.Context, key Key) (metrics.Run, error) {
+	e.metrics.submitted.Inc()
 	e.mu.Lock()
 	e.stats.Submitted++
 	e.queued++
+	e.metrics.queueDepth.Set(float64(e.queued))
 	e.mu.Unlock()
 	run, err := e.execute(ctx, key)
 	e.mu.Lock()
 	e.queued--
+	e.metrics.queueDepth.Set(float64(e.queued))
 	e.mu.Unlock()
 	return run, err
 }
@@ -284,6 +335,7 @@ func (e *Executor) execute(ctx context.Context, key Key) (metrics.Run, error) {
 	e.stats.Started++
 	obs, depth := e.obs, e.queued
 	e.mu.Unlock()
+	e.metrics.started.Inc()
 	emit(obs, Event{Kind: EventStarted, Key: key, QueueDepth: depth})
 
 	start := time.Now()
@@ -301,6 +353,12 @@ func (e *Executor) execute(ctx context.Context, key Key) (metrics.Run, error) {
 	}
 	obs, depth = e.obs, e.queued
 	e.mu.Unlock()
+	e.metrics.runSeconds.Observe(wall.Seconds())
+	if err != nil {
+		e.metrics.failed.Inc()
+	} else {
+		e.metrics.completed.Inc()
+	}
 	emit(obs, Event{Kind: kind, Key: key, Wall: wall, QueueDepth: depth, Err: err})
 	return run, err
 }

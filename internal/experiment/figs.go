@@ -273,11 +273,14 @@ func gridTable(g *Grid, id, title string, cell func(dufp.Comparison) string, not
 	return t, nil
 }
 
-// Fig5Result carries the frequency traces behind the Fig 5 table.
+// Fig5Result carries the frequency traces behind the Fig 5 table, plus
+// the controllers' decision logs for timeline rendering.
 type Fig5Result struct {
 	Table      Table
 	DUFSeries  []sim.TracePoint
 	DUFPSeries []sim.TracePoint
+	DUFEvents  []dufp.ControlEvent
+	DUFPEvents []dufp.ControlEvent
 }
 
 // Fig5 reproduces the CPU-frequency comparison: CG at 10 % tolerated
@@ -287,17 +290,20 @@ func Fig5(opts Options) (Fig5Result, error) {
 	cfg := dufp.DefaultControlConfig(0.10)
 	ctx, session := opts.campaign()
 
-	_, dufRec, err := session.RunTracedCtx(ctx, app, dufp.DUF(cfg), 0)
+	_, dufRec, dufEvents, err := session.RunInstrumentedCtx(ctx, app, dufp.DUF(cfg), 0)
 	if err != nil {
 		return Fig5Result{}, err
 	}
-	_, dufpRec, err := session.RunTracedCtx(ctx, app, dufp.DUFP(cfg), 0)
+	_, dufpRec, dufpEvents, err := session.RunInstrumentedCtx(ctx, app, dufp.DUFP(cfg), 0)
 	if err != nil {
 		return Fig5Result{}, err
 	}
 
 	dufS, dufpS := dufRec.Socket(0), dufpRec.Socket(0)
-	res := Fig5Result{DUFSeries: dufS, DUFPSeries: dufpS}
+	res := Fig5Result{
+		DUFSeries: dufS, DUFPSeries: dufpS,
+		DUFEvents: dufEvents, DUFPEvents: dufpEvents,
+	}
 
 	t := Table{
 		ID:      "Fig 5",

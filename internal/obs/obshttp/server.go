@@ -1,0 +1,180 @@
+// Package obshttp serves the harness's telemetry over HTTP: the metrics
+// registry as Prometheus text or JSON, the run executor's live state, the
+// recorded run timelines, and net/http/pprof for profiling. It is the
+// opt-in backend of dufpbench -listen.
+package obshttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync"
+
+	"dufp/internal/exec"
+	"dufp/internal/obs"
+	"dufp/internal/obs/timeline"
+)
+
+// maxTimelines bounds the retained timelines; the oldest is evicted.
+const maxTimelines = 64
+
+// Server exposes one registry, one executor and a bounded set of named
+// run timelines. All methods are safe for concurrent use.
+type Server struct {
+	reg *obs.Registry
+	exe *exec.Executor
+
+	mu        sync.Mutex
+	timelines map[string]timeline.Timeline
+	order     []string
+}
+
+// New builds a server. A nil registry means obs.Default(); the executor
+// may be nil, in which case /runs reports no executor.
+func New(reg *obs.Registry, exe *exec.Executor) *Server {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &Server{reg: reg, exe: exe, timelines: make(map[string]timeline.Timeline)}
+}
+
+// AddTimeline registers (or replaces) a named run timeline for serving
+// under /timeline/<name>. At most maxTimelines are retained; beyond that
+// the oldest registration is evicted.
+func (s *Server) AddTimeline(name string, tl timeline.Timeline) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.timelines[name]; !exists {
+		s.order = append(s.order, name)
+		if len(s.order) > maxTimelines {
+			delete(s.timelines, s.order[0])
+			s.order = s.order[1:]
+		}
+	}
+	s.timelines[name] = tl
+}
+
+// Handler returns the endpoint map:
+//
+//	/               index
+//	/metrics        Prometheus text exposition
+//	/metrics.json   the same registry as JSON
+//	/runs           executor counters and worker bound as JSON
+//	/timeline/      registered timeline names as JSON
+//	/timeline/<n>   one timeline as JSONL (?format=csv or ?format=json)
+//	/debug/pprof/   net/http/pprof
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.index)
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/metrics.json", s.metricsJSON)
+	mux.HandleFunc("/runs", s.runs)
+	mux.HandleFunc("/timeline/", s.timeline)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ListenAndServe serves the handler on addr until the listener fails.
+func (s *Server) ListenAndServe(addr string) error {
+	return http.ListenAndServe(addr, s.Handler())
+}
+
+func (s *Server) index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `dufp introspection
+  /metrics        Prometheus text exposition
+  /metrics.json   metrics registry as JSON
+  /runs           run executor state
+  /timeline/      recorded run timelines (JSONL; ?format=csv|json)
+  /debug/pprof/   profiling
+`)
+}
+
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) metricsJSON(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.reg.WriteJSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// runsState is the /runs payload.
+type runsState struct {
+	// Executor reports whether an executor is attached.
+	Executor bool `json:"executor"`
+	// Workers is the executor's concurrency bound.
+	Workers int `json:"workers,omitempty"`
+	// Stats are the executor's counters.
+	Stats exec.Stats `json:"stats,omitempty"`
+}
+
+func (s *Server) runs(w http.ResponseWriter, _ *http.Request) {
+	state := runsState{}
+	if s.exe != nil {
+		state = runsState{Executor: true, Workers: s.exe.Workers(), Stats: s.exe.Stats()}
+	}
+	writeJSON(w, state)
+}
+
+func (s *Server) timeline(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/timeline/")
+	if name == "" {
+		s.mu.Lock()
+		names := make([]string, 0, len(s.timelines))
+		for n := range s.timelines {
+			names = append(names, n)
+		}
+		s.mu.Unlock()
+		sort.Strings(names)
+		writeJSON(w, names)
+		return
+	}
+	s.mu.Lock()
+	tl, ok := s.timelines[name]
+	s.mu.Unlock()
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	var err error
+	switch r.URL.Query().Get("format") {
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		err = tl.WriteCSV(w)
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		err = json.NewEncoder(w).Encode(tl)
+	default:
+		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+		err = tl.WriteJSONL(w)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,209 @@
+package obshttp
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dufp/internal/control"
+	"dufp/internal/exec"
+	"dufp/internal/metrics"
+	"dufp/internal/obs"
+	"dufp/internal/obs/timeline"
+	"dufp/internal/sim"
+	"dufp/internal/units"
+)
+
+func testServer(t *testing.T) (*Server, *httptest.Server, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	exe := exec.New(func(context.Context, exec.Key) (metrics.Run, error) {
+		return metrics.Run{App: "x", Time: time.Second}, nil
+	}, exec.WithRegistry(reg))
+	if _, err := exe.Submit(context.Background(), exec.Key{App: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exe.Submit(context.Background(), exec.Key{App: "a"}); err != nil { // cache hit
+		t.Fatal(err)
+	}
+	s := New(reg, exe)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, reg
+}
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts, _ := testServer(t)
+	code, body, hdr := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(hdr.Get("Content-Type"), "version=0.0.4") {
+		t.Fatalf("content type %q", hdr.Get("Content-Type"))
+	}
+	for _, want := range []string{
+		"# TYPE exec_cache_hits_total counter",
+		"exec_cache_hits_total 1",
+		"exec_runs_completed_total 1",
+		"exec_run_seconds_bucket",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestMetricsJSONEndpoint(t *testing.T) {
+	_, ts, _ := testServer(t)
+	code, body, _ := get(t, ts.URL+"/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var fams []obs.FamilySnapshot
+	if err := json.Unmarshal([]byte(body), &fams); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(fams) == 0 {
+		t.Fatal("no families")
+	}
+}
+
+func TestRunsEndpoint(t *testing.T) {
+	_, ts, _ := testServer(t)
+	code, body, _ := get(t, ts.URL+"/runs")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var state struct {
+		Executor bool `json:"executor"`
+		Workers  int  `json:"workers"`
+		Stats    struct {
+			Submitted int64 `json:"submitted"`
+			CacheHits int64 `json:"cache_hits"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal([]byte(body), &state); err != nil {
+		t.Fatal(err)
+	}
+	if !state.Executor || state.Workers < 1 || state.Stats.Submitted != 2 || state.Stats.CacheHits != 1 {
+		t.Fatalf("runs state: %s", body)
+	}
+}
+
+func TestRunsWithoutExecutor(t *testing.T) {
+	ts := httptest.NewServer(New(obs.NewRegistry(), nil).Handler())
+	defer ts.Close()
+	code, body, _ := get(t, ts.URL+"/runs")
+	if code != http.StatusOK || !strings.Contains(body, `"executor": false`) {
+		t.Fatalf("%d %s", code, body)
+	}
+}
+
+func sampleTimeline() timeline.Timeline {
+	return timeline.Build(
+		[]control.Event{{Time: time.Second, Kind: control.EventCapLower, Cap: 110 * units.Watt}},
+		[]sim.TracePoint{{Time: time.Second, PkgPower: 100 * units.Watt}},
+	)
+}
+
+func TestTimelineEndpoints(t *testing.T) {
+	s, ts, _ := testServer(t)
+	s.AddTimeline("cg-dufp", sampleTimeline())
+
+	code, body, _ := get(t, ts.URL+"/timeline/")
+	if code != http.StatusOK || !strings.Contains(body, "cg-dufp") {
+		t.Fatalf("listing: %d %s", code, body)
+	}
+
+	code, body, hdr := get(t, ts.URL+"/timeline/cg-dufp")
+	if code != http.StatusOK || !strings.Contains(hdr.Get("Content-Type"), "jsonl") {
+		t.Fatalf("jsonl: %d %q", code, hdr.Get("Content-Type"))
+	}
+	if !strings.Contains(body, `"decision":"cap-lower"`) {
+		t.Fatalf("jsonl body: %s", body)
+	}
+
+	code, body, _ = get(t, ts.URL+"/timeline/cg-dufp?format=csv")
+	if code != http.StatusOK || !strings.HasPrefix(body, "time_s,kind,decision") {
+		t.Fatalf("csv: %d %s", code, body)
+	}
+
+	code, body, _ = get(t, ts.URL+"/timeline/cg-dufp?format=json")
+	var tl timeline.Timeline
+	if code != http.StatusOK {
+		t.Fatalf("json: %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &tl); err != nil || len(tl.Entries) != 2 {
+		t.Fatalf("json timeline: %v %s", err, body)
+	}
+
+	code, _, _ = get(t, ts.URL+"/timeline/nope")
+	if code != http.StatusNotFound {
+		t.Fatalf("missing timeline: %d", code)
+	}
+}
+
+func TestTimelineEviction(t *testing.T) {
+	s := New(obs.NewRegistry(), nil)
+	for i := 0; i <= maxTimelines; i++ {
+		s.AddTimeline(fmt.Sprintf("tl-%03d", i), timeline.Timeline{})
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.timelines) != maxTimelines || len(s.order) != maxTimelines {
+		t.Fatalf("retained %d/%d, want %d", len(s.timelines), len(s.order), maxTimelines)
+	}
+	if _, ok := s.timelines["tl-000"]; ok {
+		t.Fatal("oldest timeline not evicted")
+	}
+	// Replacing an existing name must not grow the order list.
+	s.mu.Unlock()
+	s.AddTimeline("tl-001", timeline.Timeline{Socket: 1})
+	s.mu.Lock()
+	if len(s.order) != maxTimelines || s.timelines["tl-001"].Socket != 1 {
+		t.Fatal("replacement mishandled")
+	}
+}
+
+func TestIndexAndPprof(t *testing.T) {
+	_, ts, _ := testServer(t)
+	code, body, _ := get(t, ts.URL+"/")
+	if code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index: %d %s", code, body)
+	}
+	code, _, _ = get(t, ts.URL+"/unknown")
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown path: %d", code)
+	}
+	code, body, _ = get(t, ts.URL+"/debug/pprof/cmdline")
+	if code != http.StatusOK || body == "" {
+		t.Fatalf("pprof: %d", code)
+	}
+}
+
+func TestNilRegistryFallsBackToDefault(t *testing.T) {
+	s := New(nil, nil)
+	if s.reg != obs.Default() {
+		t.Fatal("nil registry did not fall back to Default")
+	}
+}

@@ -62,6 +62,10 @@ type Machine struct {
 	// stall is pending monitoring-overhead time (seconds) during which
 	// the workload makes no progress.
 	stall float64
+	// clampTicks counts socket-ticks on which the RAPL limiter throttled
+	// the delivered core frequency, flushed to the telemetry registry at
+	// the end of Run.
+	clampTicks int64
 }
 
 // New builds a machine and wires the architectural MSRs of every package.

@@ -5,12 +5,29 @@ import (
 	"fmt"
 	"time"
 
+	"dufp/internal/obs"
 	"dufp/internal/units"
 )
 
 // defaultCancelTicks is the cancellation-check interval for ungoverned
 // runs: one default control period's worth of 1 ms ticks.
 const defaultCancelTicks = 200
+
+// Telemetry handles, pre-resolved on the process registry. Counts are
+// accumulated locally during a run and flushed once at the end, keeping
+// the physics loop free of shared-cache-line traffic; the instrumentation
+// never feeds back into the simulation, so instrumented results are
+// bit-identical to uninstrumented ones.
+var (
+	simRunsTotal = obs.Default().Counter(
+		"sim_runs_total", "simulator runs completed").With()
+	simTicksTotal = obs.Default().Counter(
+		"sim_ticks_total", "physics ticks advanced across all runs").With()
+	simClampTicksTotal = obs.Default().Counter(
+		"sim_rapl_clamp_ticks_total", "socket-ticks on which the RAPL limiter throttled the core frequency").With()
+	simTicksPerSecond = obs.Default().Gauge(
+		"sim_ticks_per_second", "physics ticks per wall-clock second of the most recently finished run").With()
+)
 
 // Governor is a per-socket runtime controller invoked every control
 // period. DUF and DUFP implement it (via the control package); a nil
@@ -169,6 +186,8 @@ func (m *Machine) Run(opts RunOpts) (Result, error) {
 
 	dt := m.cfg.Tick.Seconds()
 	maxTicks := int(m.cfg.MaxDuration / m.cfg.Tick)
+	m.clampTicks = 0
+	wallStart := time.Now()
 	tick := 0
 	for ; !m.done(); tick++ {
 		if tick >= maxTicks {
@@ -213,6 +232,13 @@ func (m *Machine) Run(opts RunOpts) (Result, error) {
 				})
 			}
 		}
+	}
+
+	simRunsTotal.Inc()
+	simTicksTotal.Add(float64(tick))
+	simClampTicksTotal.Add(float64(m.clampTicks))
+	if wall := time.Since(wallStart).Seconds(); wall > 0 {
+		simTicksPerSecond.Set(float64(tick) / wall)
 	}
 
 	res := Result{SocketDurations: make([]time.Duration, len(m.sockets))}

@@ -247,6 +247,9 @@ func (s *Socket) settle(dt, idle float64) {
 
 	next := s.limiter.Step(avgPower, dt, s.coreFreq, s.request)
 	if next != s.coreFreq {
+		if next < s.coreFreq {
+			s.m.clampTicks++
+		}
 		s.coreFreq = next
 		s.cacheOK = false
 	}

@@ -6,15 +6,23 @@ package trace
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 	"time"
 
+	"dufp/internal/obs"
 	"dufp/internal/sim"
 	"dufp/internal/units"
 )
 
+// droppedPoints counts points offered for sockets a recorder was not
+// sized for, across all recorders — a silent data loss made visible.
+var droppedPoints = obs.Default().Counter(
+	"trace_dropped_points_total", "trace points dropped because the socket index was outside the recorder").With()
+
 // Recorder collects trace points for every socket of a machine.
 type Recorder struct {
-	series [][]sim.TracePoint
+	series  [][]sim.TracePoint
+	dropped atomic.Int64
 }
 
 // NewRecorder creates a recorder for a machine with the given socket
@@ -23,14 +31,23 @@ func NewRecorder(sockets int) *Recorder {
 	return &Recorder{series: make([][]sim.TracePoint, sockets)}
 }
 
-// Hook returns the callback to pass as sim.RunOpts.Trace.
+// Hook returns the callback to pass as sim.RunOpts.Trace. Points for
+// sockets outside the recorder's range are counted as drops — locally and
+// on the telemetry registry — instead of vanishing invisibly.
 func (r *Recorder) Hook() func(socket int, p sim.TracePoint) {
 	return func(socket int, p sim.TracePoint) {
-		if socket >= 0 && socket < len(r.series) {
-			r.series[socket] = append(r.series[socket], p)
+		if socket < 0 || socket >= len(r.series) {
+			r.dropped.Add(1)
+			droppedPoints.Inc()
+			return
 		}
+		r.series[socket] = append(r.series[socket], p)
 	}
 }
+
+// Dropped returns the number of points this recorder's hook dropped for
+// out-of-range sockets.
+func (r *Recorder) Dropped() int64 { return r.dropped.Load() }
 
 // Socket returns the recorded series of one socket.
 func (r *Recorder) Socket(i int) []sim.TracePoint {

@@ -48,6 +48,23 @@ func TestRecorderCollects(t *testing.T) {
 	hook(99, sim.TracePoint{})
 }
 
+func TestRecorderCountsDrops(t *testing.T) {
+	r := NewRecorder(1)
+	hook := r.Hook()
+	hook(0, sim.TracePoint{Time: time.Millisecond})
+	hook(-1, sim.TracePoint{})
+	hook(5, sim.TracePoint{})
+	if got := r.Dropped(); got != 2 {
+		t.Fatalf("Dropped = %d, want 2", got)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1: drops must not land in a series", r.Len())
+	}
+	if NewRecorder(2).Dropped() != 0 {
+		t.Fatal("fresh recorder reports drops")
+	}
+}
+
 func TestAverages(t *testing.T) {
 	pts := points(100)
 	avg := AvgCoreFreq(pts)
@@ -77,6 +94,30 @@ func TestWriteCSV(t *testing.T) {
 	}
 	if !strings.Contains(lines[1], "2.00") {
 		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestWriteCSVEmptyAndSingle(t *testing.T) {
+	var b strings.Builder
+	if err := WriteCSV(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 1 || !strings.HasPrefix(lines[0], "time_s,") {
+		t.Fatalf("empty series CSV = %q, want header only", b.String())
+	}
+	wantCols := strings.Count(lines[0], ",") + 1
+
+	b.Reset()
+	if err := WriteCSV(&b, points(1)); err != nil {
+		t.Fatal(err)
+	}
+	lines = strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("single-point CSV has %d lines, want header+1", len(lines))
+	}
+	if got := strings.Count(lines[1], ",") + 1; got != wantCols {
+		t.Fatalf("row has %d columns, header has %d", got, wantCols)
 	}
 }
 

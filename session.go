@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dufp/internal/control"
+	"dufp/internal/obs/timeline"
 	"dufp/internal/papi"
 	"dufp/internal/powercap"
 	"dufp/internal/rapl"
@@ -171,6 +172,49 @@ func (s Session) RunWithEventsCtx(ctx context.Context, app App, gov Governor, id
 // instance (nil for controllers that do not record one).
 func (s Session) RunWithEvents(app App, mk GovernorFunc, idx int) (Run, []ControlEvent, error) {
 	return s.RunWithEventsCtx(context.Background(), app, GovernorOf(mk), idx)
+}
+
+// RunInstrumentedCtx executes run idx with the full observability surface
+// attached — per-socket trace recording plus the controllers' decision
+// logs — and returns the raw artifacts. Like other side-effectful runs it
+// flows through the executor's worker pool but is never memoised. The
+// returned Run is bit-identical to the one an uninstrumented execution of
+// the same key produces: telemetry is strictly write-only.
+func (s Session) RunInstrumentedCtx(ctx context.Context, app App, gov Governor, idx int) (Run, *trace.Recorder, []ControlEvent, error) {
+	key := s.execKey(app, gov, idx, true, true)
+	r, err := s.executor().SubmitUncached(ctx, key)
+	if err != nil {
+		return Run{}, nil, nil, err
+	}
+	p := key.Payload.(*runPayload)
+	var events []ControlEvent
+	for _, inst := range p.insts {
+		if inst == nil {
+			continue
+		}
+		if evs := EventsOf(inst); evs != nil {
+			events = evs
+			break
+		}
+	}
+	return r, p.rec, events, nil
+}
+
+// RunWithTimelineCtx is RunCtx plus the run's audit trail: the merged,
+// time-ordered stream that joins socket 0's controller decisions with the
+// nearest trace samples (see internal/obs/timeline). Baseline runs yield
+// a samples-only timeline.
+func (s Session) RunWithTimelineCtx(ctx context.Context, app App, gov Governor, idx int) (Run, Timeline, error) {
+	r, rec, events, err := s.RunInstrumentedCtx(ctx, app, gov, idx)
+	if err != nil {
+		return Run{}, Timeline{}, err
+	}
+	return r, timeline.Build(events, rec.Socket(0)), nil
+}
+
+// RunWithTimeline is Run plus the run's audit trail.
+func (s Session) RunWithTimeline(app App, mk GovernorFunc, idx int) (Run, Timeline, error) {
+	return s.RunWithTimelineCtx(context.Background(), app, GovernorOf(mk), idx)
 }
 
 // execute is the uncached run path behind the executor: build a machine,

@@ -1,0 +1,106 @@
+package dufp_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"dufp"
+)
+
+// TestInstrumentedRunBitIdentical is the acceptance gate of the telemetry
+// layer: attaching the recorder, event log and timeline join must not
+// perturb the simulation. The same (app, governor, seed, index) run,
+// executed plain and instrumented on isolated executors, must produce
+// bit-identical Run measurements.
+func TestInstrumentedRunBitIdentical(t *testing.T) {
+	ctx := context.Background()
+	app := fastApp(t)
+	gov := dufp.DUFP(dufp.DefaultControlConfig(0.10))
+
+	plain := dufp.NewSession().OnExecutor(dufp.NewExecutor())
+	ref, err := plain.RunCtx(ctx, app, gov, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	instr := dufp.NewSession().OnExecutor(dufp.NewExecutor())
+	got, tl, err := instr.RunWithTimelineCtx(ctx, app, gov, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ref {
+		t.Fatalf("instrumented run diverged from plain run:\nplain: %+v\ninstr: %+v", ref, got)
+	}
+	if len(tl.Entries) == 0 {
+		t.Fatal("instrumented run produced an empty timeline")
+	}
+}
+
+// TestTimelineCorrelatesDecisions checks the joined stream: a DUFP run's
+// timeline must contain decision entries whose trace context (nearest
+// sample) is populated.
+func TestTimelineCorrelatesDecisions(t *testing.T) {
+	ctx := context.Background()
+	app := fastApp(t)
+	gov := dufp.DUFP(dufp.DefaultControlConfig(0.10))
+
+	s := dufp.NewSession().OnExecutor(dufp.NewExecutor())
+	_, tl, err := s.RunWithTimelineCtx(ctx, app, gov, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decisions := tl.Decisions()
+	if len(decisions) == 0 {
+		t.Fatal("DUFP timeline has no decisions")
+	}
+	withContext := 0
+	for _, d := range decisions {
+		if d.CoreGHz > 0 && d.PkgW > 0 {
+			withContext++
+		}
+	}
+	if withContext == 0 {
+		t.Fatal("no decision entry carries trace context")
+	}
+	// The stream must be time-ordered.
+	for i := 1; i < len(tl.Entries); i++ {
+		if tl.Entries[i].TimeS < tl.Entries[i-1].TimeS {
+			t.Fatalf("entries out of order at %d: %v after %v", i, tl.Entries[i].TimeS, tl.Entries[i-1].TimeS)
+		}
+	}
+}
+
+// TestMetricsRegistryPublishes checks that an isolated executor publishes
+// scheduler metrics to the registry it was given, and that the rendered
+// Prometheus exposition carries them.
+func TestMetricsRegistryPublishes(t *testing.T) {
+	ctx := context.Background()
+	app := fastApp(t)
+	gov := dufp.Baseline()
+
+	reg := dufp.NewMetricsRegistry()
+	s := dufp.NewSession().OnExecutor(dufp.NewExecutor(dufp.ExecRegistry(reg)))
+	if _, err := s.RunCtx(ctx, app, gov, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Second identical submission is a cache hit.
+	if _, err := s.RunCtx(ctx, app, gov, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"exec_runs_completed_total 1",
+		"exec_cache_hits_total 1",
+		"# TYPE exec_run_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
