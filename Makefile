@@ -1,12 +1,20 @@
 GO ?= go
 
-.PHONY: all tier1 build test short race vet cover
+.PHONY: all tier1 tier1-faults build test short race vet cover
 
 all: tier1 race vet
 
 # tier1 is the gate every change must keep green: everything builds and
 # the full test suite passes.
 tier1: build test
+
+# tier1-faults gates the robustness layer: the fault-injection grid at
+# reduced resolution (guarded DUFP under every fault level must stay
+# within tolerance), plus the race detector over the injector and the
+# hardened controllers.
+tier1-faults:
+	$(GO) run ./cmd/dufpbench -faults -apps CG -runs 2
+	$(GO) test -race ./internal/fault/... ./internal/control/...
 
 build:
 	$(GO) build ./...

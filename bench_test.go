@@ -11,6 +11,7 @@ package dufp_test
 // compare controller variants on the same workload.
 
 import (
+	"context"
 	"io"
 	"testing"
 	"time"
@@ -140,39 +141,41 @@ func BenchmarkFig5(b *testing.B) {
 // paper's claims that (a) capping adds savings over uncore scaling alone
 // and (b) a frequency-model baseline (DNPC) caps less effectively than
 // FLOPS-based DUFP.
-func ablation(b *testing.B, mk dufp.GovernorFunc) {
+func ablation(b *testing.B, gov dufp.Governor) {
 	b.Helper()
+	ctx := context.Background()
 	session := dufp.NewSession()
 	app, _ := dufp.AppByName("CG")
-	base, err := session.Run(app, dufp.DefaultGovernor(), 0)
+	base, err := session.Run(ctx, dufp.RunSpec{App: app, Governor: dufp.Baseline()})
 	if err != nil {
 		b.Fatal(err)
 	}
-	var run dufp.Run
+	var res dufp.RunResult
 	for i := 0; i < b.N; i++ {
-		run, err = session.Run(app, mk, 0)
+		res, err = session.Run(ctx, dufp.RunSpec{App: app, Governor: gov})
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric((1-float64(run.AvgPkgPower)/float64(base.AvgPkgPower))*100, "power_savings_%")
-	b.ReportMetric((run.Time.Seconds()/base.Time.Seconds()-1)*100, "slowdown_%")
+	run, baseRun := res.Run, base.Run
+	b.ReportMetric((1-float64(run.AvgPkgPower)/float64(baseRun.AvgPkgPower))*100, "power_savings_%")
+	b.ReportMetric((run.Time.Seconds()/baseRun.Time.Seconds()-1)*100, "slowdown_%")
 }
 
 func BenchmarkAblationDUF(b *testing.B) {
-	ablation(b, dufp.DUFGovernor(dufp.DefaultControlConfig(0.10)))
+	ablation(b, dufp.DUF(dufp.DefaultControlConfig(0.10)))
 }
 
 func BenchmarkAblationDUFP(b *testing.B) {
-	ablation(b, dufp.DUFPGovernor(dufp.DefaultControlConfig(0.10)))
+	ablation(b, dufp.DUFP(dufp.DefaultControlConfig(0.10)))
 }
 
 func BenchmarkAblationDNPC(b *testing.B) {
-	ablation(b, dufp.DNPCGovernor(dufp.DefaultControlConfig(0.10)))
+	ablation(b, dufp.DNPC(dufp.DefaultControlConfig(0.10)))
 }
 
 func BenchmarkAblationStatic110W(b *testing.B) {
-	ablation(b, dufp.StaticCapGovernor(110*dufp.Watt, 110*dufp.Watt))
+	ablation(b, dufp.StaticCap(110*dufp.Watt, 110*dufp.Watt))
 }
 
 // Micro-benchmarks of the substrate.
@@ -267,10 +270,10 @@ func BenchmarkPackagePower(b *testing.B) {
 // the tolerance. The calibrated controller respects it; the ablated ones
 // overshoot.
 
-func ablationCfg(mutate func(*dufp.ControlConfig)) dufp.GovernorFunc {
+func ablationCfg(mutate func(*dufp.ControlConfig)) dufp.Governor {
 	cfg := dufp.DefaultControlConfig(0.10)
 	mutate(&cfg)
-	return dufp.DUFPGovernor(cfg)
+	return dufp.DUFP(cfg)
 }
 
 func BenchmarkAblationNoRateBudget(b *testing.B) {
@@ -286,5 +289,5 @@ func BenchmarkAblationNoProvisionalRef(b *testing.B) {
 }
 
 func BenchmarkAblationDUFPF(b *testing.B) {
-	ablation(b, dufp.DUFPFGovernor(dufp.DefaultControlConfig(0.10)))
+	ablation(b, dufp.DUFPF(dufp.DefaultControlConfig(0.10)))
 }

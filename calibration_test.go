@@ -1,6 +1,7 @@
 package dufp_test
 
 import (
+	"context"
 	"testing"
 
 	"dufp"
@@ -30,10 +31,11 @@ func TestCalibrationAnchors(t *testing.T) {
 	session := dufp.NewSession()
 	sockets := float64(session.Sim.Topo.Sockets)
 	for _, app := range dufp.Suite() {
-		run, err := session.Run(app, dufp.DefaultGovernor(), 0)
+		res, err := session.Run(context.Background(), dufp.RunSpec{App: app, Governor: dufp.Baseline()})
 		if err != nil {
 			t.Fatalf("%s: %v", app.Name, err)
 		}
+		run := res.Run
 		band, ok := bands[app.Name]
 		if !ok {
 			t.Fatalf("no calibration band for %s", app.Name)

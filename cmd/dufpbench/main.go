@@ -10,6 +10,7 @@
 //	dufpbench -fig all -md             # markdown rendering (EXPERIMENTS.md)
 //	dufpbench -fig all -progress       # live scheduler progress on stderr
 //	dufpbench -fig all -stats -        # executor statistics as JSON
+//	dufpbench -faults -apps CG -runs 2 # fault-injection robustness grid
 package main
 
 import (
@@ -45,6 +46,7 @@ func main() {
 		progress = flag.Bool("progress", false, "print live scheduler progress to stderr")
 		stats    = flag.String("stats", "", "write executor statistics as JSON to this file ('-' for stdout)")
 		listen   = flag.String("listen", "", "serve live introspection on this address (/metrics, /runs, /timeline, /debug/pprof), e.g. :8080")
+		faults   = flag.Bool("faults", false, "run the fault-injection robustness grid (guarded DUFP under each fault level) instead of a figure")
 	)
 	flag.Parse()
 
@@ -90,6 +92,9 @@ func main() {
 	}
 
 	err := func() error {
+		if *faults {
+			return runFaults(opts, *md)
+		}
 		if *html != "" {
 			return writeHTML(opts, *html)
 		}
@@ -170,6 +175,26 @@ func writeStats(executor *dufp.Executor, path string) error {
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(executor.Stats())
+}
+
+// runFaults renders the robustness grid: guarded DUFP under every fault
+// level of the default ladder, against each application's clean
+// baseline.
+func runFaults(opts experiment.Options, md bool) error {
+	// The robustness sweep only probes active-controller tolerances; the
+	// zero-tolerance column of the paper grid is meaningless here.
+	opts.Tolerances = []float64{0.05, 0.10}
+	levels := experiment.DefaultFaultLevels()
+	fmt.Fprintf(os.Stderr, "running robustness grid: %d apps × %d fault levels × %d tolerances × %d runs (+baselines)...\n",
+		len(gridApps(opts)), len(levels), len(opts.Tolerances), opts.Runs)
+	t, err := experiment.Robustness(opts, levels)
+	if err != nil {
+		return err
+	}
+	if md {
+		return t.Markdown(os.Stdout)
+	}
+	return t.Render(os.Stdout)
 }
 
 func writeHTML(opts experiment.Options, path string) error {

@@ -164,7 +164,7 @@ func run(ctx context.Context, p params) error {
 	}
 
 	if p.traceCSV != "" {
-		_, rec, err := session.RunTracedCtx(ctx, app, gov, 0)
+		res, err := session.Run(ctx, dufp.RunSpec{App: app, Governor: gov}, dufp.WithTrace())
 		if err != nil {
 			return err
 		}
@@ -173,14 +173,14 @@ func run(ctx context.Context, p params) error {
 			return err
 		}
 		defer f.Close()
-		if err := trace.WriteCSV(f, rec.Socket(0)); err != nil {
+		if err := trace.WriteCSV(f, res.Trace.Socket(0)); err != nil {
 			return err
 		}
-		fmt.Printf("trace written to %s (%d points)\n", p.traceCSV, rec.Len())
+		fmt.Printf("trace written to %s (%d points)\n", p.traceCSV, res.Trace.Len())
 	}
 
 	if p.timeline != "" {
-		_, tl, err := session.RunWithTimelineCtx(ctx, app, gov, 0)
+		res, err := session.Run(ctx, dufp.RunSpec{App: app, Governor: gov}, dufp.WithTimeline())
 		if err != nil {
 			return err
 		}
@@ -189,11 +189,11 @@ func run(ctx context.Context, p params) error {
 			return err
 		}
 		defer f.Close()
-		if err := tl.WriteJSONL(f); err != nil {
+		if err := res.Timeline.WriteJSONL(f); err != nil {
 			return err
 		}
 		fmt.Printf("timeline written to %s (%d entries, %d decisions)\n",
-			p.timeline, len(tl.Entries), len(tl.Decisions()))
+			p.timeline, len(res.Timeline.Entries), len(res.Timeline.Decisions()))
 	}
 	return nil
 }

@@ -11,15 +11,20 @@
 //	ctx := context.Background()
 //	session := dufp.NewSession()
 //	app, _ := dufp.AppNamed("CG")
+//	res, _ := session.Run(ctx, dufp.RunSpec{App: app, Governor: dufp.DUFP(dufp.DefaultControlConfig(0.10))})
 //	summary, _ := session.SummarizeCtx(ctx, app, dufp.DUFP(dufp.DefaultControlConfig(0.10)), 10)
 //	baseline, _ := session.SummarizeCtx(ctx, app, dufp.Baseline(), 10)
-//	fmt.Println(dufp.CompareRuns(summary, baseline))
+//	fmt.Println(res.Run.Time, dufp.CompareRuns(summary, baseline))
 //
 // Runs are scheduled on a shared, memoising executor: identical
 // (app, governor, session, run index) requests — e.g. the baseline above
 // and the same baseline needed by an experiment table — compute once.
-// The pre-context forms (Session.Summarize with a GovernorFunc) remain as
-// thin wrappers.
+// Session.Run takes options (WithTrace, WithEvents, WithTimeline,
+// WithFaultStats, WithFaults) for sideband artifacts; the former
+// per-artifact RunCtx/RunTracedCtx/... methods remain as thin deprecated
+// wrappers. WithFaultPlan injects deterministic sensor/actuator faults
+// and ControlConfig.Guard hardens the controllers against them (see
+// DESIGN.md §10).
 package dufp
 
 import (

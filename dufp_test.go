@@ -1,6 +1,7 @@
 package dufp_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -28,24 +29,26 @@ func TestYeti2Exported(t *testing.T) {
 }
 
 func TestSessionRunDeterministic(t *testing.T) {
+	ctx := context.Background()
 	s := dufp.NewSession()
 	app, _ := dufp.AppByName("EP")
-	a, err := s.Run(app, dufp.DefaultGovernor(), 0)
+	ra, err := s.Run(ctx, dufp.RunSpec{App: app, Governor: dufp.Baseline()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := s.Run(app, dufp.DefaultGovernor(), 0)
+	rb, err := s.Run(ctx, dufp.RunSpec{App: app, Governor: dufp.Baseline()})
 	if err != nil {
 		t.Fatal(err)
 	}
+	a, b := ra.Run, rb.Run
 	if a.Time != b.Time || a.PkgEnergy != b.PkgEnergy {
 		t.Fatalf("same run index differs: %v/%v vs %v/%v", a.Time, a.PkgEnergy, b.Time, b.PkgEnergy)
 	}
-	c, err := s.Run(app, dufp.DefaultGovernor(), 1)
+	rc, err := s.Run(ctx, dufp.RunSpec{App: app, Governor: dufp.Baseline(), Idx: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.Time == c.Time {
+	if a.Time == rc.Run.Time {
 		t.Fatal("different run indices produced identical times (no jitter)")
 	}
 }
@@ -55,33 +58,35 @@ func TestSessionGovernorIdentity(t *testing.T) {
 	app, _ := dufp.AppByName("EP")
 	cfg := dufp.DefaultControlConfig(0.05)
 
-	run, err := s.Run(app, dufp.DUFPGovernor(cfg), 0)
+	ctx := context.Background()
+	res, err := s.Run(ctx, dufp.RunSpec{App: app, Governor: dufp.DUFP(cfg)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if run.Governor != "DUFP" || run.Slowdown != 0.05 {
-		t.Fatalf("identity = %s/%v", run.Governor, run.Slowdown)
+	if res.Run.Governor != "DUFP" || res.Run.Slowdown != 0.05 {
+		t.Fatalf("identity = %s/%v", res.Run.Governor, res.Run.Slowdown)
 	}
-	run, err = s.Run(app, dufp.DUFGovernor(cfg), 0)
+	res, err = s.Run(ctx, dufp.RunSpec{App: app, Governor: dufp.DUF(cfg)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if run.Governor != "DUF" {
-		t.Fatalf("governor = %s", run.Governor)
+	if res.Run.Governor != "DUF" {
+		t.Fatalf("governor = %s", res.Run.Governor)
 	}
-	run, err = s.Run(app, dufp.DefaultGovernor(), 0)
+	res, err = s.Run(ctx, dufp.RunSpec{App: app, Governor: dufp.Baseline()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if run.Governor != "default" {
-		t.Fatalf("baseline governor = %s", run.Governor)
+	if res.Run.Governor != "default" {
+		t.Fatalf("baseline governor = %s", res.Run.Governor)
 	}
 }
 
 func TestSummarizeProtocol(t *testing.T) {
 	s := dufp.NewSession()
 	app, _ := dufp.AppByName("EP")
-	sum, err := s.Summarize(app, dufp.DefaultGovernor(), 4)
+	ctx := context.Background()
+	sum, err := s.SummarizeCtx(ctx, app, dufp.Baseline(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +96,7 @@ func TestSummarizeProtocol(t *testing.T) {
 	if sum.Time.Mean <= 0 || sum.PkgPower.Mean <= 0 {
 		t.Fatalf("degenerate summary: %+v", sum)
 	}
-	if _, err := s.Summarize(app, dufp.DefaultGovernor(), 0); err == nil {
+	if _, err := s.SummarizeCtx(ctx, app, dufp.Baseline(), 0); err == nil {
 		t.Fatal("accepted zero runs")
 	}
 }
@@ -99,31 +104,35 @@ func TestSummarizeProtocol(t *testing.T) {
 func TestRunTraced(t *testing.T) {
 	s := dufp.NewSession()
 	app, _ := dufp.AppByName("EP")
-	run, rec, err := s.RunTraced(app, dufp.DUFPGovernor(dufp.DefaultControlConfig(0.10)), 0)
+	res, err := s.Run(context.Background(),
+		dufp.RunSpec{App: app, Governor: dufp.DUFP(dufp.DefaultControlConfig(0.10))}, dufp.WithTrace())
 	if err != nil {
 		t.Fatal(err)
 	}
+	rec := res.Trace
 	if rec.Len() == 0 {
 		t.Fatal("no trace points")
 	}
 	pts := rec.Socket(0)
 	last := pts[len(pts)-1]
-	if last.Time > run.Time+run.Time/10 {
-		t.Fatalf("trace extends past the run: %v > %v", last.Time, run.Time)
+	if last.Time > res.Run.Time+res.Run.Time/10 {
+		t.Fatalf("trace extends past the run: %v > %v", last.Time, res.Run.Time)
 	}
 }
 
 func TestStaticCapGovernor(t *testing.T) {
 	s := dufp.NewSession()
 	app, _ := dufp.AppByName("CG")
-	base, err := s.Run(app, dufp.DefaultGovernor(), 0)
+	ctx := context.Background()
+	baseRes, err := s.Run(ctx, dufp.RunSpec{App: app, Governor: dufp.Baseline()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	capped, err := s.Run(app, dufp.StaticCapGovernor(100*dufp.Watt, 100*dufp.Watt), 0)
+	cappedRes, err := s.Run(ctx, dufp.RunSpec{App: app, Governor: dufp.StaticCap(100*dufp.Watt, 100*dufp.Watt)})
 	if err != nil {
 		t.Fatal(err)
 	}
+	base, capped := baseRes.Run, cappedRes.Run
 	if capped.AvgPkgPower >= base.AvgPkgPower {
 		t.Fatalf("100 W static cap did not cut power: %v vs %v", capped.AvgPkgPower, base.AvgPkgPower)
 	}
@@ -146,15 +155,15 @@ func TestPaperHeadlines(t *testing.T) {
 		if !ok {
 			t.Fatalf("no app %s", name)
 		}
-		sum, err := s.Summarize(app, dufp.DefaultGovernor(), runs)
+		sum, err := s.SummarizeCtx(context.Background(), app, dufp.Baseline(), runs)
 		if err != nil {
 			t.Fatal(err)
 		}
 		return sum
 	}
-	under := func(name string, mk dufp.GovernorFunc) dufp.Summary {
+	under := func(name string, gov dufp.Governor) dufp.Summary {
 		app, _ := dufp.AppByName(name)
-		sum, err := s.Summarize(app, mk, runs)
+		sum, err := s.SummarizeCtx(context.Background(), app, gov, runs)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -168,8 +177,8 @@ func TestPaperHeadlines(t *testing.T) {
 	// violation margin the paper itself reports (≤3.17 %), and saves
 	// energy too.
 	cgBase := baseline("CG")
-	cgDUF := dufp.CompareRuns(under("CG", dufp.DUFGovernor(cfg10)), cgBase)
-	cgDUFP := dufp.CompareRuns(under("CG", dufp.DUFPGovernor(cfg10)), cgBase)
+	cgDUF := dufp.CompareRuns(under("CG", dufp.DUF(cfg10)), cgBase)
+	cgDUFP := dufp.CompareRuns(under("CG", dufp.DUFP(cfg10)), cgBase)
 	if !cgDUFP.RespectsSlowdown(0.032) {
 		t.Errorf("CG@10%% DUFP slowdown %.2f%% beyond tolerance+margin", cgDUFP.TimeRatio.OverheadPercent())
 	}
@@ -186,7 +195,7 @@ func TestPaperHeadlines(t *testing.T) {
 	// EP: uncore dominates; savings are large and the tolerance holds
 	// (paper: best savings 24.27 %).
 	epBase := baseline("EP")
-	epDUFP := dufp.CompareRuns(under("EP", dufp.DUFPGovernor(cfg10)), epBase)
+	epDUFP := dufp.CompareRuns(under("EP", dufp.DUFP(cfg10)), epBase)
 	if !epDUFP.RespectsSlowdown(0.005) {
 		t.Errorf("EP@10%% slowdown %.2f%%", epDUFP.TimeRatio.OverheadPercent())
 	}
@@ -198,7 +207,7 @@ func TestPaperHeadlines(t *testing.T) {
 	// "DUFP still provides no or small energy savings, but no energy
 	// loss").
 	hplBase := baseline("HPL")
-	hplDUFP := dufp.CompareRuns(under("HPL", dufp.DUFPGovernor(cfg10)), hplBase)
+	hplDUFP := dufp.CompareRuns(under("HPL", dufp.DUFP(cfg10)), hplBase)
 	if hplDUFP.TotalEnergyRatio.Mean > 1.005 {
 		t.Errorf("HPL@10%% energy ratio %.3f: loses energy", hplDUFP.TotalEnergyRatio.Mean)
 	}

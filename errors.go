@@ -3,25 +3,132 @@ package dufp
 import (
 	"errors"
 	"fmt"
+
+	"dufp/internal/fault"
 )
 
-// Sentinel errors of the public API. They satisfy errors.Is through every
-// wrapping layer (session, experiment harness, CLIs).
+// Sentinel errors of the public API. They satisfy errors.Is through
+// every wrapping layer (session, experiment harness, CLIs), including
+// the typed *Error wrapper below.
 var (
 	// ErrUnknownApp reports an application name outside the suite.
 	ErrUnknownApp = errors.New("dufp: unknown application")
 	// ErrBadConfig reports an invalid configuration value (non-positive
 	// run counts, malformed options, executor keys without payloads).
 	ErrBadConfig = errors.New("dufp: invalid configuration")
+	// ErrSensorTransient reports a retryable sensor failure — an
+	// injected EIO that exhausted the controller's retry budget, or any
+	// fault-layer transient surfacing with the guard disabled. Callers
+	// distinguish it from fatal errors with errors.Is or IsTransient.
+	ErrSensorTransient = fault.ErrTransient
 )
 
-// AppNamed returns a suite application by name, or an error satisfying
-// errors.Is(err, ErrUnknownApp). It is the error-returning form of
-// AppByName.
+// ErrorKind classifies a typed Error.
+type ErrorKind int
+
+// Error kinds.
+const (
+	// KindUnknown is any failure the public API does not classify.
+	KindUnknown ErrorKind = iota
+	// KindUnknownApp corresponds to ErrUnknownApp.
+	KindUnknownApp
+	// KindBadConfig corresponds to ErrBadConfig.
+	KindBadConfig
+	// KindSensorTransient corresponds to ErrSensorTransient: the
+	// failure is retryable at the caller's discretion.
+	KindSensorTransient
+)
+
+// String names the kind.
+func (k ErrorKind) String() string {
+	switch k {
+	case KindUnknownApp:
+		return "unknown-app"
+	case KindBadConfig:
+		return "bad-config"
+	case KindSensorTransient:
+		return "sensor-transient"
+	default:
+		return "unknown"
+	}
+}
+
+// Error is the typed error of the public API: the failed operation, a
+// classification, and the underlying cause. It supports errors.Is with
+// the package sentinels (via the Kind) and errors.As/Unwrap with the
+// wrapped cause, so context cancellation and fault-layer errors flow
+// through.
+type Error struct {
+	// Op is the public operation that failed ("run", "app").
+	Op string
+	// Kind classifies the failure.
+	Kind ErrorKind
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("dufp: %s: %v", e.Op, e.Err)
+	}
+	return fmt.Sprintf("dufp: %s: %s", e.Op, e.Kind)
+}
+
+// Unwrap exposes the cause to errors.Is/As chains.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Is maps the Kind back to the package sentinels, so callers holding
+// only a sentinel keep working across the typed wrapper.
+func (e *Error) Is(target error) bool {
+	switch target {
+	case ErrUnknownApp:
+		return e.Kind == KindUnknownApp
+	case ErrBadConfig:
+		return e.Kind == KindBadConfig
+	case ErrSensorTransient:
+		return e.Kind == KindSensorTransient
+	}
+	return false
+}
+
+// kindOf classifies an arbitrary error from the run path.
+func kindOf(err error) ErrorKind {
+	switch {
+	case errors.Is(err, ErrUnknownApp):
+		return KindUnknownApp
+	case errors.Is(err, ErrBadConfig):
+		return KindBadConfig
+	case errors.Is(err, ErrSensorTransient):
+		return KindSensorTransient
+	}
+	return KindUnknown
+}
+
+// wrapErr wraps err in a classified *Error; already-typed errors pass
+// through unchanged.
+func wrapErr(op string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var typed *Error
+	if errors.As(err, &typed) {
+		return err
+	}
+	return &Error{Op: op, Kind: kindOf(err), Err: err}
+}
+
+// IsTransient reports whether err stems from a retryable sensor
+// failure, as opposed to a fatal configuration or simulation error.
+func IsTransient(err error) bool { return errors.Is(err, ErrSensorTransient) }
+
+// AppNamed returns a suite application by name, or a typed *Error
+// satisfying errors.Is(err, ErrUnknownApp). It is the error-returning
+// form of AppByName.
 func AppNamed(name string) (App, error) {
 	app, ok := AppByName(name)
 	if !ok {
-		return App{}, fmt.Errorf("%w: %q", ErrUnknownApp, name)
+		return App{}, &Error{Op: "app", Kind: KindUnknownApp, Err: fmt.Errorf("unknown application %q", name)}
 	}
 	return app, nil
 }

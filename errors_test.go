@@ -1,0 +1,90 @@
+package dufp_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"dufp"
+)
+
+func TestErrorKindString(t *testing.T) {
+	cases := map[dufp.ErrorKind]string{
+		dufp.KindUnknown:         "unknown",
+		dufp.KindUnknownApp:      "unknown-app",
+		dufp.KindBadConfig:       "bad-config",
+		dufp.KindSensorTransient: "sensor-transient",
+	}
+	for kind, want := range cases {
+		if got := kind.String(); got != want {
+			t.Errorf("Kind %d = %q, want %q", kind, got, want)
+		}
+	}
+}
+
+func TestTypedErrorIsAndUnwrap(t *testing.T) {
+	cause := errors.New("root cause")
+	err := error(&dufp.Error{Op: "run", Kind: dufp.KindBadConfig, Err: cause})
+
+	if !errors.Is(err, dufp.ErrBadConfig) {
+		t.Error("KindBadConfig must satisfy errors.Is(ErrBadConfig)")
+	}
+	if errors.Is(err, dufp.ErrUnknownApp) || errors.Is(err, dufp.ErrSensorTransient) {
+		t.Error("Kind must not match foreign sentinels")
+	}
+	if !errors.Is(err, cause) {
+		t.Error("Unwrap must expose the cause")
+	}
+	if !strings.Contains(err.Error(), "run") || !strings.Contains(err.Error(), "root cause") {
+		t.Errorf("message %q lacks op or cause", err.Error())
+	}
+	// Without a cause the message falls back to the kind name.
+	bare := &dufp.Error{Op: "run", Kind: dufp.KindBadConfig}
+	if !strings.Contains(bare.Error(), "bad-config") {
+		t.Errorf("bare message %q lacks the kind", bare.Error())
+	}
+}
+
+func TestAppNamedTypedError(t *testing.T) {
+	_, err := dufp.AppNamed("NOPE")
+	var typed *dufp.Error
+	if !errors.As(err, &typed) {
+		t.Fatalf("err = %v, want a typed *Error", err)
+	}
+	if typed.Op != "app" || typed.Kind != dufp.KindUnknownApp {
+		t.Fatalf("typed error = %+v", typed)
+	}
+	if !errors.Is(err, dufp.ErrUnknownApp) {
+		t.Fatal("typed error must satisfy the sentinel")
+	}
+	if !strings.Contains(err.Error(), "NOPE") {
+		t.Fatalf("message %q lacks the offending name", err.Error())
+	}
+}
+
+func TestRunErrorsAreTyped(t *testing.T) {
+	session := dufp.NewSession(dufp.WithExecutor(dufp.NewExecutor()))
+	// A degenerate spec (zero-duration app) fails configuration checks
+	// somewhere below; whatever the cause, the public API must return a
+	// classified *Error.
+	_, err := session.SummarizeCtx(context.Background(), fastApp(t), dufp.Baseline(), 0)
+	if err == nil {
+		t.Fatal("n=0 must fail")
+	}
+	if !errors.Is(err, dufp.ErrBadConfig) {
+		t.Fatalf("err = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestIsTransientOnPlainErrors(t *testing.T) {
+	if dufp.IsTransient(errors.New("plain")) {
+		t.Error("plain error misclassified as transient")
+	}
+	if dufp.IsTransient(nil) {
+		t.Error("nil misclassified as transient")
+	}
+	if !dufp.IsTransient(dufp.ErrSensorTransient) {
+		t.Error("sentinel itself must classify as transient")
+	}
+}

@@ -1,6 +1,7 @@
 package dufp_test
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -14,11 +15,12 @@ import (
 func ExampleSession_Run() {
 	session := dufp.NewSession()
 	app, _ := dufp.AppByName("EP")
-	run, err := session.Run(app, dufp.DefaultGovernor(), 0)
+	res, err := session.Run(context.Background(), dufp.RunSpec{App: app, Governor: dufp.Baseline()})
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
+	run := res.Run
 	fmt.Printf("%s under %s: %.0f s\n", run.App, run.Governor, run.Time.Seconds())
 	// Output:
 	// EP under default: 24 s
@@ -30,8 +32,9 @@ func ExampleCompareRuns() {
 	session := dufp.NewSession()
 	app, _ := dufp.AppByName("CG")
 
-	baseline, _ := session.Summarize(app, dufp.DefaultGovernor(), 3)
-	capped, _ := session.Summarize(app, dufp.DUFPGovernor(dufp.DefaultControlConfig(0.10)), 3)
+	ctx := context.Background()
+	baseline, _ := session.SummarizeCtx(ctx, app, dufp.Baseline(), 3)
+	capped, _ := session.SummarizeCtx(ctx, app, dufp.DUFP(dufp.DefaultControlConfig(0.10)), 3)
 	cmp := dufp.CompareRuns(capped, baseline)
 
 	fmt.Printf("slowdown within tolerance: %t\n", cmp.RespectsSlowdown(0.005))

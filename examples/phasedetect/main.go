@@ -48,14 +48,16 @@ func main() {
 	ctx := context.Background()
 	session := dufp.NewSession(dufp.WithSeed(42))
 	cfg := dufp.DefaultControlConfig(0.10)
-	run, rec, err := session.RunTracedCtx(ctx, app, dufp.DUFP(cfg), 0)
+	traced, err := session.Run(ctx, dufp.RunSpec{App: app, Governor: dufp.DUFP(cfg)}, dufp.WithTrace(), dufp.WithEvents())
 	if err != nil {
 		log.Fatal(err)
 	}
-	base, err := session.RunCtx(ctx, app, dufp.Baseline(), 0)
+	run, rec, events := traced.Run, traced.Trace, traced.Events
+	baseRes, err := session.Run(ctx, dufp.RunSpec{App: app, Governor: dufp.Baseline()})
 	if err != nil {
 		log.Fatal(err)
 	}
+	base := baseRes.Run
 
 	fmt.Printf("SYNTH under DUFP @10%%: %.2f s (default %.2f s, %+.2f %%), power %.1f W (default %.1f W, %+.1f %%)\n\n",
 		run.Time.Seconds(), base.Time.Seconds(),
@@ -64,10 +66,6 @@ func main() {
 		(float64(run.AvgPkgPower)/float64(base.AvgPkgPower)-1)*100)
 
 	// The controller's own account of its decisions.
-	_, events, err := session.RunWithEventsCtx(ctx, app, dufp.DUFP(cfg), 0)
-	if err != nil {
-		log.Fatal(err)
-	}
 	counts := map[string]int{}
 	for _, e := range events {
 		counts[e.Kind.String()]++

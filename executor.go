@@ -9,6 +9,7 @@ import (
 
 	"dufp/internal/control"
 	"dufp/internal/exec"
+	"dufp/internal/fault"
 	"dufp/internal/metrics"
 	"dufp/internal/obs"
 	"dufp/internal/trace"
@@ -92,12 +93,13 @@ type runPayload struct {
 	mk      GovernorFunc
 	// traced attaches a trace recorder to the run.
 	traced bool
-	// keep retains the recorder and controller instances on the payload
-	// after the run; only SubmitUncached callers set it.
+	// keep retains the recorder, controller instances and fault counters
+	// on the payload after the run; only SubmitUncached callers set it.
 	keep bool
 
-	rec   *trace.Recorder
-	insts []control.Instance
+	rec    *trace.Recorder
+	insts  []control.Instance
+	faults fault.Stats
 }
 
 // executeKey is the Runner behind every executor built by this package.
@@ -106,12 +108,12 @@ func executeKey(ctx context.Context, key exec.Key) (metrics.Run, error) {
 	if !ok {
 		return metrics.Run{}, fmt.Errorf("%w: executor key %v carries no run payload", ErrBadConfig, key)
 	}
-	run, rec, insts, err := p.session.execute(ctx, p.app, p.mk, key.Idx, p.traced)
+	run, art, err := p.session.execute(ctx, p.app, p.mk, key.Idx, p.traced)
 	if err != nil {
 		return metrics.Run{}, err
 	}
 	if p.keep {
-		p.rec, p.insts = rec, insts
+		p.rec, p.insts, p.faults = art.rec, art.insts, art.faults
 	}
 	return run, nil
 }

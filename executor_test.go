@@ -26,27 +26,27 @@ func TestCachedRunBitIdentical(t *testing.T) {
 	ctx := context.Background()
 
 	cachedSession := dufp.NewSession(dufp.WithExecutor(dufp.NewExecutor()))
-	first, err := cachedSession.RunCtx(ctx, app, gov, 0)
+	first, err := cachedSession.Run(ctx, dufp.RunSpec{App: app, Governor: gov})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cached, err := cachedSession.RunCtx(ctx, app, gov, 0)
+	cached, err := cachedSession.Run(ctx, dufp.RunSpec{App: app, Governor: gov})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if first != cached {
-		t.Fatalf("cached run differs from original:\n%+v\n%+v", first, cached)
+	if first.Run != cached.Run {
+		t.Fatalf("cached run differs from original:\n%+v\n%+v", first.Run, cached.Run)
 	}
 
 	// A fresh executor recomputes the run from scratch; determinism makes
 	// the result bit-identical to the memoised one.
 	freshSession := dufp.NewSession(dufp.WithExecutor(dufp.NewExecutor()))
-	fresh, err := freshSession.RunCtx(ctx, app, gov, 0)
+	fresh, err := freshSession.Run(ctx, dufp.RunSpec{App: app, Governor: gov})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if fresh != cached {
-		t.Fatalf("uncached run differs from cached:\n%+v\n%+v", fresh, cached)
+	if fresh.Run != cached.Run {
+		t.Fatalf("uncached run differs from cached:\n%+v\n%+v", fresh.Run, cached.Run)
 	}
 }
 
@@ -59,10 +59,10 @@ func TestMemoisationAcrossSessionsAndGovernorValues(t *testing.T) {
 	// configuration content-address identically.
 	a := dufp.NewSession(dufp.WithExecutor(e))
 	b := dufp.NewSession(dufp.WithExecutor(e))
-	if _, err := a.RunCtx(ctx, app, dufp.DUF(dufp.DefaultControlConfig(0.10)), 0); err != nil {
+	if _, err := a.Run(ctx, dufp.RunSpec{App: app, Governor: dufp.DUF(dufp.DefaultControlConfig(0.10))}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.RunCtx(ctx, app, dufp.DUF(dufp.DefaultControlConfig(0.10)), 0); err != nil {
+	if _, err := b.Run(ctx, dufp.RunSpec{App: app, Governor: dufp.DUF(dufp.DefaultControlConfig(0.10))}); err != nil {
 		t.Fatal(err)
 	}
 	st := e.Stats()
@@ -71,7 +71,7 @@ func TestMemoisationAcrossSessionsAndGovernorValues(t *testing.T) {
 	}
 
 	// A different configuration is a different computation.
-	if _, err := a.RunCtx(ctx, app, dufp.DUF(dufp.DefaultControlConfig(0.20)), 0); err != nil {
+	if _, err := a.Run(ctx, dufp.RunSpec{App: app, Governor: dufp.DUF(dufp.DefaultControlConfig(0.20))}); err != nil {
 		t.Fatal(err)
 	}
 	if st := e.Stats(); st.Started != 2 {
@@ -79,21 +79,26 @@ func TestMemoisationAcrossSessionsAndGovernorValues(t *testing.T) {
 	}
 }
 
-func TestSummarizeCtxMatchesLegacySummarize(t *testing.T) {
+func TestSummarizeReusesRunResults(t *testing.T) {
 	app := fastApp(t)
-	cfg := dufp.DefaultControlConfig(0.10)
-	session := dufp.NewSession(dufp.WithExecutor(dufp.NewExecutor()))
+	gov := dufp.DUFP(dufp.DefaultControlConfig(0.10))
+	e := dufp.NewExecutor()
+	session := dufp.NewSession(dufp.WithExecutor(e))
+	ctx := context.Background()
 
-	viaCtx, err := session.SummarizeCtx(context.Background(), app, dufp.DUFP(cfg), 3)
-	if err != nil {
+	// Individual Session.Run calls and a subsequent SummarizeCtx over the
+	// same (app, governor) pairs are the same computations: the summary
+	// must be served entirely from the memoised runs.
+	for idx := 0; idx < 3; idx++ {
+		if _, err := session.Run(ctx, dufp.RunSpec{App: app, Governor: gov, Idx: idx}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := session.SummarizeCtx(ctx, app, gov, 3); err != nil {
 		t.Fatal(err)
 	}
-	legacy, err := session.Summarize(app, dufp.DUFPGovernor(cfg), 3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if viaCtx != legacy {
-		t.Fatalf("context path diverges from legacy wrapper:\n%+v\n%+v", viaCtx, legacy)
+	if st := e.Stats(); st.Started != 3 || st.CacheHits != 3 {
+		t.Fatalf("stats = %+v, want the summary served from the three memoised runs", st)
 	}
 }
 
@@ -128,8 +133,12 @@ func TestRunCtxPreCancelled(t *testing.T) {
 	session := dufp.NewSession(dufp.WithExecutor(dufp.NewExecutor()))
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := session.RunCtx(ctx, app, dufp.Baseline(), 0); !errors.Is(err, context.Canceled) {
+	if _, err := session.Run(ctx, dufp.RunSpec{App: app, Governor: dufp.Baseline()}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The deprecated wrapper routes through the same path.
+	if _, err := session.RunCtx(ctx, app, dufp.Baseline(), 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("wrapper err = %v, want context.Canceled", err)
 	}
 }
 
@@ -175,22 +184,22 @@ func TestTracedRunsBypassCache(t *testing.T) {
 	gov := dufp.DUFP(dufp.DefaultControlConfig(0.10))
 	ctx := context.Background()
 
-	run1, rec1, err := session.RunTracedCtx(ctx, app, gov, 0)
+	res1, err := session.Run(ctx, dufp.RunSpec{App: app, Governor: gov}, dufp.WithTrace())
 	if err != nil {
 		t.Fatal(err)
 	}
-	run2, rec2, err := session.RunTracedCtx(ctx, app, gov, 0)
+	res2, err := session.Run(ctx, dufp.RunSpec{App: app, Governor: gov}, dufp.WithTrace())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rec1 == nil || rec2 == nil || rec1 == rec2 {
+	if res1.Trace == nil || res2.Trace == nil || res1.Trace == res2.Trace {
 		t.Fatal("traced runs must produce fresh recorders")
 	}
-	if rec1.Len() == 0 {
+	if res1.Trace.Len() == 0 {
 		t.Fatal("empty trace")
 	}
-	if run1 != run2 {
-		t.Fatalf("traced runs diverged:\n%+v\n%+v", run1, run2)
+	if res1.Run != res2.Run {
+		t.Fatalf("traced runs diverged:\n%+v\n%+v", res1.Run, res2.Run)
 	}
 	if st := e.Stats(); st.CacheHits != 0 || st.Started != 2 {
 		t.Fatalf("stats = %+v, traced runs must not be memoised", st)
@@ -213,7 +222,7 @@ func TestGovernorIdentity(t *testing.T) {
 	}
 	// Wrapped bare funcs get process-unique identities: never wrongly
 	// deduplicated.
-	mk := dufp.DUFPGovernor(cfg)
+	mk := dufp.DUFP(cfg).Func()
 	if a, b := dufp.GovernorOf(mk).ID(), dufp.GovernorOf(mk).ID(); a == b {
 		t.Fatalf("anonymous governors share identity %q", a)
 	}

@@ -2,6 +2,7 @@ package dufp_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 
@@ -37,13 +38,14 @@ func TestSyntheticBuildersThroughFacade(t *testing.T) {
 
 	// Every builder's output must actually run under DUFP.
 	s := dufp.NewSession()
+	gov := dufp.DUFP(dufp.DefaultControlConfig(0.10))
 	for _, app := range []dufp.App{steady, alt, burst, ramp} {
-		run, err := s.Run(app, dufp.DUFPGovernor(dufp.DefaultControlConfig(0.10)), 0)
+		res, err := s.Run(context.Background(), dufp.RunSpec{App: app, Governor: gov})
 		if err != nil {
 			t.Fatalf("%s: %v", app.Name, err)
 		}
-		if run.Time <= 0 || run.AvgPkgPower <= 0 {
-			t.Fatalf("%s: degenerate run %+v", app.Name, run)
+		if res.Run.Time <= 0 || res.Run.AvgPkgPower <= 0 {
+			t.Fatalf("%s: degenerate run %+v", app.Name, res.Run)
 		}
 	}
 }
@@ -66,18 +68,19 @@ func TestAppJSONThroughFacade(t *testing.T) {
 func TestRunWithEventsFacade(t *testing.T) {
 	s := dufp.NewSession()
 	app, _ := dufp.AppByName("FT")
-	run, events, err := s.RunWithEvents(app, dufp.DUFPGovernor(dufp.DefaultControlConfig(0.10)), 0)
+	ctx := context.Background()
+	res, err := s.Run(ctx, dufp.RunSpec{App: app, Governor: dufp.DUFP(dufp.DefaultControlConfig(0.10))}, dufp.WithEvents())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if run.Time <= 0 {
+	if res.Run.Time <= 0 {
 		t.Fatal("degenerate run")
 	}
-	if len(events) == 0 {
+	if len(res.Events) == 0 {
 		t.Fatal("no events from DUFP on FT (it has detectable phase changes)")
 	}
 	phaseChanges := 0
-	for _, e := range events {
+	for _, e := range res.Events {
 		if e.Kind.String() == "phase-change" {
 			phaseChanges++
 		}
@@ -89,11 +92,11 @@ func TestRunWithEventsFacade(t *testing.T) {
 	}
 
 	// Baseline governor records no events.
-	_, events, err = s.RunWithEvents(app, dufp.DefaultGovernor(), 0)
+	res, err = s.Run(ctx, dufp.RunSpec{App: app, Governor: dufp.Baseline()}, dufp.WithEvents())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if events != nil {
+	if res.Events != nil {
 		t.Fatal("baseline produced events")
 	}
 }
@@ -101,24 +104,24 @@ func TestRunWithEventsFacade(t *testing.T) {
 func TestDUFPFGovernorFacade(t *testing.T) {
 	s := dufp.NewSession()
 	app, _ := dufp.AppByName("EP")
-	run, err := s.Run(app, dufp.DUFPFGovernor(dufp.DefaultControlConfig(0.10)), 0)
+	res, err := s.Run(context.Background(), dufp.RunSpec{App: app, Governor: dufp.DUFPF(dufp.DefaultControlConfig(0.10))})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if run.Governor != "DUFP-F" || run.Slowdown != 0.10 {
-		t.Fatalf("identity = %s/%v", run.Governor, run.Slowdown)
+	if res.Run.Governor != "DUFP-F" || res.Run.Slowdown != 0.10 {
+		t.Fatalf("identity = %s/%v", res.Run.Governor, res.Run.Slowdown)
 	}
 }
 
 func TestDNPCGovernorFacade(t *testing.T) {
 	s := dufp.NewSession()
 	app, _ := dufp.AppByName("EP")
-	run, err := s.Run(app, dufp.DNPCGovernor(dufp.DefaultControlConfig(0.10)), 0)
+	res, err := s.Run(context.Background(), dufp.RunSpec{App: app, Governor: dufp.DNPC(dufp.DefaultControlConfig(0.10))})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if run.Governor != "DNPC" {
-		t.Fatalf("governor = %s", run.Governor)
+	if res.Run.Governor != "DNPC" {
+		t.Fatalf("governor = %s", res.Run.Governor)
 	}
 }
 
@@ -127,16 +130,18 @@ func TestMonitorOverheadSlowsRuns(t *testing.T) {
 	free := dufp.NewSession()
 	costly := dufp.NewSession()
 	costly.MonitorOverhead = 2 * time.Millisecond
+	gov := dufp.DUFP(dufp.DefaultControlConfig(0.10))
+	ctx := context.Background()
 
-	a, err := free.Run(app, dufp.DUFPGovernor(dufp.DefaultControlConfig(0.10)), 0)
+	a, err := free.Run(ctx, dufp.RunSpec{App: app, Governor: gov})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := costly.Run(app, dufp.DUFPGovernor(dufp.DefaultControlConfig(0.10)), 0)
+	b, err := costly.Run(ctx, dufp.RunSpec{App: app, Governor: gov})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if b.Time <= a.Time {
-		t.Fatalf("monitoring overhead did not slow the run: %v vs %v", b.Time, a.Time)
+	if b.Run.Time <= a.Run.Time {
+		t.Fatalf("monitoring overhead did not slow the run: %v vs %v", b.Run.Time, a.Run.Time)
 	}
 }

@@ -146,35 +146,3 @@ var anonGovSeq atomic.Uint64
 func GovernorOf(mk GovernorFunc) Governor {
 	return Governor{id: fmt.Sprintf("anon-%d", anonGovSeq.Add(1)), mk: mk}
 }
-
-// Legacy GovernorFunc constructors, kept as thin wrappers over the
-// descriptor forms so existing call sites compile unchanged.
-
-// DefaultGovernor leaves the machine in its default configuration.
-func DefaultGovernor() GovernorFunc { return Baseline().Func() }
-
-// DUFGovernor attaches the uncore-only DUF controller.
-func DUFGovernor(cfg ControlConfig) GovernorFunc { return DUF(cfg).Func() }
-
-// DUFPGovernor attaches the paper's DUFP controller.
-func DUFPGovernor(cfg ControlConfig) GovernorFunc { return DUFP(cfg).Func() }
-
-// DNPCGovernor attaches the frequency-model dynamic-capping baseline.
-func DNPCGovernor(cfg ControlConfig) GovernorFunc { return DNPC(cfg).Func() }
-
-// DUFPFGovernor attaches the future-work variant (§VII).
-func DUFPFGovernor(cfg ControlConfig) GovernorFunc { return DUFPF(cfg).Func() }
-
-// StaticCapGovernor applies a fixed power cap for the whole run.
-func StaticCapGovernor(pl1, pl2 Power) GovernorFunc { return StaticCap(pl1, pl2).Func() }
-
-// StaticCapWithDUF applies a fixed power cap and runs DUF under it.
-func StaticCapWithDUF(cfg ControlConfig, pl1, pl2 Power) GovernorFunc {
-	return StaticCapDUF(cfg, pl1, pl2).Func()
-}
-
-// TimedCapGovernor applies a fixed cap until the deadline, then restores
-// the defaults. DUF runs throughout.
-func TimedCapGovernor(cfg ControlConfig, pl1, pl2 Power, until time.Duration) GovernorFunc {
-	return TimedCap(cfg, pl1, pl2, until).Func()
-}

@@ -85,6 +85,11 @@ type Config struct {
 	// power exceeds the cap" reset triggers (§IV-D).
 	PowerMargin units.Power
 
+	// Guard hardens the sample path against degraded sensors (retry,
+	// outlier rejection, degraded mode). The zero value disables it and
+	// keeps the clean-sensor decision sequence bit-identical.
+	Guard GuardConfig
+
 	// Ablation switches for the reproduction's own design choices (see
 	// DESIGN.md §7). All default to false — the calibrated behaviour.
 
@@ -142,7 +147,7 @@ func (c Config) Validate() error {
 	case c.WindowSamples < 1:
 		return fmt.Errorf("control: window must hold at least one sample")
 	}
-	return nil
+	return c.Guard.Validate()
 }
 
 // Instance is one per-socket controller. It satisfies sim.Governor.

@@ -106,10 +106,11 @@ func (u *uncoreLoop) RaisedWithoutGain(s papi.Sample) bool {
 // DUF is the uncore-only controller of the prior paper, used here both as
 // the baseline and as the uncore half of DUFP.
 type DUF struct {
-	act  Actuators
-	cfg  Config
-	tr   *tracker
-	loop *uncoreLoop
+	act   Actuators
+	cfg   Config
+	tr    *tracker
+	loop  *uncoreLoop
+	guard *guard
 
 	log    *eventLog
 	events *eventCounters
@@ -124,7 +125,7 @@ func NewDUF(act Actuators, cfg Config) (*DUF, error) {
 	if err := act.validate(false); err != nil {
 		return nil, err
 	}
-	return &DUF{
+	d := &DUF{
 		act:    act,
 		cfg:    cfg,
 		tr:     newTracker(cfg),
@@ -132,7 +133,11 @@ func NewDUF(act Actuators, cfg Config) (*DUF, error) {
 		log:    newEventLog(eventLogCapacity),
 		events: countersFor("DUF"),
 		attr:   newPhaseAttr("DUF", cfg),
-	}, nil
+	}
+	if cfg.Guard.Enabled() {
+		d.guard = newGuard(cfg.Guard, act.Monitor, "DUF")
+	}
+	return d, nil
 }
 
 // Name implements Instance.
@@ -145,11 +150,48 @@ func (d *DUF) Start() error {
 	return d.loop.Reset()
 }
 
+// acquire obtains this round's sample, through the guard when one is
+// configured. proceed reports whether the round should decide on s; a
+// false proceed with nil error means the guard consumed the round.
+func (d *DUF) acquire(now time.Duration) (s papi.Sample, proceed bool, err error) {
+	if d.guard == nil {
+		s, err := d.act.Monitor.Sample()
+		if err != nil {
+			return papi.Sample{}, false, fmt.Errorf("DUF at %v: %w", now, err)
+		}
+		return s, true, nil
+	}
+	s, v, err := d.guard.sample()
+	if err != nil {
+		return papi.Sample{}, false, fmt.Errorf("DUF at %v: %w", now, err)
+	}
+	switch v {
+	case sampleOK:
+		return s, true, nil
+	case sampleRejected:
+		d.logEvent(now, EventSampleRejected)
+	case sampleDegrade:
+		// Safe reset (§IV-D analogue): uncore back to the maximum,
+		// decisions frozen until the sensor answers again.
+		if err := d.loop.Reset(); err != nil {
+			return papi.Sample{}, false, err
+		}
+		d.logEvent(now, EventSensorDegraded)
+	case sampleRecover:
+		// The outage invalidated the phase references; rebuild them
+		// from the recovery sample and resume next round.
+		d.tr = newTracker(d.cfg)
+		d.tr.Observe(s)
+		d.logEvent(now, EventSensorRecovered)
+	}
+	return papi.Sample{}, false, nil
+}
+
 // Tick implements Instance.
 func (d *DUF) Tick(now time.Duration) error {
-	s, err := d.act.Monitor.Sample()
-	if err != nil {
-		return fmt.Errorf("DUF at %v: %w", now, err)
+	s, proceed, err := d.acquire(now)
+	if err != nil || !proceed {
+		return err
 	}
 	d.attr.observe(s)
 	if d.tr.Observe(s) {
@@ -181,3 +223,12 @@ func (d *DUF) Uncore() units.Frequency { return d.loop.target }
 
 // Config returns the controller's configuration.
 func (d *DUF) Config() Config { return d.cfg }
+
+// GuardStats returns the sample guard's counters (zero when the guard
+// is disabled).
+func (d *DUF) GuardStats() GuardStats {
+	if d.guard == nil {
+		return GuardStats{}
+	}
+	return d.guard.stats
+}

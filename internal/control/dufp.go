@@ -75,6 +75,7 @@ type DUFP struct {
 	tr     *tracker
 	uncore *uncoreLoop
 	cap    *capLoop
+	guard  *guard
 
 	// verifyUncore is interaction rule 2: after a joint reset, check on
 	// the next tick that the uncore actually reached the maximum and
@@ -94,7 +95,7 @@ func NewDUFP(act Actuators, cfg Config) (*DUFP, error) {
 	if err := act.validate(true); err != nil {
 		return nil, err
 	}
-	return &DUFP{
+	d := &DUFP{
 		act:    act,
 		cfg:    cfg,
 		tr:     newTracker(cfg),
@@ -103,7 +104,11 @@ func NewDUFP(act Actuators, cfg Config) (*DUFP, error) {
 		log:    newEventLog(eventLogCapacity),
 		events: countersFor("DUFP"),
 		attr:   newPhaseAttr("DUFP", cfg),
-	}, nil
+	}
+	if cfg.Guard.Enabled() {
+		d.guard = newGuard(cfg.Guard, act.Monitor, "DUFP")
+	}
+	return d, nil
 }
 
 // Name implements Instance.
@@ -134,22 +139,71 @@ func (d *DUFP) logEvent(now time.Duration, kind EventKind) {
 	d.events.count(kind)
 }
 
+// acquire obtains this round's sample, through the guard when one is
+// configured. proceed reports whether the round should decide on s; a
+// false proceed with nil error means the guard consumed the round.
+func (d *DUFP) acquire(now time.Duration) (s papi.Sample, proceed bool, err error) {
+	if d.guard == nil {
+		s, err := d.act.Monitor.Sample()
+		if err != nil {
+			return papi.Sample{}, false, fmt.Errorf("DUFP at %v: %w", now, err)
+		}
+		return s, true, nil
+	}
+	s, v, err := d.guard.sample()
+	if err != nil {
+		return papi.Sample{}, false, fmt.Errorf("DUFP at %v: %w", now, err)
+	}
+	switch v {
+	case sampleOK:
+		return s, true, nil
+	case sampleRejected:
+		d.logEvent(now, EventSampleRejected)
+	case sampleDegrade:
+		// Safe reset (the paper's §IV-D behaviour): uncore to the
+		// maximum, factory power limits back, decisions frozen. A blind
+		// controller must not keep a cap walked down for a phase it can
+		// no longer see.
+		if err := d.uncore.Reset(); err != nil {
+			return papi.Sample{}, false, err
+		}
+		d.cap.latched = false
+		if err := d.cap.Reset(); err != nil {
+			return papi.Sample{}, false, err
+		}
+		d.logEvent(now, EventSensorDegraded)
+	case sampleRecover:
+		// Rebuild the phase references from the recovery sample and
+		// re-verify the uncore next round (rule 2 after the safe
+		// reset).
+		d.tr = newTracker(d.cfg)
+		d.tr.Observe(s)
+		d.verifyUncore = true
+		d.logEvent(now, EventSensorRecovered)
+	}
+	return papi.Sample{}, false, nil
+}
+
 // Tick implements Instance: one §III decision round.
 func (d *DUFP) Tick(now time.Duration) error {
-	s, err := d.act.Monitor.Sample()
-	if err != nil {
-		return fmt.Errorf("DUFP at %v: %w", now, err)
+	s, proceed, err := d.acquire(now)
+	if err != nil || !proceed {
+		return err
 	}
 	d.attr.observe(s)
 
 	// Interaction rule 2: after a joint reset the applied uncore
 	// frequency may still be held down by the old cap; re-reset it.
 	if d.verifyUncore {
-		d.verifyUncore = false
 		cur, err := d.act.Uncore.Current()
 		if err != nil {
+			if isTransient(err) {
+				// Keep the verification pending for the next round.
+				return nil
+			}
 			return err
 		}
+		d.verifyUncore = false
 		if cur < d.act.Spec.MaxUncoreFreq {
 			if err := d.uncore.Reset(); err != nil {
 				return err
@@ -261,3 +315,12 @@ func (d *DUFP) capDecision(now time.Duration, s papi.Sample, rule1 bool) error {
 
 // Config returns the controller's configuration.
 func (d *DUFP) Config() Config { return d.cfg }
+
+// GuardStats returns the sample guard's counters (zero when the guard
+// is disabled).
+func (d *DUFP) GuardStats() GuardStats {
+	if d.guard == nil {
+		return GuardStats{}
+	}
+	return d.guard.stats
+}

@@ -29,11 +29,21 @@ const (
 	EventRule2
 	// EventPowerOverCap marks a §IV-D consumed-power-above-cap reset.
 	EventPowerOverCap
+	// EventSampleRejected marks a guard-rejected outlier sample (setting
+	// held, last good value kept).
+	EventSampleRejected
+	// EventSensorDegraded marks entry into degraded mode: the sensor is
+	// persistently unavailable, both levers are safe-reset and decisions
+	// freeze.
+	EventSensorDegraded
+	// EventSensorRecovered marks the sensor answering again: phase
+	// references are rebuilt and control resumes.
+	EventSensorRecovered
 )
 
 // numEventKinds is the number of defined kinds; keep it in sync with the
 // enum above (the exhaustiveness test enforces both it and String).
-const numEventKinds = int(EventPowerOverCap) + 1
+const numEventKinds = int(EventSensorRecovered) + 1
 
 // String names the kind.
 func (k EventKind) String() string {
@@ -58,6 +68,12 @@ func (k EventKind) String() string {
 		return "rule-2"
 	case EventPowerOverCap:
 		return "power-over-cap"
+	case EventSampleRejected:
+		return "sample-rejected"
+	case EventSensorDegraded:
+		return "sensor-degraded"
+	case EventSensorRecovered:
+		return "sensor-recovered"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}

@@ -1,0 +1,231 @@
+package control
+
+import (
+	"errors"
+
+	"dufp/internal/obs"
+	"dufp/internal/papi"
+)
+
+// GuardConfig configures the sample guard that hardens DUF and DUFP
+// against degraded sensors: bounded retry with backoff on transient
+// read failures, outlier rejection with last-good-value fallback, and a
+// degraded mode for persistently unavailable sensors. The zero value
+// disables the guard entirely — the controllers then consume samples
+// exactly as before, bit for bit.
+type GuardConfig struct {
+	// Retries bounds same-round retries of a transiently failed sample
+	// read. Dropped whole-round samples cannot be retried away (the
+	// round's data is gone); per-read failures can.
+	Retries int
+	// BackoffRounds caps the exponential backoff between failed rounds:
+	// after a wholly failed round the guard waits 1, 2, 4, ... rounds
+	// (up to this cap) before the next attempt. Zero retries every
+	// round.
+	BackoffRounds int
+	// OutlierFactor rejects an isolated sample whose FLOPS/s deviate
+	// from the last accepted sample by more than this factor, holding
+	// the previous setting for one round. A second consecutive
+	// out-of-band sample is accepted as a real phase shift. Values <= 1
+	// disable rejection.
+	OutlierFactor float64
+	// DegradedAfter is the number of consecutive failed sampling
+	// attempts after which the controller enters degraded mode: reset
+	// both levers to their safe defaults (uncore to the maximum, cap to
+	// the factory limits — the paper's §IV-D safe-reset behaviour) and
+	// freeze all decisions until the sensor answers again. Zero never
+	// degrades.
+	DegradedAfter int
+}
+
+// DefaultGuard returns the hardened-controller defaults.
+func DefaultGuard() GuardConfig {
+	return GuardConfig{Retries: 2, BackoffRounds: 4, OutlierFactor: 8, DegradedAfter: 3}
+}
+
+// Enabled reports whether any guard feature is configured.
+func (g GuardConfig) Enabled() bool { return g != GuardConfig{} }
+
+// Validate reports nonsensical guard configurations.
+func (g GuardConfig) Validate() error {
+	switch {
+	case g.Retries < 0:
+		return errors.New("control: guard retries negative")
+	case g.BackoffRounds < 0:
+		return errors.New("control: guard backoff negative")
+	case g.OutlierFactor != 0 && g.OutlierFactor <= 1:
+		return errors.New("control: guard outlier factor must exceed 1 (or be 0)")
+	case g.DegradedAfter < 0:
+		return errors.New("control: guard degraded-after negative")
+	}
+	return nil
+}
+
+// GuardStats counts a hardened controller's sample-validation outcomes
+// over one run.
+type GuardStats struct {
+	// Retries counts same-round sample re-reads after transient errors.
+	Retries int
+	// Failures counts rounds whose sample was lost despite retries.
+	Failures int
+	// StaleFallbacks counts rounds decided on the last good sample.
+	StaleFallbacks int
+	// Rejected counts outlier samples discarded by the deviation filter.
+	Rejected int
+	// DegradedEntries and Recoveries count degraded-mode transitions.
+	DegradedEntries int
+	Recoveries      int
+	// HeldRounds counts rounds skipped by backoff or degraded mode.
+	HeldRounds int
+}
+
+// Add returns the element-wise sum of two GuardStats.
+func (g GuardStats) Add(o GuardStats) GuardStats {
+	g.Retries += o.Retries
+	g.Failures += o.Failures
+	g.StaleFallbacks += o.StaleFallbacks
+	g.Rejected += o.Rejected
+	g.DegradedEntries += o.DegradedEntries
+	g.Recoveries += o.Recoveries
+	g.HeldRounds += o.HeldRounds
+	return g
+}
+
+// sampleVerdict is the guard's per-round outcome.
+type sampleVerdict int
+
+const (
+	// sampleOK delivers a fresh, accepted sample: decide on it.
+	sampleOK sampleVerdict = iota
+	// sampleHold consumed the round (retry backoff or stale fallback):
+	// keep the current settings.
+	sampleHold
+	// sampleRejected discarded an outlier: keep the current settings.
+	sampleRejected
+	// sampleDegrade enters degraded mode: safe-reset the levers now.
+	sampleDegrade
+	// sampleDegraded stays in degraded mode: do nothing.
+	sampleDegraded
+	// sampleRecover leaves degraded mode: rebuild references, resume
+	// next round.
+	sampleRecover
+)
+
+// Guard telemetry, labelled by governor and outcome.
+var guardVec = obs.Default().Counter("control_guard_total",
+	"Sample-guard outcomes of hardened controllers.", "governor", "outcome")
+
+type guardCounters struct {
+	retry, stale, reject, degrade, recover *obs.Counter
+}
+
+func newGuardCounters(governor string) guardCounters {
+	return guardCounters{
+		retry:   guardVec.With(governor, "retry"),
+		stale:   guardVec.With(governor, "stale-fallback"),
+		reject:  guardVec.With(governor, "reject"),
+		degrade: guardVec.With(governor, "degrade"),
+		recover: guardVec.With(governor, "recover"),
+	}
+}
+
+// guard validates one controller's sample stream.
+type guard struct {
+	cfg GuardConfig
+	mon *papi.Monitor
+	c   guardCounters
+
+	last     papi.Sample
+	haveLast bool
+	// pendingOutlier marks that the previous round rejected a deviating
+	// sample; a repeat is accepted as a real shift.
+	pendingOutlier bool
+
+	failStreak int
+	// skip counts rounds left in the current backoff window; backoff is
+	// the next window's length.
+	skip, backoff int
+	degraded      bool
+
+	stats GuardStats
+}
+
+func newGuard(cfg GuardConfig, mon *papi.Monitor, governor string) *guard {
+	return &guard{cfg: cfg, mon: mon, c: newGuardCounters(governor), backoff: 1}
+}
+
+// isTransient reports whether err marks a retryable sensor failure (the
+// fault layer's injected EIOs implement Transient).
+func isTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// sample obtains this round's sample. Fatal (non-transient) errors are
+// returned as-is; transient failures are absorbed into the verdict.
+func (g *guard) sample() (papi.Sample, sampleVerdict, error) {
+	if g.skip > 0 {
+		g.skip--
+		g.stats.HeldRounds++
+		return g.last, sampleHold, nil
+	}
+	s, err := g.mon.Sample()
+	for r := 0; err != nil && isTransient(err) && r < g.cfg.Retries; r++ {
+		g.stats.Retries++
+		g.c.retry.Inc()
+		s, err = g.mon.Sample()
+	}
+	if err != nil {
+		if !isTransient(err) {
+			return papi.Sample{}, sampleOK, err
+		}
+		g.stats.Failures++
+		g.failStreak++
+		if g.degraded {
+			g.stats.HeldRounds++
+			return g.last, sampleDegraded, nil
+		}
+		if g.cfg.DegradedAfter > 0 && g.failStreak >= g.cfg.DegradedAfter {
+			g.degraded = true
+			g.stats.DegradedEntries++
+			g.c.degrade.Inc()
+			return g.last, sampleDegrade, nil
+		}
+		if g.cfg.BackoffRounds > 0 {
+			g.skip = g.backoff
+			if g.backoff < g.cfg.BackoffRounds {
+				g.backoff *= 2
+			}
+		}
+		g.stats.StaleFallbacks++
+		g.c.stale.Inc()
+		return g.last, sampleHold, nil
+	}
+	g.failStreak, g.skip, g.backoff = 0, 0, 1
+	if g.degraded {
+		g.degraded = false
+		g.stats.Recoveries++
+		g.c.recover.Inc()
+		g.last, g.haveLast = s, true
+		return s, sampleRecover, nil
+	}
+	if f := g.cfg.OutlierFactor; f > 1 && g.haveLast && !g.pendingOutlier && deviates(s, g.last, f) {
+		g.pendingOutlier = true
+		g.stats.Rejected++
+		g.c.reject.Inc()
+		return g.last, sampleRejected, nil
+	}
+	g.pendingOutlier = false
+	g.last, g.haveLast = s, true
+	return s, sampleOK, nil
+}
+
+// deviates reports whether s's FLOPS/s sit more than a factor f away
+// from the last accepted sample's — the stale-read-burst signature.
+func deviates(s, ref papi.Sample, f float64) bool {
+	a, b := float64(s.FlopRate), float64(ref.FlopRate)
+	if b <= 0 {
+		return false
+	}
+	return a > b*f || a < b/f
+}

@@ -1,0 +1,240 @@
+package control
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dufp/internal/papi"
+)
+
+// guardSrc is a hand-driven counter source whose sample failures are
+// script-controlled through the papi layer's SampleErr hook.
+type guardSrc struct {
+	t     time.Duration
+	flops float64
+	mem   float64
+	// failFor fails the next failFor monitor samples with a transient
+	// error; -1 fails forever.
+	failFor int
+}
+
+type transientErr struct{}
+
+func (transientErr) Error() string   { return "injected transient failure" }
+func (transientErr) Transient() bool { return true }
+
+func (s *guardSrc) Now() time.Duration { return s.t }
+func (s *guardSrc) Counter(ev papi.Event) float64 {
+	if ev == papi.FPOps {
+		return s.flops
+	}
+	return s.mem
+}
+func (s *guardSrc) SampleErr() error {
+	if s.failFor == 0 {
+		return nil
+	}
+	if s.failFor > 0 {
+		s.failFor--
+	}
+	return transientErr{}
+}
+
+// advance moves the source one 200 ms sampling round forward.
+func (s *guardSrc) advance(flops float64) {
+	s.t += 200 * time.Millisecond
+	s.flops += flops
+	s.mem += 1e9
+}
+
+func newTestGuard(t *testing.T, cfg GuardConfig) (*guard, *guardSrc) {
+	t.Helper()
+	src := &guardSrc{}
+	mon, err := papi.NewMonitor(src, nil, nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.Start()
+	return newGuard(cfg, mon, "test"), src
+}
+
+func TestGuardCleanPath(t *testing.T) {
+	g, src := newTestGuard(t, DefaultGuard())
+	for i := 0; i < 5; i++ {
+		src.advance(1e9)
+		s, verdict, err := g.sample()
+		if err != nil || verdict != sampleOK {
+			t.Fatalf("round %d: verdict %v, err %v", i, verdict, err)
+		}
+		if s.FlopRate <= 0 {
+			t.Fatalf("round %d: degenerate sample %+v", i, s)
+		}
+	}
+	if g.stats != (GuardStats{}) {
+		t.Fatalf("clean run touched the guard counters: %+v", g.stats)
+	}
+}
+
+func TestGuardRetryRecovers(t *testing.T) {
+	g, src := newTestGuard(t, GuardConfig{Retries: 2, BackoffRounds: 4, DegradedAfter: 3})
+	src.advance(1e9)
+	src.failFor = 1 // first attempt fails, the same-round retry succeeds
+	_, verdict, err := g.sample()
+	if err != nil || verdict != sampleOK {
+		t.Fatalf("verdict %v, err %v, want a retried OK sample", verdict, err)
+	}
+	if g.stats.Retries != 1 || g.stats.Failures != 0 {
+		t.Fatalf("stats = %+v, want one retry and no failures", g.stats)
+	}
+}
+
+func TestGuardBackoffAndStaleFallback(t *testing.T) {
+	g, src := newTestGuard(t, GuardConfig{Retries: 1, BackoffRounds: 2})
+
+	// Establish a good sample first.
+	src.advance(1e9)
+	if _, v, err := g.sample(); err != nil || v != sampleOK {
+		t.Fatalf("setup: %v/%v", v, err)
+	}
+	good := g.last
+
+	src.failFor = -1
+	src.advance(1e9)
+	s, verdict, err := g.sample()
+	if err != nil || verdict != sampleHold {
+		t.Fatalf("failed round: verdict %v, err %v, want a hold", verdict, err)
+	}
+	if s != good {
+		t.Fatalf("hold served %+v, want the last good sample %+v", s, good)
+	}
+	if g.stats.Retries != 1 || g.stats.Failures != 1 || g.stats.StaleFallbacks != 1 {
+		t.Fatalf("stats = %+v", g.stats)
+	}
+	// The next round is inside the backoff window: held without touching
+	// the monitor at all.
+	src.advance(1e9)
+	if _, verdict, _ := g.sample(); verdict != sampleHold {
+		t.Fatalf("backoff round verdict %v, want hold", verdict)
+	}
+	if g.stats.HeldRounds != 1 || g.stats.Failures != 1 {
+		t.Fatalf("stats = %+v, want one held round and no second failure", g.stats)
+	}
+}
+
+func TestGuardDegradedModeAndRecovery(t *testing.T) {
+	g, src := newTestGuard(t, GuardConfig{DegradedAfter: 2})
+
+	src.advance(1e9)
+	if _, v, err := g.sample(); err != nil || v != sampleOK {
+		t.Fatalf("setup: %v/%v", v, err)
+	}
+
+	src.failFor = -1
+	src.advance(1e9)
+	if _, v, _ := g.sample(); v != sampleHold {
+		t.Fatalf("first failure verdict %v, want hold", v)
+	}
+	src.advance(1e9)
+	if _, v, _ := g.sample(); v != sampleDegrade {
+		t.Fatalf("second failure verdict %v, want degrade", v)
+	}
+	src.advance(1e9)
+	if _, v, _ := g.sample(); v != sampleDegraded {
+		t.Fatalf("verdict %v, want degraded steady state", v)
+	}
+
+	// The sensor answers again: one recovery verdict, then normal
+	// operation.
+	src.failFor = 0
+	src.advance(1e9)
+	if _, v, err := g.sample(); err != nil || v != sampleRecover {
+		t.Fatalf("recovery verdict %v, err %v", v, err)
+	}
+	src.advance(1e9)
+	if _, v, err := g.sample(); err != nil || v != sampleOK {
+		t.Fatalf("post-recovery verdict %v, err %v", v, err)
+	}
+	if g.stats.DegradedEntries != 1 || g.stats.Recoveries != 1 {
+		t.Fatalf("stats = %+v, want one degraded entry and one recovery", g.stats)
+	}
+}
+
+func TestGuardOutlierRejection(t *testing.T) {
+	g, src := newTestGuard(t, GuardConfig{OutlierFactor: 8})
+
+	src.advance(1e9)
+	if _, v, err := g.sample(); err != nil || v != sampleOK {
+		t.Fatalf("setup: %v/%v", v, err)
+	}
+	// A 20x burst — the stale-read signature — is rejected once.
+	src.advance(20e9)
+	s, verdict, err := g.sample()
+	if err != nil || verdict != sampleRejected {
+		t.Fatalf("burst verdict %v, err %v, want rejection", verdict, err)
+	}
+	if s.FlopRate != g.last.FlopRate {
+		t.Fatal("rejection must serve the last accepted sample")
+	}
+	// A second consecutive out-of-band sample is a real phase shift.
+	src.advance(20e9)
+	if _, verdict, err := g.sample(); err != nil || verdict != sampleOK {
+		t.Fatalf("repeat verdict %v, err %v, want acceptance as a phase shift", verdict, err)
+	}
+	if g.stats.Rejected != 1 {
+		t.Fatalf("Rejected = %d, want 1", g.stats.Rejected)
+	}
+}
+
+func TestGuardNonTransientErrorsSurface(t *testing.T) {
+	g, src := newTestGuard(t, DefaultGuard())
+	// An empty measurement interval is a programming error, not a sensor
+	// fault: it must pass through untouched, not be absorbed.
+	_ = src
+	_, _, err := g.sample()
+	if err == nil {
+		t.Fatal("zero-interval sample must fail")
+	}
+	if isTransient(err) {
+		t.Fatalf("fatal error %v misclassified as transient", err)
+	}
+	if g.stats.Failures != 0 {
+		t.Fatalf("fatal error counted as sensor failure: %+v", g.stats)
+	}
+}
+
+func TestGuardConfigValidateAndEnabled(t *testing.T) {
+	if (GuardConfig{}).Enabled() {
+		t.Error("zero guard config must be disabled")
+	}
+	if !DefaultGuard().Enabled() {
+		t.Error("default guard must be enabled")
+	}
+	if err := DefaultGuard().Validate(); err != nil {
+		t.Errorf("default guard invalid: %v", err)
+	}
+	bad := []GuardConfig{
+		{Retries: -1},
+		{BackoffRounds: -1},
+		{OutlierFactor: 0.5},
+		{OutlierFactor: 1},
+		{DegradedAfter: -1},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", cfg)
+		}
+	}
+}
+
+func TestIsTransient(t *testing.T) {
+	if !isTransient(transientErr{}) {
+		t.Error("transientErr not recognised")
+	}
+	if !isTransient(errors.Join(errors.New("wrap"), transientErr{})) {
+		t.Error("wrapped transient not recognised")
+	}
+	if isTransient(errors.New("plain")) {
+		t.Error("plain error misclassified")
+	}
+}

@@ -1,0 +1,94 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"dufp"
+)
+
+// TestRobustnessNoiseWithinTolerance is the robustness acceptance check:
+// under the standard noise fault level, guarded DUFP at 5 % tolerated
+// slowdown stays within tolerance of the clean baseline.
+func TestRobustnessNoiseWithinTolerance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("robustness grid in -short mode")
+	}
+	opts := DefaultOptions()
+	opts.Runs = 2
+	opts.Apps = []string{"CG"}
+	opts.Tolerances = []float64{0.05}
+	opts.Executor = dufp.NewExecutor()
+
+	levels := DefaultFaultLevels()[:2] // none + noise
+	g, err := RunRobustness(opts, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(g.Cells))
+	}
+	for _, c := range g.Cells {
+		if !c.WithinTolerance {
+			t.Errorf("%s/%s tol=%.0f%%: slowdown %+.2f%% outside tolerance",
+				c.App, c.Level, c.Tolerance*100, c.Comparison.TimeRatio.OverheadPercent())
+		}
+	}
+	// The noise level must actually have injected faults and the guard
+	// must have reacted; the control row must stay fault-free.
+	for _, c := range g.Cells {
+		switch c.Level {
+		case "none":
+			if c.Faults.Total() != 0 {
+				t.Errorf("control row injected %d faults", c.Faults.Total())
+			}
+		case "noise":
+			if c.Faults.Total() == 0 {
+				t.Error("noise row injected no faults")
+			}
+			if c.Guard.Retries+c.Guard.StaleFallbacks+c.Guard.HeldRounds == 0 {
+				t.Errorf("noise row never engaged the guard: %+v", c.Guard)
+			}
+		}
+	}
+}
+
+// TestRobustnessTableRenders checks the report plumbing end to end at
+// minimal resolution.
+func TestRobustnessTableRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("robustness grid in -short mode")
+	}
+	opts := DefaultOptions()
+	opts.Runs = 1
+	opts.Apps = []string{"EP"}
+	opts.Tolerances = []float64{0.10}
+	opts.Executor = dufp.NewExecutor()
+
+	tab, err := Robustness(opts, DefaultFaultLevels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(DefaultFaultLevels()) {
+		t.Fatalf("got %d rows, want one per fault level", len(tab.Rows))
+	}
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "harsh") {
+		t.Fatalf("rendered table lacks the harsh level:\n%s", sb.String())
+	}
+}
+
+// TestRobustnessRejectsBadLevels checks fault-plan validation at the
+// harness boundary.
+func TestRobustnessRejectsBadLevels(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Runs = 1
+	opts.Apps = []string{"EP"}
+	_, err := RunRobustness(opts, []FaultLevel{{Name: "bad", Plan: dufp.FaultPlan{StuckP: 2}}})
+	if err == nil {
+		t.Fatal("invalid fault level accepted")
+	}
+}

@@ -1,0 +1,151 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"dufp/internal/msr"
+	"dufp/internal/units"
+)
+
+// Device wraps an msr.Device with the injector's read-fault and
+// cap-enforcement-lag models. Sensor registers are subject to transient
+// read failures and the scheduled outage window; writes to the package
+// power limit are deferred by CapWriteLatency and then approach the
+// target with a first-order lag of time constant CapEnforceTau.
+//
+// The lag is resolved lazily: pending cap writes are flushed into the
+// underlying device at the next access, so enforcement granularity is
+// the controllers' own access cadence (one decision round) — the same
+// granularity at which a real RAPL power plane is observed.
+type Device struct {
+	in  *Injector
+	dev msr.Device
+
+	units     msr.Units
+	haveUnits bool
+	// pending holds the in-flight power-limit write per CPU.
+	pending map[int]*pendingCap
+}
+
+type pendingCap struct {
+	// target is the raw register value the controller wrote.
+	target uint64
+	// from holds the enforced limits at write time, the lag's origin.
+	from msr.PkgPowerLimit
+	// t is the simulated write time.
+	t time.Duration
+}
+
+// Device wraps dev with the injector's fault models.
+func (in *Injector) Device(dev msr.Device) *Device {
+	return &Device{in: in, dev: dev, pending: make(map[int]*pendingCap)}
+}
+
+// sensorAddr reports whether addr is a sensor register subject to
+// injected read faults. Control registers (limit readback, unit
+// decoding) are exempt: a failed sensor read models a busy counter
+// interface, not a lost configuration register.
+func sensorAddr(addr uint32) bool {
+	switch addr {
+	case msr.MSRPkgEnergyStatus, msr.MSRDramEnergyStatus,
+		msr.MSRUncorePerfStatus, msr.IA32APerf, msr.IA32MPerf:
+		return true
+	}
+	return false
+}
+
+// Read implements msr.Device. Pending cap writes are flushed first, so
+// a controller observing the machine always sees enforcement progress
+// up to the current simulated time.
+func (d *Device) Read(cpu int, addr uint32) (uint64, error) {
+	d.flush()
+	if sensorAddr(addr) {
+		p := d.in.plan
+		if d.in.inOutage() || (p.ReadFailP > 0 && d.in.rng.Float64() < p.ReadFailP) {
+			d.in.stats.ReadFailures++
+			cReadFail.Inc()
+			return 0, &TransientError{Op: fmt.Sprintf("rdmsr 0x%03X", addr)}
+		}
+	}
+	if addr == msr.MSRPkgPowerLimit {
+		if pc, ok := d.pending[cpu]; ok {
+			// Register readback reports the programmed target, not the
+			// lagging enforced limit — matching real RAPL, where the
+			// MSR reflects the request immediately.
+			return pc.target, nil
+		}
+	}
+	return d.dev.Read(cpu, addr)
+}
+
+// Write implements msr.Device. Power-limit writes are captured by the
+// enforcement-lag model when the plan configures one; everything else
+// passes through.
+func (d *Device) Write(cpu int, addr uint32, value uint64) error {
+	d.flush()
+	p := d.in.plan
+	if addr == msr.MSRPkgPowerLimit && (p.CapWriteLatency > 0 || p.CapEnforceTau > 0) {
+		if err := d.ensureUnits(cpu); err != nil {
+			return err
+		}
+		raw, err := d.dev.Read(cpu, msr.MSRPkgPowerLimit)
+		if err != nil {
+			return err
+		}
+		d.pending[cpu] = &pendingCap{
+			target: value,
+			from:   msr.DecodePkgPowerLimit(d.units, raw),
+			t:      d.in.now(),
+		}
+		d.in.stats.DelayedCapWrites++
+		cCapDelay.Inc()
+		return nil
+	}
+	return d.dev.Write(cpu, addr, value)
+}
+
+// ensureUnits decodes the RAPL unit register once, through the
+// underlying device (unit reads are exempt from faults).
+func (d *Device) ensureUnits(cpu int) error {
+	if d.haveUnits {
+		return nil
+	}
+	raw, err := d.dev.Read(cpu, msr.MSRRaplPowerUnit)
+	if err != nil {
+		return err
+	}
+	d.units = msr.DecodeUnits(raw)
+	d.haveUnits = true
+	return nil
+}
+
+// flush advances every pending cap write to the current simulated time:
+// still inside the write latency means no effect yet; past roughly five
+// time constants (or with no lag configured) the target lands exactly;
+// in between the enforced limit moves along the first-order response.
+func (d *Device) flush() {
+	if len(d.pending) == 0 {
+		return
+	}
+	now := d.in.now()
+	p := d.in.plan
+	for cpu, pc := range d.pending {
+		dt := now - pc.t - p.CapWriteLatency
+		if dt < 0 {
+			continue
+		}
+		if p.CapEnforceTau <= 0 || dt >= 5*p.CapEnforceTau {
+			_ = d.dev.Write(cpu, msr.MSRPkgPowerLimit, pc.target)
+			delete(d.pending, cpu)
+			continue
+		}
+		f := 1 - math.Exp(-float64(dt)/float64(p.CapEnforceTau))
+		tgt := msr.DecodePkgPowerLimit(d.units, pc.target)
+		cur := tgt
+		cur.PL1.Limit = pc.from.PL1.Limit + units.Power(f*float64(tgt.PL1.Limit-pc.from.PL1.Limit))
+		cur.PL2.Limit = pc.from.PL2.Limit + units.Power(f*float64(tgt.PL2.Limit-pc.from.PL2.Limit))
+		_ = d.dev.Write(cpu, msr.MSRPkgPowerLimit, msr.EncodePkgPowerLimit(d.units, cur))
+	}
+}

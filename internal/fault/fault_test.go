@@ -1,0 +1,327 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dufp/internal/msr"
+	"dufp/internal/papi"
+)
+
+func TestPlanValidate(t *testing.T) {
+	good := []Plan{
+		{},
+		{Seed: 99},
+		{CounterNoiseSD: 0.05, StuckP: 0.1, StuckFor: 3, DropSampleP: 0.02, ReadFailP: 0.02},
+		{OutageStart: time.Second, OutageDuration: 2 * time.Second},
+		{CapWriteLatency: 50 * time.Millisecond, CapEnforceTau: 100 * time.Millisecond},
+	}
+	for _, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", p, err)
+		}
+	}
+	bad := []Plan{
+		{StuckP: 1.5},
+		{DropSampleP: -0.1},
+		{ReadFailP: 2},
+		{CounterNoiseSD: -0.01},
+		{OutageStart: -time.Second},
+		{OutageDuration: -time.Second},
+		{CapWriteLatency: -time.Millisecond},
+		{CapEnforceTau: -time.Millisecond},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", p)
+		}
+	}
+}
+
+func TestPlanEnabled(t *testing.T) {
+	if (Plan{}).Enabled() {
+		t.Error("zero plan must be disabled")
+	}
+	// A seed alone selects a fault stream but injects nothing.
+	if (Plan{Seed: 7}).Enabled() {
+		t.Error("seed-only plan must be disabled")
+	}
+	enabled := []Plan{
+		{CounterNoiseSD: 0.01},
+		{StuckP: 0.1},
+		{DropSampleP: 0.1},
+		{ReadFailP: 0.1},
+		{OutageDuration: time.Second},
+		{CapWriteLatency: time.Millisecond},
+		{CapEnforceTau: time.Millisecond},
+	}
+	for _, p := range enabled {
+		if !p.Enabled() {
+			t.Errorf("plan %+v must be enabled", p)
+		}
+	}
+}
+
+func TestTransientError(t *testing.T) {
+	err := error(&TransientError{Op: "rdmsr 0x611"})
+	if !errors.Is(err, ErrTransient) {
+		t.Error("TransientError must match ErrTransient")
+	}
+	var tr interface{ Transient() bool }
+	if !errors.As(err, &tr) || !tr.Transient() {
+		t.Error("TransientError must assert Transient()")
+	}
+	if err.Error() == "" {
+		t.Error("empty error message")
+	}
+}
+
+// fakeSrc is a hand-driven counter source.
+type fakeSrc struct {
+	t time.Duration
+	c map[papi.Event]float64
+}
+
+func (f *fakeSrc) Now() time.Duration { return f.t }
+func (f *fakeSrc) Counter(ev papi.Event) float64 {
+	return f.c[ev]
+}
+
+func (f *fakeSrc) advance(dt time.Duration, flops float64) {
+	f.t += dt
+	f.c[papi.FPOps] += flops
+}
+
+func newFakeSrc() *fakeSrc {
+	return &fakeSrc{c: map[papi.Event]float64{}}
+}
+
+func TestSourceStuckEpisode(t *testing.T) {
+	src := newFakeSrc()
+	in := NewInjector(Plan{StuckP: 1, StuckFor: 2}, 1, src.Now)
+	s := in.Source(src)
+
+	// Round 1 starts a two-round episode; the first read latches.
+	src.advance(200*time.Millisecond, 100)
+	s.Now()
+	if got := s.Counter(papi.FPOps); got != 100 {
+		t.Fatalf("first read = %v, want latch at 100", got)
+	}
+	// Round 2: still inside the episode, the read is frozen while the
+	// hardware counts on.
+	src.advance(200*time.Millisecond, 100)
+	s.Now()
+	if got := s.Counter(papi.FPOps); got != 100 {
+		t.Fatalf("stuck read = %v, want frozen 100", got)
+	}
+	// Round 3: the episode ends and the unstick read sees the accumulated
+	// burst — the full true value, since no noise is configured.
+	src.advance(200*time.Millisecond, 100)
+	s.Now()
+	if got := s.Counter(papi.FPOps); got != 300 {
+		t.Fatalf("unstick read = %v, want caught-up 300", got)
+	}
+	if st := in.Stats(); st.StuckReads != 1 {
+		t.Fatalf("StuckReads = %d, want 1", st.StuckReads)
+	}
+}
+
+func TestSourceDropIsPerRound(t *testing.T) {
+	src := newFakeSrc()
+	in := NewInjector(Plan{DropSampleP: 1}, 1, src.Now)
+	s := in.Source(src)
+
+	src.advance(200*time.Millisecond, 10)
+	s.Now()
+	err := s.SampleErr()
+	if err == nil {
+		t.Fatal("round must be dropped at DropSampleP=1")
+	}
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("drop error %v is not transient", err)
+	}
+	// Same-round retries see the same decision: the sample stays lost.
+	for i := 0; i < 3; i++ {
+		s.Now()
+		if s.SampleErr() == nil {
+			t.Fatal("same-round retry must not recover a dropped sample")
+		}
+	}
+	if st := in.Stats(); st.DroppedSamples != 1 {
+		t.Fatalf("DroppedSamples = %d, want one per round, got %+v", st.DroppedSamples, st)
+	}
+}
+
+func TestSourceNoiseDeterministic(t *testing.T) {
+	read := func(planSeed int64) []float64 {
+		src := newFakeSrc()
+		in := NewInjector(Plan{Seed: planSeed, CounterNoiseSD: 0.05}, 42, src.Now)
+		s := in.Source(src)
+		var out []float64
+		for i := 0; i < 10; i++ {
+			src.advance(200*time.Millisecond, 100)
+			s.Now()
+			out = append(out, s.Counter(papi.FPOps))
+		}
+		return out
+	}
+	a, b := read(0), read(0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same plan and seed diverged at read %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := read(1)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different plan seeds produced the identical noise sequence")
+	}
+}
+
+// deviceFixture wires a plain register space behind a fault device.
+func deviceFixture(t *testing.T, plan Plan, now *time.Duration) (*Device, *msr.Space) {
+	t.Helper()
+	space := msr.NewSpace(1)
+	space.Seed(msr.MSRRaplPowerUnit, msr.DefaultUnitsValue)
+	in := NewInjector(plan, 1, func() time.Duration { return *now })
+	return in.Device(space), space
+}
+
+func TestDeviceOutageWindow(t *testing.T) {
+	now := time.Duration(0)
+	dev, space := deviceFixture(t, Plan{
+		OutageStart:    time.Second,
+		OutageDuration: time.Second,
+	}, &now)
+	space.Seed(msr.MSRPkgEnergyStatus, 123)
+
+	read := func() error {
+		_, err := dev.Read(0, msr.MSRPkgEnergyStatus)
+		return err
+	}
+	now = 500 * time.Millisecond
+	if err := read(); err != nil {
+		t.Fatalf("read before outage failed: %v", err)
+	}
+	now = 1500 * time.Millisecond
+	if err := read(); !errors.Is(err, ErrTransient) {
+		t.Fatalf("read inside outage = %v, want transient failure", err)
+	}
+	// Control registers stay readable during the outage.
+	if _, err := dev.Read(0, msr.MSRRaplPowerUnit); err != nil {
+		t.Fatalf("unit read inside outage failed: %v", err)
+	}
+	now = 2500 * time.Millisecond
+	if err := read(); err != nil {
+		t.Fatalf("read after outage failed: %v", err)
+	}
+}
+
+func TestDeviceCapWriteLag(t *testing.T) {
+	now := time.Duration(0)
+	dev, space := deviceFixture(t, Plan{
+		CapWriteLatency: 100 * time.Millisecond,
+		CapEnforceTau:   200 * time.Millisecond,
+	}, &now)
+	units := msr.DefaultUnits()
+	from := msr.PkgPowerLimit{
+		PL1: msr.PowerLimit{Limit: 125, Window: 1, Enabled: true},
+		PL2: msr.PowerLimit{Limit: 150, Window: 0.01, Enabled: true},
+	}
+	target := from
+	target.PL1.Limit = 85
+	space.Seed(msr.MSRPkgPowerLimit, msr.EncodePkgPowerLimit(units, from))
+	space.Seed(msr.MSRPkgEnergyStatus, 0) // flush trigger below
+
+	if err := dev.Write(0, msr.MSRPkgPowerLimit, msr.EncodePkgPowerLimit(units, target)); err != nil {
+		t.Fatal(err)
+	}
+	enforced := func() float64 {
+		raw, ok := space.Raw(0, msr.MSRPkgPowerLimit)
+		if !ok {
+			t.Fatal("no backing value")
+		}
+		return float64(msr.DecodePkgPowerLimit(units, raw).PL1.Limit)
+	}
+	// Readback reports the programmed target immediately.
+	raw, err := dev.Read(0, msr.MSRPkgPowerLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := msr.DecodePkgPowerLimit(units, raw).PL1.Limit; float64(got) != 85 {
+		t.Fatalf("readback PL1 = %v, want the programmed 85", got)
+	}
+	// Inside the write latency the enforced limit has not moved.
+	if got := enforced(); got != 125 {
+		t.Fatalf("enforced PL1 at t=0 is %v, want 125", got)
+	}
+	// One time constant past the latency: about 63 % of the way down.
+	now = 300 * time.Millisecond
+	if _, err := dev.Read(0, msr.MSRPkgEnergyStatus); err != nil {
+		t.Fatal(err)
+	}
+	mid := enforced()
+	if mid >= 125 || mid <= 85 {
+		t.Fatalf("enforced PL1 at one tau is %v, want strictly between 85 and 125", mid)
+	}
+	want := 125 - (125-85)*0.632
+	if mid < want-2 || mid > want+2 {
+		t.Fatalf("enforced PL1 at one tau is %v, want about %.1f", mid, want)
+	}
+	// Far past five time constants the target lands exactly and the
+	// pending write retires.
+	now = 5 * time.Second
+	if _, err := dev.Read(0, msr.MSRPkgEnergyStatus); err != nil {
+		t.Fatal(err)
+	}
+	if got := enforced(); got != 85 {
+		t.Fatalf("enforced PL1 after settling is %v, want 85", got)
+	}
+	if st := dev.in.Stats(); st.DelayedCapWrites != 1 {
+		t.Fatalf("DelayedCapWrites = %d, want 1", st.DelayedCapWrites)
+	}
+}
+
+func TestDeviceReadFailRetryable(t *testing.T) {
+	now := time.Duration(0)
+	dev, space := deviceFixture(t, Plan{ReadFailP: 0.5}, &now)
+	space.Seed(msr.MSRPkgEnergyStatus, 7)
+
+	// Per-read failures re-roll: with enough immediate retries a read
+	// eventually succeeds, unlike a dropped sampling round.
+	fails, successes := 0, 0
+	for i := 0; i < 200; i++ {
+		if _, err := dev.Read(0, msr.MSRPkgEnergyStatus); err != nil {
+			if !errors.Is(err, ErrTransient) {
+				t.Fatalf("unexpected error kind: %v", err)
+			}
+			fails++
+		} else {
+			successes++
+		}
+	}
+	if fails == 0 || successes == 0 {
+		t.Fatalf("ReadFailP=0.5 over 200 reads: %d failures, %d successes — want both", fails, successes)
+	}
+	if st := dev.in.Stats(); st.ReadFailures != fails {
+		t.Fatalf("ReadFailures = %d, want %d", st.ReadFailures, fails)
+	}
+}
+
+func TestStatsTotalAndAdd(t *testing.T) {
+	a := Stats{ReadFailures: 1, StuckReads: 2, DroppedSamples: 3, NoisyReads: 4, DelayedCapWrites: 5}
+	if a.Total() != 15 {
+		t.Fatalf("Total = %d, want 15", a.Total())
+	}
+	sum := a.Add(a)
+	if sum.Total() != 30 || sum.NoisyReads != 8 {
+		t.Fatalf("Add = %+v", sum)
+	}
+}

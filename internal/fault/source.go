@@ -1,0 +1,115 @@
+package fault
+
+import (
+	"time"
+
+	"dufp/internal/papi"
+)
+
+// Source wraps a papi.Source with the injector's counter-level fault
+// models: multiplicative Gaussian noise on deltas, stuck/stale read
+// episodes, and whole-sample drops.
+//
+// Per-round faults (stuck episodes, drops) are rolled exactly once per
+// sampling round, keyed on the source clock: the first Now() call that
+// observes a new simulated time starts a round. Same-round retries
+// therefore see the same drop decision — a lost PAPI read stays lost
+// until the next round — while the device layer's ReadFailP re-rolls
+// per read and can be retried away.
+type Source struct {
+	in  *Injector
+	src papi.Source
+
+	epoch     time.Duration
+	epochInit bool
+	// stuckLeft counts remaining rounds of the current stuck episode.
+	stuckLeft int
+	// dropErr is the current round's injected sample failure, if any.
+	dropErr error
+
+	state map[papi.Event]*counterState
+}
+
+// counterState tracks one counter's true and served cumulative values.
+// Noise perturbs served deltas; serving max(0, d·(1+N(0,σ))) keeps the
+// output monotonic like a real hardware counter.
+type counterState struct {
+	lastTrue, lastOut float64
+	seen              bool
+}
+
+// Source wraps src with the injector's fault models.
+func (in *Injector) Source(src papi.Source) *Source {
+	return &Source{in: in, src: src, state: make(map[papi.Event]*counterState)}
+}
+
+// Now implements papi.Source and doubles as the round boundary: a new
+// simulated time rolls this round's faults.
+func (s *Source) Now() time.Duration {
+	now := s.src.Now()
+	if !s.epochInit || now != s.epoch {
+		s.epochInit = true
+		s.epoch = now
+		s.roll()
+	}
+	return now
+}
+
+// roll draws the per-round faults.
+func (s *Source) roll() {
+	p := s.in.plan
+	s.dropErr = nil
+	if s.stuckLeft > 0 {
+		s.stuckLeft--
+	} else if p.StuckP > 0 && s.in.rng.Float64() < p.StuckP {
+		n := p.StuckFor
+		if n < 1 {
+			n = 1
+		}
+		s.stuckLeft = n
+	}
+	if p.DropSampleP > 0 && s.in.rng.Float64() < p.DropSampleP {
+		s.dropErr = &TransientError{Op: "papi sample"}
+		s.in.stats.DroppedSamples++
+		cDrop.Inc()
+	}
+}
+
+// SampleErr implements the papi layer's optional sample-failure hook:
+// a non-nil return fails the whole monitor sample for this round.
+func (s *Source) SampleErr() error { return s.dropErr }
+
+// Counter implements papi.Source. During a stuck episode reads return
+// the last served value while the underlying counter keeps advancing,
+// so the unstick read sees the accumulated burst.
+func (s *Source) Counter(ev papi.Event) float64 {
+	v := s.src.Counter(ev)
+	st := s.state[ev]
+	if st == nil {
+		st = &counterState{}
+		s.state[ev] = st
+	}
+	if !st.seen {
+		st.seen = true
+		st.lastTrue, st.lastOut = v, v
+		return v
+	}
+	if s.stuckLeft > 0 {
+		s.in.stats.StuckReads++
+		cStuck.Inc()
+		return st.lastOut
+	}
+	d := v - st.lastTrue
+	st.lastTrue = v
+	if sd := s.in.plan.CounterNoiseSD; sd > 0 && d != 0 {
+		f := 1 + s.in.rng.NormFloat64()*sd
+		if f < 0 {
+			f = 0
+		}
+		d *= f
+		s.in.stats.NoisyReads++
+		cNoise.Inc()
+	}
+	st.lastOut += d
+	return st.lastOut
+}

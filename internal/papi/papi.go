@@ -161,8 +161,18 @@ func (m *Monitor) Start() {
 	m.started = true
 }
 
+// sampleFailer is the optional hook a Source implements to fail whole
+// samples; the fault-injection layer uses it to model dropped PAPI
+// reads. A non-nil SampleErr fails Sample before any interval state is
+// consumed, so the lost round's deltas merge into the next one.
+type sampleFailer interface {
+	SampleErr() error
+}
+
 // Sample closes the current interval and opens the next, returning the
-// interval's rates.
+// interval's rates. On error the interval stays open: counters and the
+// epoch clock are only consumed by a successful sample, so a failed
+// round folds into the next measurement instead of vanishing.
 func (m *Monitor) Sample() (Sample, error) {
 	if !m.started {
 		return Sample{}, fmt.Errorf("papi: monitor not started")
@@ -171,6 +181,30 @@ func (m *Monitor) Sample() (Sample, error) {
 	dt := now - m.last
 	if dt <= 0 {
 		return Sample{}, fmt.Errorf("papi: empty measurement interval at %v", now)
+	}
+	if f, ok := m.set.src.(sampleFailer); ok {
+		if err := f.SampleErr(); err != nil {
+			return Sample{}, err
+		}
+	}
+	// Read the energy meters before consuming the counter interval, so
+	// an early failure is fully retryable. (A failure between the two
+	// meter reads still part-latches the package meter — the realistic
+	// cost of non-atomic multi-register sampling.)
+	var ePkg, eDram units.Energy
+	if m.pkg != nil {
+		e, err := m.pkg.Sample()
+		if err != nil {
+			return Sample{}, err
+		}
+		ePkg = e
+	}
+	if m.dram != nil {
+		e, err := m.dram.Sample()
+		if err != nil {
+			return Sample{}, err
+		}
+		eDram = e
 	}
 	deltas, err := m.set.Read()
 	if err != nil {
@@ -186,18 +220,10 @@ func (m *Monitor) Sample() (Sample, error) {
 		Bandwidth: units.Bandwidth(m.noisy(deltas[1] / sec)),
 	}
 	if m.pkg != nil {
-		e, err := m.pkg.Sample()
-		if err != nil {
-			return Sample{}, err
-		}
-		s.PkgPower = units.Power(m.noisy(float64(e) / sec))
+		s.PkgPower = units.Power(m.noisy(float64(ePkg) / sec))
 	}
 	if m.dram != nil {
-		e, err := m.dram.Sample()
-		if err != nil {
-			return Sample{}, err
-		}
-		s.DramPower = units.Power(m.noisy(float64(e) / sec))
+		s.DramPower = units.Power(m.noisy(float64(eDram) / sec))
 	}
 	m.last = now
 	return s, nil

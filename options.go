@@ -39,6 +39,14 @@ func WithMonitorOverhead(d time.Duration) SessionOption {
 	return func(s *Session) { s.MonitorOverhead = d }
 }
 
+// WithFaultPlan injects the given sensor/actuator faults into every run
+// of the session (see FaultPlan). The plan is part of run identity:
+// sessions with different plans never share cached runs, and the zero
+// plan is bit-identical to no plan at all.
+func WithFaultPlan(p FaultPlan) SessionOption {
+	return func(s *Session) { s.Faults = p }
+}
+
 // WithExecutor schedules the session's runs on e instead of the shared
 // executor — isolated cache statistics for tests, private concurrency
 // bounds for campaigns.

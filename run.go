@@ -1,0 +1,180 @@
+package dufp
+
+import (
+	"context"
+
+	"dufp/internal/control"
+	"dufp/internal/fault"
+	"dufp/internal/obs/timeline"
+	"dufp/internal/trace"
+)
+
+// Fault-injection and robustness facade.
+type (
+	// FaultPlan selects which sensor/actuator faults a session injects
+	// (see internal/fault). The zero value injects nothing and leaves
+	// runs bit-identical to a fault-free session. Plans are part of run
+	// identity: changing the plan changes the executor cache key.
+	FaultPlan = fault.Plan
+	// FaultStats counts the faults actually injected during one run.
+	FaultStats = fault.Stats
+	// GuardConfig configures the controllers' sample guard: bounded
+	// retry with backoff, outlier rejection with last-good-value
+	// fallback, and degraded mode on persistent sensor failure.
+	GuardConfig = control.GuardConfig
+	// GuardStats counts a run's sample-guard outcomes, summed across
+	// sockets.
+	GuardStats = control.GuardStats
+)
+
+// DefaultGuardConfig returns the hardened-controller guard defaults.
+func DefaultGuardConfig() GuardConfig { return control.DefaultGuard() }
+
+// TraceRecorder is a run's full per-socket time-series recording.
+type TraceRecorder = trace.Recorder
+
+// RunSpec names one run: an application, a governor descriptor, and the
+// run index that selects the deterministic seeds.
+type RunSpec struct {
+	App      App
+	Governor Governor
+	// Idx selects the run's seeds; repeated runs with the same Idx
+	// reproduce the run exactly.
+	Idx int
+}
+
+// runOptions collects the per-run settings of Session.Run.
+type runOptions struct {
+	trace, events, timeline, faultStats bool
+	faults                              *FaultPlan
+}
+
+// RunOption adjusts one Session.Run call.
+type RunOption func(*runOptions)
+
+// WithTrace attaches a full time-series recording to the run. Traced
+// runs flow through the executor's worker pool but are never memoised:
+// the recording is a side effect that must be produced fresh.
+func WithTrace() RunOption { return func(o *runOptions) { o.trace = true } }
+
+// WithEvents returns the decision log of socket 0's controller instance
+// (empty for controllers that do not record one). Like traced runs,
+// event-bearing runs bypass the memo cache.
+func WithEvents() RunOption { return func(o *runOptions) { o.events = true } }
+
+// WithTimeline returns the run's audit trail — controller decisions
+// joined with the nearest trace samples — and implies WithTrace and
+// WithEvents.
+func WithTimeline() RunOption {
+	return func(o *runOptions) { o.timeline, o.trace, o.events = true, true, true }
+}
+
+// WithFaultStats returns the injected-fault and sample-guard counters
+// of the run. Stat-bearing runs bypass the memo cache.
+func WithFaultStats() RunOption { return func(o *runOptions) { o.faultStats = true } }
+
+// WithFaults overrides the session's fault plan for this run only. The
+// plan participates in run identity exactly as a session-level plan
+// does.
+func WithFaults(p FaultPlan) RunOption {
+	return func(o *runOptions) { o.faults = &p }
+}
+
+// RunResult bundles one run's measurements with the artifacts requested
+// through RunOptions; unrequested fields are zero.
+type RunResult struct {
+	// Run is the paper-protocol measurement of the run.
+	Run Run
+	// Trace is the per-socket time series (WithTrace / WithTimeline).
+	Trace *TraceRecorder
+	// Events is socket 0's decision log (WithEvents / WithTimeline).
+	Events []ControlEvent
+	// Timeline is the joined audit trail (WithTimeline).
+	Timeline Timeline
+	// FaultStats and GuardStats are the robustness counters
+	// (WithFaultStats).
+	FaultStats FaultStats
+	// GuardStats sums the sample-guard outcomes across sockets.
+	GuardStats GuardStats
+}
+
+// Run executes one run of spec.App under spec.Governor through the run
+// executor: identical requests coalesce while in flight, and runs
+// without sideband artifacts memoise once complete — a memoised result
+// is bit-identical to a fresh one. ctx cancels the run between decision
+// rounds.
+//
+// Run replaces the RunCtx / RunTracedCtx / RunWithEventsCtx /
+// RunInstrumentedCtx / RunWithTimelineCtx family, which remain as thin
+// deprecated wrappers for one release.
+func (s Session) Run(ctx context.Context, spec RunSpec, opts ...RunOption) (RunResult, error) {
+	var o runOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.faults != nil {
+		s.Faults = *o.faults
+	}
+	sideband := o.trace || o.events || o.faultStats
+	key := s.execKey(spec.App, spec.Governor, spec.Idx, o.trace, sideband)
+	if !sideband {
+		r, err := s.executor().Submit(ctx, key)
+		if err != nil {
+			return RunResult{}, wrapErr("run", err)
+		}
+		return RunResult{Run: r}, nil
+	}
+	r, err := s.executor().SubmitUncached(ctx, key)
+	if err != nil {
+		return RunResult{}, wrapErr("run", err)
+	}
+	p := key.Payload.(*runPayload)
+	res := RunResult{Run: r}
+	if o.trace {
+		res.Trace = p.rec
+	}
+	if o.events {
+		for _, inst := range p.insts {
+			if inst == nil {
+				continue
+			}
+			if evs := EventsOf(inst); evs != nil {
+				res.Events = evs
+				break
+			}
+		}
+	}
+	if o.timeline {
+		res.Timeline = timeline.Build(res.Events, p.rec.Socket(0))
+	}
+	if o.faultStats {
+		res.FaultStats = p.faults
+		for _, inst := range p.insts {
+			res.GuardStats = res.GuardStats.Add(guardStatsOf(inst))
+		}
+	}
+	return res, nil
+}
+
+// guardStatser is implemented by hardened controller instances.
+type guardStatser interface {
+	GuardStats() control.GuardStats
+}
+
+// guardStatsOf extracts a controller instance's guard counters,
+// descending into chains.
+func guardStatsOf(inst control.Instance) control.GuardStats {
+	switch g := inst.(type) {
+	case nil:
+		return control.GuardStats{}
+	case guardStatser:
+		return g.GuardStats()
+	case control.Chain:
+		var total control.GuardStats
+		for _, member := range g {
+			total = total.Add(guardStatsOf(member))
+		}
+		return total
+	}
+	return control.GuardStats{}
+}

@@ -7,7 +7,8 @@ import (
 	"time"
 
 	"dufp/internal/control"
-	"dufp/internal/obs/timeline"
+	"dufp/internal/fault"
+	"dufp/internal/msr"
 	"dufp/internal/papi"
 	"dufp/internal/powercap"
 	"dufp/internal/rapl"
@@ -40,6 +41,12 @@ type Session struct {
 	// Seed is the base seed; run i of a config derives its own seeds
 	// from it, so sequences are reproducible and runs are independent.
 	Seed int64
+	// Faults is the session's fault-injection plan (see internal/fault).
+	// The zero plan injects nothing and keeps runs bit-identical to a
+	// fault-free session; a non-zero plan is part of run identity, so
+	// faulted and clean runs never share cache entries. Set it with
+	// WithFaultPlan or per run with WithFaults.
+	Faults FaultPlan
 
 	// exec schedules this session's runs; nil means SharedExecutor. Set
 	// it with WithExecutor or OnExecutor.
@@ -68,23 +75,29 @@ func NewSession(opts ...SessionOption) Session {
 type GovernorFunc func(act control.Actuators) (control.Instance, error)
 
 // attach builds per-socket actuators and controller instances on a
-// machine.
-func (s Session) attach(m *sim.Machine, mk GovernorFunc, runSeed int64) ([]sim.Governor, []control.Instance, error) {
+// machine. dev is the MSR device the actuators address — the machine's
+// own register file, or the fault layer's wrapper around it — and inj,
+// when non-nil, additionally wraps each socket's counter source.
+func (s Session) attach(m *sim.Machine, mk GovernorFunc, runSeed int64, dev msr.Device, inj *fault.Injector) ([]sim.Governor, []control.Instance, error) {
 	spec := m.Config().Topo.Spec
 	govs := make([]sim.Governor, m.Sockets())
 	insts := make([]control.Instance, m.Sockets())
 	for i := 0; i < m.Sockets(); i++ {
 		sock := m.Socket(i)
-		client, err := rapl.NewClient(m.MSR(), sock.CPU0())
+		client, err := rapl.NewClient(dev, sock.CPU0())
 		if err != nil {
 			return nil, nil, err
 		}
-		zone, err := powercap.OpenPackage(m.MSR(), sock.CPU0(), i, spec)
+		zone, err := powercap.OpenPackage(dev, sock.CPU0(), i, spec)
 		if err != nil {
 			return nil, nil, err
 		}
 		rng := rand.New(rand.NewSource(runSeed*7919 + int64(i)*104729 + 13))
-		mon, err := papi.NewMonitor(sock, client.NewPkgEnergyMeter(), client.NewDramEnergyMeter(), rng, s.NoiseSD)
+		var src papi.Source = sock
+		if inj != nil {
+			src = inj.Source(sock)
+		}
+		mon, err := papi.NewMonitor(src, client.NewPkgEnergyMeter(), client.NewDramEnergyMeter(), rng, s.NoiseSD)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -92,8 +105,8 @@ func (s Session) attach(m *sim.Machine, mk GovernorFunc, runSeed int64) ([]sim.G
 			Spec:    spec,
 			Monitor: mon,
 			Zone:    zone,
-			Uncore:  uncore.NewControl(m.MSR(), sock.CPU0(), spec),
-			Dev:     m.MSR(),
+			Uncore:  uncore.NewControl(dev, sock.CPU0(), spec),
+			Dev:     dev,
 			CPU:     sock.CPU0(),
 		})
 		if err != nil {
@@ -118,111 +131,63 @@ func (s Session) runSeed(app string, idx int) int64 {
 }
 
 // RunCtx executes run idx of app under the governor through the run
-// executor: identical requests coalesce while in flight and memoise once
-// complete, and ctx cancels the run between decision rounds. idx selects
-// the run's deterministic seeds; a memoised result is bit-identical to a
-// fresh one.
+// executor.
+//
+// Deprecated: use Session.Run with a RunSpec.
 func (s Session) RunCtx(ctx context.Context, app App, gov Governor, idx int) (Run, error) {
-	return s.executor().Submit(ctx, s.execKey(app, gov, idx, false, false))
+	res, err := s.Run(ctx, RunSpec{App: app, Governor: gov, Idx: idx})
+	return res.Run, err
 }
 
-// Run executes one run of app under the governor. idx selects the run's
-// deterministic seeds; repeated calls with the same idx reproduce the run
-// exactly. It is RunCtx without cancellation, wrapping the bare
-// constructor via GovernorOf.
-func (s Session) Run(app App, mk GovernorFunc, idx int) (Run, error) {
-	return s.RunCtx(context.Background(), app, GovernorOf(mk), idx)
-}
-
-// RunTracedCtx is RunCtx plus a full time-series recording. Traced runs
-// flow through the executor's worker pool and event stream but are never
-// memoised: the recording is a side effect that must be produced fresh.
+// RunTracedCtx is RunCtx plus a full time-series recording.
+//
+// Deprecated: use Session.Run with WithTrace.
 func (s Session) RunTracedCtx(ctx context.Context, app App, gov Governor, idx int) (Run, *trace.Recorder, error) {
-	key := s.execKey(app, gov, idx, true, true)
-	r, err := s.executor().SubmitUncached(ctx, key)
-	if err != nil {
-		return Run{}, nil, err
-	}
-	return r, key.Payload.(*runPayload).rec, nil
-}
-
-// RunTraced is Run plus a full time-series recording.
-func (s Session) RunTraced(app App, mk GovernorFunc, idx int) (Run, *trace.Recorder, error) {
-	return s.RunTracedCtx(context.Background(), app, GovernorOf(mk), idx)
+	res, err := s.Run(ctx, RunSpec{App: app, Governor: gov, Idx: idx}, WithTrace())
+	return res.Run, res.Trace, err
 }
 
 // RunWithEventsCtx is RunCtx plus the decision log of socket 0's
-// controller instance (nil for controllers that do not record one). Like
-// traced runs, it bypasses the memo cache: the log lives on the instance.
+// controller instance (nil for controllers that do not record one).
+//
+// Deprecated: use Session.Run with WithEvents.
 func (s Session) RunWithEventsCtx(ctx context.Context, app App, gov Governor, idx int) (Run, []ControlEvent, error) {
-	key := s.execKey(app, gov, idx, false, true)
-	r, err := s.executor().SubmitUncached(ctx, key)
-	if err != nil {
-		return Run{}, nil, err
-	}
-	for _, inst := range key.Payload.(*runPayload).insts {
-		if inst != nil {
-			return r, EventsOf(inst), nil
-		}
-	}
-	return r, nil, nil
+	res, err := s.Run(ctx, RunSpec{App: app, Governor: gov, Idx: idx}, WithEvents())
+	return res.Run, res.Events, err
 }
 
-// RunWithEvents is Run plus the decision log of socket 0's controller
-// instance (nil for controllers that do not record one).
-func (s Session) RunWithEvents(app App, mk GovernorFunc, idx int) (Run, []ControlEvent, error) {
-	return s.RunWithEventsCtx(context.Background(), app, GovernorOf(mk), idx)
-}
-
-// RunInstrumentedCtx executes run idx with the full observability surface
-// attached — per-socket trace recording plus the controllers' decision
-// logs — and returns the raw artifacts. Like other side-effectful runs it
-// flows through the executor's worker pool but is never memoised. The
-// returned Run is bit-identical to the one an uninstrumented execution of
-// the same key produces: telemetry is strictly write-only.
+// RunInstrumentedCtx executes run idx with the full observability
+// surface attached and returns the raw artifacts.
+//
+// Deprecated: use Session.Run with WithTrace and WithEvents.
 func (s Session) RunInstrumentedCtx(ctx context.Context, app App, gov Governor, idx int) (Run, *trace.Recorder, []ControlEvent, error) {
-	key := s.execKey(app, gov, idx, true, true)
-	r, err := s.executor().SubmitUncached(ctx, key)
-	if err != nil {
-		return Run{}, nil, nil, err
-	}
-	p := key.Payload.(*runPayload)
-	var events []ControlEvent
-	for _, inst := range p.insts {
-		if inst == nil {
-			continue
-		}
-		if evs := EventsOf(inst); evs != nil {
-			events = evs
-			break
-		}
-	}
-	return r, p.rec, events, nil
+	res, err := s.Run(ctx, RunSpec{App: app, Governor: gov, Idx: idx}, WithTrace(), WithEvents())
+	return res.Run, res.Trace, res.Events, err
 }
 
-// RunWithTimelineCtx is RunCtx plus the run's audit trail: the merged,
-// time-ordered stream that joins socket 0's controller decisions with the
-// nearest trace samples (see internal/obs/timeline). Baseline runs yield
-// a samples-only timeline.
+// RunWithTimelineCtx is RunCtx plus the run's audit trail.
+//
+// Deprecated: use Session.Run with WithTimeline.
 func (s Session) RunWithTimelineCtx(ctx context.Context, app App, gov Governor, idx int) (Run, Timeline, error) {
-	r, rec, events, err := s.RunInstrumentedCtx(ctx, app, gov, idx)
-	if err != nil {
-		return Run{}, Timeline{}, err
-	}
-	return r, timeline.Build(events, rec.Socket(0)), nil
+	res, err := s.Run(ctx, RunSpec{App: app, Governor: gov, Idx: idx}, WithTimeline())
+	return res.Run, res.Timeline, err
 }
 
-// RunWithTimeline is Run plus the run's audit trail.
-func (s Session) RunWithTimeline(app App, mk GovernorFunc, idx int) (Run, Timeline, error) {
-	return s.RunWithTimelineCtx(context.Background(), app, GovernorOf(mk), idx)
+// runArtifacts carries a run's sideband outputs: the trace recording,
+// the controller instances (event logs, guard counters) and the
+// injected-fault counters.
+type runArtifacts struct {
+	rec    *trace.Recorder
+	insts  []control.Instance
+	faults fault.Stats
 }
 
 // execute is the uncached run path behind the executor: build a machine,
 // load the unrolled workload, attach the governor and run to completion.
 // ctx is checked between decision rounds.
-func (s Session) execute(ctx context.Context, app App, mk GovernorFunc, idx int, traced bool) (Run, *trace.Recorder, []control.Instance, error) {
+func (s Session) execute(ctx context.Context, app App, mk GovernorFunc, idx int, traced bool) (Run, runArtifacts, error) {
 	if err := app.Validate(); err != nil {
-		return Run{}, nil, nil, err
+		return Run{}, runArtifacts{}, err
 	}
 	seed := s.runSeed(app.Name, idx)
 
@@ -230,16 +195,30 @@ func (s Session) execute(ctx context.Context, app App, mk GovernorFunc, idx int,
 	cfg.Seed = seed
 	m, err := sim.New(cfg)
 	if err != nil {
-		return Run{}, nil, nil, err
+		return Run{}, runArtifacts{}, err
 	}
 	phases := app.Unroll(rand.New(rand.NewSource(seed*31+7)), s.Jitter)
 	if err := m.Load(phases); err != nil {
-		return Run{}, nil, nil, err
+		return Run{}, runArtifacts{}, err
 	}
 
-	govs, insts, err := s.attach(m, mk, seed)
+	// The fault plan, when enabled, wraps the sensor/actuator seams.
+	// The injector is private to this run and only touched from the
+	// simulation's single decision loop, so faulted runs stay
+	// deterministic and data-race-free under the parallel executor.
+	var dev msr.Device = m.MSR()
+	var inj *fault.Injector
+	if s.Faults.Enabled() {
+		if err := s.Faults.Validate(); err != nil {
+			return Run{}, runArtifacts{}, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+		inj = fault.NewInjector(s.Faults, seed, m.Now)
+		dev = inj.Device(m.MSR())
+	}
+
+	govs, insts, err := s.attach(m, mk, seed, dev, inj)
 	if err != nil {
-		return Run{}, nil, nil, err
+		return Run{}, runArtifacts{}, err
 	}
 	var govName string
 	for _, inst := range insts {
@@ -247,7 +226,7 @@ func (s Session) execute(ctx context.Context, app App, mk GovernorFunc, idx int,
 			continue
 		}
 		if err := inst.Start(); err != nil {
-			return Run{}, nil, nil, err
+			return Run{}, runArtifacts{}, err
 		}
 		govName = inst.Name()
 	}
@@ -272,9 +251,13 @@ func (s Session) execute(ctx context.Context, app App, mk GovernorFunc, idx int,
 	}
 	res, err := m.Run(opts)
 	if err != nil {
-		return Run{}, nil, nil, fmt.Errorf("dufp: running %s under %s: %w", app.Name, govName, err)
+		return Run{}, runArtifacts{}, fmt.Errorf("dufp: running %s under %s: %w", app.Name, govName, err)
 	}
 
+	art := runArtifacts{rec: rec, insts: insts}
+	if inj != nil {
+		art.faults = inj.Stats()
+	}
 	return Run{
 		App:          app.Name,
 		Governor:     govName,
@@ -286,7 +269,7 @@ func (s Session) execute(ctx context.Context, app App, mk GovernorFunc, idx int,
 		AvgDramPower: res.AvgDramPower,
 		AvgCoreFreq:  res.AvgCoreFreq,
 		AvgUncore:    res.AvgUncoreFreq,
-	}, rec, insts, nil
+	}, art, nil
 }
 
 // SummarizeCtx performs n runs through the executor — concurrently, up to
@@ -298,12 +281,6 @@ func (s Session) SummarizeCtx(ctx context.Context, app App, gov Governor, n int)
 		return Summary{}, fmt.Errorf("dufp: need at least one run, got %d: %w", n, ErrBadConfig)
 	}
 	return s.executor().Summary(ctx, s.execKey(app, gov, 0, false, false), n)
-}
-
-// Summarize performs n runs and aggregates them with the paper's protocol
-// (drop fastest and slowest, average the rest).
-func (s Session) Summarize(app App, mk GovernorFunc, n int) (Summary, error) {
-	return s.SummarizeCtx(context.Background(), app, GovernorOf(mk), n)
 }
 
 func allNil(govs []sim.Governor) bool {
