@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 tier1-faults build test short race vet cover
+.PHONY: all tier1 tier1-faults build test short race vet cover bench bench-smoke
 
 all: tier1 race vet
 
@@ -37,6 +37,20 @@ vet:
 # cheap and regressions there are silent otherwise.
 COVER_PKGS = ./internal/obs/...
 COVER_MIN  = 85.0
+
+# bench refreshes the benchmark trajectory: the simulator microbenchmarks
+# plus the simbench report (ns per simulated second, allocs/tick, Fig-3
+# grid wall time) written to BENCH_sim.json and compared against the
+# committed baseline. The comparison is report-only; regressions show up
+# in the delta column, they do not fail the build.
+bench:
+	$(GO) test -run xxx -bench 'StepPhysics|RunUngoverned|RunGoverned' -benchmem ./internal/sim/
+	$(GO) run ./cmd/simbench -out BENCH_sim.json -compare reports/bench_baseline.json
+
+# bench-smoke is the CI variant: reduced grid, same artifact.
+bench-smoke:
+	$(GO) test -run xxx -bench 'StepPhysics|RunUngoverned|RunGoverned' -benchtime 0.2s -benchmem ./internal/sim/
+	$(GO) run ./cmd/simbench -short -out BENCH_sim.json -compare reports/bench_baseline.json
 
 cover:
 	$(GO) test -coverprofile=cover.out $(COVER_PKGS)

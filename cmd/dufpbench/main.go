@@ -21,6 +21,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -32,7 +34,11 @@ import (
 	"dufp/internal/trace"
 )
 
-func main() {
+func main() { os.Exit(benchMain()) }
+
+// benchMain is main's body with an exit code, so deferred cleanups —
+// notably the profile writers — run before the process exits.
+func benchMain() int {
 	var (
 		fig      = flag.String("fig", "all", "artefact to regenerate: table1, 1a, 1b, 1c, 3a, 3b, 3c, 4, 5, claims, sweep, period, pathology, autotune, all")
 		runs     = flag.Int("runs", 10, "repetitions per configuration (paper: 10)")
@@ -47,8 +53,40 @@ func main() {
 		stats    = flag.String("stats", "", "write executor statistics as JSON to this file ('-' for stdout)")
 		listen   = flag.String("listen", "", "serve live introspection on this address (/metrics, /runs, /timeline, /debug/pprof), e.g. :8080")
 		faults   = flag.Bool("faults", false, "run the fault-injection robustness grid (guarded DUFP under each fault level) instead of a figure")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dufpbench:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dufpbench:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dufpbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "dufpbench:", err)
+			}
+		}()
+	}
 
 	// Interrupt cancels the campaign between decision rounds.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -107,12 +145,13 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dufpbench:", err)
-		os.Exit(1)
+		return 1
 	}
 	if srv != nil {
 		fmt.Fprintf(os.Stderr, "campaign done; still serving on %s (interrupt to exit)\n", *listen)
 		<-ctx.Done()
 	}
+	return 0
 }
 
 // statsTicker periodically prints one-line executor statistics to stderr

@@ -1,0 +1,275 @@
+// Command simbench measures the simulator's hot path and writes the
+// repo's benchmark trajectory file, BENCH_sim.json: nanoseconds per
+// simulated second on the fast and reference loops, allocations per
+// tick, and the wall time of the full Fig-3 experiment grid. CI runs it
+// at short iteration counts and compares against the committed baseline
+// (report-only); locally, `make bench` refreshes the numbers.
+//
+// Usage:
+//
+//	simbench -out BENCH_sim.json            # full measurement
+//	simbench -short -out BENCH_sim.json     # CI smoke (reduced grid)
+//	simbench -out new.json -compare reports/bench_baseline.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"dufp"
+	"dufp/internal/experiment"
+	"dufp/internal/model"
+	"dufp/internal/msr"
+	"dufp/internal/sim"
+	"dufp/internal/units"
+)
+
+// report is the BENCH_sim.json schema. Lower is better everywhere except
+// fast_speedup_vs_exact.
+type report struct {
+	GoVersion                     string  `json:"go_version"`
+	StepPhysicsNsPerTick          float64 `json:"step_physics_ns_per_tick"`
+	RunUngovernedNsPerSimsec      float64 `json:"run_ungoverned_ns_per_simsec"`
+	RunUngovernedExactNsPerSimsec float64 `json:"run_ungoverned_exact_ns_per_simsec"`
+	RunGovernedNsPerSimsec        float64 `json:"run_governed_ns_per_simsec"`
+	AllocsPerTick                 float64 `json:"allocs_per_tick"`
+	Fig3GridWallSeconds           float64 `json:"fig3_grid_wall_seconds"`
+	FastSpeedupVsExact            float64 `json:"fast_speedup_vs_exact"`
+}
+
+const simSecs = 2.0
+
+func steadyShape() model.PhaseShape {
+	return model.PhaseShape{
+		Name:         "steady",
+		FlopFrac:     0.2,
+		MemFrac:      0.4,
+		ComputeShare: 0.7,
+		Overlap:      0.4,
+		BWUncoreKnee: 2.0 * units.Gigahertz,
+		Duration:     time.Duration(simSecs * float64(time.Second)),
+	}
+}
+
+func newMachine() (*sim.Machine, error) {
+	cfg := sim.DefaultConfig()
+	cfg.PowerJitterSD = 0 // steady state: the fast path's home turf
+	m, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m, m.Load([]model.PhaseShape{steadyShape()})
+}
+
+// nsPerSimsec benchmarks one full Run per iteration and reports
+// nanoseconds of wall time per simulated second.
+func nsPerSimsec(opts sim.RunOpts) (float64, error) {
+	m, err := newMachine()
+	if err != nil {
+		return 0, err
+	}
+	var runErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			if err := m.Load([]model.PhaseShape{steadyShape()}); err != nil {
+				runErr = err
+				return
+			}
+			b.StartTimer()
+			if _, err := m.Run(opts); err != nil {
+				runErr = err
+				return
+			}
+		}
+	})
+	if runErr != nil {
+		return 0, runErr
+	}
+	return float64(r.NsPerOp()) / simSecs, nil
+}
+
+// capGovernor reprograms a fixed power cap every round — the minimal
+// realistic governor, keeping decision rounds on the run's event horizon.
+type capGovernor struct {
+	m   *sim.Machine
+	cpu int
+	raw uint64
+}
+
+func (g *capGovernor) Tick(time.Duration) error {
+	return g.m.MSR().Write(g.cpu, msr.MSRPkgPowerLimit, g.raw)
+}
+
+func governedOpts(m *sim.Machine) sim.RunOpts {
+	raw := msr.EncodePkgPowerLimit(msr.DefaultUnits(), msr.PkgPowerLimit{
+		PL1: msr.PowerLimit{Limit: 110 * units.Watt, Window: 1, Enabled: true},
+		PL2: msr.PowerLimit{Limit: 130 * units.Watt, Window: 0.01, Enabled: true},
+	})
+	govs := make([]sim.Governor, m.Sockets())
+	for i := range govs {
+		govs[i] = &capGovernor{m: m, cpu: m.Socket(i).CPU0(), raw: raw}
+	}
+	return sim.RunOpts{ControlPeriod: 200 * time.Millisecond, Governors: govs}
+}
+
+// allocsPerTick measures steady-state allocations per physics tick as the
+// allocation difference between a 2 s and a 1 s run (setup cost cancels).
+func allocsPerTick() (float64, error) {
+	cfg := sim.DefaultConfig()
+	cfg.PowerJitterSD = 0
+	m, err := sim.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	measure := func(d time.Duration) float64 {
+		return testing.AllocsPerRun(5, func() {
+			sh := steadyShape()
+			sh.Duration = d
+			if lerr := m.Load([]model.PhaseShape{sh}); lerr != nil {
+				err = lerr
+				return
+			}
+			if _, rerr := m.Run(sim.RunOpts{}); rerr != nil {
+				err = rerr
+				return
+			}
+		})
+	}
+	a1, a2 := measure(time.Second), measure(2*time.Second)
+	if err != nil {
+		return 0, err
+	}
+	return (a2 - a1) / 1000, nil // 1000 extra ticks in the 2 s run
+}
+
+// gridWall times the full Fig-3 measurement campaign on a fresh executor
+// (no warm memo cache).
+func gridWall(short bool) (float64, error) {
+	opts := experiment.DefaultOptions()
+	opts.Runs = 2
+	opts.Session.Seed = 42
+	opts.Tolerances = []float64{0.10}
+	opts.Executor = dufp.NewExecutor()
+	if short {
+		opts.Runs = 1
+		opts.Apps = []string{"CG"}
+	}
+	start := time.Now()
+	if _, err := experiment.RunGrid(opts); err != nil {
+		return 0, err
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+func measure(short bool) (report, error) {
+	var rep report
+	rep.GoVersion = runtime.Version()
+	var err error
+	if rep.RunUngovernedNsPerSimsec, err = nsPerSimsec(sim.RunOpts{}); err != nil {
+		return rep, err
+	}
+	if rep.RunUngovernedExactNsPerSimsec, err = nsPerSimsec(sim.RunOpts{ExactLoop: true}); err != nil {
+		return rep, err
+	}
+	// The reference loop advances 1000 ticks per simulated second, so its
+	// per-simulated-second cost is the per-tick cost ×1000.
+	rep.StepPhysicsNsPerTick = rep.RunUngovernedExactNsPerSimsec / 1000
+	m, err := newMachine()
+	if err != nil {
+		return rep, err
+	}
+	govOpts := governedOpts(m)
+	if rep.RunGovernedNsPerSimsec, err = nsPerSimsec(govOpts); err != nil {
+		return rep, err
+	}
+	if rep.AllocsPerTick, err = allocsPerTick(); err != nil {
+		return rep, err
+	}
+	if rep.Fig3GridWallSeconds, err = gridWall(short); err != nil {
+		return rep, err
+	}
+	if rep.RunUngovernedNsPerSimsec > 0 {
+		rep.FastSpeedupVsExact = rep.RunUngovernedExactNsPerSimsec / rep.RunUngovernedNsPerSimsec
+	}
+	return rep, nil
+}
+
+// compare prints a benchstat-style old/new table. It never fails the
+// process: the trajectory is report-only.
+func compare(baselinePath string, cur report) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return err
+	}
+	type row struct {
+		name     string
+		old, new float64
+		downGood bool
+	}
+	rows := []row{
+		{"step_physics_ns_per_tick", base.StepPhysicsNsPerTick, cur.StepPhysicsNsPerTick, true},
+		{"run_ungoverned_ns_per_simsec", base.RunUngovernedNsPerSimsec, cur.RunUngovernedNsPerSimsec, true},
+		{"run_ungoverned_exact_ns_per_simsec", base.RunUngovernedExactNsPerSimsec, cur.RunUngovernedExactNsPerSimsec, true},
+		{"run_governed_ns_per_simsec", base.RunGovernedNsPerSimsec, cur.RunGovernedNsPerSimsec, true},
+		{"allocs_per_tick", base.AllocsPerTick, cur.AllocsPerTick, true},
+		{"fig3_grid_wall_seconds", base.Fig3GridWallSeconds, cur.Fig3GridWallSeconds, true},
+		{"fast_speedup_vs_exact", base.FastSpeedupVsExact, cur.FastSpeedupVsExact, false},
+	}
+	fmt.Printf("%-36s %12s %12s %9s\n", "metric", "old", "new", "delta")
+	for _, r := range rows {
+		delta := "n/a"
+		if r.old != 0 {
+			pct := (r.new - r.old) / r.old * 100
+			mark := ""
+			if (r.downGood && pct > 10) || (!r.downGood && pct < -10) {
+				mark = "  (worse)"
+			}
+			delta = fmt.Sprintf("%+8.1f%%%s", pct, mark)
+		}
+		fmt.Printf("%-36s %12.1f %12.1f %9s\n", r.name, r.old, r.new, delta)
+	}
+	return nil
+}
+
+func main() {
+	var (
+		out      = flag.String("out", "BENCH_sim.json", "write the benchmark report to this file ('-' for stdout)")
+		baseline = flag.String("compare", "", "print a benchstat-style comparison against this baseline JSON (report-only)")
+		short    = flag.Bool("short", false, "reduced grid for CI smoke runs")
+	)
+	flag.Parse()
+
+	rep, err := measure(*short)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		os.Stdout.Write(blob)
+	} else if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	if *baseline != "" {
+		if err := compare(*baseline, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "simbench: compare:", err)
+			os.Exit(1)
+		}
+	}
+}

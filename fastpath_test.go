@@ -1,0 +1,94 @@
+package dufp_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"dufp"
+)
+
+// TestExactPhysicsBitIdentical sweeps the public run path — governors ×
+// power jitter × fault plans — asserting that a session pinned to the
+// simulator's reference per-tick loop (WithExactPhysics) produces runs
+// and traces bit-identical to the default session, which is free to take
+// the event-horizon macro-step whenever a window qualifies.
+func TestExactPhysicsBitIdentical(t *testing.T) {
+	app, err := dufp.SteadyApp(dufp.SteadyConfig{OIClass: "memory", Duration: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Guarded controller configs so faulted runs survive injected sample
+	// errors (the guard is part of the controllers under test either way).
+	ctrl := dufp.DefaultControlConfig(0.10)
+	ctrl.Guard = dufp.DefaultGuardConfig()
+	governors := []struct {
+		name string
+		gov  dufp.Governor
+	}{
+		{"dufp", dufp.DUFP(ctrl)},
+		{"duf", dufp.DUF(ctrl)},
+		{"baseline", dufp.Baseline()},
+		{"staticcap", dufp.StaticCap(110*dufp.Watt, 110*dufp.Watt)},
+	}
+	plans := []struct {
+		name string
+		plan dufp.FaultPlan
+	}{
+		{"clean", dufp.FaultPlan{}},
+		{"faulted", dufp.FaultPlan{CounterNoiseSD: 0.05, DropSampleP: 0.02, Seed: 3}},
+	}
+	ctx := context.Background()
+
+	for _, g := range governors {
+		for _, jitter := range []float64{0, 0.4} {
+			for _, p := range plans {
+				name := fmt.Sprintf("%s/jitter=%v/%s", g.name, jitter, p.name)
+				t.Run(name, func(t *testing.T) {
+					build := func(exact bool) dufp.Session {
+						opts := []dufp.SessionOption{dufp.WithExecutor(dufp.NewExecutor())}
+						if p.plan.Enabled() {
+							opts = append(opts, dufp.WithFaultPlan(p.plan))
+						}
+						if exact {
+							opts = append(opts, dufp.WithExactPhysics())
+						}
+						s := dufp.NewSession(opts...)
+						s.Sim.PowerJitterSD = jitter
+						return s
+					}
+					spec := dufp.RunSpec{App: app, Governor: g.gov}
+					free, err := build(false).Run(ctx, spec, dufp.WithTrace())
+					if err != nil {
+						t.Fatal(err)
+					}
+					exact, err := build(true).Run(ctx, spec, dufp.WithTrace())
+					if err != nil {
+						t.Fatal(err)
+					}
+					if free.Run != exact.Run {
+						t.Fatalf("runs diverge:\nfree:  %+v\nexact: %+v", free.Run, exact.Run)
+					}
+					if free.Trace.Len() != exact.Trace.Len() {
+						t.Fatalf("trace lengths diverge: %d vs %d", free.Trace.Len(), exact.Trace.Len())
+					}
+					for s := 0; ; s++ {
+						fs, es := free.Trace.Socket(s), exact.Trace.Socket(s)
+						if fs == nil && es == nil {
+							break
+						}
+						if len(fs) != len(es) {
+							t.Fatalf("socket %d trace lengths diverge: %d vs %d", s, len(fs), len(es))
+						}
+						for j := range fs {
+							if fs[j] != es[j] {
+								t.Fatalf("socket %d trace[%d] diverges:\nfree:  %+v\nexact: %+v", s, j, fs[j], es[j])
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}

@@ -30,6 +30,17 @@ type Limiter struct {
 	// both averages sit below limit·(1-upMargin), avoiding hunting at the
 	// cap.
 	upMargin float64
+
+	// Cached EMA gains: dt and the windows are fixed across a run, so the
+	// two divisions in ema() are paid once per (dt, windows) combination
+	// instead of twice per tick. A hit returns the very float64 a fresh
+	// ema() call would.
+	gainDT     float64
+	gainW1     float64
+	gainW2     float64
+	gain1      float64
+	gain2      float64
+	gainPrimed bool
 }
 
 // NewLimiter creates an enforcement loop for one package with the factory
@@ -72,8 +83,15 @@ func (l *Limiter) Step(power units.Power, dt float64, cur, request units.Frequen
 		l.ema1, l.ema2 = p, p
 		l.primed = true
 	} else {
-		l.ema1 += ema(dt, l.limit.PL1.Window) * (p - l.ema1)
-		l.ema2 += ema(dt, l.limit.PL2.Window) * (p - l.ema2)
+		w1, w2 := l.limit.PL1.Window, l.limit.PL2.Window
+		if !l.gainPrimed || dt != l.gainDT || w1 != l.gainW1 || w2 != l.gainW2 {
+			l.gain1 = ema(dt, w1)
+			l.gain2 = ema(dt, w2)
+			l.gainDT, l.gainW1, l.gainW2 = dt, w1, w2
+			l.gainPrimed = true
+		}
+		l.ema1 += l.gain1 * (p - l.ema1)
+		l.ema2 += l.gain2 * (p - l.ema2)
 	}
 
 	over := (l.limit.PL1.Enabled && l.ema1 > float64(l.limit.PL1.Limit)) ||

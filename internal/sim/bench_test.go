@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"dufp/internal/model"
+	"dufp/internal/msr"
+	"dufp/internal/units"
+)
+
+func benchMachine(b *testing.B, jitterSD float64, d time.Duration) *Machine {
+	b.Helper()
+	cfg := DefaultConfig()
+	cfg.PowerJitterSD = jitterSD
+	m, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Load([]model.PhaseShape{steadyShape(d)}); err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkStepPhysics measures one reference tick at a steady operating
+// point — the unit of work the macro-step elides.
+func BenchmarkStepPhysics(b *testing.B) {
+	m := benchMachine(b, 0, time.Hour)
+	m.cfg.MaxDuration = 100 * time.Hour
+	dt := m.dt
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.stepPhysics(dt)
+		m.now += m.cfg.Tick
+	}
+}
+
+// BenchmarkRunUngoverned measures a full ungoverned steady-state run per
+// simulated second, fast path versus pinned reference loop. The ratio of
+// the two sub-benchmarks is the tentpole's headline speedup.
+func BenchmarkRunUngoverned(b *testing.B) {
+	for _, sub := range []struct {
+		name  string
+		exact bool
+	}{{"fast", false}, {"exact", true}} {
+		b.Run(sub.name, func(b *testing.B) {
+			const simSecs = 2.0
+			m := benchMachine(b, 0, time.Duration(simSecs*float64(time.Second)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				if err := m.Load([]model.PhaseShape{steadyShape(time.Duration(simSecs * float64(time.Second)))}); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := m.Run(RunOpts{ExactLoop: sub.exact}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/simSecs, "ns/simsec")
+		})
+	}
+}
+
+// BenchmarkRunGoverned measures a governed run (200 ms control period,
+// cap-stepping governor) per simulated second: the realistic experiment
+// shape, where windows are bounded by decision rounds.
+func BenchmarkRunGoverned(b *testing.B) {
+	const simSecs = 2.0
+	m := benchMachine(b, 0, time.Duration(simSecs*float64(time.Second)))
+	govs := make([]Governor, m.Sockets())
+	for i := range govs {
+		cpu := m.Socket(i).CPU0()
+		raw := msr.EncodePkgPowerLimit(msr.DefaultUnits(), msr.PkgPowerLimit{
+			PL1: msr.PowerLimit{Limit: 110 * units.Watt, Window: 1, Enabled: true},
+			PL2: msr.PowerLimit{Limit: 130 * units.Watt, Window: 0.01, Enabled: true},
+		})
+		govs[i] = governorFunc(func(time.Duration) error {
+			return m.MSR().Write(cpu, msr.MSRPkgPowerLimit, raw)
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if err := m.Load([]model.PhaseShape{steadyShape(time.Duration(simSecs * float64(time.Second)))}); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := m.Run(RunOpts{ControlPeriod: 200 * time.Millisecond, Governors: govs}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/simSecs, "ns/simsec")
+}

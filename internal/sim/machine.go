@@ -66,6 +66,21 @@ type Machine struct {
 	// the delivered core frequency, flushed to the telemetry registry at
 	// the end of Run.
 	clampTicks int64
+
+	// dt and tickDur are the physics step hoisted out of the tick loop:
+	// cfg.Tick in seconds and the same value converted back through the
+	// exact float64 expression the per-tick code historically used, so
+	// both loops observe one bit pattern.
+	dt      float64
+	tickDur time.Duration
+
+	// fast holds the per-socket constants of the event-horizon macro
+	// step, sized once so the hot loop never allocates; fastTicksRun and
+	// fastWindowsRun count the current run's macro-stepped ticks and
+	// windows, flushed to telemetry at the end of Run.
+	fast           []fastSock
+	fastTicksRun   int64
+	fastWindowsRun int64
 }
 
 // New builds a machine and wires the architectural MSRs of every package.
@@ -79,10 +94,14 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.MaxDuration <= 0 {
 		return nil, fmt.Errorf("sim: max duration must be positive, got %v", cfg.MaxDuration)
 	}
+	dt := cfg.Tick.Seconds()
 	m := &Machine{
-		cfg:   cfg,
-		space: msr.NewSpace(cfg.Topo.TotalCores()),
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		cfg:     cfg,
+		space:   msr.NewSpace(cfg.Topo.TotalCores()),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		dt:      dt,
+		tickDur: time.Duration(dt * float64(time.Second)),
+		fast:    make([]fastSock, cfg.Topo.Sockets),
 	}
 	spec := cfg.Topo.Spec
 	for i := 0; i < cfg.Topo.Sockets; i++ {

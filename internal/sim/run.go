@@ -25,8 +25,17 @@ var (
 		"sim_ticks_total", "physics ticks advanced across all runs").With()
 	simClampTicksTotal = obs.Default().Counter(
 		"sim_rapl_clamp_ticks_total", "socket-ticks on which the RAPL limiter throttled the core frequency").With()
+	simWallSecondsTotal = obs.Default().Counter(
+		"sim_wall_seconds_total", "wall-clock seconds spent inside simulator runs").With()
+	simFastTicksTotal = obs.Default().Counter(
+		"sim_fast_ticks_total", "physics ticks advanced by the event-horizon macro-step").With()
+	simFastWindowsTotal = obs.Default().Counter(
+		"sim_fast_windows_total", "event-horizon macro-step windows executed").With()
+	// Deprecated: a last-writer-wins gauge is meaningless with concurrent
+	// executor workers; derive the rate from sim_ticks_total over
+	// sim_wall_seconds_total instead. Kept one release as an alias.
 	simTicksPerSecond = obs.Default().Gauge(
-		"sim_ticks_per_second", "physics ticks per wall-clock second of the most recently finished run").With()
+		"sim_ticks_per_second", "Deprecated alias: physics ticks per wall-clock second of the most recently finished run; use sim_ticks_total / sim_wall_seconds_total").With()
 )
 
 // Governor is a per-socket runtime controller invoked every control
@@ -72,6 +81,12 @@ type RunOpts struct {
 	// Zero models free monitoring; §IV-D's interval trade-off appears once
 	// it is positive.
 	GovernorOverhead time.Duration
+	// ExactLoop forces the reference per-tick physics loop, never entering
+	// the event-horizon macro-step even when a window would qualify. Fault
+	// plans set it (their injection sites are audited per run, not per
+	// window) and tests use it as the reference side of bit-identity
+	// checks; results are bit-identical either way.
+	ExactLoop bool
 }
 
 // Result summarises one completed run.
@@ -184,9 +199,14 @@ func (m *Machine) Run(opts RunOpts) (Result, error) {
 		cancelTicks = defaultCancelTicks
 	}
 
-	dt := m.cfg.Tick.Seconds()
+	dt := m.dt
 	maxTicks := int(m.cfg.MaxDuration / m.cfg.Tick)
 	m.clampTicks = 0
+	m.fastTicksRun, m.fastWindowsRun = 0, 0
+	// The macro-step is only sound when no per-tick actor can perturb the
+	// window: power jitter draws from the RNG every tick, and ExactLoop is
+	// the explicit opt-out (fault plans, reference runs).
+	fastOK := !opts.ExactLoop && m.cfg.PowerJitterSD == 0
 	wallStart := time.Now()
 	tick := 0
 	for ; !m.done(); tick++ {
@@ -198,8 +218,42 @@ func (m *Machine) Run(opts RunOpts) (Result, error) {
 				return Result{}, err
 			}
 		}
-		m.stepPhysics(dt)
-		m.now += m.cfg.Tick
+		stepped := false
+		if fastOK && m.stall == 0 {
+			// Event horizon: ticks until the next loop-level event. The
+			// window may end ON a governor or trace tick — both fire after
+			// that tick's physics, from state the macro-step fully
+			// materialises — but must stop short of the next cancellation
+			// check, which runs before its tick.
+			w := maxTicks - tick
+			if opts.Ctx != nil {
+				if d := cancelTicks - tick%cancelTicks; d < w {
+					w = d
+				}
+			}
+			if ctrlTicks > 0 {
+				if d := ctrlTicks - tick%ctrlTicks; d < w {
+					w = d
+				}
+			}
+			if opts.Trace != nil {
+				d := 1
+				if r := tick % traceEvery; r != 0 {
+					d = traceEvery - r + 1
+				}
+				if d < w {
+					w = d
+				}
+			}
+			if n := m.fastTicks(w); n > 0 {
+				tick += n - 1
+				stepped = true
+			}
+		}
+		if !stepped {
+			m.stepPhysics(dt)
+			m.now += m.cfg.Tick
+		}
 
 		if ctrlTicks > 0 && (tick+1)%ctrlTicks == 0 {
 			ran := false
@@ -237,7 +291,10 @@ func (m *Machine) Run(opts RunOpts) (Result, error) {
 	simRunsTotal.Inc()
 	simTicksTotal.Add(float64(tick))
 	simClampTicksTotal.Add(float64(m.clampTicks))
+	simFastTicksTotal.Add(float64(m.fastTicksRun))
+	simFastWindowsTotal.Add(float64(m.fastWindowsRun))
 	if wall := time.Since(wallStart).Seconds(); wall > 0 {
+		simWallSecondsTotal.Add(wall)
 		simTicksPerSecond.Set(float64(tick) / wall)
 	}
 

@@ -64,6 +64,29 @@ type Socket struct {
 	cacheF  units.Frequency
 	cacheU  units.Frequency
 	cached  model.Rates
+
+	// adv memoises the advance() computation at a fixed operating point:
+	// rates, load and package power only change when the phase, the
+	// global progress or a delivered frequency does, so re-evaluating the
+	// power model every tick is wasted work at a steady operating point.
+	adv advCache
+}
+
+// advCache holds the per-tick quantities of advance() together with the
+// inputs they were derived from. A hit replays exactly the values a full
+// recomputation would produce, so cached ticks are bit-identical to
+// uncached ones.
+type advCache struct {
+	ok       bool
+	idx      int
+	progress float64
+	f, u     units.Frequency
+
+	flopRate float64
+	bwRate   float64
+	load     model.Load
+	pw       units.Power
+	dramPw   units.Power
 }
 
 func (s *Socket) reset(phases []model.Kinetics) {
@@ -90,6 +113,7 @@ func (s *Socket) reset(phases []model.Kinetics) {
 	s.lastFlopRate = 0
 	s.pendingEnergy, s.pendingDram = 0, 0
 	s.cacheOK = false
+	s.adv = advCache{}
 }
 
 // ID returns the package index.
@@ -180,28 +204,32 @@ func (s *Socket) potential() model.Rates { return s.rates() }
 // follow the global progress; the socket's own operating point only sets
 // where its power lands.
 func (s *Socket) advance(step, progress float64) {
-	cfg := &s.m.cfg
-	kin := &s.phases[s.idx]
-
-	flopRate := kin.Flops * progress
-	bwRate := kin.Bytes * progress
-	s.flops += flopRate * step
-	s.bytes += bwRate * step
-
-	load := model.Load{ActivityExtra: kin.Shape().ActivityExtra}
-	if pf := float64(s.spec.PeakFlops(s.coreFreq)); pf > 0 {
-		load.FlopUtil = flopRate / pf
+	c := &s.adv
+	if !c.ok || c.progress != progress || c.f != s.coreFreq || c.u != s.uncoreFreq || c.idx != s.idx {
+		cfg := &s.m.cfg
+		kin := &s.phases[s.idx]
+		c.flopRate = kin.Flops * progress
+		c.bwRate = kin.Bytes * progress
+		c.load = model.Load{ActivityExtra: kin.Shape().ActivityExtra}
+		if pf := float64(s.spec.PeakFlops(s.coreFreq)); pf > 0 {
+			c.load.FlopUtil = c.flopRate / pf
+		}
+		if pb := float64(s.spec.PeakMemoryBandwidth); pb > 0 {
+			c.load.MemUtil = c.bwRate / pb
+		}
+		c.pw = cfg.Power.PackagePower(s.spec, s.coreFreq, s.uncoreFreq, c.load)
+		c.dramPw = cfg.Power.DramPower(units.Bandwidth(c.bwRate))
+		c.idx, c.progress, c.f, c.u = s.idx, progress, s.coreFreq, s.uncoreFreq
+		c.ok = true
 	}
-	if pb := float64(s.spec.PeakMemoryBandwidth); pb > 0 {
-		load.MemUtil = bwRate / pb
-	}
-	s.lastLoad = load
-	s.lastBW = units.Bandwidth(bwRate)
-	s.lastFlopRate = units.FlopRate(flopRate)
 
-	pw := cfg.Power.PackagePower(s.spec, s.coreFreq, s.uncoreFreq, load)
-	s.pendingEnergy += model.EnergyOver(pw, step)
-	s.pendingDram += model.EnergyOver(cfg.Power.DramPower(units.Bandwidth(bwRate)), step)
+	s.flops += c.flopRate * step
+	s.bytes += c.bwRate * step
+	s.lastLoad = c.load
+	s.lastBW = units.Bandwidth(c.bwRate)
+	s.lastFlopRate = units.FlopRate(c.flopRate)
+	s.pendingEnergy += model.EnergyOver(c.pw, step)
+	s.pendingDram += model.EnergyOver(c.dramPw, step)
 
 	s.remaining -= progress * step
 	if s.remaining <= 1e-9 {
@@ -223,7 +251,7 @@ func (s *Socket) settle(dt, idle float64) {
 		s.pendingEnergy += model.EnergyOver(cfg.IdlePower, idle)
 		s.pendingDram += model.EnergyOver(cfg.Power.DramStatic, idle)
 	}
-	tick := time.Duration(dt * float64(time.Second))
+	tick := s.m.tickDur
 	avgPower := s.pendingEnergy.DividedBy(tick)
 	if cfg.PowerJitterSD > 0 {
 		j := units.Power(s.jitter.NormFloat64() * cfg.PowerJitterSD)

@@ -31,6 +31,22 @@ func NewRecorder(sockets int) *Recorder {
 	return &Recorder{series: make([][]sim.TracePoint, sockets)}
 }
 
+// Reserve pre-allocates capacity for about n points per socket, so a run
+// of known length appends without reallocating mid-trace. A hint, not a
+// limit: runs may exceed it (growing as usual) or fall short.
+func (r *Recorder) Reserve(n int) {
+	if n <= 0 {
+		return
+	}
+	for i := range r.series {
+		if cap(r.series[i]) < n {
+			s := make([]sim.TracePoint, len(r.series[i]), n)
+			copy(s, r.series[i])
+			r.series[i] = s
+		}
+	}
+}
+
 // Hook returns the callback to pass as sim.RunOpts.Trace. Points for
 // sockets outside the recorder's range are counted as drops — locally and
 // on the telemetry registry — instead of vanishing invisibly.

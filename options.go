@@ -47,6 +47,14 @@ func WithFaultPlan(p FaultPlan) SessionOption {
 	return func(s *Session) { s.Faults = p }
 }
 
+// WithExactPhysics forces the simulator's reference per-tick loop,
+// never entering the event-horizon macro-step (DESIGN.md §11). Results
+// are bit-identical either way; use it to audit the fast path or to
+// profile the per-tick physics. Part of run identity.
+func WithExactPhysics() SessionOption {
+	return func(s *Session) { s.ExactPhysics = true }
+}
+
 // WithExecutor schedules the session's runs on e instead of the shared
 // executor — isolated cache statistics for tests, private concurrency
 // bounds for campaigns.

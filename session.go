@@ -47,6 +47,12 @@ type Session struct {
 	// faulted and clean runs never share cache entries. Set it with
 	// WithFaultPlan or per run with WithFaults.
 	Faults FaultPlan
+	// ExactPhysics forces the simulator's reference per-tick loop,
+	// disabling the event-horizon macro-step (DESIGN.md §11). Results are
+	// bit-identical either way; set it when auditing the fast path or
+	// profiling the per-tick physics. Fault-plan sessions always run the
+	// exact loop. Part of run identity.
+	ExactPhysics bool
 
 	// exec schedules this session's runs; nil means SharedExecutor. Set
 	// it with WithExecutor or OnExecutor.
@@ -239,6 +245,7 @@ func (s Session) execute(ctx context.Context, app App, mk GovernorFunc, idx int,
 		ControlPeriod:    s.ControlPeriod,
 		Governors:        govs,
 		GovernorOverhead: s.MonitorOverhead,
+		ExactLoop:        s.ExactPhysics || s.Faults.Enabled(),
 	}
 	if allNil(govs) {
 		opts.Governors = nil
@@ -246,8 +253,16 @@ func (s Session) execute(ctx context.Context, app App, mk GovernorFunc, idx int,
 	var rec *trace.Recorder
 	if traced {
 		rec = trace.NewRecorder(m.Sockets())
-		opts.Trace = rec.Hook()
 		opts.TraceEvery = 10
+		// Size the series to the workload's nominal length so tracing
+		// appends without mid-run reallocation (a hint; capped runs that
+		// overshoot grow as usual).
+		var nominal time.Duration
+		for _, ph := range phases {
+			nominal += ph.Duration
+		}
+		rec.Reserve(int(nominal/s.Sim.Tick)/opts.TraceEvery + 2)
+		opts.Trace = rec.Hook()
 	}
 	res, err := m.Run(opts)
 	if err != nil {
