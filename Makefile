@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 tier1-faults build test short race vet cover bench bench-smoke
+.PHONY: all tier1 tier1-faults build test short race vet cover bench bench-smoke bench-scaling
 
 all: tier1 race vet
 
@@ -51,6 +51,17 @@ bench:
 bench-smoke:
 	$(GO) test -run xxx -bench 'StepPhysics|RunUngoverned|RunGoverned' -benchtime 0.2s -benchmem ./internal/sim/
 	$(GO) run ./cmd/simbench -short -out BENCH_sim.json -compare reports/bench_baseline.json
+
+# bench-scaling exercises the concurrency surface: the sharded
+# scheduler's per-Submit overhead across -cpu values against the
+# single-mutex (shards=1) baseline, then the full simbench report, whose
+# fig3_grid_wall_seconds_p{1,2,4,8} and exec_submit_ns_distinct_p{1,4,16}
+# fields record the scaling trajectory. Meaningful numbers need a
+# multi-core host: on one core the mutex is never contended and the
+# shard layouts converge.
+bench-scaling:
+	$(GO) test -run xxx -bench 'SubmitDistinct|SubmitCached|SubmitAll' -cpu 1,4,16 -benchmem ./internal/exec/
+	$(GO) run ./cmd/simbench -out BENCH_sim.json -compare reports/bench_baseline.json
 
 cover:
 	$(GO) test -coverprofile=cover.out $(COVER_PKGS)

@@ -53,6 +53,7 @@ func benchMain() int {
 		stats    = flag.String("stats", "", "write executor statistics as JSON to this file ('-' for stdout)")
 		listen   = flag.String("listen", "", "serve live introspection on this address (/metrics, /runs, /timeline, /debug/pprof), e.g. :8080")
 		faults   = flag.Bool("faults", false, "run the fault-injection robustness grid (guarded DUFP under each fault level) instead of a figure")
+		cacheDir = flag.String("cache-dir", os.Getenv("DUFP_CACHE_DIR"), "persist completed runs under this directory and reuse them across invocations (default: $DUFP_CACHE_DIR)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -94,9 +95,22 @@ func benchMain() int {
 
 	// All tables of the invocation share one executor, so cross-table
 	// requests (a sweep after a grid, say) are served from its memo cache.
+	// A cache directory adds the persistent tier, which also serves runs
+	// recorded by previous invocations.
 	executor := dufp.SharedExecutor()
-	if *workers > 0 {
-		executor = dufp.NewExecutor(dufp.ExecWorkers(*workers))
+	if *workers > 0 || *cacheDir != "" {
+		var eopts []dufp.ExecutorOption
+		if *workers > 0 {
+			eopts = append(eopts, dufp.ExecWorkers(*workers))
+		}
+		if *cacheDir != "" {
+			eopts = append(eopts, dufp.ExecDiskCache(*cacheDir))
+		}
+		executor = dufp.NewExecutor(eopts...)
+		defer executor.Close()
+		if w := executor.DiskWarning(); w != "" {
+			fmt.Fprintln(os.Stderr, "dufpbench:", w)
+		}
 	}
 	if *progress {
 		executor.SetObserver(progressObserver())
@@ -169,8 +183,8 @@ func statsTicker(ctx context.Context, executor *dufp.Executor) (stop func()) {
 				return
 			case <-t.C:
 				st := executor.Stats()
-				fmt.Fprintf(os.Stderr, "[stats] submitted=%d started=%d completed=%d failed=%d cached=%d coalesced=%d wall=%s\n",
-					st.Submitted, st.Started, st.Completed, st.Failed, st.CacheHits, st.Coalesced, st.RunWall.Round(time.Millisecond))
+				fmt.Fprintf(os.Stderr, "[stats] submitted=%d started=%d completed=%d failed=%d cached=%d disk=%d coalesced=%d wall=%s\n",
+					st.Submitted, st.Started, st.Completed, st.Failed, st.CacheHits, st.DiskHits, st.Coalesced, st.RunWall.Round(time.Millisecond))
 			}
 		}
 	}()
@@ -194,8 +208,10 @@ func progressObserver() func(dufp.ExecutorEvent) {
 			done++
 			fmt.Fprintf(os.Stderr, "[%4d done] %-9s %s (%.2fs, %d in flight)\n",
 				done, ev.Kind, ev.Key, ev.Wall.Seconds(), ev.QueueDepth)
-		case dufp.ExecCached, dufp.ExecCoalesced:
+		case dufp.ExecCached, dufp.ExecCoalesced, dufp.ExecDiskHit:
 			fmt.Fprintf(os.Stderr, "[%4d done] %-9s %s\n", done, ev.Kind, ev.Key)
+		case dufp.ExecDiskDegraded:
+			fmt.Fprintf(os.Stderr, "[%4d done] %-9s %v\n", done, ev.Kind, ev.Err)
 		}
 	}
 }

@@ -39,6 +39,7 @@ func main() {
 		timeline = flag.String("timeline", "", "write the run-0 decision timeline (events joined with trace samples) to this JSONL file")
 		baseline = flag.Bool("baseline", true, "also run the default configuration and print ratios")
 		list     = flag.Bool("list", false, "list applications and exit")
+		cacheDir = flag.String("cache-dir", os.Getenv("DUFP_CACHE_DIR"), "persist completed runs under this directory and reuse them across invocations (default: $DUFP_CACHE_DIR)")
 	)
 	flag.Parse()
 
@@ -51,6 +52,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if err := run(ctx, params{
+		cacheDir: *cacheDir,
 		appName:  *appName,
 		appFile:  *appFile,
 		export:   *export,
@@ -70,6 +72,7 @@ func main() {
 
 type params struct {
 	appName, appFile, export, gov, traceCSV, timeline string
+	cacheDir                                          string
 	slowdown                                          float64
 	cap                                               dufp.Power
 	runs                                              int
@@ -132,6 +135,16 @@ func run(ctx context.Context, p params) error {
 		return nil
 	}
 	session := dufp.NewSession(dufp.WithSeed(p.seed))
+	if p.cacheDir != "" {
+		// A persistent cache turns repeat invocations of the same
+		// configuration into disk reads; Close flushes it before exit.
+		executor := dufp.NewExecutor(dufp.ExecDiskCache(p.cacheDir))
+		defer executor.Close()
+		if w := executor.DiskWarning(); w != "" {
+			fmt.Fprintln(os.Stderr, "dufprun:", w)
+		}
+		session = session.OnExecutor(executor)
+	}
 
 	cfg := dufp.DefaultControlConfig(p.slowdown)
 	gov, err := governor(p.gov, cfg, p.cap)

@@ -1,7 +1,10 @@
 // Command simbench measures the simulator's hot path and writes the
 // repo's benchmark trajectory file, BENCH_sim.json: nanoseconds per
 // simulated second on the fast and reference loops, allocations per
-// tick, and the wall time of the full Fig-3 experiment grid. CI runs it
+// tick, the wall time of the full Fig-3 experiment grid (plus its
+// scaling across 1–8 executor workers and its warm disk-cache rerun),
+// and the sharded scheduler's per-Submit overhead under 1, 4 and 16
+// concurrent goroutines against the single-mutex layout. CI runs it
 // at short iteration counts and compares against the committed baseline
 // (report-only); locally, `make bench` refreshes the numbers.
 //
@@ -13,16 +16,22 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"dufp"
+	"dufp/internal/exec"
 	"dufp/internal/experiment"
+	"dufp/internal/metrics"
 	"dufp/internal/model"
 	"dufp/internal/msr"
 	"dufp/internal/sim"
@@ -30,7 +39,7 @@ import (
 )
 
 // report is the BENCH_sim.json schema. Lower is better everywhere except
-// fast_speedup_vs_exact.
+// the *_speedup_* fields.
 type report struct {
 	GoVersion                     string  `json:"go_version"`
 	StepPhysicsNsPerTick          float64 `json:"step_physics_ns_per_tick"`
@@ -40,6 +49,26 @@ type report struct {
 	AllocsPerTick                 float64 `json:"allocs_per_tick"`
 	Fig3GridWallSeconds           float64 `json:"fig3_grid_wall_seconds"`
 	FastSpeedupVsExact            float64 `json:"fast_speedup_vs_exact"`
+
+	// Scheduler overhead: wall nanoseconds per Submit of an
+	// always-distinct key (install, execute a trivial runner, settle)
+	// from 1, 4 and 16 concurrent goroutines on the sharded executor,
+	// plus the 16-goroutine figure with a single shard — the old
+	// one-big-mutex layout — and the resulting speedup.
+	ExecSubmitNsDistinctP1          float64 `json:"exec_submit_ns_distinct_p1"`
+	ExecSubmitNsDistinctP4          float64 `json:"exec_submit_ns_distinct_p4"`
+	ExecSubmitNsDistinctP16         float64 `json:"exec_submit_ns_distinct_p16"`
+	ExecSubmitNsDistinctP16OneShard float64 `json:"exec_submit_ns_distinct_p16_one_shard"`
+	ExecShardSpeedupP16             float64 `json:"exec_shard_speedup_p16"`
+
+	// Grid scaling: the Fig-3 campaign wall time with the executor
+	// bounded to 1, 2, 4 and 8 workers, and the warm rerun of the same
+	// campaign against a populated disk cache.
+	Fig3GridWallSecondsP1   float64 `json:"fig3_grid_wall_seconds_p1"`
+	Fig3GridWallSecondsP2   float64 `json:"fig3_grid_wall_seconds_p2"`
+	Fig3GridWallSecondsP4   float64 `json:"fig3_grid_wall_seconds_p4"`
+	Fig3GridWallSecondsP8   float64 `json:"fig3_grid_wall_seconds_p8"`
+	Fig3GridWallWarmSeconds float64 `json:"fig3_grid_wall_warm_seconds"`
 }
 
 const simSecs = 2.0
@@ -148,18 +177,32 @@ func allocsPerTick() (float64, error) {
 	return (a2 - a1) / 1000, nil // 1000 extra ticks in the 2 s run
 }
 
-// gridWall times the full Fig-3 measurement campaign on a fresh executor
-// (no warm memo cache).
-func gridWall(short bool) (float64, error) {
+// gridOpts is the benchmark campaign configuration; every grid
+// measurement uses it with a fresh executor so no memo state leaks
+// between timings.
+func gridOpts(short bool) experiment.Options {
 	opts := experiment.DefaultOptions()
 	opts.Runs = 2
 	opts.Session.Seed = 42
 	opts.Tolerances = []float64{0.10}
-	opts.Executor = dufp.NewExecutor()
 	if short {
 		opts.Runs = 1
 		opts.Apps = []string{"CG"}
 	}
+	return opts
+}
+
+// gridWall times the full Fig-3 measurement campaign on a fresh executor
+// (no warm memo cache). Extra options bound the workers or attach the
+// disk cache for the scaling and warm-rerun measurements.
+func gridWall(short bool, eopts ...dufp.ExecutorOption) (float64, error) {
+	opts := gridOpts(short)
+	executor := dufp.NewExecutor(eopts...)
+	defer executor.Close()
+	if w := executor.DiskWarning(); w != "" {
+		return 0, fmt.Errorf("gridWall: %s", w)
+	}
+	opts.Executor = executor
 	start := time.Now()
 	if _, err := experiment.RunGrid(opts); err != nil {
 		return 0, err
@@ -167,7 +210,57 @@ func gridWall(short bool) (float64, error) {
 	return time.Since(start).Seconds(), nil
 }
 
-func measure(short bool) (report, error) {
+// gridWallWarm populates a throwaway disk cache with one campaign, then
+// times the identical campaign on a fresh executor that can only satisfy
+// it from disk.
+func gridWallWarm(short bool) (float64, error) {
+	dir, err := os.MkdirTemp("", "dufp-simbench-cache-")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	if _, err := gridWall(short, dufp.ExecDiskCache(dir)); err != nil {
+		return 0, err
+	}
+	return gridWall(short, dufp.ExecDiskCache(dir))
+}
+
+// execSubmitDistinctNs measures the scheduler's own overhead: wall
+// nanoseconds per Submit of an always-distinct key under a trivial
+// runner, from procs concurrent goroutines. Distinct keys never coalesce
+// and never hit, so every submission walks the full install → execute →
+// settle path; with a free runner the figure is pure bookkeeping cost,
+// which is what sharding is meant to shrink.
+func execSubmitDistinctNs(procs, shards, perG int) (float64, error) {
+	e := exec.New(func(ctx context.Context, key exec.Key) (metrics.Run, error) {
+		return metrics.Run{}, nil
+	}, exec.WithWorkers(procs), exec.WithShards(shards))
+	ctx := context.Background()
+	var firstErr atomic.Value
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < procs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			app := "bench-" + strconv.Itoa(g)
+			for i := 0; i < perG; i++ {
+				if _, err := e.Submit(ctx, exec.Key{App: app, Idx: i}); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, ok := firstErr.Load().(error); ok {
+		return 0, err
+	}
+	return float64(elapsed.Nanoseconds()) / float64(procs*perG), nil
+}
+
+func measure(short bool, cacheDir string) (report, error) {
 	var rep report
 	rep.GoVersion = runtime.Version()
 	var err error
@@ -191,11 +284,58 @@ func measure(short bool) (report, error) {
 	if rep.AllocsPerTick, err = allocsPerTick(); err != nil {
 		return rep, err
 	}
-	if rep.Fig3GridWallSeconds, err = gridWall(short); err != nil {
+	// With -cache-dir, the headline grid measurement runs against the
+	// persistent cache: a first invocation populates it (cold), a second
+	// one over the same directory reads it back (warm) — that pair is
+	// what CI uploads. The scaling measurements below stay cache-free so
+	// they keep measuring compute, not disk.
+	var gridEopts []dufp.ExecutorOption
+	if cacheDir != "" {
+		gridEopts = append(gridEopts, dufp.ExecDiskCache(cacheDir))
+	}
+	if rep.Fig3GridWallSeconds, err = gridWall(short, gridEopts...); err != nil {
 		return rep, err
 	}
 	if rep.RunUngovernedNsPerSimsec > 0 {
 		rep.FastSpeedupVsExact = rep.RunUngovernedExactNsPerSimsec / rep.RunUngovernedNsPerSimsec
+	}
+
+	perG := 20000
+	if short {
+		perG = 2000
+	}
+	for _, c := range []struct {
+		procs, shards int
+		dst           *float64
+	}{
+		{1, 0, &rep.ExecSubmitNsDistinctP1},
+		{4, 0, &rep.ExecSubmitNsDistinctP4},
+		{16, 0, &rep.ExecSubmitNsDistinctP16},
+		{16, 1, &rep.ExecSubmitNsDistinctP16OneShard},
+	} {
+		if *c.dst, err = execSubmitDistinctNs(c.procs, c.shards, perG); err != nil {
+			return rep, err
+		}
+	}
+	if rep.ExecSubmitNsDistinctP16 > 0 {
+		rep.ExecShardSpeedupP16 = rep.ExecSubmitNsDistinctP16OneShard / rep.ExecSubmitNsDistinctP16
+	}
+
+	for _, c := range []struct {
+		workers int
+		dst     *float64
+	}{
+		{1, &rep.Fig3GridWallSecondsP1},
+		{2, &rep.Fig3GridWallSecondsP2},
+		{4, &rep.Fig3GridWallSecondsP4},
+		{8, &rep.Fig3GridWallSecondsP8},
+	} {
+		if *c.dst, err = gridWall(short, dufp.ExecWorkers(c.workers)); err != nil {
+			return rep, err
+		}
+	}
+	if rep.Fig3GridWallWarmSeconds, err = gridWallWarm(short); err != nil {
+		return rep, err
 	}
 	return rep, nil
 }
@@ -224,6 +364,16 @@ func compare(baselinePath string, cur report) error {
 		{"allocs_per_tick", base.AllocsPerTick, cur.AllocsPerTick, true},
 		{"fig3_grid_wall_seconds", base.Fig3GridWallSeconds, cur.Fig3GridWallSeconds, true},
 		{"fast_speedup_vs_exact", base.FastSpeedupVsExact, cur.FastSpeedupVsExact, false},
+		{"exec_submit_ns_distinct_p1", base.ExecSubmitNsDistinctP1, cur.ExecSubmitNsDistinctP1, true},
+		{"exec_submit_ns_distinct_p4", base.ExecSubmitNsDistinctP4, cur.ExecSubmitNsDistinctP4, true},
+		{"exec_submit_ns_distinct_p16", base.ExecSubmitNsDistinctP16, cur.ExecSubmitNsDistinctP16, true},
+		{"exec_submit_ns_distinct_p16_one_shard", base.ExecSubmitNsDistinctP16OneShard, cur.ExecSubmitNsDistinctP16OneShard, true},
+		{"exec_shard_speedup_p16", base.ExecShardSpeedupP16, cur.ExecShardSpeedupP16, false},
+		{"fig3_grid_wall_seconds_p1", base.Fig3GridWallSecondsP1, cur.Fig3GridWallSecondsP1, true},
+		{"fig3_grid_wall_seconds_p2", base.Fig3GridWallSecondsP2, cur.Fig3GridWallSecondsP2, true},
+		{"fig3_grid_wall_seconds_p4", base.Fig3GridWallSecondsP4, cur.Fig3GridWallSecondsP4, true},
+		{"fig3_grid_wall_seconds_p8", base.Fig3GridWallSecondsP8, cur.Fig3GridWallSecondsP8, true},
+		{"fig3_grid_wall_warm_seconds", base.Fig3GridWallWarmSeconds, cur.Fig3GridWallWarmSeconds, true},
 	}
 	fmt.Printf("%-36s %12s %12s %9s\n", "metric", "old", "new", "delta")
 	for _, r := range rows {
@@ -246,10 +396,11 @@ func main() {
 		out      = flag.String("out", "BENCH_sim.json", "write the benchmark report to this file ('-' for stdout)")
 		baseline = flag.String("compare", "", "print a benchstat-style comparison against this baseline JSON (report-only)")
 		short    = flag.Bool("short", false, "reduced grid for CI smoke runs")
+		cacheDir = flag.String("cache-dir", os.Getenv("DUFP_CACHE_DIR"), "run the headline grid measurement against this persistent run cache; invoke twice with the same directory for a cold/warm pair (default: $DUFP_CACHE_DIR)")
 	)
 	flag.Parse()
 
-	rep, err := measure(*short)
+	rep, err := measure(*short, *cacheDir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simbench:", err)
 		os.Exit(1)

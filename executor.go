@@ -9,9 +9,11 @@ import (
 
 	"dufp/internal/control"
 	"dufp/internal/exec"
+	"dufp/internal/exec/diskcache"
 	"dufp/internal/fault"
 	"dufp/internal/metrics"
 	"dufp/internal/obs"
+	"dufp/internal/sim"
 	"dufp/internal/trace"
 )
 
@@ -33,6 +35,11 @@ type (
 	RunKey = exec.Key
 	// ExecutorEventKind classifies an ExecutorEvent.
 	ExecutorEventKind = exec.EventKind
+	// RunOutcome is one resolved submission of a batch (see
+	// Session.SummarizeAll and Executor.SubmitAll).
+	RunOutcome = exec.Outcome
+	// DiskCacheStats aggregates the persistent run cache's counters.
+	DiskCacheStats = diskcache.Stats
 )
 
 // Executor progress event kinds.
@@ -47,6 +54,13 @@ const (
 	ExecCached = exec.EventCached
 	// ExecCoalesced fires when a submission joins an in-flight run.
 	ExecCoalesced = exec.EventCoalesced
+	// ExecDiskHit fires when a submission is served from the persistent
+	// disk cache (see ExecDiskCache).
+	ExecDiskHit = exec.EventDiskHit
+	// ExecDiskDegraded fires once at construction when the configured
+	// cache directory is unusable and the executor falls back to
+	// memory-only operation.
+	ExecDiskDegraded = exec.EventDiskDegraded
 )
 
 // Executor option constructors.
@@ -55,11 +69,30 @@ const (
 // GOMAXPROCS.
 func ExecWorkers(n int) ExecutorOption { return exec.WithWorkers(n) }
 
-// ExecCacheSize bounds an executor's completed-run LRU.
+// ExecCacheSize bounds an executor's completed-run LRU; n <= 0 restores
+// the default (exec.DefaultCacheSize).
 func ExecCacheSize(n int) ExecutorOption { return exec.WithCacheSize(n) }
 
 // ExecObserver registers an executor's progress observer.
 func ExecObserver(fn func(ExecutorEvent)) ExecutorOption { return exec.WithObserver(fn) }
+
+// ExecShards sets the executor's shard count (rounded up to a power of
+// two); n <= 0 keeps the default. One shard serialises all bookkeeping on
+// a single mutex — useful only as a contention baseline in benchmarks.
+func ExecShards(n int) ExecutorOption { return exec.WithShards(n) }
+
+// ExecDiskCache adds a persistent second cache tier under dir: completed
+// runs are appended to content-addressed JSONL segments and reloaded by
+// later processes, so a warmed directory turns whole campaigns into disk
+// reads. Entries are stamped with the simulator's physics version
+// (sim.PhysicsVersion) and silently invalidated when it changes; runs
+// served from disk are bit-identical to fresh ones. An unusable directory
+// degrades the executor to memory-only with a warning (Executor.
+// DiskWarning, ExecDiskDegraded) — it never fails construction. Call
+// Executor.Close to flush and fsync the cache before process exit.
+func ExecDiskCache(dir string) ExecutorOption {
+	return exec.WithDiskCache(dir, sim.PhysicsVersion)
+}
 
 // execWithRegistry backs ExecRegistry (see telemetry.go).
 func execWithRegistry(r *obs.Registry) ExecutorOption { return exec.WithRegistry(r) }

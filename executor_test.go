@@ -3,6 +3,7 @@ package dufp_test
 import (
 	"context"
 	"errors"
+	"math"
 	"testing"
 	"time"
 
@@ -225,5 +226,109 @@ func TestGovernorIdentity(t *testing.T) {
 	mk := dufp.DUFP(cfg).Func()
 	if a, b := dufp.GovernorOf(mk).ID(), dufp.GovernorOf(mk).ID(); a == b {
 		t.Fatalf("anonymous governors share identity %q", a)
+	}
+}
+
+func TestDiskCachedRunBitIdentical(t *testing.T) {
+	app := fastApp(t)
+	gov := dufp.DUFP(dufp.DefaultControlConfig(0.10))
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	// First process: compute fresh and persist.
+	e1 := dufp.NewExecutor(dufp.ExecDiskCache(dir))
+	if w := e1.DiskWarning(); w != "" {
+		t.Fatalf("unexpected disk warning: %q", w)
+	}
+	s1 := dufp.NewSession(dufp.WithExecutor(e1))
+	fresh, err := s1.Run(ctx, dufp.RunSpec{App: app, Governor: gov})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second process: the same configuration is served from disk. Every
+	// float must survive the JSONL round trip with identical bits — pin
+	// them individually so a near-miss names the field.
+	e2 := dufp.NewExecutor(dufp.ExecDiskCache(dir))
+	defer e2.Close()
+	s2 := dufp.NewSession(dufp.WithExecutor(e2))
+	warm, err := s2.Run(ctx, dufp.RunSpec{App: app, Governor: gov})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := e2.Stats(); st.DiskHits != 1 || st.Started != 0 {
+		t.Fatalf("stats = %+v, want the run served from disk", st)
+	}
+	for _, f := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"Slowdown", warm.Run.Slowdown, fresh.Run.Slowdown},
+		{"PkgEnergy", float64(warm.Run.PkgEnergy), float64(fresh.Run.PkgEnergy)},
+		{"DramEnergy", float64(warm.Run.DramEnergy), float64(fresh.Run.DramEnergy)},
+		{"AvgPkgPower", float64(warm.Run.AvgPkgPower), float64(fresh.Run.AvgPkgPower)},
+		{"AvgDramPower", float64(warm.Run.AvgDramPower), float64(fresh.Run.AvgDramPower)},
+		{"AvgCoreFreq", float64(warm.Run.AvgCoreFreq), float64(fresh.Run.AvgCoreFreq)},
+		{"AvgUncore", float64(warm.Run.AvgUncore), float64(fresh.Run.AvgUncore)},
+	} {
+		if math.Float64bits(f.got) != math.Float64bits(f.want) {
+			t.Errorf("%s: disk-cached bits %x != fresh bits %x (%v vs %v)",
+				f.name, math.Float64bits(f.got), math.Float64bits(f.want), f.got, f.want)
+		}
+	}
+	if warm.Run != fresh.Run {
+		t.Fatalf("disk-cached run differs from fresh:\n%+v\n%+v", warm.Run, fresh.Run)
+	}
+}
+
+func TestSummarizeAllMatchesSummarizeCtx(t *testing.T) {
+	app := fastApp(t)
+	ctx := context.Background()
+	session := dufp.NewSession(dufp.WithExecutor(dufp.NewExecutor()))
+
+	reqs := []dufp.SummaryRequest{
+		{App: app, Governor: dufp.Baseline()},
+		{App: app, Governor: dufp.DUFP(dufp.DefaultControlConfig(0.10))},
+	}
+	outcomes := session.SummarizeAll(ctx, reqs, 3)
+	if len(outcomes) != len(reqs) {
+		t.Fatalf("got %d outcomes, want %d", len(outcomes), len(reqs))
+	}
+	for i, o := range outcomes {
+		if o.Err != nil {
+			t.Fatalf("outcome %d: %v", i, o.Err)
+		}
+		want, err := session.SummarizeCtx(ctx, reqs[i].App, reqs[i].Governor, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Summary != want {
+			t.Errorf("outcome %d differs from SummarizeCtx:\n%+v\n%+v", i, o.Summary, want)
+		}
+	}
+}
+
+func TestSummarizeAllPropagatesCancellation(t *testing.T) {
+	app := fastApp(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	session := dufp.NewSession(dufp.WithExecutor(dufp.NewExecutor()))
+	outcomes := session.SummarizeAll(ctx, []dufp.SummaryRequest{{App: app, Governor: dufp.Baseline()}}, 3)
+	if err := outcomes[0].Err; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSummarizeAllEmptyAndBadRuns(t *testing.T) {
+	session := dufp.NewSession()
+	if out := session.SummarizeAll(context.Background(), nil, 3); len(out) != 0 {
+		t.Fatalf("empty batch returned %d outcomes", len(out))
+	}
+	out := session.SummarizeAll(context.Background(), []dufp.SummaryRequest{{App: fastApp(t), Governor: dufp.Baseline()}}, 0)
+	if err := out[0].Err; !errors.Is(err, dufp.ErrBadConfig) {
+		t.Fatalf("err = %v, want ErrBadConfig", err)
 	}
 }

@@ -1,0 +1,347 @@
+// Package diskcache is the executor's persistent second cache tier: a
+// content-addressed store of completed runs that survives the process,
+// so a CLI invocation or CI job replays a campaign another process
+// already measured instead of re-simulating it from cold.
+//
+// Layout: a cache directory holds append-only segment files
+// (runs-*.jsonl), one per writing process — concurrent processes never
+// share a file descriptor, so no cross-process locking is needed. Each
+// record is one line:
+//
+//	<crc32c-hex> <payload-json>\n
+//
+// where the payload carries a format version, the physics-version stamp,
+// the run's content address and the run itself. Records are validated on
+// load: CRC mismatches and undecodable payloads (including the torn last
+// line of a crashed writer) are skipped and counted as corrupt; records
+// written under a different physics version are skipped and counted as
+// stale, which is how the harness invalidates the cache when the
+// simulator's results change — bump the stamp, old files become inert.
+//
+// Writes are write-behind: Put updates the in-memory index immediately
+// and queues the record for a background writer; Close drains the queue,
+// flushes and fsyncs. Floats round-trip bit-exactly through JSON
+// (encoding/json emits the shortest representation that parses back to
+// the identical float64), so a disk-served run is bit-identical to a
+// fresh one.
+package diskcache
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dufp/internal/metrics"
+)
+
+// formatVersion is the record-layout version; records with any other
+// value are skipped as corrupt (the layout changed under them).
+const formatVersion = 1
+
+// Key is the content address of one run, mirroring the executor's ID.
+type Key struct {
+	App, Governor, Session string
+	Idx                    int
+}
+
+// record is the JSON payload of one persisted run.
+type record struct {
+	V       int         `json:"v"`
+	Physics string      `json:"physics"`
+	Key     Key         `json:"key"`
+	Run     metrics.Run `json:"run"`
+}
+
+// Stats are the cache's counters since Open.
+type Stats struct {
+	// Hits and Misses count Get lookups.
+	Hits, Misses int64
+	// Loaded counts valid records read from the directory at Open.
+	Corrupt, Stale, Loaded int64
+	// Written counts records persisted by this process; Dropped counts
+	// Put records discarded because the write-behind queue was full.
+	Written, Dropped int64
+}
+
+// Option configures Open.
+type Option func(*Cache)
+
+// WithWriteObserver registers a hook receiving the wall-clock seconds of
+// each record write (the executor feeds exec_disk_write_seconds from it).
+func WithWriteObserver(fn func(seconds float64)) Option {
+	return func(c *Cache) { c.writeObs = fn }
+}
+
+// Cache is one process's handle on a cache directory. All methods are
+// safe for concurrent use.
+type Cache struct {
+	dir      string
+	version  string
+	writeObs func(float64)
+
+	mu      sync.RWMutex
+	mem     map[Key]metrics.Run
+	closed  bool
+	warning string
+
+	hits, misses           atomic.Int64
+	corrupt, stale, loaded atomic.Int64
+	written, dropped       atomic.Int64
+
+	queue chan record
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	f *os.File
+	w *bufio.Writer
+}
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on the
+// targets this harness runs on.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Open loads the cache directory's valid records into memory and starts
+// the write-behind writer on a fresh segment file. An unreadable or
+// unwritable directory does not fail Open: the cache degrades to
+// whatever it could do (read-only, or memory-only), and Warning reports
+// why — mirroring the executor's contract that a cache must never take
+// the harness down.
+func Open(dir, version string, opts ...Option) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("diskcache: empty directory")
+	}
+	c := &Cache{
+		dir:     dir,
+		version: version,
+		mem:     make(map[Key]metrics.Run),
+		queue:   make(chan record, 4096),
+		done:    make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		c.warning = fmt.Sprintf("diskcache: %s not creatable, running memory-only: %v", dir, err)
+		return c, nil
+	}
+	c.load()
+
+	f, err := os.CreateTemp(dir, "runs-*.jsonl")
+	if err != nil {
+		c.warning = fmt.Sprintf("diskcache: %s not writable, running read-only: %v", dir, err)
+		return c, nil
+	}
+	c.f = f
+	c.w = bufio.NewWriter(f)
+	c.wg.Add(1)
+	go c.writer()
+	return c, nil
+}
+
+// load scans every segment file in the directory, keeping valid
+// same-version records and counting corrupt and stale ones.
+func (c *Cache) load() {
+	paths, err := filepath.Glob(filepath.Join(c.dir, "runs-*.jsonl"))
+	if err != nil {
+		return
+	}
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			continue
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+		for sc.Scan() {
+			c.loadLine(sc.Bytes())
+		}
+		f.Close()
+	}
+}
+
+// loadLine validates one record line and admits it into the index.
+func (c *Cache) loadLine(line []byte) {
+	if len(bytes.TrimSpace(line)) == 0 {
+		return
+	}
+	sep := bytes.IndexByte(line, ' ')
+	if sep != 8 {
+		c.corrupt.Add(1)
+		return
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(string(line[:sep]), "%08x", &want); err != nil {
+		c.corrupt.Add(1)
+		return
+	}
+	payload := line[sep+1:]
+	if crc32.Checksum(payload, crcTable) != want {
+		c.corrupt.Add(1)
+		return
+	}
+	var rec record
+	if err := json.Unmarshal(payload, &rec); err != nil || rec.V != formatVersion {
+		c.corrupt.Add(1)
+		return
+	}
+	if rec.Physics != c.version {
+		c.stale.Add(1)
+		return
+	}
+	c.loaded.Add(1)
+	c.mem[rec.Key] = rec.Run
+}
+
+// Get returns the cached run for the key, if any.
+func (c *Cache) Get(key Key) (metrics.Run, bool) {
+	c.mu.RLock()
+	run, ok := c.mem[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return run, ok
+}
+
+// Put stores the run under the key: the in-memory index is updated
+// immediately, and the record is queued for the background writer. Put
+// never blocks — if the queue is full the record is dropped (and
+// counted); the cache stays correct, just less warm. Duplicate keys are
+// written once.
+func (c *Cache) Put(key Key, run metrics.Run) {
+	c.mu.Lock()
+	if c.closed || c.w == nil {
+		if _, dup := c.mem[key]; !dup && c.warning != "" {
+			// Memory-only operation still serves later Gets this process.
+			c.mem[key] = run
+		}
+		c.mu.Unlock()
+		return
+	}
+	if _, dup := c.mem[key]; dup {
+		c.mu.Unlock()
+		return
+	}
+	c.mem[key] = run
+	c.mu.Unlock()
+	select {
+	case c.queue <- record{V: formatVersion, Physics: c.version, Key: key, Run: run}:
+	default:
+		c.dropped.Add(1)
+	}
+}
+
+// writer is the write-behind goroutine: it appends queued records until
+// Close signals, then drains what is left.
+func (c *Cache) writer() {
+	defer c.wg.Done()
+	for {
+		select {
+		case rec := <-c.queue:
+			c.append(rec)
+		case <-c.done:
+			for {
+				select {
+				case rec := <-c.queue:
+					c.append(rec)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// append serialises one record onto the segment file.
+func (c *Cache) append(rec record) {
+	start := time.Now()
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		c.dropped.Add(1)
+		return
+	}
+	fmt.Fprintf(c.w, "%08x %s\n", crc32.Checksum(payload, crcTable), payload)
+	c.written.Add(1)
+	if c.writeObs != nil {
+		c.writeObs(time.Since(start).Seconds())
+	}
+}
+
+// Close drains the write-behind queue, flushes and fsyncs the segment
+// file. The cache remains readable (memory-only) afterwards.
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	close(c.done)
+	c.wg.Wait()
+	var firstErr error
+	if err := c.w.Flush(); err != nil {
+		firstErr = err
+	}
+	if err := c.f.Sync(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := c.f.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if c.written.Load() == 0 && firstErr == nil {
+		// Nothing persisted: drop the empty segment so read-mostly
+		// invocations do not litter the directory.
+		os.Remove(c.f.Name())
+	}
+	return firstErr
+}
+
+// Warning reports why the cache degraded (unwritable directory), or "".
+func (c *Cache) Warning() string { return c.warning }
+
+// ReadOnly reports whether this handle persists nothing (degraded mode).
+func (c *Cache) ReadOnly() bool { return c.f == nil }
+
+// Len returns the number of runs in the in-memory index.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.mem)
+}
+
+// Dir returns the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Stats returns a snapshot of the cache's counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Corrupt: c.corrupt.Load(),
+		Stale:   c.stale.Load(),
+		Loaded:  c.loaded.Load(),
+		Written: c.written.Load(),
+		Dropped: c.dropped.Load(),
+	}
+}
+
+// segmentName reports whether base names a cache segment file (exported
+// for tests that corrupt specific files).
+func segmentName(base string) bool {
+	return strings.HasPrefix(base, "runs-") && strings.HasSuffix(base, ".jsonl")
+}

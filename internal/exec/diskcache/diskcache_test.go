@@ -1,0 +1,268 @@
+package diskcache
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dufp/internal/metrics"
+)
+
+const physV = "physics-test-1"
+
+func testKeyAt(idx int) Key {
+	return Key{App: "app#aa", Governor: "gov#bb", Session: "sess#cc", Idx: idx}
+}
+
+func testRun(idx int) metrics.Run {
+	return metrics.Run{
+		App:          "app",
+		Governor:     "gov",
+		Slowdown:     0.1,
+		Time:         time.Duration(idx+1) * time.Second,
+		PkgEnergy:    1234.5678901234567,
+		DramEnergy:   98.76543210987654,
+		AvgPkgPower:  110.00000000000001,
+		AvgDramPower: 13.37,
+		AvgCoreFreq:  2.1e9,
+		AvgUncore:    1.9283746574839201e9,
+	}
+}
+
+// openOrDie opens a cache and fails the test on error.
+func openOrDie(t *testing.T, dir, version string) *Cache {
+	t.Helper()
+	c, err := Open(dir, version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRoundTripBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	c := openOrDie(t, dir, physV)
+	want := testRun(0)
+	c.Put(testKeyAt(0), want)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh process (new handle) must reload the identical bits.
+	c2 := openOrDie(t, dir, physV)
+	defer c2.Close()
+	got, ok := c2.Get(testKeyAt(0))
+	if !ok {
+		t.Fatal("persisted run not found after reopen")
+	}
+	for _, f := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"Slowdown", got.Slowdown, want.Slowdown},
+		{"PkgEnergy", float64(got.PkgEnergy), float64(want.PkgEnergy)},
+		{"DramEnergy", float64(got.DramEnergy), float64(want.DramEnergy)},
+		{"AvgPkgPower", float64(got.AvgPkgPower), float64(want.AvgPkgPower)},
+		{"AvgDramPower", float64(got.AvgDramPower), float64(want.AvgDramPower)},
+		{"AvgCoreFreq", float64(got.AvgCoreFreq), float64(want.AvgCoreFreq)},
+		{"AvgUncore", float64(got.AvgUncore), float64(want.AvgUncore)},
+	} {
+		if math.Float64bits(f.got) != math.Float64bits(f.want) {
+			t.Errorf("%s: %x != %x (value %v vs %v)", f.name,
+				math.Float64bits(f.got), math.Float64bits(f.want), f.got, f.want)
+		}
+	}
+	if got != want {
+		t.Errorf("round-tripped run differs: %+v vs %+v", got, want)
+	}
+	if st := c2.Stats(); st.Loaded != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 loaded, 1 hit", st)
+	}
+}
+
+func TestCorruptRecordsSkippedAndCounted(t *testing.T) {
+	dir := t.TempDir()
+	c := openOrDie(t, dir, physV)
+	for i := 0; i < 3; i++ {
+		c.Put(testKeyAt(i), testRun(i))
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := filepath.Glob(filepath.Join(dir, "runs-*.jsonl"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments = %v (err %v), want exactly one", segs, err)
+	}
+	raw, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(raw), "\n")
+	// Flip a byte inside the first record's payload, truncate the last
+	// record mid-line (a torn write), keep the middle one intact.
+	lines[0] = strings.Replace(lines[0], `"App"`, `"Axp"`, 1)
+	lines[2] = lines[2][:len(lines[2])/2]
+	if err := os.WriteFile(segs[0], []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := openOrDie(t, dir, physV)
+	defer c2.Close()
+	st := c2.Stats()
+	if st.Corrupt != 2 {
+		t.Fatalf("stats = %+v, want 2 corrupt records", st)
+	}
+	if st.Loaded != 1 || c2.Len() != 1 {
+		t.Fatalf("stats = %+v len=%d, want exactly the intact record", st, c2.Len())
+	}
+	if _, ok := c2.Get(testKeyAt(1)); !ok {
+		t.Fatal("intact record lost")
+	}
+	if _, ok := c2.Get(testKeyAt(0)); ok {
+		t.Fatal("corrupt record served")
+	}
+}
+
+func TestPhysicsVersionMismatchIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	c := openOrDie(t, dir, "physics-old")
+	c.Put(testKeyAt(0), testRun(0))
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := openOrDie(t, dir, "physics-new")
+	defer c2.Close()
+	if _, ok := c2.Get(testKeyAt(0)); ok {
+		t.Fatal("stale-physics record served as a hit")
+	}
+	st := c2.Stats()
+	if st.Stale != 1 || st.Loaded != 0 || st.Corrupt != 0 {
+		t.Fatalf("stats = %+v, want the record counted stale, not corrupt", st)
+	}
+	if st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 miss", st)
+	}
+}
+
+func TestConcurrentProcessesShareDirectory(t *testing.T) {
+	dir := t.TempDir()
+	// Two handles open simultaneously model two processes: each writes
+	// its own segment, neither clobbers the other.
+	a := openOrDie(t, dir, physV)
+	b := openOrDie(t, dir, physV)
+	a.Put(testKeyAt(0), testRun(0))
+	b.Put(testKeyAt(1), testRun(1))
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "runs-*.jsonl"))
+	if len(segs) != 2 {
+		t.Fatalf("segments = %v, want one per process", segs)
+	}
+	c := openOrDie(t, dir, physV)
+	defer c.Close()
+	if c.Len() != 2 {
+		t.Fatalf("merged index holds %d runs, want 2", c.Len())
+	}
+	for i := 0; i < 2; i++ {
+		if got, ok := c.Get(testKeyAt(i)); !ok || got != testRun(i) {
+			t.Fatalf("key %d: got %+v ok=%v", i, got, ok)
+		}
+	}
+}
+
+func TestReadOnlyDirectoryDegrades(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("running as root: directory permissions are not enforced")
+	}
+	dir := t.TempDir()
+	seed := openOrDie(t, dir, physV)
+	seed.Put(testKeyAt(0), testRun(0))
+	if err := seed.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+
+	c, err := Open(dir, physV)
+	if err != nil {
+		t.Fatalf("read-only dir must degrade, not fail: %v", err)
+	}
+	defer c.Close()
+	if c.Warning() == "" || !c.ReadOnly() {
+		t.Fatalf("warning = %q readOnly = %v, want degraded handle", c.Warning(), c.ReadOnly())
+	}
+	// Existing records still serve; new Puts stay memory-only but visible.
+	if _, ok := c.Get(testKeyAt(0)); !ok {
+		t.Fatal("read-only cache lost existing records")
+	}
+	c.Put(testKeyAt(1), testRun(1))
+	if _, ok := c.Get(testKeyAt(1)); !ok {
+		t.Fatal("memory-only Put not visible to the same process")
+	}
+	if st := c.Stats(); st.Written != 0 {
+		t.Fatalf("stats = %+v, read-only handle must persist nothing", st)
+	}
+}
+
+func TestUncreatableDirectoryDegrades(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("running as root: directory permissions are not enforced")
+	}
+	parent := t.TempDir()
+	if err := os.Chmod(parent, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(parent, 0o755)
+	c, err := Open(filepath.Join(parent, "cache"), physV)
+	if err != nil {
+		t.Fatalf("uncreatable dir must degrade, not fail: %v", err)
+	}
+	defer c.Close()
+	if c.Warning() == "" {
+		t.Fatal("want a degradation warning")
+	}
+}
+
+func TestOpenEmptyDirErrors(t *testing.T) {
+	if _, err := Open("", physV); err == nil {
+		t.Fatal("Open(\"\") must error")
+	}
+}
+
+func TestDuplicatePutsWrittenOnce(t *testing.T) {
+	dir := t.TempDir()
+	c := openOrDie(t, dir, physV)
+	for i := 0; i < 5; i++ {
+		c.Put(testKeyAt(0), testRun(0))
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Written != 1 {
+		t.Fatalf("stats = %+v, want a single write for duplicate Puts", st)
+	}
+}
+
+func TestEmptySegmentRemovedOnClose(t *testing.T) {
+	dir := t.TempDir()
+	c := openOrDie(t, dir, physV)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "runs-*.jsonl"))
+	if len(segs) != 0 {
+		t.Fatalf("empty segment left behind: %v", segs)
+	}
+}

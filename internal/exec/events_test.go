@@ -9,7 +9,7 @@ import (
 // kind has a name: String must not fall through to the EventKind(%d)
 // fallback before the enum ends.
 func TestEventKindStringExhaustive(t *testing.T) {
-	const numKinds = int(EventCoalesced) + 1
+	const numKinds = int(EventDiskDegraded) + 1
 	seen := make(map[string]EventKind)
 	for k := 0; k < numKinds; k++ {
 		name := EventKind(k).String()

@@ -3,6 +3,14 @@
 // memoises completed ones in a bounded LRU keyed by content address, and
 // reports structured progress through an observer hook.
 //
+// The scheduler is sharded: the in-flight map and the memo LRU are split
+// into power-of-two segments addressed by a hash of the run's content
+// address, each behind its own mutex, and the statistics are plain
+// atomics — so concurrent submissions of distinct keys never serialise
+// on a single lock. An optional persistent second tier (see the
+// diskcache sub-package) survives the process: memo misses consult it
+// before executing, and completed runs are written behind.
+//
 // Every harness entry point — the Session facade, the experiment grid and
 // sweeps, and the CLIs — submits work here, so two tables requesting the
 // same baseline summary share one computation. Runs are deterministic
@@ -14,10 +22,14 @@ package exec
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"dufp/internal/exec/diskcache"
 	"dufp/internal/metrics"
 	"dufp/internal/obs"
 )
@@ -56,6 +68,23 @@ func (k Key) String() string {
 	return fmt.Sprintf("%s under %s [run %d]", k.App, k.Governor, k.Idx)
 }
 
+// hash returns the shard-selection hash of the content address (FNV-1a
+// over all identity fields).
+func (id ID) hash() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id.App))
+	h.Write([]byte{0})
+	h.Write([]byte(id.Governor))
+	h.Write([]byte{0})
+	h.Write([]byte(id.Session))
+	var idx [8]byte
+	for i := 0; i < 8; i++ {
+		idx[i] = byte(id.Idx >> (8 * i))
+	}
+	h.Write(idx[:])
+	return h.Sum64()
+}
+
 // Runner materialises one key into a completed run. It must be safe for
 // concurrent use and deterministic in the key's identity fields.
 type Runner func(ctx context.Context, key Key) (metrics.Run, error)
@@ -75,6 +104,13 @@ const (
 	EventCached
 	// EventCoalesced fires when a submission joins an in-flight run.
 	EventCoalesced
+	// EventDiskHit fires when a submission is served from the persistent
+	// disk cache (and promoted into the LRU).
+	EventDiskHit
+	// EventDiskDegraded fires once at construction when the configured
+	// disk cache could not be opened for writing and the executor
+	// degraded to memory-only caching; Err carries the reason.
+	EventDiskDegraded
 )
 
 func (k EventKind) String() string {
@@ -89,6 +125,10 @@ func (k EventKind) String() string {
 		return "cached"
 	case EventCoalesced:
 		return "coalesced"
+	case EventDiskHit:
+		return "disk"
+	case EventDiskDegraded:
+		return "disk-degraded"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -102,7 +142,7 @@ type Event struct {
 	// QueueDepth is the number of submissions accepted but not yet
 	// resolved at the moment the event was emitted.
 	QueueDepth int
-	// Err carries the failure (Failed only).
+	// Err carries the failure (Failed and DiskDegraded only).
 	Err error
 }
 
@@ -113,42 +153,70 @@ type Observer func(Event)
 // Stats aggregates the executor's counters. RunWall sums the wall-clock
 // time of executed runs, so RunWall divided by the campaign's elapsed time
 // approximates the achieved parallelism.
+//
+// Every submission resolves exactly one way, so at quiescence
+//
+//	Submitted == CacheHits + DiskHits + Coalesced + Started
+//
+// and every started computation either ran or was cancelled before its
+// worker slot:
+//
+//	Started == Completed + Failed + Cancelled
 type Stats struct {
-	Submitted int64         `json:"submitted"`
-	Started   int64         `json:"started"`
-	Completed int64         `json:"completed"`
-	Failed    int64         `json:"failed"`
+	Submitted int64 `json:"submitted"`
+	// Started counts distinct computations admitted for execution: the
+	// submission led (no cache hit, no disk hit, nothing to coalesce
+	// with) and entered the worker queue.
+	Started   int64 `json:"started"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	// Cancelled counts started computations whose context was cancelled
+	// before they acquired a worker; they never executed.
+	Cancelled int64         `json:"cancelled"`
 	CacheHits int64         `json:"cache_hits"`
+	DiskHits  int64         `json:"disk_hits"`
 	Coalesced int64         `json:"coalesced"`
 	Evicted   int64         `json:"evicted"`
 	RunWall   time.Duration `json:"run_wall_ns"`
 }
 
+// DefaultCacheSize is the completed-run LRU bound applied when
+// WithCacheSize is absent or non-positive.
+const DefaultCacheSize = 4096
+
+// defaultShards segments the in-flight map and the LRU; must be a power
+// of two. 16 is comfortably past the worker parallelism of the machines
+// this harness targets while keeping per-shard LRU segments large.
+const defaultShards = 16
+
 // Option configures a new Executor.
 type Option func(*Executor)
 
-// WithWorkers bounds concurrent runs; n <= 0 means GOMAXPROCS.
+// WithWorkers bounds concurrent runs; n <= 0 restores the default
+// (GOMAXPROCS at construction time), even if a previous option set a
+// positive bound.
 func WithWorkers(n int) Option {
-	return func(e *Executor) {
-		if n > 0 {
-			e.workers = n
-		}
-	}
+	return func(e *Executor) { e.workers = n }
 }
 
-// WithCacheSize bounds the completed-run LRU to n entries; n <= 0 keeps
-// the default (4096).
+// WithCacheSize bounds the completed-run LRU to n entries; n <= 0
+// restores the default (DefaultCacheSize), even if a previous option set
+// a positive bound.
 func WithCacheSize(n int) Option {
-	return func(e *Executor) {
-		if n > 0 {
-			e.cacheSize = n
-		}
-	}
+	return func(e *Executor) { e.cacheSize = n }
+}
+
+// WithShards sets the number of scheduler shards, rounded up to a power
+// of two; n <= 0 restores the default. One shard reproduces the
+// single-mutex scheduler and exists for contention benchmarks; real use
+// keeps the default.
+func WithShards(n int) Option {
+	return func(e *Executor) { e.nshards = n }
 }
 
 // WithObserver registers the progress observer.
 func WithObserver(fn Observer) Option {
-	return func(e *Executor) { e.obs = fn }
+	return func(e *Executor) { e.obs.Store(&fn) }
 }
 
 // WithRegistry directs the executor's telemetry at r instead of the
@@ -162,14 +230,31 @@ func WithRegistry(r *obs.Registry) Option {
 	}
 }
 
+// WithDiskCache adds a persistent content-addressed run cache rooted at
+// dir as a second tier behind the memo LRU (see the diskcache
+// sub-package). version is the physics-version stamp: records written
+// under a different stamp are treated as misses, so bumping it
+// invalidates the cache without deleting files. A directory that cannot
+// be opened for writing degrades the executor to memory-only caching
+// and emits one EventDiskDegraded; it never fails construction.
+func WithDiskCache(dir, version string) Option {
+	return func(e *Executor) {
+		e.diskDir, e.diskVersion = dir, version
+	}
+}
+
 // execMetrics holds the executor's pre-resolved registry handles, so the
 // hot path records each event with one atomic operation and no lookup.
 type execMetrics struct {
 	submitted, cacheHits, coalesced *obs.Counter
 	started, completed, failed      *obs.Counter
-	evicted                         *obs.Counter
+	cancelled, evicted              *obs.Counter
+	diskHits, diskMisses            *obs.Counter
+	diskCorrupt                     *obs.Counter
 	queueDepth                      *obs.Gauge
 	runSeconds                      *obs.Histogram
+	diskWriteSeconds                *obs.Histogram
+	shardLocks                      *obs.CounterVec
 }
 
 func newExecMetrics(r *obs.Registry) *execMetrics {
@@ -177,31 +262,71 @@ func newExecMetrics(r *obs.Registry) *execMetrics {
 		submitted:  r.Counter("exec_submitted_total", "run submissions accepted by the executor").With(),
 		cacheHits:  r.Counter("exec_cache_hits_total", "submissions served from the completed-run LRU").With(),
 		coalesced:  r.Counter("exec_coalesced_total", "submissions that joined an in-flight run").With(),
-		started:    r.Counter("exec_runs_started_total", "runs that acquired a worker and began").With(),
+		started:    r.Counter("exec_runs_started_total", "distinct computations admitted for execution").With(),
 		completed:  r.Counter("exec_runs_completed_total", "runs that finished successfully").With(),
 		failed:     r.Counter("exec_runs_failed_total", "runs that returned an error").With(),
+		cancelled:  r.Counter("exec_runs_cancelled_total", "admitted computations cancelled before acquiring a worker").With(),
 		evicted:    r.Counter("exec_cache_evictions_total", "completed runs evicted from the LRU").With(),
+		diskHits:   r.Counter("exec_disk_hits_total", "submissions served from the persistent disk cache").With(),
+		diskMisses: r.Counter("exec_disk_misses_total", "disk-cache lookups that found no valid record").With(),
+		diskCorrupt: r.Counter("exec_disk_corrupt_total",
+			"disk-cache records skipped as corrupt (CRC or decode failure)").With(),
 		queueDepth: r.Gauge("exec_queue_depth", "submissions accepted but not yet resolved").With(),
 		runSeconds: r.Histogram("exec_run_seconds", "wall-clock time of executed runs", nil).With(),
+		diskWriteSeconds: r.Histogram("exec_disk_write_seconds",
+			"wall-clock time of persistent-cache record writes", nil).With(),
+		shardLocks: r.Counter("exec_shard_lock_acquisitions_total",
+			"scheduler shard-mutex acquisitions", "shard"),
 	}
 }
 
+// shard is one segment of the scheduler's state: its slice of the
+// in-flight map and the memo LRU, behind a private mutex. Lock
+// acquisitions are counted per shard, so contention is observable.
+type shard struct {
+	mu       sync.Mutex
+	inflight map[ID]*call
+	cache    *lruCache
+	locks    *obs.Counter
+}
+
+func (s *shard) lock() {
+	s.mu.Lock()
+	s.locks.Inc()
+}
+
+// counters is the executor's atomic statistics block; Stats() snapshots
+// it. The counters are monotone, but a snapshot taken while submissions
+// are in flight is not a consistent cut across fields — the documented
+// identities hold at quiescence.
+type counters struct {
+	submitted, started, completed, failed atomic.Int64
+	cancelled, cacheHits, diskHits        atomic.Int64
+	coalesced, evicted                    atomic.Int64
+	runWallNs                             atomic.Int64
+}
+
 // Executor schedules runs on a bounded worker pool, coalescing concurrent
-// submissions of the same key and memoising completed runs.
+// submissions of the same key and memoising completed runs in a sharded
+// LRU, optionally backed by a persistent disk cache.
 type Executor struct {
 	run       Runner
 	workers   int
 	cacheSize int
+	nshards   int
 	slots     chan struct{}
 	registry  *obs.Registry
 	metrics   *execMetrics
 
-	mu       sync.Mutex
-	inflight map[ID]*call
-	cache    *lruCache
-	stats    Stats
-	queued   int
-	obs      Observer
+	shards    []*shard
+	shardMask uint64
+	queued    atomic.Int64
+	cnt       counters
+	obs       atomic.Pointer[Observer]
+
+	diskDir, diskVersion string
+	disk                 *diskcache.Cache
+	diskWarn             string
 }
 
 type call struct {
@@ -212,63 +337,143 @@ type call struct {
 
 // New builds an executor around run.
 func New(run Runner, opts ...Option) *Executor {
-	e := &Executor{
-		run:       run,
-		workers:   runtime.GOMAXPROCS(0),
-		cacheSize: 4096,
-		registry:  obs.Default(),
-		inflight:  make(map[ID]*call),
-	}
+	e := &Executor{run: run, registry: obs.Default()}
 	for _, opt := range opts {
 		opt(e)
 	}
+	if e.workers <= 0 {
+		e.workers = runtime.GOMAXPROCS(0)
+	}
+	if e.cacheSize <= 0 {
+		e.cacheSize = DefaultCacheSize
+	}
+	if e.nshards <= 0 {
+		e.nshards = defaultShards
+	}
+	e.nshards = nextPow2(e.nshards)
+	e.shardMask = uint64(e.nshards - 1)
 	e.slots = make(chan struct{}, e.workers)
-	e.cache = newLRU(e.cacheSize)
 	e.metrics = newExecMetrics(e.registry)
+
+	// Segment capacity rounds up so the shards together hold at least
+	// cacheSize entries.
+	segCap := (e.cacheSize + e.nshards - 1) / e.nshards
+	e.shards = make([]*shard, e.nshards)
+	for i := range e.shards {
+		e.shards[i] = &shard{
+			inflight: make(map[ID]*call),
+			cache:    newLRU(segCap),
+			locks:    e.metrics.shardLocks.With(strconv.Itoa(i)),
+		}
+	}
+
+	if e.diskDir != "" {
+		dc, err := diskcache.Open(e.diskDir, e.diskVersion,
+			diskcache.WithWriteObserver(func(seconds float64) {
+				e.metrics.diskWriteSeconds.Observe(seconds)
+			}))
+		switch {
+		case err != nil:
+			e.diskWarn = fmt.Sprintf("disk cache disabled: %v", err)
+			e.emit(Event{Kind: EventDiskDegraded, Err: err})
+		default:
+			e.disk = dc
+			e.metrics.diskCorrupt.Add(float64(dc.Stats().Corrupt))
+			if warn := dc.Warning(); warn != "" {
+				e.diskWarn = warn
+				e.emit(Event{Kind: EventDiskDegraded, Err: fmt.Errorf("%s", warn)})
+			}
+		}
+	}
 	return e
 }
 
-// SetObserver replaces the progress observer (nil disables it).
-func (e *Executor) SetObserver(fn Observer) {
-	e.mu.Lock()
-	e.obs = fn
-	e.mu.Unlock()
+// nextPow2 rounds n up to the next power of two.
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
+
+// Close flushes and fsyncs the persistent cache tier, if any. The
+// executor itself holds no other resources; submitting after Close is
+// allowed but no longer persists results.
+func (e *Executor) Close() error {
+	if e.disk != nil {
+		return e.disk.Close()
+	}
+	return nil
+}
+
+// SetObserver replaces the progress observer (nil disables it).
+func (e *Executor) SetObserver(fn Observer) { e.obs.Store(&fn) }
 
 // Stats returns a snapshot of the executor's counters.
 func (e *Executor) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	return Stats{
+		Submitted: e.cnt.submitted.Load(),
+		Started:   e.cnt.started.Load(),
+		Completed: e.cnt.completed.Load(),
+		Failed:    e.cnt.failed.Load(),
+		Cancelled: e.cnt.cancelled.Load(),
+		CacheHits: e.cnt.cacheHits.Load(),
+		DiskHits:  e.cnt.diskHits.Load(),
+		Coalesced: e.cnt.coalesced.Load(),
+		Evicted:   e.cnt.evicted.Load(),
+		RunWall:   time.Duration(e.cnt.runWallNs.Load()),
+	}
 }
 
 // Workers returns the concurrency bound.
 func (e *Executor) Workers() int { return e.workers }
 
+// Shards returns the number of scheduler shards.
+func (e *Executor) Shards() int { return e.nshards }
+
+// DiskWarning returns a non-empty string when a requested disk cache
+// degraded to memory-only operation (unwritable or unopenable
+// directory), describing why.
+func (e *Executor) DiskWarning() string { return e.diskWarn }
+
+// DiskCacheStats returns the persistent tier's counters and whether a
+// disk cache is attached.
+func (e *Executor) DiskCacheStats() (diskcache.Stats, bool) {
+	if e.disk == nil {
+		return diskcache.Stats{}, false
+	}
+	return e.disk.Stats(), true
+}
+
+func (e *Executor) shardFor(id ID) *shard {
+	return e.shards[id.hash()&e.shardMask]
+}
+
 // Submit schedules the key and returns its run. Submissions of a key
 // already in flight join it instead of re-executing (and then observe the
 // leader's outcome, including its cancellation); completed runs are served
-// from the LRU. Cancelling ctx while queued or while this submission leads
+// from the sharded LRU, then from the persistent disk cache when one is
+// attached. Cancelling ctx while queued or while this submission leads
 // the execution returns ctx.Err() promptly.
 func (e *Executor) Submit(ctx context.Context, key Key) (metrics.Run, error) {
 	id := key.ID()
+	e.cnt.submitted.Add(1)
 	e.metrics.submitted.Inc()
-	e.mu.Lock()
-	e.stats.Submitted++
-	if run, ok := e.cache.get(id); ok {
-		e.stats.CacheHits++
-		obs, depth := e.obs, e.queued
-		e.mu.Unlock()
+	sh := e.shardFor(id)
+	sh.lock()
+	if run, ok := sh.cache.get(id); ok {
+		sh.mu.Unlock()
+		e.cnt.cacheHits.Add(1)
 		e.metrics.cacheHits.Inc()
-		emit(obs, Event{Kind: EventCached, Key: key, QueueDepth: depth})
+		e.emit(Event{Kind: EventCached, Key: key, QueueDepth: int(e.queued.Load())})
 		return run, nil
 	}
-	if c, ok := e.inflight[id]; ok {
-		e.stats.Coalesced++
-		obs, depth := e.obs, e.queued
-		e.mu.Unlock()
+	if c, ok := sh.inflight[id]; ok {
+		sh.mu.Unlock()
+		e.cnt.coalesced.Add(1)
 		e.metrics.coalesced.Inc()
-		emit(obs, Event{Kind: EventCoalesced, Key: key, QueueDepth: depth})
+		e.emit(Event{Kind: EventCoalesced, Key: key, QueueDepth: int(e.queued.Load())})
 		select {
 		case <-c.done:
 			return c.run, c.err
@@ -277,26 +482,49 @@ func (e *Executor) Submit(ctx context.Context, key Key) (metrics.Run, error) {
 		}
 	}
 	c := &call{done: make(chan struct{})}
-	e.inflight[id] = c
-	e.queued++
-	e.metrics.queueDepth.Set(float64(e.queued))
-	e.mu.Unlock()
+	sh.inflight[id] = c
+	sh.mu.Unlock()
+	e.metrics.queueDepth.Set(float64(e.queued.Add(1)))
 
+	if e.disk != nil {
+		if run, ok := e.disk.Get(diskcache.Key(id)); ok {
+			e.cnt.diskHits.Add(1)
+			e.metrics.diskHits.Inc()
+			c.run = run
+			e.settle(sh, id, c, false)
+			e.emit(Event{Kind: EventDiskHit, Key: key, QueueDepth: int(e.queued.Load())})
+			return run, nil
+		}
+		e.metrics.diskMisses.Inc()
+	}
+
+	e.cnt.started.Add(1)
+	e.metrics.started.Inc()
 	c.run, c.err = e.execute(ctx, key)
+	e.settle(sh, id, c, c.err == nil)
+	return c.run, c.err
+}
 
-	e.mu.Lock()
-	delete(e.inflight, id)
-	e.queued--
-	e.metrics.queueDepth.Set(float64(e.queued))
+// settle retires a leader's in-flight entry: the completed run enters
+// the LRU (unless it failed), followers are released, and — for fresh
+// executions — the persistent tier is written behind.
+func (e *Executor) settle(sh *shard, id ID, c *call, persist bool) {
+	sh.lock()
+	delete(sh.inflight, id)
 	var evicted int64
 	if c.err == nil {
-		evicted = int64(e.cache.add(id, c.run))
-		e.stats.Evicted += evicted
+		evicted = int64(sh.cache.add(id, c.run))
 	}
-	e.mu.Unlock()
-	e.metrics.evicted.Add(float64(evicted))
+	sh.mu.Unlock()
+	if evicted > 0 {
+		e.cnt.evicted.Add(evicted)
+		e.metrics.evicted.Add(float64(evicted))
+	}
+	e.metrics.queueDepth.Set(float64(e.queued.Add(-1)))
 	close(c.done)
-	return c.run, c.err
+	if persist && e.disk != nil {
+		e.disk.Put(diskcache.Key(id), c.run)
+	}
 }
 
 // SubmitUncached schedules the key through the same bounded worker pool
@@ -304,17 +532,13 @@ func (e *Executor) Submit(ctx context.Context, key Key) (metrics.Run, error) {
 // side-effectful runs — tracing, decision-log capture — whose outputs live
 // outside the returned Run and must be produced fresh every time.
 func (e *Executor) SubmitUncached(ctx context.Context, key Key) (metrics.Run, error) {
+	e.cnt.submitted.Add(1)
 	e.metrics.submitted.Inc()
-	e.mu.Lock()
-	e.stats.Submitted++
-	e.queued++
-	e.metrics.queueDepth.Set(float64(e.queued))
-	e.mu.Unlock()
+	e.cnt.started.Add(1)
+	e.metrics.started.Inc()
+	e.metrics.queueDepth.Set(float64(e.queued.Add(1)))
 	run, err := e.execute(ctx, key)
-	e.mu.Lock()
-	e.queued--
-	e.metrics.queueDepth.Set(float64(e.queued))
-	e.mu.Unlock()
+	e.metrics.queueDepth.Set(float64(e.queued.Add(-1)))
 	return run, err
 }
 
@@ -322,77 +546,139 @@ func (e *Executor) SubmitUncached(ctx context.Context, key Key) (metrics.Run, er
 // events and maintaining the run counters.
 func (e *Executor) execute(ctx context.Context, key Key) (metrics.Run, error) {
 	if err := ctx.Err(); err != nil {
+		e.cnt.cancelled.Add(1)
+		e.metrics.cancelled.Inc()
 		return metrics.Run{}, err
 	}
 	select {
 	case e.slots <- struct{}{}:
 	case <-ctx.Done():
+		e.cnt.cancelled.Add(1)
+		e.metrics.cancelled.Inc()
 		return metrics.Run{}, ctx.Err()
 	}
 	defer func() { <-e.slots }()
 
-	e.mu.Lock()
-	e.stats.Started++
-	obs, depth := e.obs, e.queued
-	e.mu.Unlock()
-	e.metrics.started.Inc()
-	emit(obs, Event{Kind: EventStarted, Key: key, QueueDepth: depth})
+	e.emit(Event{Kind: EventStarted, Key: key, QueueDepth: int(e.queued.Load())})
 
 	start := time.Now()
 	run, err := e.run(ctx, key)
 	wall := time.Since(start)
 
-	e.mu.Lock()
-	e.stats.RunWall += wall
+	e.cnt.runWallNs.Add(int64(wall))
 	kind := EventCompleted
 	if err != nil {
-		e.stats.Failed++
+		e.cnt.failed.Add(1)
+		e.metrics.failed.Inc()
 		kind = EventFailed
 	} else {
-		e.stats.Completed++
-	}
-	obs, depth = e.obs, e.queued
-	e.mu.Unlock()
-	e.metrics.runSeconds.Observe(wall.Seconds())
-	if err != nil {
-		e.metrics.failed.Inc()
-	} else {
+		e.cnt.completed.Add(1)
 		e.metrics.completed.Inc()
 	}
-	emit(obs, Event{Kind: kind, Key: key, Wall: wall, QueueDepth: depth, Err: err})
+	e.metrics.runSeconds.Observe(wall.Seconds())
+	e.emit(Event{Kind: kind, Key: key, Wall: wall, QueueDepth: int(e.queued.Load()), Err: err})
 	return run, err
 }
 
-// Summary schedules runs 0..n-1 of the key's configuration concurrently
+// Outcome is one resolved submission of a batch.
+type Outcome struct {
+	// Idx is the submission's position in the batch, so consumers can
+	// correlate outcomes with their inputs regardless of delivery timing.
+	Idx int
+	Key Key
+	Run metrics.Run
+	Err error
+}
+
+// SubmitAll schedules the whole batch on the executor's worker pool and
+// streams outcomes on the returned channel in submission order (outcome
+// i is delivered only after outcomes 0..i-1), so consuming the channel
+// yields deterministic ordering regardless of execution interleaving.
+// The channel closes after the last outcome; the caller must drain it.
+// Cancelling ctx resolves the remaining submissions with ctx.Err()
+// rather than abandoning them, so the stream always completes.
+//
+// Unlike spawning one goroutine per key, a batch occupies at most
+// Workers() feeder goroutines no matter its size.
+func (e *Executor) SubmitAll(ctx context.Context, keys []Key) <-chan Outcome {
+	out := make(chan Outcome)
+	if len(keys) == 0 {
+		close(out)
+		return out
+	}
+	feeders := e.workers
+	if feeders > len(keys) {
+		feeders = len(keys)
+	}
+	results := make(chan Outcome, len(keys))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < feeders; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(keys) {
+					return
+				}
+				run, err := e.Submit(ctx, keys[i])
+				results <- Outcome{Idx: i, Key: keys[i], Run: run, Err: err}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	go func() {
+		defer close(out)
+		pending := make(map[int]Outcome)
+		want := 0
+		for res := range results {
+			pending[res.Idx] = res
+			for {
+				o, ok := pending[want]
+				if !ok {
+					break
+				}
+				delete(pending, want)
+				want++
+				out <- o
+			}
+		}
+	}()
+	return out
+}
+
+// Summary schedules runs 0..n-1 of the key's configuration as one batch
 // and aggregates them with the paper's protocol (drop the fastest and
 // slowest, average the rest). The template key's Idx is ignored.
 func (e *Executor) Summary(ctx context.Context, key Key, n int) (metrics.Summary, error) {
 	if n < 1 {
 		return metrics.Summary{}, fmt.Errorf("exec: need at least one run, got %d", n)
 	}
-	runs := make([]metrics.Run, n)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			k := key
-			k.Idx = i
-			runs[i], errs[i] = e.Submit(ctx, k)
-		}(i)
+	keys := make([]Key, n)
+	for i := range keys {
+		keys[i] = key
+		keys[i].Idx = i
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return metrics.Summary{}, err
+	runs := make([]metrics.Run, 0, n)
+	var firstErr error
+	for o := range e.SubmitAll(ctx, keys) {
+		if o.Err != nil && firstErr == nil {
+			firstErr = o.Err
 		}
+		runs = append(runs, o.Run)
+	}
+	if firstErr != nil {
+		return metrics.Summary{}, firstErr
 	}
 	return metrics.Summarize(runs)
 }
 
-func emit(obs Observer, ev Event) {
-	if obs != nil {
-		obs(ev)
+func (e *Executor) emit(ev Event) {
+	if fn := e.obs.Load(); fn != nil && *fn != nil {
+		(*fn)(ev)
 	}
 }

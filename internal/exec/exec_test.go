@@ -3,6 +3,7 @@ package exec
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -114,7 +115,9 @@ func TestSubmitCoalesces(t *testing.T) {
 
 func TestLRUEviction(t *testing.T) {
 	var execs atomic.Int64
-	e := New(countRunner(&execs), WithCacheSize(2))
+	// One shard, so the three keys compete for the same two-entry LRU
+	// segment regardless of how they hash.
+	e := New(countRunner(&execs), WithCacheSize(2), WithShards(1))
 	ctx := context.Background()
 	for _, idx := range []int{0, 1, 2} {
 		if _, err := e.Submit(ctx, testKey(idx)); err != nil {
@@ -369,5 +372,102 @@ func TestWorkersBound(t *testing.T) {
 	}
 	if e.Workers() != 2 {
 		t.Fatalf("Workers() = %d", e.Workers())
+	}
+}
+
+func TestOptionDefaultsRestoredByNonPositive(t *testing.T) {
+	// The doc contract: a non-positive value restores the default even if
+	// an earlier option set a positive one.
+	e := New(countRunner(new(atomic.Int64)), WithWorkers(3), WithWorkers(0))
+	if got, want := e.Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("Workers() = %d, want GOMAXPROCS default %d", got, want)
+	}
+	e = New(countRunner(new(atomic.Int64)), WithCacheSize(7), WithCacheSize(-1))
+	if e.cacheSize != DefaultCacheSize {
+		t.Fatalf("cacheSize = %d, want default %d", e.cacheSize, DefaultCacheSize)
+	}
+	e = New(countRunner(new(atomic.Int64)), WithShards(5))
+	if e.Shards() != 8 {
+		t.Fatalf("Shards() = %d, want 8 (rounded up to a power of two)", e.Shards())
+	}
+	e = New(countRunner(new(atomic.Int64)), WithShards(4), WithShards(0))
+	if e.Shards() != defaultShards {
+		t.Fatalf("Shards() = %d, want default %d", e.Shards(), defaultShards)
+	}
+}
+
+func TestSubmitAllOrderedAndDeduplicated(t *testing.T) {
+	var execs atomic.Int64
+	e := New(countRunner(&execs))
+	keys := make([]Key, 40)
+	for i := range keys {
+		keys[i] = testKey(i % 10) // each distinct key appears four times
+	}
+	var idxs []int
+	for o := range e.SubmitAll(context.Background(), keys) {
+		if o.Err != nil {
+			t.Fatal(o.Err)
+		}
+		if want := time.Duration(o.Key.Idx+1) * time.Second; o.Run.Time != want {
+			t.Fatalf("outcome %d: run time %v, want %v", o.Idx, o.Run.Time, want)
+		}
+		idxs = append(idxs, o.Idx)
+	}
+	for i, idx := range idxs {
+		if idx != i {
+			t.Fatalf("outcomes out of order: position %d carries index %d", i, idx)
+		}
+	}
+	if len(idxs) != len(keys) {
+		t.Fatalf("got %d outcomes, want %d", len(idxs), len(keys))
+	}
+	if n := execs.Load(); n != 10 {
+		t.Fatalf("runner executed %d times, want 10 (duplicates served from cache or coalesced)", n)
+	}
+	st := e.Stats()
+	if st.Submitted != 40 || st.Started != 10 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Submitted != st.CacheHits+st.DiskHits+st.Coalesced+st.Started {
+		t.Fatalf("stats identity violated: %+v", st)
+	}
+}
+
+func TestSubmitAllEmptyAndCancelled(t *testing.T) {
+	e := New(countRunner(new(atomic.Int64)))
+	if _, ok := <-e.SubmitAll(context.Background(), nil); ok {
+		t.Fatal("empty batch delivered an outcome")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	keys := []Key{testKey(0), testKey(1), testKey(2)}
+	n := 0
+	for o := range e.SubmitAll(ctx, keys) {
+		if !errors.Is(o.Err, context.Canceled) {
+			t.Fatalf("outcome %d err = %v, want context.Canceled", o.Idx, o.Err)
+		}
+		n++
+	}
+	if n != len(keys) {
+		t.Fatalf("cancelled batch delivered %d outcomes, want %d", n, len(keys))
+	}
+	st := e.Stats()
+	if st.Cancelled != 3 || st.Started != 3 {
+		t.Fatalf("stats = %+v, want 3 started and 3 cancelled", st)
+	}
+}
+
+func TestShardDistribution(t *testing.T) {
+	// Distinct keys must spread across shards: with 1000 keys on 16
+	// shards, every shard should see some traffic.
+	e := New(countRunner(new(atomic.Int64)))
+	hit := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		id := testKey(i).ID()
+		hit[id.hash()&e.shardMask] = true
+	}
+	if len(hit) != e.Shards() {
+		t.Fatalf("1000 distinct keys touched only %d of %d shards", len(hit), e.Shards())
 	}
 }

@@ -1,0 +1,103 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dufp/internal/metrics"
+)
+
+// TestSubmitStress hammers the executor from many goroutines submitting
+// overlapping keys, some of which cancel mid-flight, and asserts the
+// scheduler's two core invariants at quiescence:
+//
+//  1. accounting adds up: Submitted == CacheHits + Coalesced + Started
+//     (no disk tier here), and Started == Completed + Failed + Cancelled;
+//  2. no run executes twice: the runner never observes two concurrent
+//     executions of one key, and a key that completed successfully is
+//     never re-executed.
+//
+// Run it under -race (make race wires it in): the interesting failures
+// are ordering windows between the shard maps, the LRU and the atomic
+// counters.
+func TestSubmitStress(t *testing.T) {
+	const (
+		goroutines = 32
+		submits    = 200
+		distinct   = 17 // overlapping key space, spread over shards
+	)
+	var (
+		inflight  [distinct]atomic.Int64
+		completed [distinct]atomic.Int64
+	)
+	e := New(func(ctx context.Context, key Key) (metrics.Run, error) {
+		idx := key.Idx
+		if n := inflight[idx].Add(1); n != 1 {
+			t.Errorf("key %d: %d concurrent executions", idx, n)
+		}
+		time.Sleep(time.Duration(idx%3) * 100 * time.Microsecond)
+		if completed[idx].Load() > 0 {
+			t.Errorf("key %d re-executed after a successful completion", idx)
+		}
+		completed[idx].Add(1)
+		inflight[idx].Add(-1)
+		return metrics.Run{App: key.App, Governor: key.Governor}, nil
+	}, WithWorkers(8))
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < submits; i++ {
+				ctx := context.Background()
+				cancel := context.CancelFunc(func() {})
+				if rng.Intn(4) == 0 {
+					// A quarter of the submissions race a cancellation
+					// against their own scheduling.
+					ctx, cancel = context.WithCancel(ctx)
+					delay := time.Duration(rng.Intn(200)) * time.Microsecond
+					go func() {
+						time.Sleep(delay)
+						cancel()
+					}()
+				}
+				_, err := e.Submit(ctx, testKey(rng.Intn(distinct)))
+				if err != nil && !errors.Is(err, context.Canceled) {
+					t.Errorf("submit error: %v", err)
+				}
+				cancel()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := e.Stats()
+	if st.Submitted != goroutines*submits {
+		t.Fatalf("submitted %d, want %d", st.Submitted, goroutines*submits)
+	}
+	if got := st.CacheHits + st.Coalesced + st.Started; got != st.Submitted {
+		t.Fatalf("stats identity violated: CacheHits+Coalesced+Started = %d, Submitted = %d (%+v)",
+			got, st.Submitted, st)
+	}
+	if got := st.Completed + st.Failed + st.Cancelled; got != st.Started {
+		t.Fatalf("start accounting violated: Completed+Failed+Cancelled = %d, Started = %d (%+v)",
+			got, st.Started, st)
+	}
+	if st.Failed != 0 {
+		t.Fatalf("stats = %+v, runner never fails", st)
+	}
+	var runs int64
+	for i := range completed {
+		runs += completed[i].Load()
+	}
+	if runs != st.Completed {
+		t.Fatalf("runner executed %d runs, executor counted %d completions", runs, st.Completed)
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"sync"
 
 	"dufp"
 )
@@ -135,17 +134,14 @@ func RunGrid(opts Options) (*Grid, error) {
 		}
 	}
 
-	sums := make([]dufp.Summary, len(cells))
-	errs := make([]error, len(cells))
-	var wg sync.WaitGroup
+	// One batch for the whole campaign: every (cell × run index) is
+	// submitted to the executor at once, so its worker pool interleaves
+	// runs across cells instead of draining them cell by cell.
+	reqs := make([]dufp.SummaryRequest, len(cells))
 	for i, c := range cells {
-		wg.Add(1)
-		go func(i int, c cell) {
-			defer wg.Done()
-			sums[i], errs[i] = session.SummarizeCtx(ctx, c.app, c.gov, opts.Runs)
-		}(i, c)
+		reqs[i] = dufp.SummaryRequest{App: c.app, Governor: c.gov}
 	}
-	wg.Wait()
+	outcomes := session.SummarizeAll(ctx, reqs, opts.Runs)
 
 	g := &Grid{
 		Opts:      opts,
@@ -153,11 +149,11 @@ func RunGrid(opts Options) (*Grid, error) {
 		Cells:     make(map[CellKey]dufp.Summary),
 	}
 	for i, c := range cells {
-		if errs[i] != nil {
+		if err := outcomes[i].Err; err != nil {
 			return nil, fmt.Errorf("experiment: %s/%s tol=%.0f%%: %w",
-				c.key.App, c.key.Gov, c.key.Tolerance*100, errs[i])
+				c.key.App, c.key.Gov, c.key.Tolerance*100, err)
 		}
-		sum := sums[i]
+		sum := outcomes[i].Summary
 		// Annotate the tolerance: baseline summaries carry none.
 		sum.Slowdown = c.key.Tolerance
 		if c.key.Gov == "" {

@@ -23,10 +23,19 @@ func ToleranceSweep(opts Options, appName string, tolerances []float64) (Table, 
 	}
 	ctx, session := opts.campaign()
 
-	base, err := session.SummarizeCtx(ctx, app, dufp.Baseline(), opts.Runs)
-	if err != nil {
+	// The baseline and every tolerance go out as one executor batch, so
+	// the sweep's runs interleave across the worker pool instead of
+	// completing tolerance by tolerance.
+	reqs := make([]dufp.SummaryRequest, 0, len(tolerances)+1)
+	reqs = append(reqs, dufp.SummaryRequest{App: app, Governor: dufp.Baseline()})
+	for _, tol := range tolerances {
+		reqs = append(reqs, dufp.SummaryRequest{App: app, Governor: dufp.DUFP(dufp.DefaultControlConfig(tol))})
+	}
+	outcomes := session.SummarizeAll(ctx, reqs, opts.Runs)
+	if err := outcomes[0].Err; err != nil {
 		return Table{}, err
 	}
+	base := outcomes[0].Summary
 
 	t := Table{
 		ID:      "Sweep",
@@ -39,12 +48,11 @@ func ToleranceSweep(opts Options, appName string, tolerances []float64) (Table, 
 
 	bestEnergyTol, bestEnergy := 0.0, -1e9
 	bestPowerNoLossTol, bestPowerNoLoss := 0.0, -1e9
-	for _, tol := range tolerances {
-		sum, err := session.SummarizeCtx(ctx, app, dufp.DUFP(dufp.DefaultControlConfig(tol)), opts.Runs)
-		if err != nil {
+	for i, tol := range tolerances {
+		if err := outcomes[i+1].Err; err != nil {
 			return Table{}, err
 		}
-		c := dufp.CompareRuns(sum, base)
+		c := dufp.CompareRuns(outcomes[i+1].Summary, base)
 		energy := c.TotalEnergyRatio.SavingsPercent()
 		power := c.PkgPowerRatio.SavingsPercent()
 		t.Rows = append(t.Rows, []string{

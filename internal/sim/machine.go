@@ -18,6 +18,16 @@ import (
 	"dufp/internal/units"
 )
 
+// PhysicsVersion stamps every persisted run with the generation of the
+// simulator's numerical model. Bump it whenever a change alters simulated
+// results in any bit — power-model coefficients, tick integration order,
+// RAPL limiter behaviour, RNG derivation — so disk-cached runs recorded
+// under the old physics are invalidated instead of silently served (see
+// internal/exec/diskcache and DESIGN.md §12). Purely structural changes
+// that keep results bit-identical (like the event-horizon fast path) must
+// NOT bump it, or warm caches would be thrown away for nothing.
+const PhysicsVersion = "sim-physics-v1"
+
 // Config parameterises a machine.
 type Config struct {
 	// Topo is the node topology; defaults to the paper's yeti-2.

@@ -31,12 +31,11 @@ var (
 		"sim_fast_ticks_total", "physics ticks advanced by the event-horizon macro-step").With()
 	simFastWindowsTotal = obs.Default().Counter(
 		"sim_fast_windows_total", "event-horizon macro-step windows executed").With()
-	// Deprecated: a last-writer-wins gauge is meaningless with concurrent
-	// executor workers; derive the rate from sim_ticks_total over
-	// sim_wall_seconds_total instead. Kept one release as an alias.
-	simTicksPerSecond = obs.Default().Gauge(
-		"sim_ticks_per_second", "Deprecated alias: physics ticks per wall-clock second of the most recently finished run; use sim_ticks_total / sim_wall_seconds_total").With()
 )
+
+// The former sim_ticks_per_second gauge is gone: a last-writer-wins gauge
+// is meaningless with concurrent executor workers. Derive the rate from
+// sim_ticks_total / sim_wall_seconds_total instead (see README).
 
 // Governor is a per-socket runtime controller invoked every control
 // period. DUF and DUFP implement it (via the control package); a nil
@@ -295,7 +294,6 @@ func (m *Machine) Run(opts RunOpts) (Result, error) {
 	simFastWindowsTotal.Add(float64(m.fastWindowsRun))
 	if wall := time.Since(wallStart).Seconds(); wall > 0 {
 		simWallSecondsTotal.Add(wall)
-		simTicksPerSecond.Set(float64(tick) / wall)
 	}
 
 	res := Result{SocketDurations: make([]time.Duration, len(m.sockets))}

@@ -8,6 +8,7 @@ import (
 
 	"dufp/internal/control"
 	"dufp/internal/fault"
+	"dufp/internal/metrics"
 	"dufp/internal/msr"
 	"dufp/internal/papi"
 	"dufp/internal/powercap"
@@ -296,6 +297,72 @@ func (s Session) SummarizeCtx(ctx context.Context, app App, gov Governor, n int)
 		return Summary{}, fmt.Errorf("dufp: need at least one run, got %d: %w", n, ErrBadConfig)
 	}
 	return s.executor().Summary(ctx, s.execKey(app, gov, 0, false, false), n)
+}
+
+// SummaryRequest names one (application, governor) configuration of a
+// batch summary.
+type SummaryRequest struct {
+	App      App
+	Governor Governor
+}
+
+// SummaryOutcome is one resolved configuration of a SummarizeAll batch:
+// the request it answers plus its aggregated summary or first error.
+type SummaryOutcome struct {
+	Req     SummaryRequest
+	Summary Summary
+	Err     error
+}
+
+// SummarizeAll summarises every requested configuration — n runs each,
+// aggregated with the paper's protocol — as one executor batch. All
+// len(reqs)×n runs are interleaved across the executor's worker pool, so
+// a slow configuration never serialises the campaign behind it the way a
+// SummarizeCtx-per-goroutine fan-out with fewer goroutines than cells
+// would. Outcomes are returned in request order; a cancelled context
+// resolves the remaining outcomes with ctx.Err() rather than dropping
+// them.
+func (s Session) SummarizeAll(ctx context.Context, reqs []SummaryRequest, n int) []SummaryOutcome {
+	out := make([]SummaryOutcome, len(reqs))
+	for i, req := range reqs {
+		out[i].Req = req
+	}
+	if len(reqs) == 0 {
+		return out
+	}
+	if n < 1 {
+		err := fmt.Errorf("dufp: need at least one run, got %d: %w", n, ErrBadConfig)
+		for i := range out {
+			out[i].Err = err
+		}
+		return out
+	}
+	keys := make([]RunKey, 0, len(reqs)*n)
+	for _, req := range reqs {
+		for i := 0; i < n; i++ {
+			keys = append(keys, s.execKey(req.App, req.Governor, i, false, false))
+		}
+	}
+	runs := make([]Run, len(keys))
+	errs := make([]error, len(reqs))
+	for o := range s.executor().SubmitAll(ctx, keys) {
+		r := o.Idx / n
+		if o.Err != nil {
+			if errs[r] == nil {
+				errs[r] = o.Err
+			}
+			continue
+		}
+		runs[o.Idx] = o.Run
+	}
+	for r := range reqs {
+		if errs[r] != nil {
+			out[r].Err = errs[r]
+			continue
+		}
+		out[r].Summary, out[r].Err = metrics.Summarize(runs[r*n : (r+1)*n])
+	}
+	return out
 }
 
 func allNil(govs []sim.Governor) bool {
