@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 tier1-faults build test short race vet cover bench bench-smoke bench-scaling
+.PHONY: all tier1 tier1-faults tier1-api build test short race vet cover bench bench-api bench-smoke bench-scaling
 
 all: tier1 race vet
 
@@ -15,6 +15,13 @@ tier1: build test
 tier1-faults:
 	$(GO) run ./cmd/dufpbench -faults -apps CG -runs 2
 	$(GO) test -race ./internal/fault/... ./internal/control/...
+
+# tier1-api gates the campaign daemon: the wire-schema round-trips, the
+# daemon unit tests and the e2e that kills a live dufpd mid-campaign and
+# requires the resumed results to be bit-identical to a cold run.
+tier1-api:
+	$(GO) test -run 'Wire|RunSpec|RunResult|Summary' . -count=1
+	$(GO) test -race ./internal/api/... -count=1
 
 build:
 	$(GO) build ./...
@@ -46,6 +53,12 @@ COVER_MIN  = 85.0
 bench:
 	$(GO) test -run xxx -bench 'StepPhysics|RunUngoverned|RunGoverned' -benchmem ./internal/sim/
 	$(GO) run ./cmd/simbench -out BENCH_sim.json -compare reports/bench_baseline.json
+
+# bench-api drives the Run API end to end: a private daemon warmed with
+# a Fig-3 grid, then concurrent HTTP clients over a submit/poll mix;
+# throughput and per-route latency percentiles land in BENCH_api.json.
+bench-api:
+	$(GO) run ./cmd/dufpbench -loadgen 32 -apps CG -runs 2 -loadgen-duration 3s -loadgen-out BENCH_api.json
 
 # bench-smoke is the CI variant: reduced grid, same artifact.
 bench-smoke:

@@ -11,6 +11,12 @@
 //	dufpbench -fig all -progress       # live scheduler progress on stderr
 //	dufpbench -fig all -stats -        # executor statistics as JSON
 //	dufpbench -faults -apps CG -runs 2 # fault-injection robustness grid
+//	dufpbench -loadgen 32 -apps CG     # benchmark the Run API (BENCH_api.json)
+//
+// -listen serves the campaign over the same surface cmd/dufpd exposes:
+// the /v1 Run API plus the observability endpoints, on one listener —
+// it is a thin alias for an embedded dufpd sharing the invocation's
+// executor (and so its caches), minus the campaign journal.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -28,6 +35,7 @@ import (
 	"time"
 
 	"dufp"
+	"dufp/internal/api"
 	"dufp/internal/experiment"
 	"dufp/internal/obs/obshttp"
 	"dufp/internal/report"
@@ -51,7 +59,10 @@ func benchMain() int {
 		html     = flag.String("html", "", "write the full campaign as an HTML report (charts + tables) to this file")
 		progress = flag.Bool("progress", false, "print live scheduler progress to stderr")
 		stats    = flag.String("stats", "", "write executor statistics as JSON to this file ('-' for stdout)")
-		listen   = flag.String("listen", "", "serve live introspection on this address (/metrics, /runs, /timeline, /debug/pprof), e.g. :8080")
+		listen   = flag.String("listen", "", "serve the Run API and live introspection on this address (/v1, /metrics, /runs, /timeline, /debug/pprof), e.g. :8080")
+		loadgen  = flag.Int("loadgen", 0, "benchmark the Run API with this many concurrent clients against an in-process daemon (0: off)")
+		loadDur  = flag.Duration("loadgen-duration", 3*time.Second, "measurement window of the -loadgen benchmark")
+		loadOut  = flag.String("loadgen-out", "BENCH_api.json", "file the -loadgen results are written to")
 		faults   = flag.Bool("faults", false, "run the fault-injection robustness grid (guarded DUFP under each fault level) instead of a figure")
 		cacheDir = flag.String("cache-dir", os.Getenv("DUFP_CACHE_DIR"), "persist completed runs under this directory and reuse them across invocations (default: $DUFP_CACHE_DIR)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
@@ -121,17 +132,6 @@ func benchMain() int {
 		defer stop()
 	}
 
-	var srv *obshttp.Server
-	if *listen != "" {
-		srv = obshttp.New(nil, executor)
-		go func() {
-			if lerr := srv.ListenAndServe(*listen); lerr != nil {
-				fmt.Fprintln(os.Stderr, "dufpbench: listen:", lerr)
-			}
-		}()
-		fmt.Fprintf(os.Stderr, "serving introspection on %s (/metrics, /runs, /timeline, /debug/pprof)\n", *listen)
-	}
-
 	opts := experiment.DefaultOptions()
 	opts.Runs = *runs
 	opts.Parallelism = *workers
@@ -143,7 +143,30 @@ func benchMain() int {
 		opts.Apps = strings.Split(*apps, ",")
 	}
 
+	// -listen embeds the dufpd surface: the Run API daemon and the
+	// observability server share the invocation's executor and one mux,
+	// so figure campaigns and API submissions feed the same caches.
+	var srv *obshttp.Server
+	if *listen != "" {
+		srv = obshttp.New(nil, executor)
+		daemon, derr := api.New(api.Config{Session: opts.Session, Executor: executor})
+		if derr != nil {
+			fmt.Fprintln(os.Stderr, "dufpbench:", derr)
+			return 1
+		}
+		defer daemon.Close()
+		go func() {
+			if lerr := http.ListenAndServe(*listen, api.MountObs(daemon.Handler(), srv)); lerr != nil {
+				fmt.Fprintln(os.Stderr, "dufpbench: listen:", lerr)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "serving Run API and introspection on %s (/v1, /metrics, /runs, /timeline, /debug/pprof)\n", *listen)
+	}
+
 	err := func() error {
+		if *loadgen > 0 {
+			return runLoadgen(ctx, opts, *loadgen, *loadDur, *loadOut)
+		}
 		if *faults {
 			return runFaults(opts, *md)
 		}

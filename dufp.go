@@ -20,9 +20,8 @@
 // (app, governor, session, run index) requests — e.g. the baseline above
 // and the same baseline needed by an experiment table — compute once.
 // Session.Run takes options (WithTrace, WithEvents, WithTimeline,
-// WithFaultStats, WithFaults) for sideband artifacts; the former
-// per-artifact RunCtx/RunTracedCtx/... methods remain as thin deprecated
-// wrappers. WithFaultPlan injects deterministic sensor/actuator faults
+// WithFaultStats, WithFaults) for sideband artifacts.
+// WithFaultPlan injects deterministic sensor/actuator faults
 // and ControlConfig.Guard hardens the controllers against them (see
 // DESIGN.md §10).
 package dufp

@@ -190,6 +190,16 @@ func (s Session) execKey(app App, gov Governor, idx int, traced, keep bool) exec
 	}
 }
 
+// RunID returns the stable identifier of the run spec under this
+// session's configuration: a 16-hex-digit fingerprint of the content
+// address (application, governor, session, run index). It is the ID the
+// Run API serves runs under, and the key Executor.DiskGetByID resolves
+// after a restart — two processes with the same session and spec compute
+// the same ID.
+func (s Session) RunID(spec RunSpec) string {
+	return exec.RunID(s.execKey(spec.App, spec.Governor, spec.Idx, false, false).ID())
+}
+
 // executor returns the scheduler this session's runs submit to.
 func (s Session) executor() *Executor {
 	if s.exec != nil {

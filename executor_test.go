@@ -129,17 +129,13 @@ func TestSummarizeCtxCancellation(t *testing.T) {
 	}
 }
 
-func TestRunCtxPreCancelled(t *testing.T) {
+func TestRunPreCancelled(t *testing.T) {
 	app := fastApp(t)
 	session := dufp.NewSession(dufp.WithExecutor(dufp.NewExecutor()))
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	if _, err := session.Run(ctx, dufp.RunSpec{App: app, Governor: dufp.Baseline()}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
-	}
-	// The deprecated wrapper routes through the same path.
-	if _, err := session.RunCtx(ctx, app, dufp.Baseline(), 0); !errors.Is(err, context.Canceled) {
-		t.Fatalf("wrapper err = %v, want context.Canceled", err)
 	}
 }
 

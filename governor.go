@@ -18,6 +18,10 @@ import (
 type Governor struct {
 	id string
 	mk GovernorFunc
+	// spec is the declarative form recorded by the canonical
+	// constructors, which is what makes a Governor serializable on the
+	// wire (see wire.go). Anonymous governors have none.
+	spec *govSpec
 }
 
 // ID returns the governor's canonical identity.
@@ -50,16 +54,18 @@ func cfgID(kind string, cfg any) string {
 // DUF attaches the uncore-only DUF controller.
 func DUF(cfg ControlConfig) Governor {
 	return Governor{
-		id: cfgID("DUF", cfg),
-		mk: func(act control.Actuators) (control.Instance, error) { return control.NewDUF(act, cfg) },
+		id:   cfgID("DUF", cfg),
+		mk:   func(act control.Actuators) (control.Instance, error) { return control.NewDUF(act, cfg) },
+		spec: &govSpec{kind: GovKindDUF, cfg: &cfg},
 	}
 }
 
 // DUFP attaches the paper's DUFP controller.
 func DUFP(cfg ControlConfig) Governor {
 	return Governor{
-		id: cfgID("DUFP", cfg),
-		mk: func(act control.Actuators) (control.Instance, error) { return control.NewDUFP(act, cfg) },
+		id:   cfgID("DUFP", cfg),
+		mk:   func(act control.Actuators) (control.Instance, error) { return control.NewDUFP(act, cfg) },
+		spec: &govSpec{kind: GovKindDUFP, cfg: &cfg},
 	}
 }
 
@@ -67,8 +73,9 @@ func DUFP(cfg ControlConfig) Governor {
 // paper's related work (§VI).
 func DNPC(cfg ControlConfig) Governor {
 	return Governor{
-		id: cfgID("DNPC", cfg),
-		mk: func(act control.Actuators) (control.Instance, error) { return control.NewDNPC(act, cfg) },
+		id:   cfgID("DNPC", cfg),
+		mk:   func(act control.Actuators) (control.Instance, error) { return control.NewDNPC(act, cfg) },
+		spec: &govSpec{kind: GovKindDNPC, cfg: &cfg},
 	}
 }
 
@@ -76,8 +83,9 @@ func DNPC(cfg ControlConfig) Governor {
 // the core-frequency request under an active cap.
 func DUFPF(cfg ControlConfig) Governor {
 	return Governor{
-		id: cfgID("DUFP-F", cfg),
-		mk: func(act control.Actuators) (control.Instance, error) { return control.NewDUFPF(act, cfg) },
+		id:   cfgID("DUFP-F", cfg),
+		mk:   func(act control.Actuators) (control.Instance, error) { return control.NewDUFPF(act, cfg) },
+		spec: &govSpec{kind: GovKindDUFPF, cfg: &cfg},
 	}
 }
 
@@ -88,6 +96,7 @@ func StaticCap(pl1, pl2 Power) Governor {
 		mk: func(act control.Actuators) (control.Instance, error) {
 			return control.NewStaticCap(act, pl1, pl2)
 		},
+		spec: &govSpec{kind: GovKindStaticCap, pl1: pl1, pl2: pl2},
 	}
 }
 
@@ -110,6 +119,7 @@ func StaticCapDUF(cfg ControlConfig, pl1, pl2 Power) Governor {
 			}
 			return control.Chain{static, duf}, nil
 		},
+		spec: &govSpec{kind: GovKindStaticCapDUF, cfg: &cfg, pl1: pl1, pl2: pl2},
 	}
 }
 
@@ -133,6 +143,7 @@ func TimedCap(cfg ControlConfig, pl1, pl2 Power, until time.Duration) Governor {
 			}
 			return control.Chain{timed, duf}, nil
 		},
+		spec: &govSpec{kind: GovKindTimedCap, cfg: &cfg, pl1: pl1, pl2: pl2, until: until},
 	}
 }
 

@@ -1,0 +1,271 @@
+// Package api is the versioned HTTP/JSON Run API of the campaign
+// daemon (cmd/dufpd): wire types, the daemon core (bounded job queue,
+// campaign fan-out, durable resume from the executor's disk cache) and
+// the /v1 HTTP surface. The wire encoding of runs and specs is the
+// repository's canonical schema (wire.go at the root): what crosses this
+// API is byte-identical to what the disk cache persists and the
+// experiment tables export.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"dufp"
+	"dufp/internal/experiment"
+)
+
+// Version is the API version segment all routes are mounted under.
+const Version = "v1"
+
+// Job and campaign states. A job moves queued → running → done|failed;
+// a campaign is running until every member job is terminal.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// terminal reports whether a state is final.
+func terminal(state string) bool { return state == StateDone || state == StateFailed }
+
+// RunStatus is the wire form of one run's lifecycle: identity, state,
+// and — once done — the measurement in the canonical run schema.
+type RunStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// App, Governor and Idx echo the spec for listability; the governor
+	// is its content-addressed identity, not a re-serialisable config.
+	App      string `json:"app,omitempty"`
+	Governor string `json:"governor,omitempty"`
+	Idx      int    `json:"idx"`
+	// Campaigns lists the campaigns this run belongs to, if any.
+	Campaigns []string  `json:"campaigns,omitempty"`
+	Run       *dufp.Run `json:"run,omitempty"`
+	Error     string    `json:"error,omitempty"`
+}
+
+// CampaignKind names the supported campaign shapes.
+const (
+	KindGrid       = "grid"       // apps × {baseline, DUF, DUFP per tolerance} (Fig. 3)
+	KindSweep      = "sweep"      // apps × {baseline, DUFP per tolerance}
+	KindRobustness = "robustness" // apps × fault levels × hardened DUFP per tolerance
+)
+
+// CampaignSpec is the wire form of a campaign request: a named shape
+// expanded server-side into a deterministic list of runs. The zero
+// values select the paper's protocol (full suite, tolerances 0/5/10/20 %)
+// with a reduced repetition count of 3 runs per cell.
+type CampaignSpec struct {
+	V    int    `json:"v"`
+	Kind string `json:"kind"`
+	// Apps restricts the application set; empty means the full suite.
+	Apps []string `json:"apps,omitempty"`
+	// Tolerances are the tolerated slowdowns; empty means 0/5/10/20 %.
+	Tolerances []float64 `json:"tolerances,omitempty"`
+	// Runs is the repetition count per cell; 0 means 3.
+	Runs int `json:"runs,omitempty"`
+	// Levels names the fault levels of a robustness campaign (subset of
+	// "none", "noise", "noise+lag", "harsh"); empty means all four.
+	// Rejected for other kinds.
+	Levels []string `json:"levels,omitempty"`
+}
+
+// GroupSummary is one aggregated cell of a finished campaign: the runs
+// of one (app, governor[, fault level]) group reduced with the paper's
+// protocol (drop fastest and slowest, average the rest).
+type GroupSummary struct {
+	Group   string       `json:"group"`
+	Summary dufp.Summary `json:"summary"`
+}
+
+// CampaignStatus is the wire form of a campaign's lifecycle.
+type CampaignStatus struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Kind   string `json:"kind"`
+	Total  int    `json:"total"`
+	Done   int    `json:"done"`
+	Failed int    `json:"failed"`
+	// RunIDs lists the member runs (detail views only; omitted from the
+	// campaign list).
+	RunIDs []string `json:"run_ids,omitempty"`
+	// Summaries carries the per-group aggregates once the campaign is
+	// done and every group has enough successful runs.
+	Summaries []GroupSummary `json:"summaries,omitempty"`
+	Error     string         `json:"error,omitempty"`
+}
+
+// Health is the wire form of /v1/healthz.
+type Health struct {
+	Status     string  `json:"status"`
+	QueueDepth int     `json:"queue_depth"`
+	Jobs       int     `json:"jobs"`
+	Campaigns  int     `json:"campaigns"`
+	Draining   bool    `json:"draining"`
+	UptimeS    float64 `json:"uptime_s"`
+}
+
+// errorBody is the wire form of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// normalize applies defaults and validates what can be checked without
+// a session: version, kind, levels.
+func (c CampaignSpec) normalize() (CampaignSpec, error) {
+	if c.V != dufp.WireVersion {
+		return c, fmt.Errorf("api: campaign spec version %d, this daemon speaks %d", c.V, dufp.WireVersion)
+	}
+	switch c.Kind {
+	case KindGrid, KindSweep:
+		if len(c.Levels) > 0 {
+			return c, fmt.Errorf("api: fault levels are only valid for %q campaigns", KindRobustness)
+		}
+	case KindRobustness:
+	default:
+		return c, fmt.Errorf("api: unknown campaign kind %q", c.Kind)
+	}
+	if len(c.Tolerances) == 0 {
+		c.Tolerances = []float64{0, 0.05, 0.10, 0.20}
+	}
+	for _, tol := range c.Tolerances {
+		if tol < 0 || tol >= 1 {
+			return c, fmt.Errorf("api: tolerance %v out of [0, 1)", tol)
+		}
+	}
+	if c.Runs == 0 {
+		c.Runs = 3
+	}
+	if c.Runs < 1 {
+		return c, fmt.Errorf("api: runs must be positive, got %d", c.Runs)
+	}
+	sort.Strings(c.Apps)
+	return c, nil
+}
+
+// CampaignID returns the deterministic identifier of a campaign spec:
+// the FNV-1a fingerprint of its normalised canonical JSON, prefixed "c".
+// Resubmitting an identical spec yields the identical ID, which is what
+// makes POST /v1/campaigns idempotent and the journal replayable.
+func CampaignID(spec CampaignSpec) (string, error) {
+	norm, err := spec.normalize()
+	if err != nil {
+		return "", err
+	}
+	b, err := json.Marshal(norm)
+	if err != nil {
+		return "", err
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("c%015x", h.Sum64()&0xfffffffffffffff), nil
+}
+
+// jobSpec is one expanded member of a campaign: the run to perform, the
+// session to perform it under (base session, possibly with an injected
+// fault plan) and the summary group it aggregates into.
+type jobSpec struct {
+	spec    dufp.RunSpec
+	session dufp.Session
+	group   string
+}
+
+// expand materialises a normalised campaign spec into its member runs
+// under the given base session. The expansion is deterministic: same
+// spec and session, same jobs in the same order.
+func expand(spec CampaignSpec, base dufp.Session) ([]jobSpec, error) {
+	apps, err := appsOf(spec.Apps)
+	if err != nil {
+		return nil, err
+	}
+	type cell struct {
+		gov     dufp.Governor
+		session dufp.Session
+		group   string
+	}
+	var jobs []jobSpec
+	for _, app := range apps {
+		var cells []cell
+		switch spec.Kind {
+		case KindGrid, KindSweep:
+			cells = append(cells, cell{dufp.Baseline(), base, app.Name + "/baseline"})
+			for _, tol := range spec.Tolerances {
+				cfg := dufp.DefaultControlConfig(tol)
+				if spec.Kind == KindGrid {
+					cells = append(cells, cell{dufp.DUF(cfg), base,
+						fmt.Sprintf("%s/DUF/%g", app.Name, tol)})
+				}
+				cells = append(cells, cell{dufp.DUFP(cfg), base,
+					fmt.Sprintf("%s/DUFP/%g", app.Name, tol)})
+			}
+		case KindRobustness:
+			cells = append(cells, cell{dufp.Baseline(), base, app.Name + "/baseline"})
+			levels, err := levelsOf(spec.Levels)
+			if err != nil {
+				return nil, err
+			}
+			for _, lv := range levels {
+				faulted := base
+				faulted.Faults = lv.Plan
+				for _, tol := range spec.Tolerances {
+					cfg := dufp.DefaultControlConfig(tol)
+					cfg.Guard = dufp.DefaultGuardConfig()
+					cells = append(cells, cell{dufp.DUFP(cfg), faulted,
+						fmt.Sprintf("%s/%s/DUFP/%g", app.Name, lv.Name, tol)})
+				}
+			}
+		}
+		for _, c := range cells {
+			for i := 0; i < spec.Runs; i++ {
+				jobs = append(jobs, jobSpec{
+					spec:    dufp.RunSpec{App: app, Governor: c.gov, Idx: i},
+					session: c.session,
+					group:   c.group,
+				})
+			}
+		}
+	}
+	return jobs, nil
+}
+
+// appsOf resolves application names, defaulting to the full suite.
+func appsOf(names []string) ([]dufp.App, error) {
+	if len(names) == 0 {
+		return dufp.Suite(), nil
+	}
+	out := make([]dufp.App, 0, len(names))
+	for _, name := range names {
+		a, err := dufp.AppNamed(name)
+		if err != nil {
+			return nil, fmt.Errorf("api: %w", err)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// levelsOf resolves fault-level names against the standard ladder
+// (experiment.DefaultFaultLevels), defaulting to all of it.
+func levelsOf(names []string) ([]experiment.FaultLevel, error) {
+	ladder := experiment.DefaultFaultLevels()
+	if len(names) == 0 {
+		return ladder, nil
+	}
+	byName := make(map[string]experiment.FaultLevel, len(ladder))
+	for _, lv := range ladder {
+		byName[lv.Name] = lv
+	}
+	out := make([]experiment.FaultLevel, 0, len(names))
+	for _, name := range names {
+		lv, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("api: unknown fault level %q", name)
+		}
+		out = append(out, lv)
+	}
+	return out, nil
+}

@@ -1,0 +1,747 @@
+package api
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"dufp"
+	"dufp/internal/metrics"
+	"dufp/internal/obs"
+)
+
+// Submission errors, mapped to HTTP status codes by the server.
+var (
+	// ErrQueueFull rejects a submission because the bounded job queue is
+	// at capacity — the client should back off and retry (HTTP 429).
+	ErrQueueFull = errors.New("api: job queue full")
+	// ErrDraining rejects a submission because the daemon is shutting
+	// down (HTTP 503).
+	ErrDraining = errors.New("api: daemon draining")
+	// ErrNotSerializable rejects a run whose governor has no wire form.
+	ErrNotSerializable = errors.New("api: governor is not serializable")
+)
+
+// Config parameterises a daemon.
+type Config struct {
+	// Session is the base experiment session campaigns run under.
+	Session dufp.Session
+	// Executor schedules the actual simulations; nil builds a private
+	// one. Give it a disk cache (dufp.ExecDiskCache) to make the daemon
+	// durable: results survive restarts and journal replay turns into
+	// cache reads.
+	Executor *dufp.Executor
+	// QueueDepth bounds the job queue in front of the executor; once
+	// full, single-run submissions fail with ErrQueueFull and campaign
+	// feeders block. 0 means 256.
+	QueueDepth int
+	// Workers bounds the dispatcher goroutines feeding the executor;
+	// 0 means the executor's worker count.
+	Workers int
+	// DataDir holds the campaign journal (campaigns.jsonl). Empty
+	// disables campaign durability; runs are still durable through the
+	// executor's disk cache.
+	DataDir string
+	// Registry receives the api_* metrics; nil means obs.Default().
+	Registry *obs.Registry
+	// Logf logs daemon lifecycle events; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// job is one tracked run. Mutable fields are guarded by Daemon.mu.
+type job struct {
+	id      string
+	spec    dufp.RunSpec
+	session dufp.Session
+
+	state string
+	run   dufp.Run
+	err   string
+	camps []*campaign
+	subs  map[chan RunStatus]struct{}
+}
+
+// campaign is one tracked campaign. Guarded by Daemon.mu.
+type campaign struct {
+	id     string
+	spec   CampaignSpec
+	jobs   []*job
+	groups []string // group label per job, parallel to jobs
+
+	done, failed int
+	firstErr     string
+	summaries    []GroupSummary
+	subs         map[chan CampaignStatus]struct{}
+}
+
+func (c *campaign) state() string {
+	switch {
+	case c.done+c.failed < len(c.jobs):
+		return StateRunning
+	case c.failed > 0:
+		return StateFailed
+	default:
+		return StateDone
+	}
+}
+
+// Daemon is the campaign daemon core: a bounded job queue in front of
+// the run executor, registries of jobs and campaigns, an SSE fan-out,
+// and a journal that lets a restarted daemon resume campaigns from the
+// executor's disk cache. All methods are safe for concurrent use.
+type Daemon struct {
+	cfg     Config
+	session dufp.Session
+	exe     *dufp.Executor
+	reg     *obs.Registry
+	logf    func(string, ...any)
+	start   time.Time
+
+	queue   chan *job
+	ctx     context.Context
+	cancel  context.CancelFunc
+	workers sync.WaitGroup
+	feeders sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	camps    map[string]*campaign
+	draining bool
+
+	journal *os.File
+
+	mQueueDepth *obs.Gauge
+	mJobs       *obs.CounterVec
+	mCampaigns  *obs.Counter
+	mRejected   *obs.CounterVec
+	mSubs       *obs.Gauge
+	mReqs       *obs.CounterVec
+	mReqSec     *obs.HistogramVec
+}
+
+// journalEntry is one line of campaigns.jsonl.
+type journalEntry struct {
+	ID   string       `json:"id"`
+	Spec CampaignSpec `json:"spec"`
+}
+
+// New starts a daemon: dispatchers come up, then the campaign journal
+// (if any) is replayed, resubmitting every recorded campaign. Replayed
+// runs whose results are in the executor's disk cache complete without
+// re-simulation — that is the resume path.
+func New(cfg Config) (*Daemon, error) {
+	exe := cfg.Executor
+	if exe == nil {
+		exe = dufp.NewExecutor()
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 256
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = exe.Workers()
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.Default()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	d := &Daemon{
+		cfg:     cfg,
+		session: cfg.Session.OnExecutor(exe),
+		exe:     exe,
+		reg:     reg,
+		logf:    logf,
+		start:   time.Now(),
+		queue:   make(chan *job, depth),
+		ctx:     ctx,
+		cancel:  cancel,
+		jobs:    make(map[string]*job),
+		camps:   make(map[string]*campaign),
+
+		mQueueDepth: reg.Gauge("api_queue_depth",
+			"Jobs waiting in the daemon's bounded queue.").With(),
+		mJobs: reg.Counter("api_jobs_total",
+			"Jobs finished by the daemon, by terminal state.", "state"),
+		mCampaigns: reg.Counter("api_campaigns_total",
+			"Campaigns accepted by the daemon.").With(),
+		mRejected: reg.Counter("api_rejected_total",
+			"Submissions rejected by the daemon, by reason.", "reason"),
+		mSubs: reg.Gauge("api_sse_subscribers",
+			"Live SSE subscriptions across runs and campaigns.").With(),
+		mReqs: reg.Counter("api_http_requests_total",
+			"API requests served, by route and status code.", "route", "code"),
+		mReqSec: reg.Histogram("api_http_request_seconds",
+			"API request latency by route.", obs.ExpBuckets(1e-4, 2.5, 12), "route"),
+	}
+
+	for i := 0; i < workers; i++ {
+		d.workers.Add(1)
+		go d.dispatch()
+	}
+
+	if cfg.DataDir != "" {
+		if err := d.openJournal(); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// Executor returns the run scheduler behind the daemon.
+func (d *Daemon) Executor() *dufp.Executor { return d.exe }
+
+// Registry returns the metrics registry the daemon publishes to.
+func (d *Daemon) Registry() *obs.Registry { return d.reg }
+
+// openJournal replays campaigns.jsonl and reopens it for appending.
+func (d *Daemon) openJournal() error {
+	if err := os.MkdirAll(d.cfg.DataDir, 0o755); err != nil {
+		return fmt.Errorf("api: creating data dir: %w", err)
+	}
+	path := filepath.Join(d.cfg.DataDir, "campaigns.jsonl")
+	if f, err := os.Open(path); err == nil {
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+		replayed := 0
+		for sc.Scan() {
+			var e journalEntry
+			if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+				continue // torn last line of a killed writer
+			}
+			if _, err := d.submitCampaign(e.Spec, false); err != nil {
+				d.logf("api: journal replay of %s: %v", e.ID, err)
+				continue
+			}
+			replayed++
+		}
+		f.Close()
+		if replayed > 0 {
+			d.logf("api: replayed %d campaigns from %s", replayed, path)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("api: opening journal: %w", err)
+	}
+	d.journal = f
+	return nil
+}
+
+// dispatch is one worker: it pulls queued jobs and runs them through
+// the session's executor, which bounds the actual simulation
+// concurrency and serves cached results.
+func (d *Daemon) dispatch() {
+	defer d.workers.Done()
+	for {
+		select {
+		case <-d.ctx.Done():
+			return
+		case j := <-d.queue:
+			d.mQueueDepth.Set(float64(len(d.queue)))
+			d.setRunning(j)
+			res, err := j.session.Run(d.ctx, j.spec)
+			d.complete(j, res.Run, err)
+		}
+	}
+}
+
+// setRunning transitions a queued job and notifies its subscribers.
+func (d *Daemon) setRunning(j *job) {
+	d.mu.Lock()
+	j.state = StateRunning
+	status := d.runStatusLocked(j)
+	subs := subsSnapshot(j.subs)
+	d.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- status:
+		default:
+		}
+	}
+}
+
+// complete finalises a job, feeds its campaigns and notifies
+// subscribers; terminal-state channels are closed so SSE handlers
+// finish their streams.
+func (d *Daemon) complete(j *job, run dufp.Run, err error) {
+	d.mu.Lock()
+	if err != nil {
+		j.state, j.err = StateFailed, err.Error()
+	} else {
+		j.state, j.run = StateDone, run
+	}
+	status := d.runStatusLocked(j)
+	subs := subsSnapshot(j.subs)
+	j.subs = nil
+
+	type campNotify struct {
+		status CampaignStatus
+		subs   []chan CampaignStatus
+		ended  bool
+	}
+	var notifies []campNotify
+	for _, c := range j.camps {
+		if err != nil {
+			c.failed++
+			if c.firstErr == "" {
+				c.firstErr = fmt.Sprintf("%s: %v", j.id, err)
+			}
+		} else {
+			c.done++
+		}
+		n := campNotify{subs: subsSnapshot(c.subs), ended: terminal(c.state())}
+		if n.ended {
+			d.summarizeLocked(c)
+			c.subs = nil
+		}
+		n.status = d.campaignStatusLocked(c, false)
+		notifies = append(notifies, n)
+	}
+	d.mu.Unlock()
+
+	d.mJobs.With(j.state).Inc()
+	for _, ch := range subs {
+		select {
+		case ch <- status:
+		default:
+		}
+		close(ch)
+	}
+	for _, n := range notifies {
+		for _, ch := range n.subs {
+			select {
+			case ch <- n.status:
+			default:
+			}
+			if n.ended {
+				close(ch)
+			}
+		}
+	}
+}
+
+// subsSnapshot copies a subscriber set for notification outside the lock.
+func subsSnapshot[T any](set map[chan T]struct{}) []chan T {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]chan T, 0, len(set))
+	for ch := range set {
+		out = append(out, ch)
+	}
+	return out
+}
+
+// SubmitRun accepts one run for execution and returns its status.
+// Submission is idempotent: the run's ID is the content address of
+// (session, spec), so resubmitting returns the tracked — or already
+// completed — job. A run whose result is already in the executor's disk
+// cache completes immediately without consuming a queue slot.
+func (d *Daemon) SubmitRun(spec dufp.RunSpec) (RunStatus, error) {
+	if !spec.Governor.Serializable() {
+		return RunStatus{}, ErrNotSerializable
+	}
+	if err := spec.App.Validate(); err != nil {
+		return RunStatus{}, err
+	}
+	d.mu.Lock()
+	if d.draining {
+		d.mu.Unlock()
+		d.mRejected.With("draining").Inc()
+		return RunStatus{}, ErrDraining
+	}
+	j, status, fresh := d.trackLocked(d.session, spec)
+	d.mu.Unlock()
+	if !fresh || terminal(status.State) {
+		return status, nil
+	}
+	select {
+	case d.queue <- j:
+		d.mQueueDepth.Set(float64(len(d.queue)))
+		return status, nil
+	default:
+		d.mu.Lock()
+		delete(d.jobs, j.id)
+		d.mu.Unlock()
+		d.mRejected.With("queue_full").Inc()
+		return RunStatus{}, ErrQueueFull
+	}
+}
+
+// trackLocked registers (or finds) the job for a spec. Fresh jobs whose
+// result is already on disk are completed in place — the restart resume
+// path. Caller holds d.mu.
+func (d *Daemon) trackLocked(session dufp.Session, spec dufp.RunSpec) (*job, RunStatus, bool) {
+	id := session.RunID(spec)
+	if j, ok := d.jobs[id]; ok {
+		return j, d.runStatusLocked(j), false
+	}
+	j := &job{id: id, spec: spec, session: session, state: StateQueued}
+	d.jobs[id] = j
+	if run, ok := d.exe.DiskGetByID(id); ok {
+		j.state, j.run = StateDone, run
+	}
+	return j, d.runStatusLocked(j), true
+}
+
+// SubmitCampaign accepts a campaign, expands it into member runs and
+// starts a feeder that enqueues them; it returns immediately with the
+// campaign's status. Submission is idempotent by deterministic campaign
+// ID, and accepted campaigns are journaled for restart resume.
+func (d *Daemon) SubmitCampaign(spec CampaignSpec) (CampaignStatus, error) {
+	return d.submitCampaign(spec, true)
+}
+
+func (d *Daemon) submitCampaign(spec CampaignSpec, journal bool) (CampaignStatus, error) {
+	norm, err := spec.normalize()
+	if err != nil {
+		return CampaignStatus{}, err
+	}
+	id, err := CampaignID(norm)
+	if err != nil {
+		return CampaignStatus{}, err
+	}
+	jobSpecs, err := expand(norm, d.session)
+	if err != nil {
+		return CampaignStatus{}, err
+	}
+
+	d.mu.Lock()
+	if d.draining {
+		d.mu.Unlock()
+		d.mRejected.With("draining").Inc()
+		return CampaignStatus{}, ErrDraining
+	}
+	if c, ok := d.camps[id]; ok {
+		status := d.campaignStatusLocked(c, false)
+		d.mu.Unlock()
+		return status, nil
+	}
+	c := &campaign{id: id, spec: norm}
+	var pending []*job
+	for _, js := range jobSpecs {
+		j, _, fresh := d.trackLocked(js.session, js.spec)
+		c.jobs = append(c.jobs, j)
+		c.groups = append(c.groups, js.group)
+		j.camps = append(j.camps, c)
+		switch {
+		case j.state == StateDone:
+			c.done++
+		case j.state == StateFailed:
+			c.failed++
+			if c.firstErr == "" {
+				c.firstErr = fmt.Sprintf("%s: %s", j.id, j.err)
+			}
+		case fresh:
+			pending = append(pending, j)
+		}
+	}
+	if terminal(c.state()) {
+		d.summarizeLocked(c)
+	}
+	d.camps[id] = c
+	status := d.campaignStatusLocked(c, false)
+	d.mu.Unlock()
+	d.mCampaigns.Inc()
+
+	if journal && d.journal != nil {
+		if b, err := json.Marshal(journalEntry{ID: id, Spec: norm}); err == nil {
+			d.journal.Write(append(b, '\n'))
+			d.journal.Sync()
+		}
+	}
+
+	if len(pending) > 0 {
+		d.feeders.Add(1)
+		go d.feed(pending)
+	}
+	d.logf("api: campaign %s accepted: %d runs (%d already complete)",
+		id, len(c.jobs), c.done+c.failed)
+	return status, nil
+}
+
+// feed enqueues a campaign's fresh jobs, blocking on queue capacity —
+// campaign fan-out applies backpressure instead of failing.
+func (d *Daemon) feed(jobs []*job) {
+	defer d.feeders.Done()
+	for _, j := range jobs {
+		select {
+		case d.queue <- j:
+			d.mQueueDepth.Set(float64(len(d.queue)))
+		case <-d.ctx.Done():
+			return
+		}
+	}
+}
+
+// summarizeLocked aggregates a finished campaign's groups with the
+// paper protocol. Groups with failed runs are skipped; the campaign's
+// firstErr already names the cause. Caller holds d.mu.
+func (d *Daemon) summarizeLocked(c *campaign) {
+	if c.summaries != nil {
+		return
+	}
+	byGroup := make(map[string][]dufp.Run)
+	order := []string{}
+	for i, j := range c.jobs {
+		g := c.groups[i]
+		if _, ok := byGroup[g]; !ok {
+			order = append(order, g)
+		}
+		if j.state == StateDone {
+			byGroup[g] = append(byGroup[g], j.run)
+		} else {
+			byGroup[g] = nil
+		}
+	}
+	sort.Strings(order)
+	c.summaries = []GroupSummary{}
+	for _, g := range order {
+		runs := byGroup[g]
+		if len(runs) == 0 {
+			continue
+		}
+		sum, err := metrics.Summarize(runs)
+		if err != nil {
+			continue
+		}
+		c.summaries = append(c.summaries, GroupSummary{Group: g, Summary: sum})
+	}
+}
+
+// runStatusLocked snapshots a job. Caller holds d.mu.
+func (d *Daemon) runStatusLocked(j *job) RunStatus {
+	s := RunStatus{
+		ID:       j.id,
+		State:    j.state,
+		App:      j.spec.App.Name,
+		Governor: j.spec.Governor.ID(),
+		Idx:      j.spec.Idx,
+		Error:    j.err,
+	}
+	for _, c := range j.camps {
+		s.Campaigns = append(s.Campaigns, c.id)
+	}
+	if j.state == StateDone {
+		run := j.run
+		s.Run = &run
+	}
+	return s
+}
+
+// campaignStatusLocked snapshots a campaign. Caller holds d.mu.
+func (d *Daemon) campaignStatusLocked(c *campaign, detail bool) CampaignStatus {
+	s := CampaignStatus{
+		ID:        c.id,
+		State:     c.state(),
+		Kind:      c.spec.Kind,
+		Total:     len(c.jobs),
+		Done:      c.done,
+		Failed:    c.failed,
+		Error:     c.firstErr,
+		Summaries: c.summaries,
+	}
+	if detail {
+		s.RunIDs = make([]string, len(c.jobs))
+		for i, j := range c.jobs {
+			s.RunIDs[i] = j.id
+		}
+	}
+	return s
+}
+
+// RunStatus returns the status of a tracked run, falling back to the
+// executor's disk cache for runs a previous daemon completed: results
+// outlive the process that computed them.
+func (d *Daemon) RunStatus(id string) (RunStatus, bool) {
+	d.mu.Lock()
+	j, ok := d.jobs[id]
+	if ok {
+		s := d.runStatusLocked(j)
+		d.mu.Unlock()
+		return s, true
+	}
+	d.mu.Unlock()
+	if run, ok := d.exe.DiskGetByID(id); ok {
+		return RunStatus{ID: id, State: StateDone, App: run.App, Governor: run.Governor, Run: &run}, true
+	}
+	return RunStatus{}, false
+}
+
+// Runs lists every tracked run, ordered by ID.
+func (d *Daemon) Runs() []RunStatus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]RunStatus, 0, len(d.jobs))
+	for _, j := range d.jobs {
+		out = append(out, d.runStatusLocked(j))
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// CampaignStatus returns the status of a campaign, including member
+// run IDs.
+func (d *Daemon) CampaignStatus(id string) (CampaignStatus, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c, ok := d.camps[id]
+	if !ok {
+		return CampaignStatus{}, false
+	}
+	return d.campaignStatusLocked(c, true), true
+}
+
+// Campaigns lists every tracked campaign, ordered by ID.
+func (d *Daemon) Campaigns() []CampaignStatus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]CampaignStatus, 0, len(d.camps))
+	for _, c := range d.camps {
+		out = append(out, d.campaignStatusLocked(c, false))
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// SubscribeRun subscribes to a run's state changes. The channel
+// receives status snapshots and is closed once the run is terminal (a
+// terminal snapshot is sent first); cancel releases the subscription
+// early. ok is false for unknown runs.
+func (d *Daemon) SubscribeRun(id string) (ch <-chan RunStatus, cancel func(), ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j, found := d.jobs[id]
+	if !found {
+		return nil, nil, false
+	}
+	c := make(chan RunStatus, 16)
+	c <- d.runStatusLocked(j)
+	if terminal(j.state) {
+		close(c)
+		return c, func() {}, true
+	}
+	if j.subs == nil {
+		j.subs = make(map[chan RunStatus]struct{})
+	}
+	j.subs[c] = struct{}{}
+	d.mSubs.Add(1)
+	return c, func() {
+		d.mu.Lock()
+		if _, live := j.subs[c]; live {
+			delete(j.subs, c)
+			close(c)
+		}
+		d.mu.Unlock()
+		d.mSubs.Add(-1)
+	}, true
+}
+
+// SubscribeCampaign is SubscribeRun for campaigns: one snapshot per
+// member-run completion, closed after the terminal snapshot.
+func (d *Daemon) SubscribeCampaign(id string) (ch <-chan CampaignStatus, cancel func(), ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	camp, found := d.camps[id]
+	if !found {
+		return nil, nil, false
+	}
+	c := make(chan CampaignStatus, 64)
+	c <- d.campaignStatusLocked(camp, false)
+	if terminal(camp.state()) {
+		close(c)
+		return c, func() {}, true
+	}
+	if camp.subs == nil {
+		camp.subs = make(map[chan CampaignStatus]struct{})
+	}
+	camp.subs[c] = struct{}{}
+	d.mSubs.Add(1)
+	return c, func() {
+		d.mu.Lock()
+		if _, live := camp.subs[c]; live {
+			delete(camp.subs, c)
+			close(c)
+		}
+		d.mu.Unlock()
+		d.mSubs.Add(-1)
+	}, true
+}
+
+// Health snapshots the daemon for /v1/healthz.
+func (d *Daemon) Health() Health {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Health{
+		Status:     "ok",
+		QueueDepth: len(d.queue),
+		Jobs:       len(d.jobs),
+		Campaigns:  len(d.camps),
+		Draining:   d.draining,
+		UptimeS:    time.Since(d.start).Seconds(),
+	}
+}
+
+// Drain stops intake and waits for every accepted job to reach a
+// terminal state (in-flight runs finish; queued runs execute). It
+// returns ctx.Err() if the deadline expires first — call Close then to
+// abandon what is left.
+func (d *Daemon) Drain(ctx context.Context) error {
+	d.mu.Lock()
+	d.draining = true
+	d.mu.Unlock()
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		d.mu.Lock()
+		pending := 0
+		for _, j := range d.jobs {
+			if !terminal(j.state) {
+				pending++
+			}
+		}
+		d.mu.Unlock()
+		if pending == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Close hard-stops the daemon: in-flight runs are cancelled, workers
+// and feeders are joined, the journal is closed. The executor is not
+// closed — the caller owns it (and must Close it to flush the disk
+// cache). Safe after Drain, and safe to call twice.
+func (d *Daemon) Close() error {
+	d.cancel()
+	d.workers.Wait()
+	d.feeders.Wait()
+	d.mu.Lock()
+	d.draining = true
+	journal := d.journal
+	d.journal = nil
+	d.mu.Unlock()
+	if journal != nil {
+		return journal.Close()
+	}
+	return nil
+}

@@ -1,0 +1,237 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"dufp"
+	"dufp/internal/obs/obshttp"
+)
+
+// FullHandler returns the daemon's complete single-listener surface:
+// the /v1 Run API plus the observability endpoints (/metrics,
+// /metrics.json, /runs, /timeline/, /debug/pprof/) served by obshttp
+// over the same registry and executor. It is what cmd/dufpd listens on,
+// and what dufpbench -listen mounts — -listen is a thin alias for an
+// embedded dufpd.
+func (d *Daemon) FullHandler() http.Handler {
+	return MountObs(d.Handler(), obshttp.New(d.reg, d.exe))
+}
+
+// MountObs composes a /v1 API handler with an observability server on
+// one mux — one listener, each handler registered exactly once.
+func MountObs(api http.Handler, obsSrv *obshttp.Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", api)
+	mux.Handle("/", obsSrv.Handler())
+	return mux
+}
+
+// Handler returns the daemon's /v1 HTTP surface. Routes are
+// method-scoped (Go 1.22 patterns) and instrumented: every request
+// increments api_http_requests_total{route,code} and observes
+// api_http_request_seconds{route}.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	route := func(pattern, label string, h http.HandlerFunc) {
+		mux.Handle(pattern, d.instrument(label, h))
+	}
+	route("GET /v1/healthz", "healthz", d.handleHealthz)
+	route("POST /v1/runs", "runs_submit", d.handleSubmitRun)
+	route("GET /v1/runs", "runs_list", d.handleListRuns)
+	route("GET /v1/runs/{id}", "runs_get", d.handleGetRun)
+	route("GET /v1/runs/{id}/events", "runs_events", d.handleRunEvents)
+	route("POST /v1/campaigns", "campaigns_submit", d.handleSubmitCampaign)
+	route("GET /v1/campaigns", "campaigns_list", d.handleListCampaigns)
+	route("GET /v1/campaigns/{id}", "campaigns_get", d.handleGetCampaign)
+	route("GET /v1/campaigns/{id}/events", "campaigns_events", d.handleCampaignEvents)
+	return mux
+}
+
+// statusRecorder captures the response code for the request metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so SSE streaming works
+// through the recorder.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (d *Daemon) instrument(label string, h http.HandlerFunc) http.Handler {
+	hist := d.mReqSec.With(label)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		hist.Observe(time.Since(start).Seconds())
+		d.mReqs.With(label, strconv.Itoa(rec.code)).Inc()
+	})
+}
+
+// writeJSON writes a JSON response body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError maps a submission error to its status code.
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, d.Health())
+}
+
+func (d *Daemon) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
+	var spec dufp.RunSpec
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding run spec: %v", err)})
+		return
+	}
+	status, err := d.SubmitRun(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	code := http.StatusAccepted
+	if terminal(status.State) {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, status)
+}
+
+func (d *Daemon) handleListRuns(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, d.Runs())
+}
+
+func (d *Daemon) handleGetRun(w http.ResponseWriter, r *http.Request) {
+	status, ok := d.RunStatus(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown run"})
+		return
+	}
+	writeJSON(w, http.StatusOK, status)
+}
+
+func (d *Daemon) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
+	var spec CampaignSpec
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding campaign spec: %v", err)})
+		return
+	}
+	status, err := d.SubmitCampaign(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	code := http.StatusAccepted
+	if terminal(status.State) {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, status)
+}
+
+func (d *Daemon) handleListCampaigns(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, d.Campaigns())
+}
+
+func (d *Daemon) handleGetCampaign(w http.ResponseWriter, r *http.Request) {
+	status, ok := d.CampaignStatus(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown campaign"})
+		return
+	}
+	writeJSON(w, http.StatusOK, status)
+}
+
+func (d *Daemon) handleRunEvents(w http.ResponseWriter, r *http.Request) {
+	ch, cancel, ok := d.SubscribeRun(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown run"})
+		return
+	}
+	defer cancel()
+	serveSSE(w, r, ch, func() (RunStatus, bool) { return d.RunStatus(r.PathValue("id")) })
+}
+
+func (d *Daemon) handleCampaignEvents(w http.ResponseWriter, r *http.Request) {
+	ch, cancel, ok := d.SubscribeCampaign(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown campaign"})
+		return
+	}
+	defer cancel()
+	serveSSE(w, r, ch, func() (CampaignStatus, bool) { return d.CampaignStatus(r.PathValue("id")) })
+}
+
+// serveSSE streams status snapshots as server-sent events until the
+// subscription closes (subject terminal) or the client disconnects.
+// Because slow subscribers may drop intermediate snapshots, the final
+// authoritative status is re-fetched and sent before the stream ends.
+func serveSSE[T any](w http.ResponseWriter, r *http.Request, ch <-chan T, final func() (T, bool)) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	send := func(v T) {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: status\ndata: %s\n\n", b)
+		flusher.Flush()
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-heartbeat.C:
+			fmt.Fprint(w, ": heartbeat\n\n")
+			flusher.Flush()
+		case v, open := <-ch:
+			if !open {
+				if last, ok := final(); ok {
+					send(last)
+				}
+				fmt.Fprint(w, "event: end\ndata: {}\n\n")
+				flusher.Flush()
+				return
+			}
+			send(v)
+		}
+	}
+}

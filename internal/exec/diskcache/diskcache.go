@@ -32,6 +32,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
+	"hash/fnv"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -44,12 +46,33 @@ import (
 
 // formatVersion is the record-layout version; records with any other
 // value are skipped as corrupt (the layout changed under them).
-const formatVersion = 1
+// Version 2 switched the run payload to the canonical wire schema
+// (metrics.Run's own MarshalJSON), so v1 segments are inert.
+const formatVersion = 2
 
 // Key is the content address of one run, mirroring the executor's ID.
 type Key struct {
 	App, Governor, Session string
 	Idx                    int
+}
+
+// RunID returns the key's stable 16-hex-digit identifier: the FNV-1a
+// fingerprint of all identity fields. It is what the Run API exposes as
+// a run ID, so a result persisted by one daemon can be looked up by ID
+// in another process holding the same cache directory.
+func RunID(k Key) string {
+	h := fnv.New64a()
+	io.WriteString(h, k.App)
+	h.Write([]byte{0})
+	io.WriteString(h, k.Governor)
+	h.Write([]byte{0})
+	io.WriteString(h, k.Session)
+	var idx [8]byte
+	for i := 0; i < 8; i++ {
+		idx[i] = byte(k.Idx >> (8 * i))
+	}
+	h.Write(idx[:])
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // record is the JSON payload of one persisted run.
@@ -89,6 +112,7 @@ type Cache struct {
 
 	mu      sync.RWMutex
 	mem     map[Key]metrics.Run
+	byID    map[string]Key
 	closed  bool
 	warning string
 
@@ -122,6 +146,7 @@ func Open(dir, version string, opts ...Option) (*Cache, error) {
 		dir:     dir,
 		version: version,
 		mem:     make(map[Key]metrics.Run),
+		byID:    make(map[string]Key),
 		queue:   make(chan record, 4096),
 		done:    make(chan struct{}),
 	}
@@ -199,6 +224,7 @@ func (c *Cache) loadLine(line []byte) {
 	}
 	c.loaded.Add(1)
 	c.mem[rec.Key] = rec.Run
+	c.byID[RunID(rec.Key)] = rec.Key
 }
 
 // Get returns the cached run for the key, if any.
@@ -214,6 +240,26 @@ func (c *Cache) Get(key Key) (metrics.Run, bool) {
 	return run, ok
 }
 
+// GetByID returns the cached run whose RunID matches id, along with its
+// content address. It is the lookup behind the Run API's /v1/runs/<id>
+// after a daemon restart: results persisted under an ID survive even
+// when the in-memory job registry did not.
+func (c *Cache) GetByID(id string) (Key, metrics.Run, bool) {
+	c.mu.RLock()
+	key, ok := c.byID[id]
+	var run metrics.Run
+	if ok {
+		run, ok = c.mem[key]
+	}
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return key, run, ok
+}
+
 // Put stores the run under the key: the in-memory index is updated
 // immediately, and the record is queued for the background writer. Put
 // never blocks — if the queue is full the record is dropped (and
@@ -225,6 +271,7 @@ func (c *Cache) Put(key Key, run metrics.Run) {
 		if _, dup := c.mem[key]; !dup && c.warning != "" {
 			// Memory-only operation still serves later Gets this process.
 			c.mem[key] = run
+			c.byID[RunID(key)] = key
 		}
 		c.mu.Unlock()
 		return
@@ -234,6 +281,7 @@ func (c *Cache) Put(key Key, run metrics.Run) {
 		return
 	}
 	c.mem[key] = run
+	c.byID[RunID(key)] = key
 	c.mu.Unlock()
 	select {
 	case c.queue <- record{V: formatVersion, Physics: c.version, Key: key, Run: run}:

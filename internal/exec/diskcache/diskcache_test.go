@@ -266,3 +266,42 @@ func TestEmptySegmentRemovedOnClose(t *testing.T) {
 		t.Fatalf("empty segment left behind: %v", segs)
 	}
 }
+
+func TestGetByIDSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	c := openOrDie(t, dir, physV)
+	key, want := testKeyAt(7), testRun(7)
+	c.Put(key, want)
+	id := RunID(key)
+	if len(id) != 16 {
+		t.Fatalf("RunID %q is not 16 hex digits", id)
+	}
+	if id != RunID(key) {
+		t.Fatal("RunID not deterministic")
+	}
+	if other := RunID(testKeyAt(8)); other == id {
+		t.Fatalf("different keys share run ID %q", id)
+	}
+	gotKey, got, ok := c.GetByID(id)
+	if !ok || gotKey != key || got != want {
+		t.Fatalf("GetByID before close: ok=%v key=%+v", ok, gotKey)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The ID index must be rebuilt from disk on reopen: this is what
+	// lets a restarted daemon answer /v1/runs/<id> for old runs.
+	c2 := openOrDie(t, dir, physV)
+	defer c2.Close()
+	gotKey, got, ok = c2.GetByID(id)
+	if !ok {
+		t.Fatal("run not found by ID after reopen")
+	}
+	if gotKey != key || got != want {
+		t.Fatalf("GetByID after reopen: key=%+v run=%+v", gotKey, got)
+	}
+	if _, _, ok := c2.GetByID("doesnotexist0000"); ok {
+		t.Fatal("bogus ID found")
+	}
+}

@@ -446,6 +446,21 @@ func (e *Executor) DiskCacheStats() (diskcache.Stats, bool) {
 	return e.disk.Stats(), true
 }
 
+// RunID returns the stable wire identifier of a key — the same ID the
+// persistent cache indexes results under (diskcache.RunID).
+func RunID(id ID) string { return diskcache.RunID(diskcache.Key(id)) }
+
+// DiskGetByID looks a completed run up in the persistent tier by its
+// RunID. It answers Run-API queries for results computed by an earlier
+// process; false when no disk cache is attached or the ID is unknown.
+func (e *Executor) DiskGetByID(runID string) (metrics.Run, bool) {
+	if e.disk == nil {
+		return metrics.Run{}, false
+	}
+	_, run, ok := e.disk.GetByID(runID)
+	return run, ok
+}
+
 func (e *Executor) shardFor(id ID) *shard {
 	return e.shards[id.hash()&e.shardMask]
 }

@@ -126,10 +126,11 @@ func Fig1bc(opts Options) (Table, Table, error) {
 	measure := func(gov dufp.Governor) (float64, float64, error) {
 		var phasePower, total float64
 		for i := 0; i < opts.Runs; i++ {
-			run, rec, err := session.RunTracedCtx(ctx, app, gov, i)
+			res, err := session.Run(ctx, dufp.RunSpec{App: app, Governor: gov, Idx: i}, dufp.WithTrace())
 			if err != nil {
 				return 0, 0, err
 			}
+			run, rec := res.Run, res.Trace
 			var p float64
 			for s := 0; s < opts.Session.Sim.Topo.Sockets; s++ {
 				p += float64(trace.AvgPower(trace.Window(rec.Socket(s), 0, window)))
@@ -290,14 +291,16 @@ func Fig5(opts Options) (Fig5Result, error) {
 	cfg := dufp.DefaultControlConfig(0.10)
 	ctx, session := opts.campaign()
 
-	_, dufRec, dufEvents, err := session.RunInstrumentedCtx(ctx, app, dufp.DUF(cfg), 0)
+	dufRes, err := session.Run(ctx, dufp.RunSpec{App: app, Governor: dufp.DUF(cfg)}, dufp.WithTrace(), dufp.WithEvents())
 	if err != nil {
 		return Fig5Result{}, err
 	}
-	_, dufpRec, dufpEvents, err := session.RunInstrumentedCtx(ctx, app, dufp.DUFP(cfg), 0)
+	dufpRes, err := session.Run(ctx, dufp.RunSpec{App: app, Governor: dufp.DUFP(cfg)}, dufp.WithTrace(), dufp.WithEvents())
 	if err != nil {
 		return Fig5Result{}, err
 	}
+	dufRec, dufEvents := dufRes.Trace, dufRes.Events
+	dufpRec, dufpEvents := dufpRes.Trace, dufpRes.Events
 
 	dufS, dufpS := dufRec.Socket(0), dufpRec.Socket(0)
 	res := Fig5Result{

@@ -65,6 +65,16 @@ func (r *Recorder) Hook() func(socket int, p sim.TracePoint) {
 // out-of-range sockets.
 func (r *Recorder) Dropped() int64 { return r.dropped.Load() }
 
+// FromSeries wraps already-recorded per-socket series in a Recorder; the
+// wire codec uses it to reconstruct a recorder from its serialized form.
+// The recorder takes ownership of the slices.
+func FromSeries(series [][]sim.TracePoint) *Recorder {
+	return &Recorder{series: series}
+}
+
+// Sockets returns the number of sockets the recorder was sized for.
+func (r *Recorder) Sockets() int { return len(r.series) }
+
 // Socket returns the recorded series of one socket.
 func (r *Recorder) Socket(i int) []sim.TracePoint {
 	if i < 0 || i >= len(r.series) {

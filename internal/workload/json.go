@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -93,6 +94,31 @@ func fromJSON(in appJSON) (App, error) {
 		return App{}, err
 	}
 	return a, nil
+}
+
+// MarshalJSON encodes the application in the canonical file/wire schema
+// (the same encoding WriteJSON produces), so an App nested in a larger
+// wire structure — a RunSpec, a campaign — serialises identically to a
+// standalone app file.
+func (a App) MarshalJSON() ([]byte, error) {
+	return json.Marshal(toJSON(a))
+}
+
+// UnmarshalJSON decodes and validates the canonical schema, rejecting
+// unknown fields.
+func (a *App) UnmarshalJSON(b []byte) error {
+	var in appJSON
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return fmt.Errorf("workload: decoding application: %w", err)
+	}
+	decoded, err := fromJSON(in)
+	if err != nil {
+		return err
+	}
+	*a = decoded
+	return nil
 }
 
 // WriteJSON serialises the application, indented for hand editing.

@@ -103,10 +103,6 @@ type RunResult struct {
 // without sideband artifacts memoise once complete — a memoised result
 // is bit-identical to a fresh one. ctx cancels the run between decision
 // rounds.
-//
-// Run replaces the RunCtx / RunTracedCtx / RunWithEventsCtx /
-// RunInstrumentedCtx / RunWithTimelineCtx family, which remain as thin
-// deprecated wrappers for one release.
 func (s Session) Run(ctx context.Context, spec RunSpec, opts ...RunOption) (RunResult, error) {
 	var o runOptions
 	for _, opt := range opts {

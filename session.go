@@ -137,49 +137,6 @@ func (s Session) runSeed(app string, idx int) int64 {
 	return s.Seed + h%100003 + int64(idx)*6700417
 }
 
-// RunCtx executes run idx of app under the governor through the run
-// executor.
-//
-// Deprecated: use Session.Run with a RunSpec.
-func (s Session) RunCtx(ctx context.Context, app App, gov Governor, idx int) (Run, error) {
-	res, err := s.Run(ctx, RunSpec{App: app, Governor: gov, Idx: idx})
-	return res.Run, err
-}
-
-// RunTracedCtx is RunCtx plus a full time-series recording.
-//
-// Deprecated: use Session.Run with WithTrace.
-func (s Session) RunTracedCtx(ctx context.Context, app App, gov Governor, idx int) (Run, *trace.Recorder, error) {
-	res, err := s.Run(ctx, RunSpec{App: app, Governor: gov, Idx: idx}, WithTrace())
-	return res.Run, res.Trace, err
-}
-
-// RunWithEventsCtx is RunCtx plus the decision log of socket 0's
-// controller instance (nil for controllers that do not record one).
-//
-// Deprecated: use Session.Run with WithEvents.
-func (s Session) RunWithEventsCtx(ctx context.Context, app App, gov Governor, idx int) (Run, []ControlEvent, error) {
-	res, err := s.Run(ctx, RunSpec{App: app, Governor: gov, Idx: idx}, WithEvents())
-	return res.Run, res.Events, err
-}
-
-// RunInstrumentedCtx executes run idx with the full observability
-// surface attached and returns the raw artifacts.
-//
-// Deprecated: use Session.Run with WithTrace and WithEvents.
-func (s Session) RunInstrumentedCtx(ctx context.Context, app App, gov Governor, idx int) (Run, *trace.Recorder, []ControlEvent, error) {
-	res, err := s.Run(ctx, RunSpec{App: app, Governor: gov, Idx: idx}, WithTrace(), WithEvents())
-	return res.Run, res.Trace, res.Events, err
-}
-
-// RunWithTimelineCtx is RunCtx plus the run's audit trail.
-//
-// Deprecated: use Session.Run with WithTimeline.
-func (s Session) RunWithTimelineCtx(ctx context.Context, app App, gov Governor, idx int) (Run, Timeline, error) {
-	res, err := s.Run(ctx, RunSpec{App: app, Governor: gov, Idx: idx}, WithTimeline())
-	return res.Run, res.Timeline, err
-}
-
 // runArtifacts carries a run's sideband outputs: the trace recording,
 // the controller instances (event logs, guard counters) and the
 // injected-fault counters.

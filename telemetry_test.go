@@ -19,16 +19,18 @@ func TestInstrumentedRunBitIdentical(t *testing.T) {
 	gov := dufp.DUFP(dufp.DefaultControlConfig(0.10))
 
 	plain := dufp.NewSession().OnExecutor(dufp.NewExecutor())
-	ref, err := plain.RunCtx(ctx, app, gov, 0)
+	refRes, err := plain.Run(ctx, dufp.RunSpec{App: app, Governor: gov})
 	if err != nil {
 		t.Fatal(err)
 	}
+	ref := refRes.Run
 
 	instr := dufp.NewSession().OnExecutor(dufp.NewExecutor())
-	got, tl, err := instr.RunWithTimelineCtx(ctx, app, gov, 0)
+	instrRes, err := instr.Run(ctx, dufp.RunSpec{App: app, Governor: gov}, dufp.WithTimeline())
 	if err != nil {
 		t.Fatal(err)
 	}
+	got, tl := instrRes.Run, instrRes.Timeline
 	if got != ref {
 		t.Fatalf("instrumented run diverged from plain run:\nplain: %+v\ninstr: %+v", ref, got)
 	}
@@ -46,10 +48,11 @@ func TestTimelineCorrelatesDecisions(t *testing.T) {
 	gov := dufp.DUFP(dufp.DefaultControlConfig(0.10))
 
 	s := dufp.NewSession().OnExecutor(dufp.NewExecutor())
-	_, tl, err := s.RunWithTimelineCtx(ctx, app, gov, 0)
+	res, err := s.Run(ctx, dufp.RunSpec{App: app, Governor: gov}, dufp.WithTimeline())
 	if err != nil {
 		t.Fatal(err)
 	}
+	tl := res.Timeline
 	decisions := tl.Decisions()
 	if len(decisions) == 0 {
 		t.Fatal("DUFP timeline has no decisions")
@@ -81,11 +84,11 @@ func TestMetricsRegistryPublishes(t *testing.T) {
 
 	reg := dufp.NewMetricsRegistry()
 	s := dufp.NewSession().OnExecutor(dufp.NewExecutor(dufp.ExecRegistry(reg)))
-	if _, err := s.RunCtx(ctx, app, gov, 0); err != nil {
+	if _, err := s.Run(ctx, dufp.RunSpec{App: app, Governor: gov}); err != nil {
 		t.Fatal(err)
 	}
 	// Second identical submission is a cache hit.
-	if _, err := s.RunCtx(ctx, app, gov, 0); err != nil {
+	if _, err := s.Run(ctx, dufp.RunSpec{App: app, Governor: gov}); err != nil {
 		t.Fatal(err)
 	}
 

@@ -1,0 +1,210 @@
+package dufp_test
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"dufp"
+)
+
+// TestRunSpecRoundTrip encodes a spec and decodes it back, requiring the
+// governor identity (and so the executor cache key) to survive exactly.
+func TestRunSpecRoundTrip(t *testing.T) {
+	app, err := dufp.AppNamed("CG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []dufp.RunSpec{
+		{App: app, Governor: dufp.Baseline()},
+		{App: app, Governor: dufp.DUF(dufp.DefaultControlConfig(0.05)), Idx: 3},
+		{App: app, Governor: dufp.DUFP(dufp.DefaultControlConfig(0.10))},
+		{App: app, Governor: dufp.DNPC(dufp.DefaultControlConfig(0.20))},
+		{App: app, Governor: dufp.DUFPF(dufp.DefaultControlConfig(0.10))},
+		{App: app, Governor: dufp.StaticCap(105*dufp.Watt, 126*dufp.Watt)},
+		{App: app, Governor: dufp.StaticCapDUF(dufp.DefaultControlConfig(0.10), 105*dufp.Watt, 126*dufp.Watt)},
+		{App: app, Governor: dufp.TimedCap(dufp.DefaultControlConfig(0.10), 105*dufp.Watt, 126*dufp.Watt, 30*time.Second)},
+	}
+	for _, spec := range specs {
+		b, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("marshal %s: %v", spec.Governor.ID(), err)
+		}
+		var back dufp.RunSpec
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v\n%s", spec.Governor.ID(), err, b)
+		}
+		if back.Governor.ID() != spec.Governor.ID() {
+			t.Errorf("governor identity changed: %q -> %q", spec.Governor.ID(), back.Governor.ID())
+		}
+		if back.App.Name != spec.App.Name || back.Idx != spec.Idx {
+			t.Errorf("spec changed: %+v -> %+v", spec, back)
+		}
+		// Decoding must reproduce the encoder's executor cache key, or a
+		// daemon would recompute runs the client already has.
+		b2, err := json.Marshal(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b) != string(b2) {
+			t.Errorf("re-encode of %s not canonical:\n%s\n%s", spec.Governor.ID(), b, b2)
+		}
+	}
+}
+
+// TestRunSpecAppShorthand accepts a suite name in place of the inline
+// application definition (the curl ergonomics path).
+func TestRunSpecAppShorthand(t *testing.T) {
+	var spec dufp.RunSpec
+	raw := `{"v":1,"app":"CG","governor":{"kind":"dufp","slowdown":0.1},"idx":2}`
+	if err := json.Unmarshal([]byte(raw), &spec); err != nil {
+		t.Fatal(err)
+	}
+	if spec.App.Name != "CG" || spec.Idx != 2 {
+		t.Fatalf("decoded %+v", spec)
+	}
+	want := dufp.DUFP(dufp.DefaultControlConfig(0.10)).ID()
+	if spec.Governor.ID() != want {
+		t.Fatalf("slowdown shorthand built %q, want %q", spec.Governor.ID(), want)
+	}
+}
+
+// TestRunSpecRejections: unknown fields, missing/foreign versions and
+// anonymous governors must fail loudly.
+func TestRunSpecRejections(t *testing.T) {
+	var spec dufp.RunSpec
+	cases := map[string]string{
+		"unknown field":  `{"v":1,"app":"CG","governor":{"kind":"baseline"},"bogus":true}`,
+		"unknown gfield": `{"v":1,"app":"CG","governor":{"kind":"baseline","bogus":1}}`,
+		"no version":     `{"app":"CG","governor":{"kind":"baseline"}}`,
+		"future version": `{"v":99,"app":"CG","governor":{"kind":"baseline"}}`,
+		"unknown app":    `{"v":1,"app":"NOPE","governor":{"kind":"baseline"}}`,
+		"unknown kind":   `{"v":1,"app":"CG","governor":{"kind":"zzz"}}`,
+		"no config":      `{"v":1,"app":"CG","governor":{"kind":"dufp"}}`,
+	}
+	for name, raw := range cases {
+		if err := json.Unmarshal([]byte(raw), &spec); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+
+	anon := dufp.GovernorOf(dufp.DUFP(dufp.DefaultControlConfig(0.10)).Func())
+	if _, err := json.Marshal(dufp.RunSpec{Governor: anon}); err == nil {
+		t.Error("anonymous governor marshalled without error")
+	}
+	if anon.Serializable() {
+		t.Error("anonymous governor claims to be serializable")
+	}
+	if !dufp.Baseline().Serializable() || !dufp.DUF(dufp.DefaultControlConfig(0.1)).Serializable() {
+		t.Error("canonical governor claims not to be serializable")
+	}
+}
+
+// TestRunResultRoundTrip runs a real traced run and pushes the full
+// result through the wire, requiring bit-identical measurements and
+// artifacts on the far side.
+func TestRunResultRoundTrip(t *testing.T) {
+	session := dufp.NewSession(dufp.WithExecutor(dufp.NewExecutor()))
+	app, err := dufp.AppNamed("EP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gov := dufp.DUFP(dufp.DefaultControlConfig(0.10))
+	res, err := session.Run(context.Background(), dufp.RunSpec{App: app, Governor: gov},
+		dufp.WithTimeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back dufp.RunResult
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Run != res.Run {
+		t.Errorf("run changed over the wire:\n%+v\n%+v", res.Run, back.Run)
+	}
+	if len(back.Events) != len(res.Events) {
+		t.Fatalf("events %d -> %d", len(res.Events), len(back.Events))
+	}
+	for i := range res.Events {
+		if back.Events[i] != res.Events[i] {
+			t.Fatalf("event %d changed: %+v -> %+v", i, res.Events[i], back.Events[i])
+		}
+	}
+	if back.Trace == nil || back.Trace.Sockets() != res.Trace.Sockets() {
+		t.Fatal("trace lost over the wire")
+	}
+	for s := 0; s < res.Trace.Sockets(); s++ {
+		a, b := res.Trace.Socket(s), back.Trace.Socket(s)
+		if len(a) != len(b) {
+			t.Fatalf("socket %d: %d points -> %d", s, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("socket %d point %d changed: %+v -> %+v", s, i, a[i], b[i])
+			}
+		}
+	}
+	if len(back.Timeline.Entries) != len(res.Timeline.Entries) {
+		t.Errorf("timeline %d entries -> %d", len(res.Timeline.Entries), len(back.Timeline.Entries))
+	}
+}
+
+// TestRunWireSchema pins the canonical field names: renaming one is a
+// wire version bump, and this test is the tripwire.
+func TestRunWireSchema(t *testing.T) {
+	run := dufp.Run{App: "CG", Governor: "DUFP", Slowdown: 0.1, Time: 3 * time.Second}
+	b, err := json.Marshal(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{
+		`"app"`, `"governor"`, `"slowdown"`, `"time_ns"`,
+		`"pkg_energy_j"`, `"dram_energy_j"`, `"avg_pkg_power_w"`,
+		`"avg_dram_power_w"`, `"avg_core_freq_hz"`, `"avg_uncore_freq_hz"`,
+	} {
+		if !strings.Contains(string(b), field) {
+			t.Errorf("run wire schema lost field %s:\n%s", field, b)
+		}
+	}
+	var back dufp.Run
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != run {
+		t.Errorf("run round trip changed: %+v -> %+v", run, back)
+	}
+	if err := json.Unmarshal([]byte(`{"app":"CG","bogus":1}`), &back); err == nil {
+		t.Error("unknown run field decoded without error")
+	}
+}
+
+// TestSummaryRoundTrip pins the Summary codec used by campaign results.
+func TestSummaryRoundTrip(t *testing.T) {
+	session := dufp.NewSession(dufp.WithExecutor(dufp.NewExecutor()))
+	app, err := dufp.AppNamed("EP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := session.SummarizeCtx(context.Background(), app, dufp.Baseline(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back dufp.Summary
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != sum {
+		t.Errorf("summary round trip changed:\n%+v\n%+v", sum, back)
+	}
+}
