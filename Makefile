@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 tier1-faults tier1-api build test short race vet cover bench bench-api bench-smoke bench-scaling
+.PHONY: all tier1 tier1-faults tier1-api tier1-obs build test short race vet cover bench bench-api bench-smoke bench-scaling
 
 all: tier1 race vet
 
@@ -22,6 +22,13 @@ tier1-faults:
 tier1-api:
 	$(GO) test -run 'Wire|RunSpec|RunResult|Summary' . -count=1
 	$(GO) test -race ./internal/api/... -count=1
+
+# tier1-obs gates the observability layer under the race detector: the
+# metrics registry and its exemplars, the span flight recorder, the
+# Perfetto export, and the exposition endpoints hammered concurrently
+# with histogram writers.
+tier1-obs:
+	$(GO) test -race ./internal/obs/... -count=1
 
 build:
 	$(GO) build ./...

@@ -16,6 +16,7 @@ import (
 	"dufp/internal/api"
 	"dufp/internal/api/client"
 	"dufp/internal/experiment"
+	"dufp/internal/obs/span"
 )
 
 // loadgenResult is the BENCH_api.json schema: one loadgen invocation's
@@ -31,6 +32,13 @@ type loadgenResult struct {
 	SubmitRun   latencyStats `json:"post_run"`
 	GetRun      latencyStats `json:"get_run"`
 	GetCampaign latencyStats `json:"get_campaign"`
+	// Span-derived decomposition of the warm campaign's runs: wall clock
+	// spent waiting in the daemon's bounded queue versus everything from
+	// dispatch to completion. TracedRuns is the number of flight-recorder
+	// traces the split was computed from.
+	TracedRuns int          `json:"traced_runs"`
+	QueueWait  latencyStats `json:"span_queue_wait"`
+	Service    latencyStats `json:"span_service"`
 }
 
 type latencyStats struct {
@@ -74,6 +82,9 @@ func runLoadgen(ctx context.Context, opts experiment.Options, n int, dur time.Du
 		Executor:   opts.Executor,
 		QueueDepth: 4096,
 		Registry:   dufp.NewMetricsRegistry(),
+		// Retain a span trace for every warm-campaign run so the report
+		// can split queue wait from service time.
+		SpanCapacity: 4096,
 	})
 	if err != nil {
 		return err
@@ -188,6 +199,21 @@ func runLoadgen(ctx context.Context, opts experiment.Options, n int, dur time.Du
 	res.GetRun = statsOf(byKind["get_run"])
 	res.GetCampaign = statsOf(byKind["get_campaign"])
 
+	// Decompose the warm campaign's runs with the daemon's flight
+	// recorder: queue wait (acceptance to dispatch) vs service time
+	// (dispatch to completion). Under a full queue the wait dominates;
+	// the split shows whether latency is backpressure or simulation.
+	var queueWait, service []time.Duration
+	daemon.Spans().Each(func(tr *dufp.SpanTrace) {
+		sum := tr.Summary()
+		q := sum.Stage(span.StageQueue)
+		queueWait = append(queueWait, q)
+		service = append(service, time.Duration(sum.TotalNS)-q)
+	})
+	res.TracedRuns = len(queueWait)
+	res.QueueWait = statsOf(queueWait)
+	res.Service = statsOf(service)
+
 	f, err := os.Create(out)
 	if err != nil {
 		return err
@@ -200,6 +226,8 @@ func runLoadgen(ctx context.Context, opts experiment.Options, n int, dur time.Du
 	}
 	fmt.Fprintf(os.Stderr, "loadgen: %d requests (%d errors), %.0f req/s; POST /v1/runs p50=%.2fms p99=%.2fms → %s\n",
 		res.Requests, res.Errors, res.Throughput, res.SubmitRun.P50ms, res.SubmitRun.P99ms, out)
+	fmt.Fprintf(os.Stderr, "loadgen: %d traced runs: queue wait p50=%.2fms p99=%.2fms, service p50=%.2fms p99=%.2fms\n",
+		res.TracedRuns, res.QueueWait.P50ms, res.QueueWait.P99ms, res.Service.P50ms, res.Service.P99ms)
 	if res.Errors > 0 {
 		return fmt.Errorf("loadgen: %d/%d requests failed", res.Errors, res.Requests)
 	}

@@ -11,7 +11,9 @@
 // daemon resumes where it stopped: replayed runs whose results are on
 // disk complete without re-simulation, bit-identical to the originals.
 // The same listener also serves the observability surface (/metrics,
-// /runs, /timeline/, /debug/pprof/).
+// /runs, /timeline/, /debug/pprof/), and every dispatched run leaves a
+// span trace in a bounded flight recorder, served as Perfetto-loadable
+// Chrome trace-event JSON from GET /v1/runs/{id}/trace.
 //
 // On SIGINT/SIGTERM the daemon stops intake and drains in-flight runs
 // for -drain-timeout before exiting; a second signal kills it
@@ -45,6 +47,8 @@ func daemonMain() int {
 		queue    = flag.Int("queue", 256, "bounded job queue depth; full queue rejects single-run submissions with 429")
 		seed     = flag.Int64("seed", 42, "base seed of the measurement campaigns")
 		drainFor = flag.Duration("drain-timeout", 30*time.Second, "how long to drain in-flight runs on shutdown before aborting them")
+		spanCap  = flag.Int("span-capacity", 0, "span flight-recorder ring size for /v1/runs/{id}/trace (0: default 256, negative: disable tracing)")
+		spanSlow = flag.Duration("span-slow", 0, "slow-run budget: log the full span tree of any run over this wall clock (0: off)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "dufpd: ", log.LstdFlags)
@@ -66,11 +70,13 @@ func daemonMain() int {
 	session := dufp.NewSession()
 	session.Seed = *seed
 	daemon, err := api.New(api.Config{
-		Session:    session,
-		Executor:   executor,
-		QueueDepth: *queue,
-		DataDir:    *dataDir,
-		Logf:       logger.Printf,
+		Session:           session,
+		Executor:          executor,
+		QueueDepth:        *queue,
+		DataDir:           *dataDir,
+		Logf:              logger.Printf,
+		SpanCapacity:      *spanCap,
+		SpanSlowThreshold: *spanSlow,
 	})
 	if err != nil {
 		logger.Print(err)

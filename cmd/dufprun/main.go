@@ -9,6 +9,7 @@
 //	dufprun -app CG -gov static -cap 110
 //	dufprun -app CG -gov dufp -slowdown 10 -trace cg.csv
 //	dufprun -app CG -gov dufp -slowdown 10 -timeline cg.jsonl
+//	dufprun -app CG -gov dufp -slowdown 10 -spans cg_trace.json
 //	dufprun -list
 package main
 
@@ -19,6 +20,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"dufp"
 	"dufp/internal/trace"
@@ -37,6 +39,7 @@ func main() {
 		seed     = flag.Int64("seed", 42, "base seed")
 		traceCSV = flag.String("trace", "", "write socket-0 trace of run 0 to this CSV file")
 		timeline = flag.String("timeline", "", "write the run-0 decision timeline (events joined with trace samples) to this JSONL file")
+		spans    = flag.String("spans", "", "write the run-0 span flight recording (Chrome trace-event JSON, opens in Perfetto) to this file")
 		baseline = flag.Bool("baseline", true, "also run the default configuration and print ratios")
 		list     = flag.Bool("list", false, "list applications and exit")
 		cacheDir = flag.String("cache-dir", os.Getenv("DUFP_CACHE_DIR"), "persist completed runs under this directory and reuse them across invocations (default: $DUFP_CACHE_DIR)")
@@ -63,6 +66,7 @@ func main() {
 		seed:     *seed,
 		traceCSV: *traceCSV,
 		timeline: *timeline,
+		spans:    *spans,
 		baseline: *baseline,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "dufprun:", err)
@@ -72,7 +76,7 @@ func main() {
 
 type params struct {
 	appName, appFile, export, gov, traceCSV, timeline string
-	cacheDir                                          string
+	cacheDir, spans                                   string
 	slowdown                                          float64
 	cap                                               dufp.Power
 	runs                                              int
@@ -207,6 +211,24 @@ func run(ctx context.Context, p params) error {
 		}
 		fmt.Printf("timeline written to %s (%d entries, %d decisions)\n",
 			p.timeline, len(res.Timeline.Entries), len(res.Timeline.Decisions()))
+	}
+
+	if p.spans != "" {
+		res, err := session.Run(ctx, dufp.RunSpec{App: app, Governor: gov}, dufp.WithSpans())
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(p.spans)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := res.SpanTrace.WriteTraceEvents(f); err != nil {
+			return err
+		}
+		fmt.Printf("spans written to %s (total %v, %d stages, %d control rounds) — open in ui.perfetto.dev\n",
+			p.spans, time.Duration(res.Spans.TotalNS).Round(time.Microsecond),
+			len(res.Spans.Stages), res.Spans.Rounds)
 	}
 	return nil
 }

@@ -34,6 +34,7 @@ import (
 	"dufp/internal/metrics"
 	"dufp/internal/model"
 	"dufp/internal/msr"
+	"dufp/internal/obs/span"
 	"dufp/internal/sim"
 	"dufp/internal/units"
 )
@@ -46,6 +47,8 @@ type report struct {
 	RunUngovernedNsPerSimsec      float64 `json:"run_ungoverned_ns_per_simsec"`
 	RunUngovernedExactNsPerSimsec float64 `json:"run_ungoverned_exact_ns_per_simsec"`
 	RunGovernedNsPerSimsec        float64 `json:"run_governed_ns_per_simsec"`
+	RunGovernedSpansNsPerSimsec   float64 `json:"run_governed_spans_ns_per_simsec"`
+	SpanOverheadPct               float64 `json:"span_overhead_pct"`
 	AllocsPerTick                 float64 `json:"allocs_per_tick"`
 	Fig3GridWallSeconds           float64 `json:"fig3_grid_wall_seconds"`
 	FastSpeedupVsExact            float64 `json:"fast_speedup_vs_exact"`
@@ -98,6 +101,12 @@ func newMachine() (*sim.Machine, error) {
 // nsPerSimsec benchmarks one full Run per iteration and reports
 // nanoseconds of wall time per simulated second.
 func nsPerSimsec(opts sim.RunOpts) (float64, error) {
+	return nsPerSimsecF(func() sim.RunOpts { return opts })
+}
+
+// nsPerSimsecF is nsPerSimsec for runs that need per-iteration state —
+// a fresh span trace, say. The factory runs with the timer stopped.
+func nsPerSimsecF(mkOpts func() sim.RunOpts) (float64, error) {
 	m, err := newMachine()
 	if err != nil {
 		return 0, err
@@ -110,6 +119,7 @@ func nsPerSimsec(opts sim.RunOpts) (float64, error) {
 				runErr = err
 				return
 			}
+			opts := mkOpts()
 			b.StartTimer()
 			if _, err := m.Run(opts); err != nil {
 				runErr = err
@@ -281,6 +291,19 @@ func measure(short bool, cacheDir string) (report, error) {
 	if rep.RunGovernedNsPerSimsec, err = nsPerSimsec(govOpts); err != nil {
 		return rep, err
 	}
+	// Same governed run with the span flight recorder attached: the
+	// delta is the recorder's cost on the realistic hot path (budget:
+	// < 3%). A fresh trace per iteration, created off the clock.
+	if rep.RunGovernedSpansNsPerSimsec, err = nsPerSimsecF(func() sim.RunOpts {
+		opts := governedOpts(m)
+		opts.Spans = span.New("bench")
+		return opts
+	}); err != nil {
+		return rep, err
+	}
+	if rep.RunGovernedNsPerSimsec > 0 {
+		rep.SpanOverheadPct = (rep.RunGovernedSpansNsPerSimsec/rep.RunGovernedNsPerSimsec - 1) * 100
+	}
 	if rep.AllocsPerTick, err = allocsPerTick(); err != nil {
 		return rep, err
 	}
@@ -361,6 +384,8 @@ func compare(baselinePath string, cur report) error {
 		{"run_ungoverned_ns_per_simsec", base.RunUngovernedNsPerSimsec, cur.RunUngovernedNsPerSimsec, true},
 		{"run_ungoverned_exact_ns_per_simsec", base.RunUngovernedExactNsPerSimsec, cur.RunUngovernedExactNsPerSimsec, true},
 		{"run_governed_ns_per_simsec", base.RunGovernedNsPerSimsec, cur.RunGovernedNsPerSimsec, true},
+		{"run_governed_spans_ns_per_simsec", base.RunGovernedSpansNsPerSimsec, cur.RunGovernedSpansNsPerSimsec, true},
+		{"span_overhead_pct", base.SpanOverheadPct, cur.SpanOverheadPct, true},
 		{"allocs_per_tick", base.AllocsPerTick, cur.AllocsPerTick, true},
 		{"fig3_grid_wall_seconds", base.Fig3GridWallSeconds, cur.Fig3GridWallSeconds, true},
 		{"fast_speedup_vs_exact", base.FastSpeedupVsExact, cur.FastSpeedupVsExact, false},

@@ -15,6 +15,7 @@ import (
 	"dufp"
 	"dufp/internal/metrics"
 	"dufp/internal/obs"
+	"dufp/internal/obs/span"
 )
 
 // Submission errors, mapped to HTTP status codes by the server.
@@ -53,13 +54,27 @@ type Config struct {
 	Registry *obs.Registry
 	// Logf logs daemon lifecycle events; nil discards them.
 	Logf func(format string, args ...any)
+	// SpanCapacity bounds the span flight recorder: how many finished
+	// run traces the daemon retains for /v1/runs/{id}/trace (oldest
+	// evicted). 0 means span.DefaultCapacity; negative disables span
+	// recording entirely, restoring the untraced dispatch path.
+	SpanCapacity int
+	// SpanSlowThreshold, when positive, is the slow-run budget: any run
+	// whose queue-to-completion wall clock exceeds it has its full span
+	// tree written through Logf and counted in api_slow_runs_total.
+	SpanSlowThreshold time.Duration
 }
 
-// job is one tracked run. Mutable fields are guarded by Daemon.mu.
+// job is one tracked run. Mutable fields are guarded by Daemon.mu; the
+// trace and its queue-stage handle are written at creation and then
+// touched only by the dispatching worker.
 type job struct {
 	id      string
 	spec    dufp.RunSpec
 	session dufp.Session
+
+	tr    *span.Trace
+	qspan span.Handle
 
 	state string
 	run   dufp.Run
@@ -116,8 +131,10 @@ type Daemon struct {
 	draining bool
 
 	journal *os.File
+	spans   *span.Recorder
 
 	mQueueDepth *obs.Gauge
+	mSlowRuns   *obs.Counter
 	mJobs       *obs.CounterVec
 	mCampaigns  *obs.Counter
 	mRejected   *obs.CounterVec
@@ -186,6 +203,15 @@ func New(cfg Config) (*Daemon, error) {
 			"API requests served, by route and status code.", "route", "code"),
 		mReqSec: reg.Histogram("api_http_request_seconds",
 			"API request latency by route.", obs.ExpBuckets(1e-4, 2.5, 12), "route"),
+		mSlowRuns: reg.Counter("api_slow_runs_total",
+			"Runs whose wall clock exceeded the span slow-run budget.").With(),
+	}
+	if cfg.SpanCapacity >= 0 {
+		d.spans = span.NewRecorder(cfg.SpanCapacity,
+			span.WithSlowThreshold(cfg.SpanSlowThreshold, func(format string, args ...any) {
+				d.mSlowRuns.Inc()
+				logf(format, args...)
+			}))
 	}
 
 	for i := 0; i < workers; i++ {
@@ -204,6 +230,10 @@ func New(cfg Config) (*Daemon, error) {
 
 // Executor returns the run scheduler behind the daemon.
 func (d *Daemon) Executor() *dufp.Executor { return d.exe }
+
+// Spans returns the daemon's span flight recorder, nil when disabled
+// (negative Config.SpanCapacity).
+func (d *Daemon) Spans() *span.Recorder { return d.spans }
 
 // Registry returns the metrics registry the daemon publishes to.
 func (d *Daemon) Registry() *obs.Registry { return d.reg }
@@ -254,7 +284,18 @@ func (d *Daemon) dispatch() {
 		case j := <-d.queue:
 			d.mQueueDepth.Set(float64(len(d.queue)))
 			d.setRunning(j)
-			res, err := j.session.Run(d.ctx, j.spec)
+			ctx := d.ctx
+			var dspan span.Handle
+			if j.tr != nil {
+				j.qspan.End()
+				dspan = j.tr.Start(span.StageDispatch)
+				ctx = span.NewContext(ctx, j.tr)
+			}
+			res, err := j.session.Run(ctx, j.spec)
+			if j.tr != nil {
+				dspan.End()
+				d.spans.Observe(j.tr)
+			}
 			d.complete(j, res.Run, err)
 		}
 	}
@@ -395,6 +436,13 @@ func (d *Daemon) trackLocked(session dufp.Session, spec dufp.RunSpec) (*job, Run
 	d.jobs[id] = j
 	if run, ok := d.exe.DiskGetByID(id); ok {
 		j.state, j.run = StateDone, run
+	} else if d.spans != nil {
+		// The trace starts at acceptance, so the queue stage measures
+		// the full wait — including a campaign feeder blocking on queue
+		// capacity — and the root total is the run's end-to-end wall
+		// clock inside the daemon.
+		j.tr = span.New(id)
+		j.qspan = j.tr.Start(span.StageQueue)
 	}
 	return j, d.runStatusLocked(j), true
 }

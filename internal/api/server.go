@@ -45,6 +45,7 @@ func (d *Daemon) Handler() http.Handler {
 	route("GET /v1/runs", "runs_list", d.handleListRuns)
 	route("GET /v1/runs/{id}", "runs_get", d.handleGetRun)
 	route("GET /v1/runs/{id}/events", "runs_events", d.handleRunEvents)
+	route("GET /v1/runs/{id}/trace", "runs_trace", d.handleRunTrace)
 	route("POST /v1/campaigns", "campaigns_submit", d.handleSubmitCampaign)
 	route("GET /v1/campaigns", "campaigns_list", d.handleListCampaigns)
 	route("GET /v1/campaigns/{id}", "campaigns_get", d.handleGetCampaign)
@@ -52,10 +53,21 @@ func (d *Daemon) Handler() http.Handler {
 	return mux
 }
 
-// statusRecorder captures the response code for the request metrics.
+// statusRecorder captures the response code for the request metrics,
+// plus the run ID a handler tags the request with — the exemplar that
+// links a latency bucket back to a concrete run.
 type statusRecorder struct {
 	http.ResponseWriter
-	code int
+	code     int
+	exemplar string
+}
+
+// tagExemplar marks the request's latency sample with a run identity;
+// no-op when w is not the instrumentation recorder.
+func tagExemplar(w http.ResponseWriter, runID string) {
+	if rec, ok := w.(*statusRecorder); ok {
+		rec.exemplar = runID
+	}
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
@@ -77,7 +89,7 @@ func (d *Daemon) instrument(label string, h http.HandlerFunc) http.Handler {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		h(rec, r)
-		hist.Observe(time.Since(start).Seconds())
+		hist.ObserveExemplar(time.Since(start).Seconds(), rec.exemplar)
 		d.mReqs.With(label, strconv.Itoa(rec.code)).Inc()
 	})
 }
@@ -118,6 +130,7 @@ func (d *Daemon) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	tagExemplar(w, status.ID)
 	code := http.StatusAccepted
 	if terminal(status.State) {
 		code = http.StatusOK
@@ -135,7 +148,32 @@ func (d *Daemon) handleGetRun(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown run"})
 		return
 	}
+	tagExemplar(w, status.ID)
 	writeJSON(w, http.StatusOK, status)
+}
+
+// handleRunTrace serves a run's span tree from the flight recorder:
+// Chrome trace-event JSON by default (loads in Perfetto), or the
+// compact per-stage summary with ?format=summary.
+func (d *Daemon) handleRunTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if d.spans == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "span recording disabled"})
+		return
+	}
+	tr, ok := d.spans.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no trace recorded for run"})
+		return
+	}
+	tagExemplar(w, id)
+	if r.URL.Query().Get("format") == "summary" {
+		writeJSON(w, http.StatusOK, tr.Summary())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	tr.WriteTraceEvents(w)
 }
 
 func (d *Daemon) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {

@@ -32,6 +32,7 @@ import (
 	"dufp/internal/exec/diskcache"
 	"dufp/internal/metrics"
 	"dufp/internal/obs"
+	"dufp/internal/obs/span"
 )
 
 // Key content-addresses one run: the application (name plus structure
@@ -473,12 +474,15 @@ func (e *Executor) shardFor(id ID) *shard {
 // the execution returns ctx.Err() promptly.
 func (e *Executor) Submit(ctx context.Context, key Key) (metrics.Run, error) {
 	id := key.ID()
+	tr := span.FromContext(ctx)
 	e.cnt.submitted.Add(1)
 	e.metrics.submitted.Inc()
 	sh := e.shardFor(id)
+	cacheSpan := tr.Start(span.StageCache)
 	sh.lock()
 	if run, ok := sh.cache.get(id); ok {
 		sh.mu.Unlock()
+		cacheSpan.End()
 		e.cnt.cacheHits.Add(1)
 		e.metrics.cacheHits.Inc()
 		e.emit(Event{Kind: EventCached, Key: key, QueueDepth: int(e.queued.Load())})
@@ -486,9 +490,12 @@ func (e *Executor) Submit(ctx context.Context, key Key) (metrics.Run, error) {
 	}
 	if c, ok := sh.inflight[id]; ok {
 		sh.mu.Unlock()
+		cacheSpan.End()
 		e.cnt.coalesced.Add(1)
 		e.metrics.coalesced.Inc()
 		e.emit(Event{Kind: EventCoalesced, Key: key, QueueDepth: int(e.queued.Load())})
+		wait := tr.Start(span.StageCoalesce)
+		defer wait.End()
 		select {
 		case <-c.done:
 			return c.run, c.err
@@ -503,27 +510,30 @@ func (e *Executor) Submit(ctx context.Context, key Key) (metrics.Run, error) {
 
 	if e.disk != nil {
 		if run, ok := e.disk.Get(diskcache.Key(id)); ok {
+			cacheSpan.End()
 			e.cnt.diskHits.Add(1)
 			e.metrics.diskHits.Inc()
 			c.run = run
-			e.settle(sh, id, c, false)
+			e.settle(sh, id, c, false, nil)
 			e.emit(Event{Kind: EventDiskHit, Key: key, QueueDepth: int(e.queued.Load())})
 			return run, nil
 		}
 		e.metrics.diskMisses.Inc()
 	}
+	cacheSpan.End()
 
 	e.cnt.started.Add(1)
 	e.metrics.started.Inc()
 	c.run, c.err = e.execute(ctx, key)
-	e.settle(sh, id, c, c.err == nil)
+	e.settle(sh, id, c, c.err == nil, tr)
 	return c.run, c.err
 }
 
 // settle retires a leader's in-flight entry: the completed run enters
 // the LRU (unless it failed), followers are released, and — for fresh
-// executions — the persistent tier is written behind.
-func (e *Executor) settle(sh *shard, id ID, c *call, persist bool) {
+// executions — the persistent tier is written behind, recorded on the
+// leader's span trace as the serialize stage.
+func (e *Executor) settle(sh *shard, id ID, c *call, persist bool, tr *span.Trace) {
 	sh.lock()
 	delete(sh.inflight, id)
 	var evicted int64
@@ -538,7 +548,9 @@ func (e *Executor) settle(sh *shard, id ID, c *call, persist bool) {
 	e.metrics.queueDepth.Set(float64(e.queued.Add(-1)))
 	close(c.done)
 	if persist && e.disk != nil {
+		ser := tr.Start(span.StageSerialize)
 		e.disk.Put(diskcache.Key(id), c.run)
+		ser.End()
 	}
 }
 
@@ -565,9 +577,12 @@ func (e *Executor) execute(ctx context.Context, key Key) (metrics.Run, error) {
 		e.metrics.cancelled.Inc()
 		return metrics.Run{}, err
 	}
+	wait := span.FromContext(ctx).Start(span.StageWait)
 	select {
 	case e.slots <- struct{}{}:
+		wait.End()
 	case <-ctx.Done():
+		wait.End()
 		e.cnt.cancelled.Add(1)
 		e.metrics.cancelled.Inc()
 		return metrics.Run{}, ctx.Err()
@@ -590,7 +605,9 @@ func (e *Executor) execute(ctx context.Context, key Key) (metrics.Run, error) {
 		e.cnt.completed.Add(1)
 		e.metrics.completed.Inc()
 	}
-	e.metrics.runSeconds.Observe(wall.Seconds())
+	// The run ID exemplar links the latency bucket to the run that
+	// landed there, so a hot tail bucket names a concrete span tree.
+	e.metrics.runSeconds.ObserveExemplar(wall.Seconds(), RunID(key.ID()))
 	e.emit(Event{Kind: kind, Key: key, Wall: wall, QueueDepth: int(e.queued.Load()), Err: err})
 	return run, err
 }

@@ -80,13 +80,15 @@ type family struct {
 
 // series is one labelled time series. Counter and gauge values live in
 // bits as float64 bit patterns; histograms use counts (one per bucket
-// plus +Inf), sumBits and count.
+// plus +Inf), sumBits and count, plus one last-writer exemplar slot per
+// bucket (populated only through ObserveExemplar).
 type series struct {
 	labelValues []string
 	bits        atomic.Uint64
 	counts      []atomic.Uint64
 	sumBits     atomic.Uint64
 	count       atomic.Uint64
+	exemplars   []atomic.Pointer[Exemplar]
 }
 
 // register looks up or creates the family, enforcing schema consistency:
@@ -178,6 +180,7 @@ func (f *family) get(values []string) *series {
 	s := &series{labelValues: append([]string(nil), values...)}
 	if f.kind == KindHistogram {
 		s.counts = make([]atomic.Uint64, len(f.buckets)+1)
+		s.exemplars = make([]atomic.Pointer[Exemplar], len(f.buckets)+1)
 	}
 	f.series.Store(k, s)
 	return s
@@ -248,11 +251,30 @@ type Histogram struct {
 }
 
 // Observe records one sample.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.ObserveExemplar(v, "") }
+
+// Exemplar links one observed sample to the identity that produced it
+// — for this harness, a run ID — so a hot latency bucket names a
+// concrete run whose span tree can be pulled from the flight recorder.
+type Exemplar struct {
+	// ID is the traced identity of the sample (a run ID).
+	ID string `json:"id"`
+	// Value is the observed sample.
+	Value float64 `json:"value"`
+}
+
+// ObserveExemplar records one sample and, when id is non-empty, stamps
+// it as the bucket's exemplar (last writer wins). Exemplars surface in
+// JSON snapshots only; the Prometheus 0.0.4 text format predates them
+// and stays unchanged.
+func (h *Histogram) ObserveExemplar(v float64, id string) {
 	i := sort.SearchFloat64s(h.buckets, v) // first bound >= v; len(buckets) is +Inf
 	h.s.counts[i].Add(1)
 	addFloat(&h.s.sumBits, v)
 	h.s.count.Add(1)
+	if id != "" {
+		h.s.exemplars[i].Store(&Exemplar{ID: id, Value: v})
+	}
 }
 
 // Count returns the number of observations.
@@ -278,18 +300,22 @@ type BucketSnapshot struct {
 	LE float64 `json:"le"`
 	// Count is the cumulative observation count.
 	Count uint64 `json:"count"`
+	// Exemplar is the bucket's most recent exemplar, if any sample was
+	// recorded through ObserveExemplar with an identity.
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // bucketJSON carries a bucket across JSON with the bound as a string, the
 // only way to represent the +Inf bucket in standard JSON.
 type bucketJSON struct {
-	LE    string `json:"le"`
-	Count uint64 `json:"count"`
+	LE       string    `json:"le"`
+	Count    uint64    `json:"count"`
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // MarshalJSON renders the bound as a string ("0.5", "+Inf").
 func (b BucketSnapshot) MarshalJSON() ([]byte, error) {
-	return json.Marshal(bucketJSON{LE: formatLE(b.LE), Count: b.Count})
+	return json.Marshal(bucketJSON{LE: formatLE(b.LE), Count: b.Count, Exemplar: b.Exemplar})
 }
 
 // UnmarshalJSON parses the string bound back.
@@ -299,6 +325,7 @@ func (b *BucketSnapshot) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	b.Count = bj.Count
+	b.Exemplar = bj.Exemplar
 	if bj.LE == "+Inf" {
 		b.LE = math.Inf(1)
 		return nil
@@ -370,7 +397,7 @@ func (r *Registry) Snapshot() []FamilySnapshot {
 					if i < len(f.buckets) {
 						le = f.buckets[i]
 					}
-					ss.Buckets[i] = BucketSnapshot{LE: le, Count: cum}
+					ss.Buckets[i] = BucketSnapshot{LE: le, Count: cum, Exemplar: s.exemplars[i].Load()}
 				}
 			default:
 				ss.Value = math.Float64frombits(s.bits.Load())
@@ -435,13 +462,15 @@ func labelString(labels map[string]string, extraName, extraValue string) string 
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", name, escapeLabel(labels[name]))
+		fmt.Fprintf(&b, `%s="%s"`, name, escapeLabel(labels[name]))
 	}
 	if extraName != "" {
 		if len(names) > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", extraName, extraValue)
+		// extraValue is always a formatted bucket bound, never user text,
+		// but escape it anyway so the rule has no exceptions.
+		fmt.Fprintf(&b, `%s="%s"`, extraName, escapeLabel(extraValue))
 	}
 	b.WriteByte('}')
 	return b.String()
@@ -456,10 +485,15 @@ func formatLE(le float64) string {
 
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
-// escapeLabel escapes a label value per the exposition format. %q already
-// escapes backslash, quote and newline correctly for this purpose, so the
-// value passes through; this keeps the escaping rule in one named place.
-func escapeLabel(v string) string { return v }
+// labelEscaper implements the exposition format's label-value escaping:
+// backslash, double quote and newline, and nothing else. Go's %q is not a
+// substitute — it additionally escapes control characters and non-ASCII
+// runes as \x/\u sequences the format treats as literal text, so a tab or
+// an accented name would round-trip wrong through a Prometheus scrape.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
 
 func escapeHelp(h string) string {
 	h = strings.ReplaceAll(h, `\`, `\\`)

@@ -300,3 +300,90 @@ func TestDefaultRegistryIsSingleton(t *testing.T) {
 		t.Fatal("Default() not a singleton")
 	}
 }
+
+// TestEscapeLabelExpositionRules pins the label-value escaping to the
+// exposition format's exact rule set: backslash, double quote and
+// newline are escaped; everything else — tabs, carriage returns,
+// non-ASCII UTF-8 — passes through raw. (The former %q-based rendering
+// escaped tabs and control characters Go-style, which a format parser
+// reads as literal backslash-t.)
+func TestEscapeLabelExpositionRules(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "", "v").With("caf\u00e9\tx\rß").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "esc_total{v=\"caf\u00e9\tx\rß\"} 1\n"
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("exposition does not contain %q:\n%s", want, b.String())
+	}
+
+	for in, out := range map[string]string{
+		`back\slash`: `back\\slash`,
+		`qu"ote`:     `qu\"ote`,
+		"new\nline":  `new\nline`,
+		"plain":      "plain",
+		"":           "",
+	} {
+		if got := escapeLabel(in); got != out {
+			t.Errorf("escapeLabel(%q) = %q, want %q", in, got, out)
+		}
+	}
+}
+
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "", []float64{0.1, 1}).With()
+	h.Observe(0.05) // no exemplar
+	h.ObserveExemplar(0.5, "run-a")
+	h.ObserveExemplar(0.7, "run-b") // same bucket: last writer wins
+	h.ObserveExemplar(5, "run-c")   // +Inf bucket
+
+	snap := r.Snapshot()
+	if len(snap) != 1 || len(snap[0].Series) != 1 {
+		t.Fatalf("unexpected snapshot shape: %+v", snap)
+	}
+	bks := snap[0].Series[0].Buckets
+	if len(bks) != 3 {
+		t.Fatalf("got %d buckets, want 3", len(bks))
+	}
+	if bks[0].Exemplar != nil {
+		t.Errorf("bucket 0 should have no exemplar, got %+v", bks[0].Exemplar)
+	}
+	if ex := bks[1].Exemplar; ex == nil || ex.ID != "run-b" || ex.Value != 0.7 {
+		t.Errorf("bucket 1 exemplar = %+v, want run-b/0.7", ex)
+	}
+	if ex := bks[2].Exemplar; ex == nil || ex.ID != "run-c" {
+		t.Errorf("+Inf bucket exemplar = %+v, want run-c", ex)
+	}
+
+	// Exemplars survive the JSON round-trip and stay out of the text
+	// exposition (0.0.4 predates them).
+	blob, err := json.Marshal(bks[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BucketSnapshot
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Exemplar == nil || back.Exemplar.ID != "run-b" {
+		t.Errorf("exemplar lost in JSON round-trip: %+v", back.Exemplar)
+	}
+	var text strings.Builder
+	if err := r.WritePrometheus(&text); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(text.String(), "run-b") {
+		t.Error("exemplar leaked into the Prometheus text exposition")
+	}
+
+	// ObserveExemplar with an empty ID must behave exactly like Observe.
+	before := bks[1].Count
+	h.ObserveExemplar(0.6, "")
+	bks = r.Snapshot()[0].Series[0].Buckets
+	if bks[1].Count != before+1 || bks[1].Exemplar.ID != "run-b" {
+		t.Errorf("empty-ID observation disturbed the exemplar: %+v", bks[1])
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -199,6 +200,53 @@ func TestIndexAndPprof(t *testing.T) {
 	if code != http.StatusOK || body == "" {
 		t.Fatalf("pprof: %d", code)
 	}
+}
+
+// TestMetricsEndpointsConcurrentWithWrites hammers the histogram —
+// including the exemplar slots — while both exposition endpoints
+// serve, so the race detector (make tier1-obs) can see any snapshot
+// torn against concurrent writers.
+func TestMetricsEndpointsConcurrentWithWrites(t *testing.T) {
+	reg := obs.NewRegistry()
+	hist := reg.Histogram("conc_seconds", "Concurrency test histogram.",
+		obs.ExpBuckets(1e-4, 2, 8), "route").With("r")
+	ctr := reg.Counter("conc_total", "Concurrency test counter.").With()
+	ts := httptest.NewServer(New(reg, nil).Handler())
+	defer ts.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				hist.ObserveExemplar(float64(i%7)*1e-3, fmt.Sprintf("run-%d-%d", w, i))
+				ctr.Inc()
+			}
+		}(w)
+	}
+	for i := 0; i < 25; i++ {
+		code, body, _ := get(t, ts.URL+"/metrics.json")
+		if code != http.StatusOK {
+			t.Fatalf("metrics.json under write load: %d", code)
+		}
+		var fams []obs.FamilySnapshot
+		if err := json.Unmarshal([]byte(body), &fams); err != nil {
+			t.Fatalf("torn JSON snapshot: %v", err)
+		}
+		code, body, _ = get(t, ts.URL+"/metrics")
+		if code != http.StatusOK || !strings.Contains(body, "conc_total") {
+			t.Fatalf("text exposition under write load: %d", code)
+		}
+	}
+	close(stop)
+	wg.Wait()
 }
 
 func TestNilRegistryFallsBackToDefault(t *testing.T) {

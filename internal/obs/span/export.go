@@ -1,0 +1,115 @@
+package span
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Chrome trace-event track layout: stages and control rounds render on
+// separate named tracks of one process, so the round lane nests
+// visually under the sim stage without fighting Perfetto's
+// same-track containment rules.
+const (
+	tracePID  = 1
+	tidStages = 1
+	tidRounds = 2
+)
+
+// traceEvent is one entry of the Chrome trace-event format ("X"
+// complete events for spans and rounds, "i" instants for annotations,
+// "M" metadata for track names). ts and dur are microseconds.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON-object form of the format, the one Perfetto's
+// legacy loader accepts directly.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+func durPtr(d time.Duration) *float64 {
+	us := micros(d)
+	if us < 0 {
+		us = 0
+	}
+	return &us
+}
+
+// WriteTraceEvents renders the trace as Chrome trace-event JSON:
+// stage spans and per-control-round slices as complete ("X") events on
+// two named tracks, instant annotations as "i" events. The output
+// loads directly in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func (t *Trace) WriteTraceEvents(w io.Writer) error {
+	if t == nil {
+		return json.NewEncoder(w).Encode(traceFile{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"})
+	}
+	t.mu.Lock()
+	spans := append([]Span(nil), t.spans...)
+	rounds := append([]Round(nil), t.rounds...)
+	events := append([]Event(nil), t.events...)
+	end := t.totalLocked()
+	runID := t.runID
+	t.mu.Unlock()
+
+	out := traceFile{DisplayTimeUnit: "ms"}
+	out.TraceEvents = append(out.TraceEvents,
+		traceEvent{Name: "process_name", Ph: "M", PID: tracePID, TID: tidStages,
+			Args: map[string]any{"name": "run " + runID}},
+		traceEvent{Name: "thread_name", Ph: "M", PID: tracePID, TID: tidStages,
+			Args: map[string]any{"name": "stages"}},
+		traceEvent{Name: "thread_name", Ph: "M", PID: tracePID, TID: tidRounds,
+			Args: map[string]any{"name": "control rounds"}},
+	)
+	for _, sp := range spans {
+		e := sp.End
+		if e < 0 {
+			e = end
+		}
+		out.TraceEvents = append(out.TraceEvents, traceEvent{
+			Name: sp.Name, Cat: "stage", Ph: "X",
+			TS: micros(sp.Start), Dur: durPtr(e - sp.Start),
+			PID: tracePID, TID: tidStages,
+			Args: map[string]any{"run_id": runID},
+		})
+	}
+	for _, r := range rounds {
+		out.TraceEvents = append(out.TraceEvents, traceEvent{
+			Name: "round", Cat: "round", Ph: "X",
+			TS: micros(r.Start), Dur: durPtr(r.End - r.Start),
+			PID: tracePID, TID: tidRounds,
+			Args: map[string]any{
+				"sim_s":     r.Sim.Seconds(),
+				"phase":     r.Phase,
+				"oi":        r.OI,
+				"cap_w":     r.CapW,
+				"uncore_hz": r.UncoreHz,
+			},
+		})
+	}
+	for _, ev := range events {
+		te := traceEvent{
+			Name: ev.Name, Cat: "event", Ph: "i",
+			TS: micros(ev.At), PID: tracePID, TID: tidRounds, S: "t",
+		}
+		if ev.Args != "" {
+			te.Args = map[string]any{"detail": ev.Args}
+		}
+		out.TraceEvents = append(out.TraceEvents, te)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

@@ -6,6 +6,7 @@ import (
 
 	"dufp/internal/model"
 	"dufp/internal/msr"
+	"dufp/internal/obs/span"
 	"dufp/internal/units"
 )
 
@@ -91,6 +92,40 @@ func BenchmarkRunGoverned(b *testing.B) {
 		}
 		b.StartTimer()
 		if _, err := m.Run(RunOpts{ControlPeriod: 200 * time.Millisecond, Governors: govs}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/simSecs, "ns/simsec")
+}
+
+// BenchmarkRunGovernedSpans is BenchmarkRunGoverned with the span
+// flight recorder attached — the delta between the two is the
+// recorder's cost (budget: < 3% ns/simsec). The fresh trace per
+// iteration is built off the clock.
+func BenchmarkRunGovernedSpans(b *testing.B) {
+	const simSecs = 2.0
+	m := benchMachine(b, 0, time.Duration(simSecs*float64(time.Second)))
+	govs := make([]Governor, m.Sockets())
+	for i := range govs {
+		cpu := m.Socket(i).CPU0()
+		raw := msr.EncodePkgPowerLimit(msr.DefaultUnits(), msr.PkgPowerLimit{
+			PL1: msr.PowerLimit{Limit: 110 * units.Watt, Window: 1, Enabled: true},
+			PL2: msr.PowerLimit{Limit: 130 * units.Watt, Window: 0.01, Enabled: true},
+		})
+		govs[i] = governorFunc(func(time.Duration) error {
+			return m.MSR().Write(cpu, msr.MSRPkgPowerLimit, raw)
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if err := m.Load([]model.PhaseShape{steadyShape(time.Duration(simSecs * float64(time.Second)))}); err != nil {
+			b.Fatal(err)
+		}
+		opts := RunOpts{ControlPeriod: 200 * time.Millisecond, Governors: govs, Spans: span.New("bench")}
+		b.StartTimer()
+		if _, err := m.Run(opts); err != nil {
 			b.Fatal(err)
 		}
 	}

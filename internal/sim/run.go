@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dufp/internal/obs"
+	"dufp/internal/obs/span"
 	"dufp/internal/units"
 )
 
@@ -86,6 +87,13 @@ type RunOpts struct {
 	// window) and tests use it as the reference side of bit-identity
 	// checks; results are bit-identical either way.
 	ExactLoop bool
+	// Spans, when non-nil, records one entry per governor control round
+	// on the run's span flight recorder: the round's wall-clock cost and
+	// socket 0's operating point after the decision (phase, operational
+	// intensity, cap, uncore frequency). Nil keeps the loop free of any
+	// clock reads — the per-tick physics path never touches it either
+	// way, preserving the 0 allocs/tick invariant.
+	Spans *span.Trace
 }
 
 // Result summarises one completed run.
@@ -255,6 +263,10 @@ func (m *Machine) Run(opts RunOpts) (Result, error) {
 		}
 
 		if ctrlTicks > 0 && (tick+1)%ctrlTicks == 0 {
+			var roundStart time.Duration
+			if opts.Spans != nil {
+				roundStart = opts.Spans.Now()
+			}
 			ran := false
 			for i, g := range opts.Governors {
 				if g == nil || m.sockets[i].done {
@@ -267,6 +279,23 @@ func (m *Machine) Run(opts RunOpts) (Result, error) {
 			}
 			if ran && opts.GovernorOverhead > 0 {
 				m.stall += opts.GovernorOverhead.Seconds()
+			}
+			if ran && opts.Spans != nil {
+				s0 := m.sockets[0]
+				lim := s0.limiter.Limits()
+				oi := 0.0
+				if s0.lastBW > 0 {
+					oi = float64(s0.lastFlopRate) / float64(s0.lastBW)
+				}
+				opts.Spans.AddRound(span.Round{
+					Start:    roundStart,
+					End:      opts.Spans.Now(),
+					Sim:      m.now,
+					Phase:    s0.idx,
+					OI:       oi,
+					CapW:     lim.PL1.Limit.Watts(),
+					UncoreHz: float64(s0.uncoreFreq),
+				})
 			}
 		}
 		if opts.Trace != nil && tick%traceEvery == 0 {

@@ -5,6 +5,7 @@ import (
 
 	"dufp/internal/control"
 	"dufp/internal/fault"
+	"dufp/internal/obs/span"
 	"dufp/internal/obs/timeline"
 	"dufp/internal/trace"
 )
@@ -33,6 +34,22 @@ func DefaultGuardConfig() GuardConfig { return control.DefaultGuard() }
 // TraceRecorder is a run's full per-socket time-series recording.
 type TraceRecorder = trace.Recorder
 
+// Span flight-recorder facade (see internal/obs/span).
+type (
+	// SpanTrace is one run's span tree: wall-clock stages from queue
+	// wait to result serialization, one entry per simulator control
+	// round, and guard-event annotations. Export it with
+	// WriteTraceEvents (Chrome trace-event JSON, loads in Perfetto).
+	SpanTrace = span.Trace
+	// SpanSummary is the compact per-stage self-time decomposition of a
+	// SpanTrace; it is the span artifact that crosses the wire inside
+	// RunResult.
+	SpanSummary = span.Summary
+	// SpanRecorder retains finished span traces in a bounded ring and
+	// maintains the slow-run log.
+	SpanRecorder = span.Recorder
+)
+
 // RunSpec names one run: an application, a governor descriptor, and the
 // run index that selects the deterministic seeds.
 type RunSpec struct {
@@ -45,8 +62,8 @@ type RunSpec struct {
 
 // runOptions collects the per-run settings of Session.Run.
 type runOptions struct {
-	trace, events, timeline, faultStats bool
-	faults                              *FaultPlan
+	trace, events, timeline, faultStats, spans bool
+	faults                                     *FaultPlan
 }
 
 // RunOption adjusts one Session.Run call.
@@ -68,6 +85,14 @@ func WithEvents() RunOption { return func(o *runOptions) { o.events = true } }
 func WithTimeline() RunOption {
 	return func(o *runOptions) { o.timeline, o.trace, o.events = true, true, true }
 }
+
+// WithSpans attaches a span flight recorder to the run and returns its
+// trace and per-stage summary. If ctx already carries a SpanTrace (the
+// daemon's dispatch path) that trace is reused and left unfinished for
+// its owner; otherwise a fresh trace keyed by the run's wire ID is
+// created and finished. Span-bearing runs bypass the memo cache like
+// other sideband artifacts: the stage timings must be produced fresh.
+func WithSpans() RunOption { return func(o *runOptions) { o.spans = true } }
 
 // WithFaultStats returns the injected-fault and sample-guard counters
 // of the run. Stat-bearing runs bypass the memo cache.
@@ -96,6 +121,11 @@ type RunResult struct {
 	FaultStats FaultStats
 	// GuardStats sums the sample-guard outcomes across sockets.
 	GuardStats GuardStats
+	// SpanTrace is the run's span flight recorder (WithSpans).
+	SpanTrace *SpanTrace
+	// Spans is the compact per-stage duration summary of SpanTrace
+	// (WithSpans); it is the only span artifact carried by wire v1.
+	Spans *SpanSummary
 }
 
 // Run executes one run of spec.App under spec.Governor through the run
@@ -111,7 +141,7 @@ func (s Session) Run(ctx context.Context, spec RunSpec, opts ...RunOption) (RunR
 	if o.faults != nil {
 		s.Faults = *o.faults
 	}
-	sideband := o.trace || o.events || o.faultStats
+	sideband := o.trace || o.events || o.faultStats || o.spans
 	key := s.execKey(spec.App, spec.Governor, spec.Idx, o.trace, sideband)
 	if !sideband {
 		r, err := s.executor().Submit(ctx, key)
@@ -120,7 +150,19 @@ func (s Session) Run(ctx context.Context, spec RunSpec, opts ...RunOption) (RunR
 		}
 		return RunResult{Run: r}, nil
 	}
+	var tr *SpanTrace
+	ownTrace := false
+	if o.spans {
+		if tr = span.FromContext(ctx); tr == nil {
+			tr = span.New(s.RunID(spec))
+			ctx = span.NewContext(ctx, tr)
+			ownTrace = true
+		}
+	}
 	r, err := s.executor().SubmitUncached(ctx, key)
+	if o.spans && ownTrace {
+		tr.Finish()
+	}
 	if err != nil {
 		return RunResult{}, wrapErr("run", err)
 	}
@@ -148,6 +190,11 @@ func (s Session) Run(ctx context.Context, spec RunSpec, opts ...RunOption) (RunR
 		for _, inst := range p.insts {
 			res.GuardStats = res.GuardStats.Add(guardStatsOf(inst))
 		}
+	}
+	if o.spans {
+		res.SpanTrace = tr
+		sum := tr.Summary()
+		res.Spans = &sum
 	}
 	return res, nil
 }

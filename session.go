@@ -10,6 +10,7 @@ import (
 	"dufp/internal/fault"
 	"dufp/internal/metrics"
 	"dufp/internal/msr"
+	"dufp/internal/obs/span"
 	"dufp/internal/papi"
 	"dufp/internal/powercap"
 	"dufp/internal/rapl"
@@ -148,8 +149,13 @@ type runArtifacts struct {
 
 // execute is the uncached run path behind the executor: build a machine,
 // load the unrolled workload, attach the governor and run to completion.
-// ctx is checked between decision rounds.
+// ctx is checked between decision rounds. A span trace on ctx receives
+// the setup and sim stages, one entry per control round, and the
+// controllers' guard events; spans left open on an error path are
+// closed by the trace's Finish.
 func (s Session) execute(ctx context.Context, app App, mk GovernorFunc, idx int, traced bool) (Run, runArtifacts, error) {
+	tr := span.FromContext(ctx)
+	setup := tr.Start(span.StageSetup)
 	if err := app.Validate(); err != nil {
 		return Run{}, runArtifacts{}, err
 	}
@@ -198,12 +204,15 @@ func (s Session) execute(ctx context.Context, app App, mk GovernorFunc, idx int,
 		govName = control.NoOp{}.Name()
 	}
 
+	setup.End()
+
 	opts := sim.RunOpts{
 		Ctx:              ctx,
 		ControlPeriod:    s.ControlPeriod,
 		Governors:        govs,
 		GovernorOverhead: s.MonitorOverhead,
 		ExactLoop:        s.ExactPhysics || s.Faults.Enabled(),
+		Spans:            tr,
 	}
 	if allNil(govs) {
 		opts.Governors = nil
@@ -222,9 +231,15 @@ func (s Session) execute(ctx context.Context, app App, mk GovernorFunc, idx int,
 		rec.Reserve(int(nominal/s.Sim.Tick)/opts.TraceEvery + 2)
 		opts.Trace = rec.Hook()
 	}
+	simSpan := tr.Start(span.StageSim)
+	simWallStart := tr.Now()
 	res, err := m.Run(opts)
+	simSpan.End()
 	if err != nil {
 		return Run{}, runArtifacts{}, fmt.Errorf("dufp: running %s under %s: %w", app.Name, govName, err)
+	}
+	if tr != nil {
+		attachControlEvents(tr, insts, res.Duration, simWallStart, tr.Now()-simWallStart)
 	}
 
 	art := runArtifacts{rec: rec, insts: insts}
@@ -365,4 +380,43 @@ func slowdownOfInstance(in control.Instance) (float64, bool) {
 // DefaultPL returns the node's factory long- and short-term power limits.
 func (s Session) DefaultPL() (pl1, pl2 units.Power) {
 	return s.Sim.Topo.Spec.DefaultPL1, s.Sim.Topo.Spec.DefaultPL2
+}
+
+// maxTraceEvents bounds the guard/phase annotations copied onto one
+// span trace; pathological runs do not grow it without bound.
+const maxTraceEvents = 512
+
+// attachControlEvents copies the structurally interesting controller
+// decisions — phase changes, interaction rules, §IV-D resets, sample-
+// guard trips — onto the span trace as instant events. Controller
+// events carry simulation timestamps; they are placed proportionally
+// inside the sim stage's wall-clock window (an approximation: the
+// macro-stepped loop does not spend wall time uniformly per simulated
+// second, but ordering and phase attribution survive).
+func attachControlEvents(tr *span.Trace, insts []control.Instance, simDur time.Duration, wallStart, wallLen time.Duration) {
+	if simDur <= 0 {
+		return
+	}
+	n := 0
+	for _, inst := range insts {
+		if inst == nil {
+			continue
+		}
+		for _, ev := range EventsOf(inst) {
+			switch ev.Kind {
+			case control.EventPhaseChange, control.EventRule1, control.EventRule2,
+				control.EventPowerOverCap, control.EventSampleRejected,
+				control.EventSensorDegraded, control.EventSensorRecovered:
+			default:
+				continue // per-step cap/uncore moves are already on the round track
+			}
+			if n++; n > maxTraceEvents {
+				tr.AddEvent("events-truncated", wallStart+wallLen, "")
+				return
+			}
+			at := wallStart + time.Duration(float64(wallLen)*(float64(ev.Time)/float64(simDur)))
+			tr.AddEvent(ev.Kind.String(), at,
+				fmt.Sprintf("sim %.1fs cap=%.0fW uncore=%.1fGHz", ev.Time.Seconds(), ev.Cap.Watts(), ev.Uncore.GHz()))
+		}
+	}
 }

@@ -414,6 +414,11 @@ type runResultJSON struct {
 	Timeline   *Timeline          `json:"timeline,omitempty"`
 	FaultStats *faultStatsJSON    `json:"fault_stats,omitempty"`
 	GuardStats *guardStatsJSON    `json:"guard_stats,omitempty"`
+	// Spans is the per-stage wall-clock decomposition of a span-traced
+	// run (WithSpans). The full span tree stays process-local; only
+	// this summary crosses the wire. span.Summary is already in wire
+	// shape (snake_case, ns-suffixed), so it embeds as-is.
+	Spans *SpanSummary `json:"spans,omitempty"`
 }
 
 // MarshalJSON encodes the result with the wire version tag. Artifact
@@ -455,6 +460,10 @@ func (r RunResult) MarshalJSON() ([]byte, error) {
 			Recoveries:      r.GuardStats.Recoveries,
 			HeldRounds:      r.GuardStats.HeldRounds,
 		}
+	}
+	if r.Spans != nil {
+		sum := *r.Spans
+		out.Spans = &sum
 	}
 	return json.Marshal(out)
 }
@@ -509,6 +518,10 @@ func (r *RunResult) UnmarshalJSON(b []byte) error {
 			Recoveries:      in.GuardStats.Recoveries,
 			HeldRounds:      in.GuardStats.HeldRounds,
 		}
+	}
+	if in.Spans != nil {
+		sum := *in.Spans
+		out.Spans = &sum
 	}
 	*r = out
 	return nil
