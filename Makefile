@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 tier1-faults tier1-api tier1-obs build test short race vet cover bench bench-api bench-smoke bench-scaling
+.PHONY: all tier1 tier1-faults tier1-api tier1-obs build test short race vet cover bench bench-api bench-mem bench-smoke bench-scaling
 
 all: tier1 race vet
 
@@ -66,6 +66,15 @@ bench:
 # throughput and per-route latency percentiles land in BENCH_api.json.
 bench-api:
 	$(GO) run ./cmd/dufpbench -loadgen 32 -apps CG -runs 2 -loadgen-duration 3s -loadgen-out BENCH_api.json
+
+# bench-mem measures the streaming pipeline's memory trajectory — the
+# live heap retained by a fully streamed traced run at 1×/10×/100× the
+# benchmark duration, plus peak campaign RSS — merges it into
+# BENCH_sim.json and GATES it: a 100× figure that outgrows the 1× one
+# (slice accumulation creeping back onto the streaming path) or a
+# regression past the committed baseline's headroom fails the build.
+bench-mem:
+	$(GO) run ./cmd/simbench -mem-only -out BENCH_sim.json -gate reports/bench_baseline.json
 
 # bench-smoke is the CI variant: reduced grid, same artifact.
 bench-smoke:

@@ -128,10 +128,12 @@ func BenchmarkFig5(b *testing.B) {
 		}
 	}
 	var avg float64
-	for _, p := range res.DUFPSeries {
+	n := 0
+	for p := range res.DUFP.Points.Points(0) {
 		avg += p.CoreFreq.GHz()
+		n++
 	}
-	if n := len(res.DUFPSeries); n > 0 {
+	if n > 0 {
 		b.ReportMetric(avg/float64(n), "DUFP_avg_core_GHz")
 	}
 }

@@ -415,25 +415,27 @@ func run(opts experiment.Options, fig string, md bool, traceCSV string, srv *obs
 			return err
 		}
 		if srv != nil {
-			srv.AddTimeline("fig5-duf", dufp.BuildTimeline(res.DUFEvents, res.DUFSeries))
-			srv.AddTimeline("fig5-dufp", dufp.BuildTimeline(res.DUFPEvents, res.DUFPSeries))
+			srv.AddTimeline("fig5-duf", dufp.BuildTimeline(res.DUF.Events, res.DUF.Series()))
+			srv.AddTimeline("fig5-dufp", dufp.BuildTimeline(res.DUFP.Events, res.DUFP.Series()))
 		}
 		if traceCSV != "" {
 			if err := os.MkdirAll(traceCSV, 0o755); err != nil {
 				return err
 			}
+			// The CSVs stream straight out of the reservoirs: no second
+			// copy of the series is materialised.
 			for _, s := range []struct {
-				name   string
-				series []dufp.TracePoint
+				name  string
+				trace experiment.Fig5Trace
 			}{
-				{"fig5_duf.csv", res.DUFSeries},
-				{"fig5_dufp.csv", res.DUFPSeries},
+				{"fig5_duf.csv", res.DUF},
+				{"fig5_dufp.csv", res.DUFP},
 			} {
 				f, err := os.Create(filepath.Join(traceCSV, s.name))
 				if err != nil {
 					return err
 				}
-				if err := trace.WriteCSV(f, s.series); err != nil {
+				if err := trace.WriteCSVSeq(f, s.trace.Points.Points(0)); err != nil {
 					f.Close()
 					return err
 				}

@@ -13,7 +13,12 @@
 // The same listener also serves the observability surface (/metrics,
 // /runs, /timeline/, /debug/pprof/), and every dispatched run leaves a
 // span trace in a bounded flight recorder, served as Perfetto-loadable
-// Chrome trace-event JSON from GET /v1/runs/{id}/trace.
+// Chrome trace-event JSON from GET /v1/runs/{id}/trace. Dispatched runs
+// also stream their trace into a bounded per-run reservoir
+// (-sample-capacity runs, -sample-points per socket): GET
+// /v1/runs/{id}/samples serves the retained series paginated
+// (?socket=&offset=&limit=) or as NDJSON (?format=ndjson), and GET
+// /v1/runs/{id}?include=trace embeds the full wire v1.1 result.
 //
 // On SIGINT/SIGTERM the daemon stops intake and drains in-flight runs
 // for -drain-timeout before exiting; a second signal kills it
@@ -47,8 +52,10 @@ func daemonMain() int {
 		queue    = flag.Int("queue", 256, "bounded job queue depth; full queue rejects single-run submissions with 429")
 		seed     = flag.Int64("seed", 42, "base seed of the measurement campaigns")
 		drainFor = flag.Duration("drain-timeout", 30*time.Second, "how long to drain in-flight runs on shutdown before aborting them")
-		spanCap  = flag.Int("span-capacity", 0, "span flight-recorder ring size for /v1/runs/{id}/trace (0: default 256, negative: disable tracing)")
-		spanSlow = flag.Duration("span-slow", 0, "slow-run budget: log the full span tree of any run over this wall clock (0: off)")
+		spanCap   = flag.Int("span-capacity", 0, "span flight-recorder ring size for /v1/runs/{id}/trace (0: default 256, negative: disable tracing)")
+		spanSlow  = flag.Duration("span-slow", 0, "slow-run budget: log the full span tree of any run over this wall clock (0: off)")
+		sampleCap = flag.Int("sample-capacity", 0, "trace sample store: runs retained for /v1/runs/{id}/samples (0: default 64, negative: disable)")
+		samplePts = flag.Int("sample-points", 0, "per-socket reservoir size of each retained run's samples (0: default 8192)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "dufpd: ", log.LstdFlags)
@@ -75,8 +82,10 @@ func daemonMain() int {
 		QueueDepth:        *queue,
 		DataDir:           *dataDir,
 		Logf:              logger.Printf,
-		SpanCapacity:      *spanCap,
-		SpanSlowThreshold: *spanSlow,
+		SpanCapacity:          *spanCap,
+		SpanSlowThreshold:     *spanSlow,
+		SampleCapacity:        *sampleCap,
+		SamplePointsPerSocket: *samplePts,
 	})
 	if err != nil {
 		logger.Print(err)

@@ -181,19 +181,22 @@ func run(ctx context.Context, p params) error {
 	}
 
 	if p.traceCSV != "" {
-		res, err := session.Run(ctx, dufp.RunSpec{App: app, Governor: gov}, dufp.WithTrace())
-		if err != nil {
-			return err
-		}
+		// The trace streams into the CSV file as the run executes: no
+		// recording is materialised, so memory stays flat however long
+		// the run is.
 		f, err := os.Create(p.traceCSV)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		if err := trace.WriteCSV(f, res.Trace.Socket(0)); err != nil {
+		sink := trace.NewCSVSink(f, 0)
+		if _, err := session.Run(ctx, dufp.RunSpec{App: app, Governor: gov}, dufp.WithTraceSink(sink)); err != nil {
 			return err
 		}
-		fmt.Printf("trace written to %s (%d points)\n", p.traceCSV, res.Trace.Len())
+		if err := sink.Err(); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (%d points)\n", p.traceCSV, sink.Count())
 	}
 
 	if p.timeline != "" {

@@ -72,6 +72,15 @@ type report struct {
 	Fig3GridWallSecondsP4   float64 `json:"fig3_grid_wall_seconds_p4"`
 	Fig3GridWallSecondsP8   float64 `json:"fig3_grid_wall_seconds_p8"`
 	Fig3GridWallWarmSeconds float64 `json:"fig3_grid_wall_warm_seconds"`
+
+	// Memory trajectory (bench-mem): live-heap delta of one fully
+	// streamed traced run at 1×/10×/100× the benchmark phase duration —
+	// flat by design, gated by -gate — and the process's peak RSS after
+	// a short measurement campaign. See mem.go.
+	RunPeakAllocBytes1x   float64 `json:"run_peak_alloc_bytes_1x,omitempty"`
+	RunPeakAllocBytes10x  float64 `json:"run_peak_alloc_bytes_10x,omitempty"`
+	RunPeakAllocBytes100x float64 `json:"run_peak_alloc_bytes_100x,omitempty"`
+	CampaignPeakRSSBytes  float64 `json:"campaign_peak_rss_bytes,omitempty"`
 }
 
 const simSecs = 2.0
@@ -360,6 +369,9 @@ func measure(short bool, cacheDir string) (report, error) {
 	if rep.Fig3GridWallWarmSeconds, err = gridWallWarm(short); err != nil {
 		return rep, err
 	}
+	if err = measureMemInto(&rep); err != nil {
+		return rep, err
+	}
 	return rep, nil
 }
 
@@ -399,6 +411,10 @@ func compare(baselinePath string, cur report) error {
 		{"fig3_grid_wall_seconds_p4", base.Fig3GridWallSecondsP4, cur.Fig3GridWallSecondsP4, true},
 		{"fig3_grid_wall_seconds_p8", base.Fig3GridWallSecondsP8, cur.Fig3GridWallSecondsP8, true},
 		{"fig3_grid_wall_warm_seconds", base.Fig3GridWallWarmSeconds, cur.Fig3GridWallWarmSeconds, true},
+		{"run_peak_alloc_bytes_1x", base.RunPeakAllocBytes1x, cur.RunPeakAllocBytes1x, true},
+		{"run_peak_alloc_bytes_10x", base.RunPeakAllocBytes10x, cur.RunPeakAllocBytes10x, true},
+		{"run_peak_alloc_bytes_100x", base.RunPeakAllocBytes100x, cur.RunPeakAllocBytes100x, true},
+		{"campaign_peak_rss_bytes", base.CampaignPeakRSSBytes, cur.CampaignPeakRSSBytes, true},
 	}
 	fmt.Printf("%-36s %12s %12s %9s\n", "metric", "old", "new", "delta")
 	for _, r := range rows {
@@ -422,10 +438,26 @@ func main() {
 		baseline = flag.String("compare", "", "print a benchstat-style comparison against this baseline JSON (report-only)")
 		short    = flag.Bool("short", false, "reduced grid for CI smoke runs")
 		cacheDir = flag.String("cache-dir", os.Getenv("DUFP_CACHE_DIR"), "run the headline grid measurement against this persistent run cache; invoke twice with the same directory for a cold/warm pair (default: $DUFP_CACHE_DIR)")
+		memOnly  = flag.Bool("mem-only", false, "measure only the memory trajectory and merge it into -out, preserving the file's other fields")
+		gate     = flag.String("gate", "", "enforce the memory trajectory against this baseline JSON: exit non-zero on a flatness or regression violation")
 	)
 	flag.Parse()
 
-	rep, err := measure(*short, *cacheDir)
+	var rep report
+	var err error
+	if *memOnly {
+		// Merge mode: keep whatever the existing report already measured.
+		if raw, rerr := os.ReadFile(*out); rerr == nil {
+			if err := json.Unmarshal(raw, &rep); err != nil {
+				fmt.Fprintln(os.Stderr, "simbench:", err)
+				os.Exit(1)
+			}
+		}
+		rep.GoVersion = runtime.Version()
+		err = measureMemInto(&rep)
+	} else {
+		rep, err = measure(*short, *cacheDir)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simbench:", err)
 		os.Exit(1)
@@ -447,5 +479,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "simbench: compare:", err)
 			os.Exit(1)
 		}
+	}
+	if *gate != "" {
+		if err := gateMem(*gate, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "simbench: mem gate:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("mem gate ok: 1x %.0f B, 10x %.0f B, 100x %.0f B live heap; campaign peak RSS %.0f B\n",
+			rep.RunPeakAllocBytes1x, rep.RunPeakAllocBytes10x, rep.RunPeakAllocBytes100x, rep.CampaignPeakRSSBytes)
 	}
 }

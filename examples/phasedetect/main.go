@@ -80,9 +80,13 @@ func main() {
 
 	fmt.Println("timeline (socket 0): cap and uncore react to each phase change")
 	fmt.Println("  time    cap      uncore   power    bandwidth")
-	pts := rec.Socket(0)
-	for i := 0; i < len(pts); i += 40 { // every 400 ms
-		p := pts[i]
+	i := 0
+	for p := range rec.Points(0) {
+		if i%40 != 0 { // every 400 ms
+			i++
+			continue
+		}
+		i++
 		bar := ""
 		if p.Bandwidth > 40e9 {
 			bar = "  <- memory phase"

@@ -117,7 +117,7 @@ func SharedExecutor() *Executor {
 }
 
 // runPayload carries the materialised inputs of one executor key. The
-// sideband fields are written only by uncached submissions (each of which
+// sideband fields are written only by fresh submissions (each of which
 // owns its payload), never by the memoised path, so payload sharing
 // across a Summary fan-out is race-free.
 type runPayload struct {
@@ -126,13 +126,20 @@ type runPayload struct {
 	mk      GovernorFunc
 	// traced attaches a trace recorder to the run.
 	traced bool
-	// keep retains the recorder, controller instances and fault counters
-	// on the payload after the run; only SubmitUncached callers set it.
+	// keep retains the recorder, summary, controller instances and fault
+	// counters on the payload after the run; only SubmitFresh callers set
+	// it.
 	keep bool
+	// sink, when non-nil, streams every trace sample to the caller's
+	// consumer as the run produces it (see WithTraceSink). Payload-only:
+	// it never joins the key's content address, because attaching an
+	// observer does not change the measured run.
+	sink trace.Sink
 
-	rec    *trace.Recorder
-	insts  []control.Instance
-	faults fault.Stats
+	rec     *trace.Recorder
+	summary *trace.Summary
+	insts   []control.Instance
+	faults  fault.Stats
 }
 
 // executeKey is the Runner behind every executor built by this package.
@@ -141,12 +148,12 @@ func executeKey(ctx context.Context, key exec.Key) (metrics.Run, error) {
 	if !ok {
 		return metrics.Run{}, fmt.Errorf("%w: executor key %v carries no run payload", ErrBadConfig, key)
 	}
-	run, art, err := p.session.execute(ctx, p.app, p.mk, key.Idx, p.traced)
+	run, art, err := p.session.execute(ctx, p.app, p.mk, key.Idx, p.traced, p.sink)
 	if err != nil {
 		return metrics.Run{}, err
 	}
 	if p.keep {
-		p.rec, p.insts, p.faults = art.rec, art.insts, art.faults
+		p.rec, p.summary, p.insts, p.faults = art.rec, art.summary, art.insts, art.faults
 	}
 	return run, nil
 }

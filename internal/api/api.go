@@ -45,7 +45,12 @@ type RunStatus struct {
 	// Campaigns lists the campaigns this run belongs to, if any.
 	Campaigns []string  `json:"campaigns,omitempty"`
 	Run       *dufp.Run `json:"run,omitempty"`
-	Error     string    `json:"error,omitempty"`
+	// Result is the full wire v1.1 run result — including the retained
+	// trace series and its exact summary — embedded only when the client
+	// opted in with GET /v1/runs/{id}?include=trace. Large artifacts
+	// never marshal on the default status body.
+	Result *dufp.RunResult `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
 }
 
 // CampaignKind names the supported campaign shapes.

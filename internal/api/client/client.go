@@ -120,6 +120,70 @@ func (c *Client) Run(ctx context.Context, id string) (api.RunStatus, error) {
 	return s, err
 }
 
+// RunWithTrace fetches one run's status with the full wire v1.1 result
+// embedded (?include=trace): the measurement plus the daemon's retained
+// trace series and its exact summary. Status.Result is nil when the
+// daemon retains no samples for the run.
+func (c *Client) RunWithTrace(ctx context.Context, id string) (api.RunStatus, error) {
+	var s api.RunStatus
+	err := c.do(ctx, http.MethodGet, "/v1/runs/"+id+"?include=trace", nil, &s)
+	return s, err
+}
+
+// Samples fetches one page of a run's retained trace samples. socket
+// selects the series, offset/limit cut the page (limit <= 0 fetches the
+// remainder); page.Next is the next page's offset, -1 on the last.
+func (c *Client) Samples(ctx context.Context, id string, socket, offset, limit int) (api.RunSamples, error) {
+	var s api.RunSamples
+	path := fmt.Sprintf("/v1/runs/%s/samples?socket=%d&offset=%d", id, socket, offset)
+	if limit > 0 {
+		path += fmt.Sprintf("&limit=%d", limit)
+	}
+	err := c.do(ctx, http.MethodGet, path, nil, &s)
+	return s, err
+}
+
+// StreamSamples consumes a run's retained samples as NDJSON, invoking
+// fn once per sample in time order without materialising the series.
+// A non-nil error from fn stops the stream and is returned.
+func (c *Client) StreamSamples(ctx context.Context, id string, socket int, fn func(api.SamplePoint) error) error {
+	path := fmt.Sprintf("%s/v1/runs/%s/samples?socket=%d&format=ndjson", c.BaseURL, id, socket)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		payload, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(payload, &e) == nil && e.Error != "" {
+			return &APIError{StatusCode: resp.StatusCode, Message: e.Error}
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(payload))}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		if len(strings.TrimSpace(sc.Text())) == 0 {
+			continue
+		}
+		var p api.SamplePoint
+		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+			return err
+		}
+		if err := fn(p); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
 // Runs lists the daemon's tracked runs.
 func (c *Client) Runs(ctx context.Context) ([]api.RunStatus, error) {
 	var s []api.RunStatus

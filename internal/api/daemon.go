@@ -16,6 +16,8 @@ import (
 	"dufp/internal/metrics"
 	"dufp/internal/obs"
 	"dufp/internal/obs/span"
+	"dufp/internal/sim"
+	"dufp/internal/trace"
 )
 
 // Submission errors, mapped to HTTP status codes by the server.
@@ -63,6 +65,16 @@ type Config struct {
 	// whose queue-to-completion wall clock exceeds it has its full span
 	// tree written through Logf and counted in api_slow_runs_total.
 	SpanSlowThreshold time.Duration
+	// SampleCapacity bounds the trace sample store: how many recently
+	// dispatched runs keep a streaming reservoir for GET
+	// /v1/runs/{id}/samples (oldest evicted). 0 means
+	// DefaultSampleCapacity; negative disables sample retention,
+	// restoring the sink-free dispatch path.
+	SampleCapacity int
+	// SamplePointsPerSocket bounds each retained run's reservoir;
+	// non-positive means trace.DefaultReservoirPoints. Longer runs keep
+	// an evenly decimated view instead of growing.
+	SamplePointsPerSocket int
 }
 
 // job is one tracked run. Mutable fields are guarded by Daemon.mu; the
@@ -132,6 +144,7 @@ type Daemon struct {
 
 	journal *os.File
 	spans   *span.Recorder
+	samples *sampleStore
 
 	mQueueDepth *obs.Gauge
 	mSlowRuns   *obs.Counter
@@ -206,6 +219,7 @@ func New(cfg Config) (*Daemon, error) {
 		mSlowRuns: reg.Counter("api_slow_runs_total",
 			"Runs whose wall clock exceeded the span slow-run budget.").With(),
 	}
+	d.samples = newSampleStore(cfg.SampleCapacity, cfg.SamplePointsPerSocket)
 	if cfg.SpanCapacity >= 0 {
 		d.spans = span.NewRecorder(cfg.SpanCapacity,
 			span.WithSlowThreshold(cfg.SpanSlowThreshold, func(format string, args ...any) {
@@ -234,6 +248,55 @@ func (d *Daemon) Executor() *dufp.Executor { return d.exe }
 // Spans returns the daemon's span flight recorder, nil when disabled
 // (negative Config.SpanCapacity).
 func (d *Daemon) Spans() *span.Recorder { return d.spans }
+
+// SamplesEnabled reports whether the daemon retains trace samples
+// (non-negative Config.SampleCapacity).
+func (d *Daemon) SamplesEnabled() bool { return d.samples != nil }
+
+// RunSamples pages the retained trace samples of a dispatched run:
+// socket selects the series, offset/limit cut the page (limit <= 0
+// means the remainder). ok is false when sample retention is disabled,
+// the run was never dispatched by this daemon generation, or its
+// reservoir has been evicted.
+func (d *Daemon) RunSamples(id string, socket, offset, limit int) (RunSamples, bool) {
+	r, ok := d.runReservoir(id)
+	if !ok {
+		return RunSamples{}, false
+	}
+	return pageSamples(id, r, socket, offset, limit), true
+}
+
+// runReservoir returns the live reservoir of a retained run.
+func (d *Daemon) runReservoir(id string) (*trace.Reservoir, bool) {
+	if d.samples == nil {
+		return nil, false
+	}
+	return d.samples.get(id)
+}
+
+// runResultWithTrace assembles the wire v1.1 result a ?include=trace
+// request embeds: the measurement (once done) plus the retained —
+// reservoir-decimated — trace series and its exact streaming summary.
+func (d *Daemon) runResultWithTrace(id string) (*dufp.RunResult, bool) {
+	r, ok := d.runReservoir(id)
+	if !ok {
+		return nil, false
+	}
+	res := &dufp.RunResult{}
+	d.mu.Lock()
+	if j, tracked := d.jobs[id]; tracked && j.state == StateDone {
+		res.Run = j.run
+	}
+	d.mu.Unlock()
+	series := make([][]sim.TracePoint, r.Sockets())
+	for s := range series {
+		series[s] = r.Snapshot(s)
+	}
+	res.Trace = trace.FromSeries(series)
+	sum := r.Summary()
+	res.TraceSummary = &sum
+	return res, true
+}
 
 // Registry returns the metrics registry the daemon publishes to.
 func (d *Daemon) Registry() *obs.Registry { return d.reg }
@@ -291,7 +354,15 @@ func (d *Daemon) dispatch() {
 				dspan = j.tr.Start(span.StageDispatch)
 				ctx = span.NewContext(ctx, j.tr)
 			}
-			res, err := j.session.Run(ctx, j.spec)
+			// Sample retention streams every dispatched run's trace into a
+			// bounded reservoir (GET /v1/runs/{id}/samples). The sink is a
+			// pure observer: the run stays bit-identical, and its result is
+			// still written through to the executor's cache tiers.
+			var opts []dufp.RunOption
+			if d.samples != nil {
+				opts = append(opts, dufp.WithTraceSink(d.samples.start(j.id)))
+			}
+			res, err := j.session.Run(ctx, j.spec, opts...)
 			if j.tr != nil {
 				dspan.End()
 				d.spans.Observe(j.tr)

@@ -259,3 +259,76 @@ func TestDaemonSingleRunOverHTTP(t *testing.T) {
 		}
 	}
 }
+
+// TestClientSamplesOverHTTP drives the streaming sample surface through
+// the typed client: paged reads, the NDJSON stream and the embedded
+// wire v1.1 result must all expose the same retained series.
+func TestClientSamplesOverHTTP(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	td := startDaemon(t, t.TempDir())
+	defer td.kill(t)
+	c := client.New(td.URL)
+
+	app, err := dufp.AppNamed("EP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.SubmitRun(ctx, dufp.RunSpec{App: app, Governor: dufp.Baseline()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.WaitRun(ctx, st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != api.StateDone {
+		t.Fatalf("final = %+v", final)
+	}
+
+	// Paged reads: collect the socket-0 series 16 points at a time.
+	var paged []api.SamplePoint
+	for off := 0; off >= 0; {
+		page, err := c.Samples(ctx, st.ID, 0, off, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paged = append(paged, page.Points...)
+		off = page.Next
+	}
+	if len(paged) == 0 {
+		t.Fatal("no samples retained")
+	}
+
+	// The NDJSON stream yields the identical sequence without paging.
+	var streamed []api.SamplePoint
+	if err := c.StreamSamples(ctx, st.ID, 0, func(p api.SamplePoint) error {
+		streamed = append(streamed, p)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(paged) {
+		t.Fatalf("streamed %d points, paged %d", len(streamed), len(paged))
+	}
+	for i := range streamed {
+		if streamed[i] != paged[i] {
+			t.Fatalf("point %d differs between stream and pages", i)
+		}
+	}
+
+	// The embedded result agrees: same series length, exact summary.
+	rich, err := c.RunWithTrace(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rich.Result == nil || rich.Result.Trace == nil {
+		t.Fatalf("include=trace result = %+v", rich.Result)
+	}
+	if got := rich.Result.Trace.Len(); got != len(paged) {
+		t.Fatalf("embedded trace has %d points, samples endpoint %d", got, len(paged))
+	}
+	if rich.Result.TraceSummary == nil || rich.Result.TraceSummary.Sockets() == 0 {
+		t.Fatal("embedded result has no trace summary")
+	}
+}

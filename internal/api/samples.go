@@ -1,0 +1,147 @@
+package api
+
+import (
+	"sync"
+
+	"dufp/internal/sim"
+	"dufp/internal/trace"
+)
+
+// DefaultSampleCapacity is how many recent traced runs the daemon keeps
+// sample reservoirs for when Config.SampleCapacity is zero.
+const DefaultSampleCapacity = 64
+
+// sampleStore retains one bounded trace reservoir per recently
+// dispatched run, the data behind GET /v1/runs/{id}/samples. Reservoirs
+// are attached as streaming sinks at dispatch, so the store's memory is
+// O(capacity × points) regardless of run durations, and a run's samples
+// can be paged while the run is still producing. The oldest run's
+// reservoir is evicted once the ring is full.
+type sampleStore struct {
+	mu       sync.Mutex
+	capacity int // runs retained
+	points   int // per-socket reservoir capacity (0: trace default)
+	order    []string
+	runs     map[string]*trace.Reservoir
+}
+
+func newSampleStore(capacity, points int) *sampleStore {
+	if capacity == 0 {
+		capacity = DefaultSampleCapacity
+	}
+	if capacity < 0 {
+		return nil
+	}
+	return &sampleStore{
+		capacity: capacity,
+		points:   points,
+		runs:     make(map[string]*trace.Reservoir),
+	}
+}
+
+// start registers a reservoir for a run about to dispatch and returns
+// it; re-dispatching the same ID (a later daemon generation) replaces
+// the old view.
+func (s *sampleStore) start(id string) *trace.Reservoir {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.runs[id]; !ok {
+		if len(s.order) >= s.capacity {
+			oldest := s.order[0]
+			s.order = s.order[1:]
+			delete(s.runs, oldest)
+		}
+		s.order = append(s.order, id)
+	}
+	r := trace.NewReservoir(s.points)
+	s.runs[id] = r
+	return r
+}
+
+// get returns the reservoir of a retained run.
+func (s *sampleStore) get(id string) (*trace.Reservoir, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runs[id]
+	return r, ok
+}
+
+// SamplePoint is the wire form of one trace sample, the tracePointJSON
+// vocabulary of wire v1 (time_ns, core_hz, …).
+type SamplePoint struct {
+	TimeNS   int64   `json:"time_ns"`
+	CoreHz   float64 `json:"core_hz"`
+	UncoreHz float64 `json:"uncore_hz"`
+	PkgW     float64 `json:"pkg_w"`
+	DramW    float64 `json:"dram_w"`
+	CapPL1W  float64 `json:"cap_pl1_w"`
+	CapPL2W  float64 `json:"cap_pl2_w"`
+	BwBps    float64 `json:"bw_bps"`
+	Flops    float64 `json:"flops"`
+}
+
+func samplePoint(p sim.TracePoint) SamplePoint {
+	return SamplePoint{
+		TimeNS:   int64(p.Time),
+		CoreHz:   float64(p.CoreFreq),
+		UncoreHz: float64(p.UncoreFreq),
+		PkgW:     p.PkgPower.Watts(),
+		DramW:    p.DramPower.Watts(),
+		CapPL1W:  p.CapPL1.Watts(),
+		CapPL2W:  p.CapPL2.Watts(),
+		BwBps:    float64(p.Bandwidth),
+		Flops:    float64(p.FlopRate),
+	}
+}
+
+// RunSamples is the wire form of one page of GET /v1/runs/{id}/samples.
+type RunSamples struct {
+	ID string `json:"id"`
+	// Socket is the socket this page covers; Sockets counts those that
+	// have produced samples.
+	Socket  int `json:"socket"`
+	Sockets int `json:"sockets"`
+	// Seen is the total number of samples the socket has produced;
+	// Stride is the reservoir's decimation factor (1: the retained view
+	// is lossless so far).
+	Seen   int64 `json:"seen"`
+	Stride int   `json:"stride"`
+	// Total is the number of retained samples; Offset/Next delimit this
+	// page within them. Next is -1 on the last page.
+	Total  int           `json:"total"`
+	Offset int           `json:"offset"`
+	Next   int           `json:"next"`
+	Points []SamplePoint `json:"points"`
+}
+
+// pageSamples snapshots one socket of a reservoir and cuts the
+// requested page. limit <= 0 means the remainder.
+func pageSamples(id string, r *trace.Reservoir, socket, offset, limit int) RunSamples {
+	snap := r.Snapshot(socket)
+	out := RunSamples{
+		ID:      id,
+		Socket:  socket,
+		Sockets: r.Sockets(),
+		Seen:    r.Seen(socket),
+		Stride:  r.Stride(socket),
+		Total:   len(snap),
+		Next:    -1,
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > len(snap) {
+		offset = len(snap)
+	}
+	out.Offset = offset
+	page := snap[offset:]
+	if limit > 0 && limit < len(page) {
+		page = page[:limit]
+		out.Next = offset + limit
+	}
+	out.Points = make([]SamplePoint, len(page))
+	for i, p := range page {
+		out.Points[i] = samplePoint(p)
+	}
+	return out
+}

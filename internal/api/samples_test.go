@@ -1,0 +1,202 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"testing"
+
+	"dufp"
+
+	"net/http/httptest"
+)
+
+// runTracedJob submits one EP run and waits for it; the daemon's sample
+// store fills as the dispatch streams the trace into its reservoir.
+func runTracedJob(t *testing.T, d *Daemon) RunStatus {
+	t.Helper()
+	spec := dufp.RunSpec{App: mustApp(t, "EP"), Governor: dufp.Baseline()}
+	status, err := d.SubmitRun(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return waitRun(t, d, status.ID)
+}
+
+// getJSON fetches a URL and decodes the 2xx JSON body into out,
+// returning the status code.
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 == 2 && out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestRunSamplesPagination(t *testing.T) {
+	d, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	status := runTracedJob(t, d)
+	if status.State != StateDone {
+		t.Fatalf("run state %q: %s", status.State, status.Error)
+	}
+
+	ts := httptest.NewServer(d.Handler())
+	defer ts.Close()
+	base := ts.URL + "/v1/runs/" + status.ID + "/samples"
+
+	// The whole retained view in one unbounded page.
+	var all RunSamples
+	if code := getJSON(t, base, &all); code != http.StatusOK {
+		t.Fatalf("HTTP %d", code)
+	}
+	if all.Total == 0 || len(all.Points) != all.Total || all.Next != -1 {
+		t.Fatalf("full page: total=%d len=%d next=%d", all.Total, len(all.Points), all.Next)
+	}
+	if all.Seen < int64(all.Total) || all.Stride < 1 {
+		t.Fatalf("seen=%d stride=%d", all.Seen, all.Stride)
+	}
+
+	// Page through with a small limit and require the same sequence.
+	var paged []SamplePoint
+	pages := 0
+	for off := 0; off >= 0; {
+		var page RunSamples
+		url := fmt.Sprintf("%s?socket=0&offset=%d&limit=7", base, off)
+		if code := getJSON(t, url, &page); code != http.StatusOK {
+			t.Fatalf("HTTP %d at offset %d", code, off)
+		}
+		if len(page.Points) == 0 && page.Next >= 0 {
+			t.Fatal("empty non-final page")
+		}
+		paged = append(paged, page.Points...)
+		off = page.Next
+		pages++
+	}
+	if pages < 2 {
+		t.Fatalf("pagination collapsed into %d page(s)", pages)
+	}
+	if len(paged) != len(all.Points) {
+		t.Fatalf("paged %d points, full view has %d", len(paged), len(all.Points))
+	}
+	for i := range paged {
+		if paged[i] != all.Points[i] {
+			t.Fatalf("point %d differs between paged and full reads", i)
+		}
+	}
+
+	// Unknown runs and bad parameters fail loudly.
+	if code := getJSON(t, ts.URL+"/v1/runs/nope/samples", nil); code != http.StatusNotFound {
+		t.Errorf("unknown run: HTTP %d, want 404", code)
+	}
+	if code := getJSON(t, base+"?offset=-1", nil); code != http.StatusBadRequest {
+		t.Errorf("negative offset: HTTP %d, want 400", code)
+	}
+	if code := getJSON(t, base+"?socket=x", nil); code != http.StatusBadRequest {
+		t.Errorf("bad socket: HTTP %d, want 400", code)
+	}
+}
+
+func TestRunStatusIncludeTrace(t *testing.T) {
+	d, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	status := runTracedJob(t, d)
+
+	ts := httptest.NewServer(d.Handler())
+	defer ts.Close()
+
+	// The default status body stays artifact-free.
+	var plain RunStatus
+	if code := getJSON(t, ts.URL+"/v1/runs/"+status.ID, &plain); code != http.StatusOK {
+		t.Fatalf("HTTP %d", code)
+	}
+	if plain.Result != nil {
+		t.Error("default status body carries the trace artifact")
+	}
+
+	// ?include=trace embeds the full wire v1.1 result.
+	var rich RunStatus
+	if code := getJSON(t, ts.URL+"/v1/runs/"+status.ID+"?include=trace", &rich); code != http.StatusOK {
+		t.Fatalf("HTTP %d", code)
+	}
+	if rich.Result == nil {
+		t.Fatal("include=trace returned no result")
+	}
+	if rich.Result.Run != *status.Run {
+		t.Errorf("embedded run differs: %+v vs %+v", rich.Result.Run, *status.Run)
+	}
+	if rich.Result.Trace == nil || rich.Result.Trace.Len() == 0 {
+		t.Fatal("embedded result has no trace series")
+	}
+	sum := rich.Result.TraceSummary
+	if sum == nil || sum.Sockets() == 0 {
+		t.Fatal("embedded result has no trace summary")
+	}
+	// The streamed summary average is exact over the sampled cadence; its
+	// node total lands within a watt of the run's per-tick average.
+	var got float64
+	for s := 0; s < sum.Sockets(); s++ {
+		got += sum.AvgPkgPower[s].Watts()
+	}
+	if want := rich.Result.Run.AvgPkgPower.Watts(); math.Abs(got-want) > 1 {
+		t.Errorf("summary node avg %f W vs run avg %f W", got, want)
+	}
+}
+
+func TestSamplesDisabled(t *testing.T) {
+	cfg := testConfig()
+	cfg.SampleCapacity = -1
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	status := runTracedJob(t, d)
+
+	ts := httptest.NewServer(d.Handler())
+	defer ts.Close()
+	if code := getJSON(t, ts.URL+"/v1/runs/"+status.ID+"/samples", nil); code != http.StatusNotFound {
+		t.Errorf("disabled store: HTTP %d, want 404", code)
+	}
+	// include=trace degrades to the plain status body.
+	var rich RunStatus
+	if code := getJSON(t, ts.URL+"/v1/runs/"+status.ID+"?include=trace", &rich); code != http.StatusOK {
+		t.Fatalf("HTTP %d", code)
+	}
+	if rich.Result != nil {
+		t.Error("disabled store still embedded a result")
+	}
+}
+
+func TestSampleStoreEviction(t *testing.T) {
+	s := newSampleStore(2, 16)
+	s.start("a")
+	s.start("b")
+	s.start("c") // evicts a
+	if _, ok := s.get("a"); ok {
+		t.Error("oldest run not evicted")
+	}
+	if _, ok := s.get("b"); !ok {
+		t.Error("recent run evicted")
+	}
+	if _, ok := s.get("c"); !ok {
+		t.Error("newest run missing")
+	}
+	if st := newSampleStore(-1, 0); st != nil {
+		t.Error("negative capacity should disable the store")
+	}
+}

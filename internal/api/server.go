@@ -46,6 +46,7 @@ func (d *Daemon) Handler() http.Handler {
 	route("GET /v1/runs/{id}", "runs_get", d.handleGetRun)
 	route("GET /v1/runs/{id}/events", "runs_events", d.handleRunEvents)
 	route("GET /v1/runs/{id}/trace", "runs_trace", d.handleRunTrace)
+	route("GET /v1/runs/{id}/samples", "runs_samples", d.handleRunSamples)
 	route("POST /v1/campaigns", "campaigns_submit", d.handleSubmitCampaign)
 	route("GET /v1/campaigns", "campaigns_list", d.handleListCampaigns)
 	route("GET /v1/campaigns/{id}", "campaigns_get", d.handleGetCampaign)
@@ -149,7 +150,74 @@ func (d *Daemon) handleGetRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tagExemplar(w, status.ID)
+	// The full result — with the retained trace series — is opt-in: large
+	// artifacts never ride on the default status body.
+	if r.URL.Query().Get("include") == "trace" {
+		if res, ok := d.runResultWithTrace(status.ID); ok {
+			status.Result = res
+		}
+	}
 	writeJSON(w, http.StatusOK, status)
+}
+
+// handleRunSamples pages a run's retained trace samples:
+// ?socket=&offset=&limit= selects the page, ?format=ndjson streams the
+// whole retained view (offset onward) as one JSON object per line in
+// the wire trace-point vocabulary instead of a paginated envelope.
+func (d *Daemon) handleRunSamples(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !d.SamplesEnabled() {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "sample retention disabled"})
+		return
+	}
+	q := r.URL.Query()
+	socket, err := intParam(q.Get("socket"), 0)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad socket"})
+		return
+	}
+	offset, err := intParam(q.Get("offset"), 0)
+	if err != nil || offset < 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad offset"})
+		return
+	}
+	limit, err := intParam(q.Get("limit"), 0)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad limit"})
+		return
+	}
+	page, ok := d.RunSamples(id, socket, offset, limit)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no samples retained for run"})
+		return
+	}
+	tagExemplar(w, id)
+	if q.Get("format") == "ndjson" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		enc := json.NewEncoder(w)
+		for {
+			for _, p := range page.Points {
+				enc.Encode(p)
+			}
+			if page.Next < 0 {
+				return
+			}
+			page, ok = d.RunSamples(id, socket, page.Next, limit)
+			if !ok {
+				return
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, page)
+}
+
+// intParam parses an optional decimal query parameter.
+func intParam(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.Atoi(s)
 }
 
 // handleRunTrace serves a run's span tree from the flight recorder:

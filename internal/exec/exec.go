@@ -569,6 +569,45 @@ func (e *Executor) SubmitUncached(ctx context.Context, key Key) (metrics.Run, er
 	return run, err
 }
 
+// SubmitFresh always executes — it never reads the LRU, the disk tier or
+// a coalesced leader — but, unlike SubmitUncached, a successful run is
+// written through to both cache tiers. It exists for observer-bearing
+// runs (streaming trace sinks, decision-log capture): their sideband
+// output must be produced fresh every time, yet the returned Run is
+// bit-identical to an unobserved execution of the same key, so caching
+// it lets later unobserved Submits — and a restarted daemon's disk
+// resume — reuse the result.
+func (e *Executor) SubmitFresh(ctx context.Context, key Key) (metrics.Run, error) {
+	id := key.ID()
+	tr := span.FromContext(ctx)
+	e.cnt.submitted.Add(1)
+	e.metrics.submitted.Inc()
+	e.cnt.started.Add(1)
+	e.metrics.started.Inc()
+	e.metrics.queueDepth.Set(float64(e.queued.Add(1)))
+	run, err := e.execute(ctx, key)
+	e.metrics.queueDepth.Set(float64(e.queued.Add(-1)))
+	if err != nil {
+		return run, err
+	}
+	cacheSpan := tr.Start(span.StageCache)
+	sh := e.shardFor(id)
+	sh.lock()
+	evicted := int64(sh.cache.add(id, run))
+	sh.mu.Unlock()
+	cacheSpan.End()
+	if evicted > 0 {
+		e.cnt.evicted.Add(evicted)
+		e.metrics.evicted.Add(float64(evicted))
+	}
+	if e.disk != nil {
+		ser := tr.Start(span.StageSerialize)
+		e.disk.Put(diskcache.Key(id), run)
+		ser.End()
+	}
+	return run, nil
+}
+
 // execute waits for a worker slot and runs the key, emitting progress
 // events and maintaining the run counters.
 func (e *Executor) execute(ctx context.Context, key Key) (metrics.Run, error) {

@@ -261,6 +261,47 @@ func TestSubmitUncachedBypassesMemoisation(t *testing.T) {
 	}
 }
 
+func TestSubmitFreshWritesThrough(t *testing.T) {
+	var execs atomic.Int64
+	e := New(countRunner(&execs), WithDiskCache(t.TempDir(), "test-v1"))
+	ctx := context.Background()
+
+	// Two fresh submissions both execute — no cache reads, no coalescing.
+	first, err := e.SubmitFresh(ctx, testKey(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.SubmitFresh(ctx, testKey(0)); err != nil {
+		t.Fatal(err)
+	}
+	if n := execs.Load(); n != 2 {
+		t.Fatalf("runner executed %d times, want 2", n)
+	}
+	if st := e.Stats(); st.CacheHits != 0 || st.DiskHits != 0 || st.Started != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// But the result was written through: a plain Submit is a memo hit.
+	got, err := e.Submit(ctx, testKey(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != first {
+		t.Fatalf("cached run differs: %+v vs %+v", got, first)
+	}
+	if n := execs.Load(); n != 2 {
+		t.Fatalf("Submit after SubmitFresh re-executed (%d executions)", n)
+	}
+	if st := e.Stats(); st.CacheHits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// And the disk tier has it too: a cold executor resolves from disk.
+	if run, ok := e.DiskGetByID(RunID(testKey(0).ID())); !ok || run != first {
+		t.Fatalf("disk tier: ok=%v run=%+v, want %+v", ok, run, first)
+	}
+}
+
 func TestSummary(t *testing.T) {
 	var execs atomic.Int64
 	e := New(countRunner(&execs))

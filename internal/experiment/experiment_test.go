@@ -110,8 +110,14 @@ func TestFig5(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.DUFSeries) == 0 || len(res.DUFPSeries) == 0 {
+	dufS, dufpS := res.DUF.Series(), res.DUFP.Series()
+	if len(dufS) == 0 || len(dufpS) == 0 {
 		t.Fatal("empty traces")
+	}
+	// The paper protocol emits well under the reservoir capacity, so the
+	// retained series is the full trace.
+	if int64(len(dufS)) != res.DUF.Points.Seen(0) {
+		t.Fatalf("reservoir decimated: kept %d of %d", len(dufS), res.DUF.Points.Seen(0))
 	}
 	if len(res.Table.Rows) < 10 {
 		t.Fatalf("Fig 5 table has %d rows", len(res.Table.Rows))
@@ -119,14 +125,14 @@ func TestFig5(t *testing.T) {
 	// The paper's Fig 5 observation: DUFP's average core frequency is
 	// visibly below DUF's for CG at 10 % tolerated slowdown.
 	var dufAvg, dufpAvg float64
-	for _, p := range res.DUFSeries {
+	for _, p := range dufS {
 		dufAvg += p.CoreFreq.GHz()
 	}
-	dufAvg /= float64(len(res.DUFSeries))
-	for _, p := range res.DUFPSeries {
+	dufAvg /= float64(len(dufS))
+	for _, p := range dufpS {
 		dufpAvg += p.CoreFreq.GHz()
 	}
-	dufpAvg /= float64(len(res.DUFPSeries))
+	dufpAvg /= float64(len(dufpS))
 	if dufpAvg >= dufAvg-0.05 {
 		t.Errorf("DUFP avg %.2f GHz not below DUF avg %.2f GHz", dufpAvg, dufAvg)
 	}

@@ -121,22 +121,25 @@ func Fig1bc(opts Options) (Table, Table, error) {
 		timeRatio  float64
 	}
 
-	// Traced runs carry a side-effect (the recording), so they flow
-	// through the executor's worker pool uncached.
+	// Only the window average is needed, so the trace streams into a
+	// WindowStats sink instead of materialising a recording: memory stays
+	// O(sockets) however long the run. Sink-observed runs execute fresh
+	// through the worker pool, with the measurement written through to the
+	// caches.
 	measure := func(gov dufp.Governor) (float64, float64, error) {
 		var phasePower, total float64
 		for i := 0; i < opts.Runs; i++ {
-			res, err := session.Run(ctx, dufp.RunSpec{App: app, Governor: gov, Idx: i}, dufp.WithTrace())
+			ws := trace.NewWindowStats(0, window)
+			res, err := session.Run(ctx, dufp.RunSpec{App: app, Governor: gov, Idx: i}, dufp.WithTraceSink(ws))
 			if err != nil {
 				return 0, 0, err
 			}
-			run, rec := res.Run, res.Trace
 			var p float64
 			for s := 0; s < opts.Session.Sim.Topo.Sockets; s++ {
-				p += float64(trace.AvgPower(trace.Window(rec.Socket(s), 0, window)))
+				p += float64(ws.AvgPower(s))
 			}
 			phasePower += p
-			total += run.Time.Seconds()
+			total += res.Run.Time.Seconds()
 		}
 		n := float64(opts.Runs)
 		return phasePower / n, total / n, nil
@@ -274,47 +277,63 @@ func gridTable(g *Grid, id, title string, cell func(dufp.Comparison) string, not
 	return t, nil
 }
 
+// Fig5Trace is one governor's streamed artifacts behind Fig 5: the
+// downsampling reservoir the run's trace flowed into and the
+// controller's decision log for timeline rendering. Points is lossless
+// while a run emits fewer samples than the reservoir's capacity (the
+// paper protocol does); longer runs decimate deterministically.
+type Fig5Trace struct {
+	Points *trace.Reservoir
+	Events []dufp.ControlEvent
+}
+
+// Series materialises the socket-0 view of the retained samples.
+func (f Fig5Trace) Series() []sim.TracePoint { return f.Points.Snapshot(0) }
+
 // Fig5Result carries the frequency traces behind the Fig 5 table, plus
 // the controllers' decision logs for timeline rendering.
 type Fig5Result struct {
-	Table      Table
-	DUFSeries  []sim.TracePoint
-	DUFPSeries []sim.TracePoint
-	DUFEvents  []dufp.ControlEvent
-	DUFPEvents []dufp.ControlEvent
+	Table Table
+	DUF   Fig5Trace
+	DUFP  Fig5Trace
 }
 
 // Fig5 reproduces the CPU-frequency comparison: CG at 10 % tolerated
 // slowdown under DUF and DUFP, tracing socket 0 (the paper's core 0).
+// The traces stream into per-governor reservoirs instead of riding the
+// RunResult, so the figure's memory footprint is bounded regardless of
+// run duration.
 func Fig5(opts Options) (Fig5Result, error) {
 	app, _ := dufp.AppByName("CG")
 	cfg := dufp.DefaultControlConfig(0.10)
 	ctx, session := opts.campaign()
 
-	dufRes, err := session.Run(ctx, dufp.RunSpec{App: app, Governor: dufp.DUF(cfg)}, dufp.WithTrace(), dufp.WithEvents())
+	dufRsv := trace.NewReservoir(0)
+	dufRes, err := session.Run(ctx, dufp.RunSpec{App: app, Governor: dufp.DUF(cfg)}, dufp.WithTraceSink(dufRsv), dufp.WithEvents())
 	if err != nil {
 		return Fig5Result{}, err
 	}
-	dufpRes, err := session.Run(ctx, dufp.RunSpec{App: app, Governor: dufp.DUFP(cfg)}, dufp.WithTrace(), dufp.WithEvents())
+	dufpRsv := trace.NewReservoir(0)
+	dufpRes, err := session.Run(ctx, dufp.RunSpec{App: app, Governor: dufp.DUFP(cfg)}, dufp.WithTraceSink(dufpRsv), dufp.WithEvents())
 	if err != nil {
 		return Fig5Result{}, err
 	}
-	dufRec, dufEvents := dufRes.Trace, dufRes.Events
-	dufpRec, dufpEvents := dufpRes.Trace, dufpRes.Events
 
-	dufS, dufpS := dufRec.Socket(0), dufpRec.Socket(0)
 	res := Fig5Result{
-		DUFSeries: dufS, DUFPSeries: dufpS,
-		DUFEvents: dufEvents, DUFPEvents: dufpEvents,
+		DUF:  Fig5Trace{Points: dufRsv, Events: dufRes.Events},
+		DUFP: Fig5Trace{Points: dufpRsv, Events: dufpRes.Events},
 	}
+	dufS, dufpS := res.DUF.Series(), res.DUFP.Series()
 
+	// The exact averages come from the runs' streamed summaries, not the
+	// (possibly decimated) reservoirs.
 	t := Table{
 		ID:      "Fig 5",
 		Title:   "CPU frequency under DUF vs DUFP, CG @ 10 % tolerated slowdown (socket 0)",
 		Headers: []string{"time (s)", "DUF core (GHz)", "DUFP core (GHz)", "DUFP cap (W)"},
 		Notes: []string{
 			fmt.Sprintf("average core frequency: DUF %.2f GHz, DUFP %.2f GHz",
-				trace.AvgCoreFreq(dufS).GHz(), trace.AvgCoreFreq(dufpS).GHz()),
+				dufRes.TraceSummary.AvgCoreFreq[0].GHz(), dufpRes.TraceSummary.AvgCoreFreq[0].GHz()),
 			"paper: DUF averages ~2.8 GHz (maximum all-core turbo), DUFP ~2.5 GHz",
 		},
 	}

@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"html/template"
 	"io"
+	"iter"
 
 	"dufp"
 	"dufp/internal/experiment"
-	"dufp/internal/trace"
 )
 
 // Document assembles the full campaign report.
@@ -164,8 +164,8 @@ func Campaign(opts experiment.Options) (Document, error) {
 	}
 	svg, err := Lines("Fig 5 — core frequency, CG @ 10 % tolerated slowdown", "time (s)", "GHz",
 		[]LineSeries{
-			traceSeries("DUF", fig5.DUFSeries),
-			traceSeries("DUFP", fig5.DUFPSeries),
+			traceSeries("DUF", fig5.DUF.Points.Points(0), fig5.DUF.Points.Len(0)),
+			traceSeries("DUFP", fig5.DUFP.Points.Points(0), fig5.DUFP.Points.Len(0)),
 		})
 	if err != nil {
 		return Document{}, err
@@ -179,12 +179,19 @@ func Campaign(opts experiment.Options) (Document, error) {
 	return doc, nil
 }
 
-func traceSeries(label string, pts []dufp.TracePoint) LineSeries {
-	down := trace.Downsample(pts, len(pts)/400+1)
+// traceSeries downsamples a streamed trace of n points into a plottable
+// series without materialising the full slice: every (n/400+1)-th sample
+// is kept, matching trace.Downsample's stride on the same input.
+func traceSeries(label string, pts iter.Seq[dufp.TracePoint], n int) LineSeries {
+	step := n/400 + 1
 	s := LineSeries{Label: label}
-	for _, p := range down {
-		s.X = append(s.X, p.Time.Seconds())
-		s.Y = append(s.Y, p.CoreFreq.GHz())
+	i := 0
+	for p := range pts {
+		if i%step == 0 {
+			s.X = append(s.X, p.Time.Seconds())
+			s.Y = append(s.Y, p.CoreFreq.GHz())
+		}
+		i++
 	}
 	return s
 }

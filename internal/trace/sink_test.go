@@ -1,0 +1,320 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dufp/internal/sim"
+	"dufp/internal/units"
+)
+
+// feed streams a slice into a sink for one socket, in order.
+func feed(s Sink, socket int, pts []sim.TracePoint) {
+	for _, p := range pts {
+		s.Consume(socket, p)
+	}
+}
+
+func TestSummarizerBitIdenticalToSliceAverages(t *testing.T) {
+	pts := points(1234)
+	var sum Summarizer
+	feed(&sum, 0, pts)
+	if got, want := float64(sum.AvgCoreFreq(0)), float64(AvgCoreFreq(pts)); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("AvgCoreFreq: streaming %v != slice %v", got, want)
+	}
+	if got, want := float64(sum.AvgPower(0)), float64(AvgPower(pts)); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("AvgPower: streaming %v != slice %v", got, want)
+	}
+	if sum.Len(0) != len(pts) {
+		t.Fatalf("Len = %d, want %d", sum.Len(0), len(pts))
+	}
+	s := sum.Summary()
+	if s.Sockets() != 1 || s.Points[0] != len(pts) {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if math.Float64bits(float64(s.AvgPkgPower[0])) != math.Float64bits(float64(AvgPower(pts))) {
+		t.Fatal("Summary.AvgPkgPower differs from slice average")
+	}
+}
+
+func TestRecorderSummaryMatchesStreaming(t *testing.T) {
+	pts := points(300)
+	rec := NewRecorder(2)
+	var sum Summarizer
+	for _, p := range pts {
+		rec.Consume(0, p)
+		rec.Consume(1, p)
+		sum.Consume(0, p)
+		sum.Consume(1, p)
+	}
+	got, want := rec.Summary(), sum.Summary()
+	for s := 0; s < 2; s++ {
+		if got.Points[s] != want.Points[s] ||
+			math.Float64bits(float64(got.AvgCoreFreq[s])) != math.Float64bits(float64(want.AvgCoreFreq[s])) ||
+			math.Float64bits(float64(got.AvgPkgPower[s])) != math.Float64bits(float64(want.AvgPkgPower[s])) {
+			t.Fatalf("socket %d: recorder summary %+v != streaming %+v", s, got, want)
+		}
+	}
+}
+
+func TestWindowStatsBitIdenticalToSliceWindow(t *testing.T) {
+	pts := points(500)
+	from, to := 500*time.Millisecond, 3*time.Second
+	ws := NewWindowStats(from, to)
+	feed(ws, 0, pts)
+	want := AvgPower(Window(pts, from, to))
+	if got := ws.AvgPower(0); math.Float64bits(float64(got)) != math.Float64bits(float64(want)) {
+		t.Fatalf("window avg: streaming %v != slice %v", got, want)
+	}
+	if got, want := ws.Len(0), len(Window(pts, from, to)); got != want {
+		t.Fatalf("window len = %d, want %d", got, want)
+	}
+	if ws.AvgPower(3) != 0 || ws.Len(-1) != 0 {
+		t.Fatal("out-of-range socket not zero")
+	}
+}
+
+func TestReservoirLosslessUnderCapacity(t *testing.T) {
+	pts := points(100)
+	r := NewReservoir(128)
+	feed(r, 0, pts)
+	snap := r.Snapshot(0)
+	if len(snap) != len(pts) {
+		t.Fatalf("snapshot has %d points, want %d (lossless)", len(snap), len(pts))
+	}
+	for i := range pts {
+		if snap[i] != pts[i] {
+			t.Fatalf("point %d differs", i)
+		}
+	}
+	if r.Stride(0) != 1 {
+		t.Fatalf("stride = %d, want 1", r.Stride(0))
+	}
+	if r.Seen(0) != int64(len(pts)) {
+		t.Fatalf("seen = %d", r.Seen(0))
+	}
+}
+
+func TestReservoirCompactsDeterministically(t *testing.T) {
+	pts := points(10000)
+	r := NewReservoir(64)
+	feed(r, 0, pts)
+	snap := r.Snapshot(0)
+	if len(snap) > 65 { // capacity + trailing last sample
+		t.Fatalf("snapshot has %d points, want ≤ 65", len(snap))
+	}
+	stride := r.Stride(0)
+	if stride&(stride-1) != 0 || stride < 2 {
+		t.Fatalf("stride = %d, want power of two ≥ 2", stride)
+	}
+	// Every retained point except the trailing one sits on the stride grid.
+	if snap[0] != pts[0] {
+		t.Fatal("first sample not retained")
+	}
+	for i, p := range snap[:len(snap)-1] {
+		if want := pts[i*stride]; p != want {
+			t.Fatalf("point %d: got t=%v, want t=%v (stride %d)", i, p.Time, want.Time, stride)
+		}
+	}
+	if last := snap[len(snap)-1]; last != pts[len(pts)-1] {
+		t.Fatalf("last sample is t=%v, want most recent t=%v", last.Time, pts[len(pts)-1].Time)
+	}
+	// Determinism: same input, same view.
+	r2 := NewReservoir(64)
+	feed(r2, 0, pts)
+	snap2 := r2.Snapshot(0)
+	if len(snap2) != len(snap) {
+		t.Fatal("reservoir not deterministic")
+	}
+	for i := range snap {
+		if snap[i] != snap2[i] {
+			t.Fatal("reservoir not deterministic")
+		}
+	}
+}
+
+func TestReservoirSummaryExactDespiteDecimation(t *testing.T) {
+	pts := points(5000)
+	r := NewReservoir(32)
+	feed(r, 0, pts)
+	s := r.Summary()
+	if s.Points[0] != len(pts) {
+		t.Fatalf("summary counted %d points, want %d", s.Points[0], len(pts))
+	}
+	if math.Float64bits(float64(s.AvgPkgPower[0])) != math.Float64bits(float64(AvgPower(pts))) {
+		t.Fatal("decimation leaked into the summary average")
+	}
+}
+
+func TestReservoirConcurrentReaders(t *testing.T) {
+	pts := points(4000)
+	r := NewReservoir(64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Snapshot(0)
+				r.Summary()
+				for range r.Points(0) {
+				}
+				r.Len(0)
+				r.Stride(0)
+			}
+		}()
+	}
+	feed(r, 0, pts)
+	close(stop)
+	wg.Wait()
+	if r.Seen(0) != int64(len(pts)) {
+		t.Fatalf("seen = %d, want %d", r.Seen(0), len(pts))
+	}
+}
+
+func TestCSVSinkMatchesWriteCSV(t *testing.T) {
+	pts := points(50)
+	var want strings.Builder
+	if err := WriteCSV(&want, pts); err != nil {
+		t.Fatal(err)
+	}
+	var got strings.Builder
+	c := NewCSVSink(&got, 1)
+	for _, p := range pts {
+		c.Consume(0, p) // other sockets are filtered out
+		c.Consume(1, p)
+	}
+	if c.Err() != nil {
+		t.Fatal(c.Err())
+	}
+	if got.String() != want.String() {
+		t.Fatal("CSVSink output differs from WriteCSV")
+	}
+	if c.Count() != len(pts) {
+		t.Fatalf("Count = %d, want %d", c.Count(), len(pts))
+	}
+}
+
+func TestWriteCSVSeqMatchesWriteCSV(t *testing.T) {
+	pts := points(80)
+	rec := NewRecorder(1)
+	feed(rec, 0, pts)
+	var want, got strings.Builder
+	if err := WriteCSV(&want, pts); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSVSeq(&got, rec.Points(0)); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatal("WriteCSVSeq output differs from WriteCSV")
+	}
+}
+
+func TestJSONLSinkStreamsAllSockets(t *testing.T) {
+	var b strings.Builder
+	j := NewJSONLSink(&b)
+	j.Consume(0, sim.TracePoint{Time: time.Second, CoreFreq: 2 * units.Gigahertz, PkgPower: 95})
+	j.Consume(1, sim.TracePoint{Time: time.Second})
+	if j.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", j.Count())
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], `"socket":0`) || !strings.Contains(lines[0], `"time_ns":1000000000`) ||
+		!strings.Contains(lines[0], `"core_hz":2e+09`) {
+		t.Fatalf("line 0 = %s", lines[0])
+	}
+	if !strings.Contains(lines[1], `"socket":1`) {
+		t.Fatalf("line 1 = %s", lines[1])
+	}
+}
+
+func TestTeeFansOutAndSkipsNil(t *testing.T) {
+	var a, b Summarizer
+	sink := Tee(nil, &a, nil, &b)
+	feed(sink, 0, points(10))
+	if a.Len(0) != 10 || b.Len(0) != 10 {
+		t.Fatalf("tee delivered %d/%d samples", a.Len(0), b.Len(0))
+	}
+	// A single live sink comes back unwrapped.
+	if got := Tee(nil, &a); got != &a {
+		t.Fatal("Tee of one sink should return it directly")
+	}
+}
+
+func TestRecorderIterators(t *testing.T) {
+	pts := points(30)
+	rec := NewRecorder(2)
+	feed(rec, 0, pts)
+	feed(rec, 1, pts[:10])
+	i := 0
+	for p := range rec.Points(0) {
+		if p != pts[i] {
+			t.Fatalf("point %d differs", i)
+		}
+		i++
+	}
+	if i != len(pts) {
+		t.Fatalf("iterated %d points, want %d", i, len(pts))
+	}
+	// Early break works.
+	i = 0
+	for range rec.Points(0) {
+		i++
+		if i == 5 {
+			break
+		}
+	}
+	if i != 5 {
+		t.Fatal("early break failed")
+	}
+	// All() covers both sockets, socket-major.
+	total, lastSocket := 0, -1
+	for s, _ := range rec.All() {
+		if s < lastSocket {
+			t.Fatal("All() not socket-major")
+		}
+		lastSocket = s
+		total++
+	}
+	if total != len(pts)+10 {
+		t.Fatalf("All() yielded %d points, want %d", total, len(pts)+10)
+	}
+	// Out-of-range socket iterates nothing.
+	for range rec.Points(9) {
+		t.Fatal("out-of-range socket yielded a point")
+	}
+}
+
+// TestDownsampledVsExactGolden pins that a reservoir view of a series
+// and the exact series agree on their summary, and that the reservoir's
+// retained points are a subset of the exact ones.
+func TestDownsampledVsExactGolden(t *testing.T) {
+	pts := points(3000)
+	r := NewReservoir(100)
+	feed(r, 0, pts)
+	exact := map[time.Duration]sim.TracePoint{}
+	for _, p := range pts {
+		exact[p.Time] = p
+	}
+	for _, p := range r.Snapshot(0) {
+		if exact[p.Time] != p {
+			t.Fatalf("reservoir invented a point at t=%v", p.Time)
+		}
+	}
+	if got, want := float64(r.Summary().AvgPkgPower[0]), float64(AvgPower(pts)); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatal("reservoir summary differs from exact average")
+	}
+}

@@ -1,11 +1,20 @@
 // Package trace records per-socket time series (frequencies, power, caps)
 // during a run, the data behind the paper's Fig 5, and renders them as CSV
 // or as summary statistics.
+//
+// The package has two consumption models. The streaming model (sink.go)
+// is the primary one: a Sink sees each sample once, as the simulator
+// produces it, and aggregates in O(1) memory per run — Reservoir,
+// Summarizer, WindowStats, CSVSink, JSONLSink, composed with Tee. The
+// slice model — Recorder accumulating full per-socket series — remains
+// for consumers that genuinely need every sample after the run, and its
+// slice accessors are deprecated in favour of the Points/All iterators.
 package trace
 
 import (
 	"fmt"
 	"io"
+	"iter"
 	"sync/atomic"
 	"time"
 
@@ -47,18 +56,22 @@ func (r *Recorder) Reserve(n int) {
 	}
 }
 
-// Hook returns the callback to pass as sim.RunOpts.Trace. Points for
-// sockets outside the recorder's range are counted as drops — locally and
-// on the telemetry registry — instead of vanishing invisibly.
-func (r *Recorder) Hook() func(socket int, p sim.TracePoint) {
-	return func(socket int, p sim.TracePoint) {
-		if socket < 0 || socket >= len(r.series) {
-			r.dropped.Add(1)
-			droppedPoints.Inc()
-			return
-		}
-		r.series[socket] = append(r.series[socket], p)
+// Consume implements Sink: the recorder appends each sample to its
+// socket's series. Points for sockets outside the recorder's range are
+// counted as drops — locally and on the telemetry registry — instead of
+// vanishing invisibly.
+func (r *Recorder) Consume(socket int, p sim.TracePoint) {
+	if socket < 0 || socket >= len(r.series) {
+		r.dropped.Add(1)
+		droppedPoints.Inc()
+		return
 	}
+	r.series[socket] = append(r.series[socket], p)
+}
+
+// Hook returns the callback to pass as sim.RunOpts.Trace.
+func (r *Recorder) Hook() func(socket int, p sim.TracePoint) {
+	return r.Consume
 }
 
 // Dropped returns the number of points this recorder's hook dropped for
@@ -68,6 +81,12 @@ func (r *Recorder) Dropped() int64 { return r.dropped.Load() }
 // FromSeries wraps already-recorded per-socket series in a Recorder; the
 // wire codec uses it to reconstruct a recorder from its serialized form.
 // The recorder takes ownership of the slices.
+//
+// Deprecated: raw [][]sim.TracePoint plumbing belongs to the slice era
+// of the results pipeline. New code should stream samples into a Sink
+// (Reservoir, Summarizer, …) instead of materialising full series and
+// wrapping them afterwards. The wire codec keeps using it internally;
+// the wrapper will be removed one release after its last public caller.
 func FromSeries(series [][]sim.TracePoint) *Recorder {
 	return &Recorder{series: series}
 }
@@ -76,11 +95,60 @@ func FromSeries(series [][]sim.TracePoint) *Recorder {
 func (r *Recorder) Sockets() int { return len(r.series) }
 
 // Socket returns the recorded series of one socket.
+//
+// Deprecated: use Points for iteration — it does not leak the backing
+// slice and has a streaming-counterpart shape (Reservoir.Points), so
+// consumers written against it work on bounded views too. Socket remains
+// a thin wrapper for one release.
 func (r *Recorder) Socket(i int) []sim.TracePoint {
 	if i < 0 || i >= len(r.series) {
 		return nil
 	}
 	return r.series[i]
+}
+
+// Points returns an iterator over one socket's recorded series, in time
+// order.
+func (r *Recorder) Points(socket int) iter.Seq[sim.TracePoint] {
+	return func(yield func(sim.TracePoint) bool) {
+		if socket < 0 || socket >= len(r.series) {
+			return
+		}
+		for _, p := range r.series[socket] {
+			if !yield(p) {
+				return
+			}
+		}
+	}
+}
+
+// All returns an iterator over every recorded sample as (socket, point)
+// pairs, socket-major in time order — the order a per-socket replay
+// would produce.
+func (r *Recorder) All() iter.Seq2[int, sim.TracePoint] {
+	return func(yield func(int, sim.TracePoint) bool) {
+		for s, series := range r.series {
+			for _, p := range series {
+				if !yield(s, p) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Summary computes the recorder's O(1) aggregate. The accumulation
+// replays the recorded samples in emission order, so the result is
+// bit-identical to a Summarizer that streamed the same run.
+func (r *Recorder) Summary() Summary {
+	var s Summarizer
+	for i, series := range r.series {
+		s.grow(i)
+		for _, p := range series {
+			s.Consume(i, p)
+		}
+	}
+	return s.Summary()
 }
 
 // Len returns the number of points recorded for socket 0.
@@ -116,17 +184,46 @@ func AvgPower(points []sim.TracePoint) units.Power {
 	return units.Power(sum / float64(len(points)))
 }
 
+// csvHeader and csvRowFormat define the one CSV dialect every trace
+// renderer shares — WriteCSV, WriteCSVSeq and the streaming CSVSink —
+// so their outputs are byte-identical for the same samples.
+const (
+	csvHeader    = "time_s,core_ghz,uncore_ghz,pkg_w,dram_w,cap_pl1_w,cap_pl2_w,bw_gbs"
+	csvRowFormat = "%.3f,%.2f,%.2f,%.2f,%.2f,%.1f,%.1f,%.2f\n"
+)
+
+// writeCSVRow renders one sample in the shared CSV dialect.
+func writeCSVRow(w io.Writer, p sim.TracePoint) error {
+	_, err := fmt.Fprintf(w, csvRowFormat,
+		p.Time.Seconds(), p.CoreFreq.GHz(), p.UncoreFreq.GHz(),
+		p.PkgPower.Watts(), p.DramPower.Watts(),
+		p.CapPL1.Watts(), p.CapPL2.Watts(), p.Bandwidth.GBs())
+	return err
+}
+
 // WriteCSV renders one socket's series with a header row. Times are in
 // seconds, frequencies in GHz, powers in watts.
 func WriteCSV(w io.Writer, points []sim.TracePoint) error {
-	if _, err := fmt.Fprintln(w, "time_s,core_ghz,uncore_ghz,pkg_w,dram_w,cap_pl1_w,cap_pl2_w,bw_gbs"); err != nil {
+	if _, err := fmt.Fprintln(w, csvHeader); err != nil {
 		return err
 	}
 	for _, p := range points {
-		if _, err := fmt.Fprintf(w, "%.3f,%.2f,%.2f,%.2f,%.2f,%.1f,%.1f,%.2f\n",
-			p.Time.Seconds(), p.CoreFreq.GHz(), p.UncoreFreq.GHz(),
-			p.PkgPower.Watts(), p.DramPower.Watts(),
-			p.CapPL1.Watts(), p.CapPL2.Watts(), p.Bandwidth.GBs()); err != nil {
+		if err := writeCSVRow(w, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSVSeq renders an iterator of samples in the same dialect as
+// WriteCSV: byte-identical output for the same points, but fed from any
+// source — a Recorder socket, a Reservoir snapshot, or a custom stream.
+func WriteCSVSeq(w io.Writer, points iter.Seq[sim.TracePoint]) error {
+	if _, err := fmt.Fprintln(w, csvHeader); err != nil {
+		return err
+	}
+	for p := range points {
+		if err := writeCSVRow(w, p); err != nil {
 			return err
 		}
 	}

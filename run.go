@@ -32,7 +32,41 @@ type (
 func DefaultGuardConfig() GuardConfig { return control.DefaultGuard() }
 
 // TraceRecorder is a run's full per-socket time-series recording.
+//
+// Deprecated in spirit for new consumers: a recorder holds every sample
+// of the run in memory. Prefer streaming the samples into a TraceSink
+// (WithTraceSink) — a TraceReservoir for bounded plotting data, a
+// windowed or whole-run summary, or a CSV/JSONL writer — and, when a
+// recorder is unavoidable, iterate it with Points/All instead of the
+// slice-returning Socket.
 type TraceRecorder = trace.Recorder
+
+// Streaming trace facade (see internal/trace). A sink observes each
+// (socket, sample) pair once, as the simulator produces it, so memory
+// per run is O(1) in run duration no matter how long MaxDuration is.
+type (
+	// TraceSink consumes trace samples during the run (WithTraceSink).
+	// Sinks are pure observers: attaching one never changes the measured
+	// run — sink-observed runs stay bit-identical to unobserved ones.
+	TraceSink = trace.Sink
+	// TraceSummary is the exact O(1) aggregate of a run's trace:
+	// per-socket sample counts and streaming averages. Every traced or
+	// sink-observed run carries one in RunResult.TraceSummary.
+	TraceSummary = trace.Summary
+	// TraceReservoir retains a bounded, deterministically downsampled
+	// view of the trace plus its exact summary; safe for concurrent
+	// reads while the run is producing.
+	TraceReservoir = trace.Reservoir
+)
+
+// NewTraceReservoir returns a bounded trace sink keeping at most
+// pointsPerSocket samples per socket (non-positive selects the default,
+// trace.DefaultReservoirPoints). While a run emits no more samples than
+// the capacity the view is lossless; longer runs degrade to an evenly
+// spaced grid, never to unbounded memory.
+func NewTraceReservoir(pointsPerSocket int) *TraceReservoir {
+	return trace.NewReservoir(pointsPerSocket)
+}
 
 // Span flight-recorder facade (see internal/obs/span).
 type (
@@ -63,6 +97,7 @@ type RunSpec struct {
 // runOptions collects the per-run settings of Session.Run.
 type runOptions struct {
 	trace, events, timeline, faultStats, spans bool
+	sink                                       TraceSink
 	faults                                     *FaultPlan
 }
 
@@ -70,9 +105,18 @@ type runOptions struct {
 type RunOption func(*runOptions)
 
 // WithTrace attaches a full time-series recording to the run. Traced
-// runs flow through the executor's worker pool but are never memoised:
-// the recording is a side effect that must be produced fresh.
+// runs flow through the executor's worker pool but never read the memo
+// cache: the recording is a side effect that must be produced fresh.
+// Memory grows with run duration — prefer WithTraceSink for long runs.
 func WithTrace() RunOption { return func(o *runOptions) { o.trace = true } }
+
+// WithTraceSink streams every trace sample into s as the simulator
+// produces it — the O(1)-memory alternative to WithTrace. The sink is
+// called from the run's single decision loop with (socket, sample) in
+// emission order; combine consumers with trace.Tee. Sink-observed runs
+// execute fresh (the stream is a side effect) but are bit-identical to
+// unobserved ones, so their results still populate the caches.
+func WithTraceSink(s TraceSink) RunOption { return func(o *runOptions) { o.sink = s } }
 
 // WithEvents returns the decision log of socket 0's controller instance
 // (empty for controllers that do not record one). Like traced runs,
@@ -112,6 +156,10 @@ type RunResult struct {
 	Run Run
 	// Trace is the per-socket time series (WithTrace / WithTimeline).
 	Trace *TraceRecorder
+	// TraceSummary is the exact streaming aggregate of the trace,
+	// present whenever the run was traced or sink-observed (WithTrace /
+	// WithTraceSink / WithTimeline).
+	TraceSummary *TraceSummary
 	// Events is socket 0's decision log (WithEvents / WithTimeline).
 	Events []ControlEvent
 	// Timeline is the joined audit trail (WithTimeline).
@@ -141,7 +189,7 @@ func (s Session) Run(ctx context.Context, spec RunSpec, opts ...RunOption) (RunR
 	if o.faults != nil {
 		s.Faults = *o.faults
 	}
-	sideband := o.trace || o.events || o.faultStats || o.spans
+	sideband := o.trace || o.events || o.faultStats || o.spans || o.sink != nil
 	key := s.execKey(spec.App, spec.Governor, spec.Idx, o.trace, sideband)
 	if !sideband {
 		r, err := s.executor().Submit(ctx, key)
@@ -150,6 +198,7 @@ func (s Session) Run(ctx context.Context, spec RunSpec, opts ...RunOption) (RunR
 		}
 		return RunResult{Run: r}, nil
 	}
+	key.Payload.(*runPayload).sink = o.sink
 	var tr *SpanTrace
 	ownTrace := false
 	if o.spans {
@@ -159,7 +208,11 @@ func (s Session) Run(ctx context.Context, spec RunSpec, opts ...RunOption) (RunR
 			ownTrace = true
 		}
 	}
-	r, err := s.executor().SubmitUncached(ctx, key)
+	// Sideband runs execute fresh — artifacts and sink streams cannot be
+	// replayed from a cache — but, because observers never change the
+	// measured run, the Run they return is written through to the memo
+	// and disk tiers for later artifact-free submissions to reuse.
+	r, err := s.executor().SubmitFresh(ctx, key)
 	if o.spans && ownTrace {
 		tr.Finish()
 	}
@@ -167,7 +220,7 @@ func (s Session) Run(ctx context.Context, spec RunSpec, opts ...RunOption) (RunR
 		return RunResult{}, wrapErr("run", err)
 	}
 	p := key.Payload.(*runPayload)
-	res := RunResult{Run: r}
+	res := RunResult{Run: r, TraceSummary: p.summary}
 	if o.trace {
 		res.Trace = p.rec
 	}

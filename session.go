@@ -139,12 +139,13 @@ func (s Session) runSeed(app string, idx int) int64 {
 }
 
 // runArtifacts carries a run's sideband outputs: the trace recording,
-// the controller instances (event logs, guard counters) and the
-// injected-fault counters.
+// the streaming trace summary, the controller instances (event logs,
+// guard counters) and the injected-fault counters.
 type runArtifacts struct {
-	rec    *trace.Recorder
-	insts  []control.Instance
-	faults fault.Stats
+	rec     *trace.Recorder
+	summary *trace.Summary
+	insts   []control.Instance
+	faults  fault.Stats
 }
 
 // execute is the uncached run path behind the executor: build a machine,
@@ -153,7 +154,12 @@ type runArtifacts struct {
 // the setup and sim stages, one entry per control round, and the
 // controllers' guard events; spans left open on an error path are
 // closed by the trace's Finish.
-func (s Session) execute(ctx context.Context, app App, mk GovernorFunc, idx int, traced bool) (Run, runArtifacts, error) {
+//
+// traced attaches a full Recorder; sink, when non-nil, receives every
+// sample as it is produced (the streaming pipeline — O(1) memory here
+// however long the run). Either one enables the trace cadence, and both
+// observe the identical sample stream.
+func (s Session) execute(ctx context.Context, app App, mk GovernorFunc, idx int, traced bool, sink trace.Sink) (Run, runArtifacts, error) {
 	tr := span.FromContext(ctx)
 	setup := tr.Start(span.StageSetup)
 	if err := app.Validate(); err != nil {
@@ -218,18 +224,29 @@ func (s Session) execute(ctx context.Context, app App, mk GovernorFunc, idx int,
 		opts.Governors = nil
 	}
 	var rec *trace.Recorder
-	if traced {
-		rec = trace.NewRecorder(m.Sockets())
+	var sum *trace.Summarizer
+	if traced || sink != nil {
 		opts.TraceEvery = 10
-		// Size the series to the workload's nominal length so tracing
-		// appends without mid-run reallocation (a hint; capped runs that
-		// overshoot grow as usual).
-		var nominal time.Duration
-		for _, ph := range phases {
-			nominal += ph.Duration
+		// Every tracing run also streams the exact O(1) summary, so the
+		// result carries headline trace aggregates without the series.
+		sum = trace.NewSummarizer()
+		sinks := []trace.Sink{sum}
+		if traced {
+			rec = trace.NewRecorder(m.Sockets())
+			// Size the series to the workload's nominal length so tracing
+			// appends without mid-run reallocation (a hint; capped runs that
+			// overshoot grow as usual).
+			var nominal time.Duration
+			for _, ph := range phases {
+				nominal += ph.Duration
+			}
+			rec.Reserve(int(nominal/s.Sim.Tick)/opts.TraceEvery + 2)
+			sinks = append(sinks, rec)
 		}
-		rec.Reserve(int(nominal/s.Sim.Tick)/opts.TraceEvery + 2)
-		opts.Trace = rec.Hook()
+		if sink != nil {
+			sinks = append(sinks, sink)
+		}
+		opts.Trace = trace.Hook(trace.Tee(sinks...))
 	}
 	simSpan := tr.Start(span.StageSim)
 	simWallStart := tr.Now()
@@ -243,6 +260,10 @@ func (s Session) execute(ctx context.Context, app App, mk GovernorFunc, idx int,
 	}
 
 	art := runArtifacts{rec: rec, insts: insts}
+	if sum != nil {
+		sm := sum.Summary()
+		art.summary = &sm
+	}
 	if inj != nil {
 		art.faults = inj.Stats()
 	}

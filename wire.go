@@ -16,8 +16,12 @@ package dufp
 //     version bump, not an edit.
 //   - Envelope types (RunSpec, RunResult) carry an explicit version tag
 //     "v"; decoding rejects versions this build does not speak.
-//   - Unknown fields are rejected, so typos in hand-written requests
-//     fail loudly instead of silently configuring nothing.
+//   - Additive changes are minor revisions of the same version: an
+//     envelope that uses fields introduced after v1.0 also carries
+//     "minor". Decoders reject unknown fields from peers at or below
+//     their own minor (typos still fail loudly) but ignore them from a
+//     newer minor, so old builds read new results minus the fields they
+//     predate. v1.1 added the optional trace_summary artifact.
 //   - Quantities carry their unit in the name (watts, hertz, joules,
 //     nanoseconds). Floats round-trip bit-exactly: encoding/json emits
 //     the shortest representation that parses back to the identical
@@ -38,6 +42,44 @@ import (
 // WireVersion is the version tag of the canonical JSON schema. Envelope
 // types stamp it on encode and reject anything else on decode.
 const WireVersion = 1
+
+// WireMinor is the highest minor revision of wire version 1 this build
+// emits and understands. Minor revisions are strictly additive —
+// optional fields only — so they never invalidate an older decoder:
+// envelopes carry "minor" only when they use post-1.0 fields, and a
+// decoder that sees a minor above its own ignores the fields it
+// predates instead of rejecting the envelope.
+const WireMinor = 1
+
+// wireEnvelope probes just the version tags of an encoded envelope.
+type wireEnvelope struct {
+	V     int `json:"v"`
+	Minor int `json:"minor"`
+}
+
+// decodeVersioned decodes a versioned envelope: strictly (unknown fields
+// rejected) when the peer's minor revision is at or below this build's,
+// leniently when a newer minor may have added fields this build
+// predates.
+func decodeVersioned(b []byte, v any, what string) error {
+	var env wireEnvelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return fmt.Errorf("dufp: decoding %s: %w", what, err)
+	}
+	if env.V != WireVersion {
+		return fmt.Errorf("dufp: %s wire version %d, this build speaks %d", what, env.V, WireVersion)
+	}
+	if env.Minor > WireMinor {
+		if err := json.Unmarshal(b, v); err != nil {
+			return fmt.Errorf("dufp: decoding %s: %w", what, err)
+		}
+		return nil
+	}
+	if err := decodeStrict(b, v); err != nil {
+		return fmt.Errorf("dufp: decoding %s: %w", what, err)
+	}
+	return nil
+}
 
 // Governor wire kinds, the declarative names of the canonical
 // constructors.
@@ -252,6 +294,7 @@ func (g *Governor) UnmarshalJSON(b []byte) error {
 // either a suite name ("CG") or a full inline application definition.
 type runSpecJSON struct {
 	V        int             `json:"v"`
+	Minor    int             `json:"minor,omitempty"`
 	App      json.RawMessage `json:"app"`
 	Governor Governor        `json:"governor"`
 	Idx      int             `json:"idx,omitempty"`
@@ -269,14 +312,12 @@ func (s RunSpec) MarshalJSON() ([]byte, error) {
 
 // UnmarshalJSON decodes a versioned spec. The app may be a suite name
 // ("CG") or an inline application definition; unknown fields and foreign
-// wire versions are rejected.
+// wire versions are rejected (unknown fields from a newer minor revision
+// of version 1 are ignored).
 func (s *RunSpec) UnmarshalJSON(b []byte) error {
 	var in runSpecJSON
-	if err := decodeStrict(b, &in); err != nil {
-		return fmt.Errorf("dufp: decoding run spec: %w", err)
-	}
-	if in.V != WireVersion {
-		return fmt.Errorf("dufp: run spec wire version %d, this build speaks %d", in.V, WireVersion)
+	if err := decodeVersioned(b, &in, "run spec"); err != nil {
+		return err
 	}
 	if len(in.App) == 0 {
 		return fmt.Errorf("dufp: run spec has no app")
@@ -404,16 +445,58 @@ type guardStatsJSON struct {
 	HeldRounds      int `json:"held_rounds"`
 }
 
+// traceSummaryJSON is the wire form of the streaming trace summary
+// (wire v1.1): per-socket sample counts and exact averages — the O(1)
+// artifact that crosses the wire in place of the full series.
+type traceSummaryJSON struct {
+	Points    []int     `json:"points"`
+	AvgCoreHz []float64 `json:"avg_core_hz"`
+	AvgPkgW   []float64 `json:"avg_pkg_w"`
+}
+
+func summaryToJSON(s TraceSummary) traceSummaryJSON {
+	out := traceSummaryJSON{
+		Points:    s.Points,
+		AvgCoreHz: make([]float64, len(s.AvgCoreFreq)),
+		AvgPkgW:   make([]float64, len(s.AvgPkgPower)),
+	}
+	for i, f := range s.AvgCoreFreq {
+		out.AvgCoreHz[i] = float64(f)
+	}
+	for i, p := range s.AvgPkgPower {
+		out.AvgPkgW[i] = p.Watts()
+	}
+	return out
+}
+
+func summaryFromJSON(in traceSummaryJSON) TraceSummary {
+	out := TraceSummary{
+		Points:      in.Points,
+		AvgCoreFreq: make([]Frequency, len(in.AvgCoreHz)),
+		AvgPkgPower: make([]Power, len(in.AvgPkgW)),
+	}
+	for i, f := range in.AvgCoreHz {
+		out.AvgCoreFreq[i] = Frequency(f)
+	}
+	for i, w := range in.AvgPkgW {
+		out.AvgPkgPower[i] = Power(w) * Watt
+	}
+	return out
+}
+
 // runResultJSON is the wire form of RunResult: the measurements plus
 // whichever sideband artifacts the run produced.
 type runResultJSON struct {
-	V          int                `json:"v"`
-	Run        Run                `json:"run"`
-	Events     []controlEventJSON `json:"events,omitempty"`
-	Trace      [][]tracePointJSON `json:"trace,omitempty"`
-	Timeline   *Timeline          `json:"timeline,omitempty"`
-	FaultStats *faultStatsJSON    `json:"fault_stats,omitempty"`
-	GuardStats *guardStatsJSON    `json:"guard_stats,omitempty"`
+	V     int `json:"v"`
+	Minor int `json:"minor,omitempty"`
+	Run   Run `json:"run"`
+	// TraceSummary is the streaming trace aggregate (wire v1.1).
+	TraceSummary *traceSummaryJSON  `json:"trace_summary,omitempty"`
+	Events       []controlEventJSON `json:"events,omitempty"`
+	Trace        [][]tracePointJSON `json:"trace,omitempty"`
+	Timeline     *Timeline          `json:"timeline,omitempty"`
+	FaultStats   *faultStatsJSON    `json:"fault_stats,omitempty"`
+	GuardStats   *guardStatsJSON    `json:"guard_stats,omitempty"`
 	// Spans is the per-stage wall-clock decomposition of a span-traced
 	// run (WithSpans). The full span tree stays process-local; only
 	// this summary crosses the wire. span.Summary is already in wire
@@ -422,17 +505,26 @@ type runResultJSON struct {
 }
 
 // MarshalJSON encodes the result with the wire version tag. Artifact
-// fields the run did not request are omitted.
+// fields the run did not request are omitted; results using post-1.0
+// fields also carry the minor revision tag.
 func (r RunResult) MarshalJSON() ([]byte, error) {
 	out := runResultJSON{V: WireVersion, Run: r.Run}
+	if r.TraceSummary != nil {
+		out.Minor = WireMinor
+		sj := summaryToJSON(*r.TraceSummary)
+		out.TraceSummary = &sj
+	}
 	for _, e := range r.Events {
 		out.Events = append(out.Events, eventToJSON(e))
 	}
 	if r.Trace != nil {
 		for i := 0; i < r.Trace.Sockets(); i++ {
-			series := make([]tracePointJSON, 0, len(r.Trace.Socket(i)))
-			for _, p := range r.Trace.Socket(i) {
+			var series []tracePointJSON
+			for p := range r.Trace.Points(i) {
 				series = append(series, pointToJSON(p))
+			}
+			if series == nil {
+				series = []tracePointJSON{}
 			}
 			out.Trace = append(out.Trace, series)
 		}
@@ -469,16 +561,18 @@ func (r RunResult) MarshalJSON() ([]byte, error) {
 }
 
 // UnmarshalJSON decodes a versioned result, reconstructing the trace
-// recorder from the serialized series.
+// recorder from the serialized series. Unknown fields from a newer
+// minor revision of version 1 are ignored.
 func (r *RunResult) UnmarshalJSON(b []byte) error {
 	var in runResultJSON
-	if err := decodeStrict(b, &in); err != nil {
-		return fmt.Errorf("dufp: decoding run result: %w", err)
-	}
-	if in.V != WireVersion {
-		return fmt.Errorf("dufp: run result wire version %d, this build speaks %d", in.V, WireVersion)
+	if err := decodeVersioned(b, &in, "run result"); err != nil {
+		return err
 	}
 	out := RunResult{Run: in.Run}
+	if in.TraceSummary != nil {
+		sum := summaryFromJSON(*in.TraceSummary)
+		out.TraceSummary = &sum
+	}
 	for _, ej := range in.Events {
 		e, err := eventFromJSON(ej)
 		if err != nil {

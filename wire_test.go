@@ -208,3 +208,89 @@ func TestSummaryRoundTrip(t *testing.T) {
 		t.Errorf("summary round trip changed:\n%+v\n%+v", sum, back)
 	}
 }
+
+// TestWireMinorRevision pins the v1.1 envelope behaviour: the minor tag
+// appears only when post-1.0 fields are used, trace_summary round-trips
+// bit-exactly, and unknown fields are rejected from peers at or below
+// this build's minor but ignored from newer minors.
+func TestWireMinorRevision(t *testing.T) {
+	session := dufp.NewSession(dufp.WithExecutor(dufp.NewExecutor()))
+	app, err := dufp.AppNamed("EP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := dufp.RunSpec{App: app, Governor: dufp.Baseline()}
+
+	// A plain result is pure v1.0: no minor tag on the wire.
+	plain, err := session.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), `"minor"`) {
+		t.Errorf("plain result carries a minor tag:\n%s", b)
+	}
+
+	// A sink-observed run carries the v1.1 trace_summary and the tag.
+	traced, err := session.Run(context.Background(), spec,
+		dufp.WithTraceSink(dufp.NewTraceReservoir(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced.TraceSummary == nil {
+		t.Fatal("sink-observed run has no TraceSummary")
+	}
+	b, err = json.Marshal(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"minor":1`) || !strings.Contains(string(b), `"trace_summary"`) {
+		t.Errorf("v1.1 fields missing from the wire:\n%.200s", b)
+	}
+	var back dufp.RunResult
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.TraceSummary == nil {
+		t.Fatal("trace_summary lost over the wire")
+	}
+	got, want := *back.TraceSummary, *traced.TraceSummary
+	if got.Sockets() != want.Sockets() {
+		t.Fatalf("summary sockets %d -> %d", want.Sockets(), got.Sockets())
+	}
+	for s := 0; s < want.Sockets(); s++ {
+		if got.Points[s] != want.Points[s] ||
+			got.AvgCoreFreq[s] != want.AvgCoreFreq[s] ||
+			got.AvgPkgPower[s] != want.AvgPkgPower[s] {
+			t.Fatalf("summary socket %d changed: %+v -> %+v", s, want, got)
+		}
+	}
+
+	// An unknown field at our minor is a typo: rejected.
+	run, _ := json.Marshal(plain.Run)
+	strict := `{"v":1,"minor":1,"run":` + string(run) + `,"bogus":true}`
+	if err := json.Unmarshal([]byte(strict), &back); err == nil {
+		t.Error("unknown field at minor 1 decoded without error")
+	}
+	// The same field from a future minor is a feature we predate: ignored.
+	future := `{"v":1,"minor":2,"run":` + string(run) + `,"bogus":true}`
+	if err := json.Unmarshal([]byte(future), &back); err != nil {
+		t.Errorf("future-minor result rejected: %v", err)
+	}
+	if back.Run != plain.Run {
+		t.Error("future-minor decode lost the run")
+	}
+	// Specs tolerate future minors the same way.
+	var s2 dufp.RunSpec
+	futureSpec := `{"v":1,"minor":2,"app":"CG","governor":{"kind":"baseline"},"bogus":true}`
+	if err := json.Unmarshal([]byte(futureSpec), &s2); err != nil {
+		t.Errorf("future-minor spec rejected: %v", err)
+	}
+	// But a foreign major version is still refused outright.
+	if err := json.Unmarshal([]byte(`{"v":2,"minor":0,"run":`+string(run)+`}`), &back); err == nil {
+		t.Error("foreign wire version decoded without error")
+	}
+}
