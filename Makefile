@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 tier1-faults tier1-api tier1-obs build test short race vet cover bench bench-api bench-mem bench-smoke bench-scaling
+.PHONY: all tier1 tier1-faults tier1-api tier1-obs build test short race vet cover bench bench-api bench-mem bench-smoke bench-scaling bench-cache
 
 all: tier1 race vet
 
@@ -75,6 +75,14 @@ bench-api:
 # regression past the committed baseline's headroom fails the build.
 bench-mem:
 	$(GO) run ./cmd/simbench -mem-only -out BENCH_sim.json -gate reports/bench_baseline.json
+
+# bench-cache measures the disk cache's codec throughput — cold-write
+# and warm-read runs/s of the binary v3 segment format over a synthetic
+# campaign, plus the legacy JSONL decode baseline and speedup — merges
+# it into BENCH_sim.json and GATES the warm-read rate: a fall past the
+# committed baseline's headroom fails the build.
+bench-cache:
+	$(GO) run ./cmd/simbench -cache-only -out BENCH_sim.json -gate-cache reports/bench_baseline.json
 
 # bench-smoke is the CI variant: reduced grid, same artifact.
 bench-smoke:

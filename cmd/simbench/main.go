@@ -73,6 +73,16 @@ type report struct {
 	Fig3GridWallSecondsP8   float64 `json:"fig3_grid_wall_seconds_p8"`
 	Fig3GridWallWarmSeconds float64 `json:"fig3_grid_wall_warm_seconds"`
 
+	// Disk-cache codec trajectory (bench-cache): cold-write and warm-read
+	// throughput of the binary v3 segment format over a synthetic
+	// campaign, with a legacy v2 JSONL decode baseline and the resulting
+	// speedup. The read rate is gated by -gate-cache. See cache.go.
+	DiskCacheWriteRunsPerS      float64 `json:"disk_cache_write_runs_per_s,omitempty"`
+	DiskCacheReadRunsPerS       float64 `json:"disk_cache_read_runs_per_s,omitempty"`
+	DiskCacheReadMBPerS         float64 `json:"disk_cache_read_mb_per_s,omitempty"`
+	DiskCacheJSONLReadRunsPerS  float64 `json:"disk_cache_jsonl_read_runs_per_s,omitempty"`
+	DiskCacheReadSpeedupVsJSONL float64 `json:"disk_cache_read_speedup_vs_jsonl,omitempty"`
+
 	// Memory trajectory (bench-mem): live-heap delta of one fully
 	// streamed traced run at 1×/10×/100× the benchmark phase duration —
 	// flat by design, gated by -gate — and the process's peak RSS after
@@ -369,6 +379,9 @@ func measure(short bool, cacheDir string) (report, error) {
 	if rep.Fig3GridWallWarmSeconds, err = gridWallWarm(short); err != nil {
 		return rep, err
 	}
+	if err = measureCacheInto(&rep, short); err != nil {
+		return rep, err
+	}
 	if err = measureMemInto(&rep); err != nil {
 		return rep, err
 	}
@@ -411,6 +424,11 @@ func compare(baselinePath string, cur report) error {
 		{"fig3_grid_wall_seconds_p4", base.Fig3GridWallSecondsP4, cur.Fig3GridWallSecondsP4, true},
 		{"fig3_grid_wall_seconds_p8", base.Fig3GridWallSecondsP8, cur.Fig3GridWallSecondsP8, true},
 		{"fig3_grid_wall_warm_seconds", base.Fig3GridWallWarmSeconds, cur.Fig3GridWallWarmSeconds, true},
+		{"disk_cache_write_runs_per_s", base.DiskCacheWriteRunsPerS, cur.DiskCacheWriteRunsPerS, false},
+		{"disk_cache_read_runs_per_s", base.DiskCacheReadRunsPerS, cur.DiskCacheReadRunsPerS, false},
+		{"disk_cache_read_mb_per_s", base.DiskCacheReadMBPerS, cur.DiskCacheReadMBPerS, false},
+		{"disk_cache_jsonl_read_runs_per_s", base.DiskCacheJSONLReadRunsPerS, cur.DiskCacheJSONLReadRunsPerS, false},
+		{"disk_cache_read_speedup_vs_jsonl", base.DiskCacheReadSpeedupVsJSONL, cur.DiskCacheReadSpeedupVsJSONL, false},
 		{"run_peak_alloc_bytes_1x", base.RunPeakAllocBytes1x, cur.RunPeakAllocBytes1x, true},
 		{"run_peak_alloc_bytes_10x", base.RunPeakAllocBytes10x, cur.RunPeakAllocBytes10x, true},
 		{"run_peak_alloc_bytes_100x", base.RunPeakAllocBytes100x, cur.RunPeakAllocBytes100x, true},
@@ -434,18 +452,20 @@ func compare(baselinePath string, cur report) error {
 
 func main() {
 	var (
-		out      = flag.String("out", "BENCH_sim.json", "write the benchmark report to this file ('-' for stdout)")
-		baseline = flag.String("compare", "", "print a benchstat-style comparison against this baseline JSON (report-only)")
-		short    = flag.Bool("short", false, "reduced grid for CI smoke runs")
-		cacheDir = flag.String("cache-dir", os.Getenv("DUFP_CACHE_DIR"), "run the headline grid measurement against this persistent run cache; invoke twice with the same directory for a cold/warm pair (default: $DUFP_CACHE_DIR)")
-		memOnly  = flag.Bool("mem-only", false, "measure only the memory trajectory and merge it into -out, preserving the file's other fields")
-		gate     = flag.String("gate", "", "enforce the memory trajectory against this baseline JSON: exit non-zero on a flatness or regression violation")
+		out           = flag.String("out", "BENCH_sim.json", "write the benchmark report to this file ('-' for stdout)")
+		baseline      = flag.String("compare", "", "print a benchstat-style comparison against this baseline JSON (report-only)")
+		short         = flag.Bool("short", false, "reduced grid for CI smoke runs")
+		cacheDir      = flag.String("cache-dir", os.Getenv("DUFP_CACHE_DIR"), "run the headline grid measurement against this persistent run cache; invoke twice with the same directory for a cold/warm pair (default: $DUFP_CACHE_DIR)")
+		memOnly       = flag.Bool("mem-only", false, "measure only the memory trajectory and merge it into -out, preserving the file's other fields")
+		gate          = flag.String("gate", "", "enforce the memory trajectory against this baseline JSON: exit non-zero on a flatness or regression violation")
+		cacheOnly     = flag.Bool("cache-only", false, "measure only the disk-cache codec throughput and merge it into -out, preserving the file's other fields")
+		gateCachePath = flag.String("gate-cache", "", "enforce disk_cache_read_runs_per_s against this baseline JSON: exit non-zero on a regression past headroom")
 	)
 	flag.Parse()
 
 	var rep report
 	var err error
-	if *memOnly {
+	if *memOnly || *cacheOnly {
 		// Merge mode: keep whatever the existing report already measured.
 		if raw, rerr := os.ReadFile(*out); rerr == nil {
 			if err := json.Unmarshal(raw, &rep); err != nil {
@@ -454,7 +474,11 @@ func main() {
 			}
 		}
 		rep.GoVersion = runtime.Version()
-		err = measureMemInto(&rep)
+		if *memOnly {
+			err = measureMemInto(&rep)
+		} else {
+			err = measureCacheInto(&rep, *short)
+		}
 	} else {
 		rep, err = measure(*short, *cacheDir)
 	}
@@ -487,5 +511,13 @@ func main() {
 		}
 		fmt.Printf("mem gate ok: 1x %.0f B, 10x %.0f B, 100x %.0f B live heap; campaign peak RSS %.0f B\n",
 			rep.RunPeakAllocBytes1x, rep.RunPeakAllocBytes10x, rep.RunPeakAllocBytes100x, rep.CampaignPeakRSSBytes)
+	}
+	if *gateCachePath != "" {
+		if err := gateCache(*gateCachePath, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "simbench: cache gate:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("cache gate ok: %.0f runs/s warm read (%.1f MB/s, %.1fx vs JSONL)\n",
+			rep.DiskCacheReadRunsPerS, rep.DiskCacheReadMBPerS, rep.DiskCacheReadSpeedupVsJSONL)
 	}
 }

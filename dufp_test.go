@@ -3,6 +3,7 @@ package dufp_test
 import (
 	"context"
 	"math"
+	"slices"
 	"testing"
 
 	"dufp"
@@ -113,7 +114,7 @@ func TestRunTraced(t *testing.T) {
 	if rec.Len() == 0 {
 		t.Fatal("no trace points")
 	}
-	pts := rec.Socket(0)
+	pts := slices.Collect(rec.Points(0))
 	last := pts[len(pts)-1]
 	if last.Time > res.Run.Time+res.Run.Time/10 {
 		t.Fatalf("trace extends past the run: %v > %v", last.Time, res.Run.Time)

@@ -3,6 +3,7 @@ package dufp_test
 import (
 	"context"
 	"fmt"
+	"slices"
 	"testing"
 	"time"
 
@@ -73,11 +74,11 @@ func TestExactPhysicsBitIdentical(t *testing.T) {
 					if free.Trace.Len() != exact.Trace.Len() {
 						t.Fatalf("trace lengths diverge: %d vs %d", free.Trace.Len(), exact.Trace.Len())
 					}
-					for s := 0; ; s++ {
-						fs, es := free.Trace.Socket(s), exact.Trace.Socket(s)
-						if fs == nil && es == nil {
-							break
-						}
+					if free.Trace.Sockets() != exact.Trace.Sockets() {
+						t.Fatalf("socket counts diverge: %d vs %d", free.Trace.Sockets(), exact.Trace.Sockets())
+					}
+					for s := 0; s < free.Trace.Sockets(); s++ {
+						fs, es := slices.Collect(free.Trace.Points(s)), slices.Collect(exact.Trace.Points(s))
 						if len(fs) != len(es) {
 							t.Fatalf("socket %d trace lengths diverge: %d vs %d", s, len(fs), len(es))
 						}

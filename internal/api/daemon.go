@@ -16,7 +16,6 @@ import (
 	"dufp/internal/metrics"
 	"dufp/internal/obs"
 	"dufp/internal/obs/span"
-	"dufp/internal/sim"
 	"dufp/internal/trace"
 )
 
@@ -288,11 +287,13 @@ func (d *Daemon) runResultWithTrace(id string) (*dufp.RunResult, bool) {
 		res.Run = j.run
 	}
 	d.mu.Unlock()
-	series := make([][]sim.TracePoint, r.Sockets())
-	for s := range series {
-		series[s] = r.Snapshot(s)
+	rec := trace.NewRecorder(r.Sockets())
+	for s := 0; s < r.Sockets(); s++ {
+		for _, p := range r.Snapshot(s) {
+			rec.Consume(s, p)
+		}
 	}
-	res.Trace = trace.FromSeries(series)
+	res.Trace = rec
 	sum := r.Summary()
 	res.TraceSummary = &sum
 	return res, true

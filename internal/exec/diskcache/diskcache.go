@@ -3,32 +3,42 @@
 // so a CLI invocation or CI job replays a campaign another process
 // already measured instead of re-simulating it from cold.
 //
-// Layout: a cache directory holds append-only segment files
-// (runs-*.jsonl), one per writing process — concurrent processes never
-// share a file descriptor, so no cross-process locking is needed. Each
-// record is one line:
+// Layout: a cache directory holds append-only segment files, one per
+// writing process — concurrent processes never share a file descriptor,
+// so no cross-process locking is needed. The write path emits binary v3
+// segments (runs-*.seg): a header of the magic "DUFPSEG3", the format
+// version and the physics-version stamp, followed by length-prefixed
+// frames
 //
-//	<crc32c-hex> <payload-json>\n
+//	<uvarint body length> <crc32c, 4 bytes LE> <body>
 //
-// where the payload carries a format version, the physics-version stamp,
-// the run's content address and the run itself. Records are validated on
-// load: CRC mismatches and undecodable payloads (including the torn last
-// line of a crashed writer) are skipped and counted as corrupt; records
+// whose bodies are the wirebin column encoding (internal/wirebin) of the
+// run's content address and the run itself. The reader scans segments
+// sequentially into a reused frame buffer and decodes through a string
+// interner, so the warm path performs no per-record allocations beyond
+// the index entries themselves. Legacy v2 JSONL segments (runs-*.jsonl,
+// one `<crc32c-hex> <payload-json>` line per record) are still read, so
+// mixed directories load; they are never written.
+//
+// Records are validated on load: CRC mismatches and undecodable bodies
+// (including the torn last frame of a crashed writer) are skipped and
+// counted as corrupt — framing recovers at the next frame where the
+// lengths allow, otherwise the file's valid prefix is kept. Records
 // written under a different physics version are skipped and counted as
 // stale, which is how the harness invalidates the cache when the
 // simulator's results change — bump the stamp, old files become inert.
 //
 // Writes are write-behind: Put updates the in-memory index immediately
 // and queues the record for a background writer; Close drains the queue,
-// flushes and fsyncs. Floats round-trip bit-exactly through JSON
-// (encoding/json emits the shortest representation that parses back to
-// the identical float64), so a disk-served run is bit-identical to a
-// fresh one.
+// flushes and fsyncs. Floats travel as raw IEEE 754 bits (and travelled
+// as shortest-round-trip decimals in v2), so a disk-served run is
+// bit-identical to a fresh one.
 package diskcache
 
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
@@ -42,13 +52,26 @@ import (
 	"time"
 
 	"dufp/internal/metrics"
+	"dufp/internal/wirebin"
 )
 
-// formatVersion is the record-layout version; records with any other
-// value are skipped as corrupt (the layout changed under them).
+// formatVersion is the segment-layout version the write path emits.
 // Version 2 switched the run payload to the canonical wire schema
-// (metrics.Run's own MarshalJSON), so v1 segments are inert.
-const formatVersion = 2
+// (metrics.Run's own MarshalJSON); version 3 switched segments to
+// length-prefixed binary frames in the wirebin column encoding. v2
+// segments remain readable; v1 segments are inert.
+const formatVersion = 3
+
+// legacyJSONLVersion is the newest JSONL record version the read path
+// still accepts.
+const legacyJSONLVersion = 2
+
+// segMagic opens every binary segment file.
+const segMagic = "DUFPSEG3"
+
+// maxFrame bounds one frame's body: a length prefix beyond it marks the
+// segment corrupt rather than asking for an absurd buffer.
+const maxFrame = 1 << 20
 
 // Key is the content address of one run, mirroring the executor's ID.
 type Key struct {
@@ -75,8 +98,16 @@ func RunID(k Key) string {
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
-// record is the JSON payload of one persisted run.
+// record is one queued write: the run and its content address. The
+// physics stamp travels in the segment header, not per record.
 type record struct {
+	Key Key
+	Run metrics.Run
+}
+
+// jsonlRecord is the legacy v2 JSON payload of one persisted run, kept
+// for the read-compat path.
+type jsonlRecord struct {
 	V       int         `json:"v"`
 	Physics string      `json:"physics"`
 	Key     Key         `json:"key"`
@@ -126,6 +157,8 @@ type Cache struct {
 
 	f *os.File
 	w *bufio.Writer
+	// buf is the writer goroutine's reused frame-encoding buffer.
+	buf []byte
 }
 
 // crcTable is the Castagnoli polynomial, hardware-accelerated on the
@@ -160,34 +193,57 @@ func Open(dir, version string, opts ...Option) (*Cache, error) {
 	}
 	c.load()
 
-	f, err := os.CreateTemp(dir, "runs-*.jsonl")
+	f, err := os.CreateTemp(dir, "runs-*.seg")
 	if err != nil {
 		c.warning = fmt.Sprintf("diskcache: %s not writable, running read-only: %v", dir, err)
 		return c, nil
 	}
 	c.f = f
 	c.w = bufio.NewWriter(f)
+	// Segment header: magic, format version, physics stamp. Written
+	// before the writer goroutine exists, so unsynchronised.
+	hdr := []byte(segMagic)
+	hdr = binary.AppendUvarint(hdr, formatVersion)
+	hdr = wirebin.AppendString(hdr, version)
+	if _, err := c.w.Write(hdr); err != nil {
+		c.warning = fmt.Sprintf("diskcache: %s not writable, running read-only: %v", dir, err)
+		c.f, c.w = nil, nil
+		f.Close()
+		os.Remove(f.Name())
+		return c, nil
+	}
 	c.wg.Add(1)
 	go c.writer()
 	return c, nil
 }
 
-// load scans every segment file in the directory, keeping valid
-// same-version records and counting corrupt and stale ones.
+// load scans every segment file in the directory — binary v3 and legacy
+// v2 JSONL — keeping valid same-version records and counting corrupt and
+// stale ones. The scan state (frame buffer, decode reader, string
+// interner) is shared across files, so the warm path allocates per
+// distinct string, not per record.
 func (c *Cache) load() {
-	paths, err := filepath.Glob(filepath.Join(c.dir, "runs-*.jsonl"))
+	segs, err := filepath.Glob(filepath.Join(c.dir, "runs-*.seg"))
 	if err != nil {
 		return
 	}
-	for _, path := range paths {
+	sc := newSegScanner()
+	for _, path := range segs {
+		sc.file(c, path)
+	}
+	jsonls, err := filepath.Glob(filepath.Join(c.dir, "runs-*.jsonl"))
+	if err != nil {
+		return
+	}
+	for _, path := range jsonls {
 		f, err := os.Open(path)
 		if err != nil {
 			continue
 		}
-		sc := bufio.NewScanner(f)
-		sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-		for sc.Scan() {
-			c.loadLine(sc.Bytes())
+		s := bufio.NewScanner(f)
+		s.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+		for s.Scan() {
+			c.loadLine(s.Bytes())
 		}
 		f.Close()
 	}
@@ -213,8 +269,8 @@ func (c *Cache) loadLine(line []byte) {
 		c.corrupt.Add(1)
 		return
 	}
-	var rec record
-	if err := json.Unmarshal(payload, &rec); err != nil || rec.V != formatVersion {
+	var rec jsonlRecord
+	if err := json.Unmarshal(payload, &rec); err != nil || rec.V != legacyJSONLVersion {
 		c.corrupt.Add(1)
 		return
 	}
@@ -284,7 +340,7 @@ func (c *Cache) Put(key Key, run metrics.Run) {
 	c.byID[RunID(key)] = key
 	c.mu.Unlock()
 	select {
-	case c.queue <- record{V: formatVersion, Physics: c.version, Key: key, Run: run}:
+	case c.queue <- record{Key: key, Run: run}:
 	default:
 		c.dropped.Add(1)
 	}
@@ -311,19 +367,31 @@ func (c *Cache) writer() {
 	}
 }
 
-// append serialises one record onto the segment file.
+// append serialises one record onto the segment file as a v3 frame,
+// reusing the encode buffer across calls.
 func (c *Cache) append(rec record) {
 	start := time.Now()
-	payload, err := json.Marshal(rec)
-	if err != nil {
-		c.dropped.Add(1)
-		return
-	}
-	fmt.Fprintf(c.w, "%08x %s\n", crc32.Checksum(payload, crcTable), payload)
+	body := encodeFrameBody(c.buf[:0], rec.Key, rec.Run)
+	c.buf = body
+	var pre [binary.MaxVarintLen64 + 4]byte
+	n := binary.PutUvarint(pre[:], uint64(len(body)))
+	binary.LittleEndian.PutUint32(pre[n:], crc32.Checksum(body, crcTable))
+	c.w.Write(pre[:n+4])
+	c.w.Write(body)
 	c.written.Add(1)
 	if c.writeObs != nil {
 		c.writeObs(time.Since(start).Seconds())
 	}
+}
+
+// encodeFrameBody appends the wirebin columns of one record: the content
+// address (app, governor, session, index) followed by the run.
+func encodeFrameBody(b []byte, key Key, run metrics.Run) []byte {
+	b = wirebin.AppendString(b, key.App)
+	b = wirebin.AppendString(b, key.Governor)
+	b = wirebin.AppendString(b, key.Session)
+	b = wirebin.AppendInt64(b, int64(key.Idx))
+	return wirebin.AppendRun(b, run)
 }
 
 // Close drains the write-behind queue, flushes and fsyncs the segment
@@ -391,5 +459,6 @@ func (c *Cache) Stats() Stats {
 // segmentName reports whether base names a cache segment file (exported
 // for tests that corrupt specific files).
 func segmentName(base string) bool {
-	return strings.HasPrefix(base, "runs-") && strings.HasSuffix(base, ".jsonl")
+	return strings.HasPrefix(base, "runs-") &&
+		(strings.HasSuffix(base, ".seg") || strings.HasSuffix(base, ".jsonl"))
 }

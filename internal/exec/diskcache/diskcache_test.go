@@ -1,6 +1,7 @@
 package diskcache
 
 import (
+	"encoding/binary"
 	"math"
 	"os"
 	"path/filepath"
@@ -83,6 +84,45 @@ func TestRoundTripBitIdentical(t *testing.T) {
 	}
 }
 
+// soleSegment returns the directory's single binary segment file.
+func soleSegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "runs-*.seg"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments = %v (err %v), want exactly one", segs, err)
+	}
+	return segs[0]
+}
+
+// segFrames parses a binary segment, returning the [start, end) byte
+// range of each frame (length prefix included). Test-side framing: if
+// the writer's layout drifts, the corruption tests fail loudly here.
+func segFrames(t *testing.T, raw []byte) [][2]int {
+	t.Helper()
+	off := len(segMagic)
+	for i := 0; i < 2; i++ { // format version, then stamp length
+		v, n := binary.Uvarint(raw[off:])
+		if n <= 0 {
+			t.Fatalf("bad header varint at %d", off)
+		}
+		off += n
+		if i == 1 {
+			off += int(v) // skip the stamp bytes
+		}
+	}
+	var frames [][2]int
+	for off < len(raw) {
+		start := off
+		n, sz := binary.Uvarint(raw[off:])
+		if sz <= 0 {
+			t.Fatalf("bad frame length at %d", off)
+		}
+		off += sz + 4 + int(n)
+		frames = append(frames, [2]int{start, off})
+	}
+	return frames
+}
+
 func TestCorruptRecordsSkippedAndCounted(t *testing.T) {
 	dir := t.TempDir()
 	c := openOrDie(t, dir, physV)
@@ -93,20 +133,21 @@ func TestCorruptRecordsSkippedAndCounted(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	segs, err := filepath.Glob(filepath.Join(dir, "runs-*.jsonl"))
-	if err != nil || len(segs) != 1 {
-		t.Fatalf("segments = %v (err %v), want exactly one", segs, err)
-	}
-	raw, err := os.ReadFile(segs[0])
+	seg := soleSegment(t, dir)
+	raw, err := os.ReadFile(seg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	lines := strings.SplitAfter(string(raw), "\n")
-	// Flip a byte inside the first record's payload, truncate the last
-	// record mid-line (a torn write), keep the middle one intact.
-	lines[0] = strings.Replace(lines[0], `"App"`, `"Axp"`, 1)
-	lines[2] = lines[2][:len(lines[2])/2]
-	if err := os.WriteFile(segs[0], []byte(strings.Join(lines, "")), 0o644); err != nil {
+	frames := segFrames(t, raw)
+	if len(frames) != 3 {
+		t.Fatalf("parsed %d frames, want 3", len(frames))
+	}
+	// Flip a byte inside the first frame's body (CRC catches it; framing
+	// stays aligned so the next record still loads) and truncate the
+	// last frame mid-body — the torn tail of a crashed writer.
+	raw[frames[0][1]-1] ^= 0x01
+	raw = raw[:frames[2][0]+(frames[2][1]-frames[2][0])/2]
+	if err := os.WriteFile(seg, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
 
@@ -124,6 +165,85 @@ func TestCorruptRecordsSkippedAndCounted(t *testing.T) {
 	}
 	if _, ok := c2.Get(testKeyAt(0)); ok {
 		t.Fatal("corrupt record served")
+	}
+}
+
+func TestBadHeaderStopsSegment(t *testing.T) {
+	dir := t.TempDir()
+	c := openOrDie(t, dir, physV)
+	c.Put(testKeyAt(0), testRun(0))
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := soleSegment(t, dir)
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 0xff // break the magic
+	if err := os.WriteFile(seg, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A zero-byte segment (writer crashed before its first flush) is
+	// skipped silently, not counted corrupt.
+	if err := os.WriteFile(filepath.Join(dir, "runs-empty.seg"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := openOrDie(t, dir, physV)
+	defer c2.Close()
+	if st := c2.Stats(); st.Corrupt != 1 || st.Loaded != 0 || c2.Len() != 0 {
+		t.Fatalf("stats = %+v len=%d, want 1 corrupt and nothing loaded", st, c2.Len())
+	}
+}
+
+func TestMixedFormatDirectoryLoads(t *testing.T) {
+	dir := t.TempDir()
+	// A legacy v2 JSONL segment, as an older build would have left it.
+	var legacy strings.Builder
+	if err := AppendLegacyJSONL(&legacy, physV, testKeyAt(0), testRun(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendLegacyJSONL(&legacy, "physics-old", testKeyAt(9), testRun(9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "runs-legacy.jsonl"), []byte(legacy.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A binary v3 segment from a current build.
+	c := openOrDie(t, dir, physV)
+	c.Put(testKeyAt(1), testRun(1))
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := openOrDie(t, dir, physV)
+	st := c2.Stats()
+	if st.Loaded != 2 || st.Stale != 1 || st.Corrupt != 0 {
+		t.Fatalf("stats = %+v, want both formats loaded and the old-physics line stale", st)
+	}
+	for i := 0; i < 2; i++ {
+		if got, ok := c2.Get(testKeyAt(i)); !ok || got != testRun(i) {
+			t.Fatalf("key %d: got %+v ok=%v", i, got, ok)
+		}
+	}
+	// The new writer must land on a fresh v3 segment, never extend (or
+	// rewrite) the legacy file.
+	c2.Put(testKeyAt(2), testRun(2))
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "runs-*.seg"))
+	if len(segs) != 2 {
+		t.Fatalf("binary segments = %v, want the seed's and the new writer's", segs)
+	}
+	if raw, err := os.ReadFile(filepath.Join(dir, "runs-legacy.jsonl")); err != nil || string(raw) != legacy.String() {
+		t.Fatalf("legacy segment modified (err %v)", err)
+	}
+	c3 := openOrDie(t, dir, physV)
+	defer c3.Close()
+	if c3.Len() != 3 {
+		t.Fatalf("merged index holds %d runs, want 3", c3.Len())
 	}
 }
 
@@ -164,7 +284,7 @@ func TestConcurrentProcessesShareDirectory(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	segs, _ := filepath.Glob(filepath.Join(dir, "runs-*.jsonl"))
+	segs, _ := filepath.Glob(filepath.Join(dir, "runs-*.seg"))
 	if len(segs) != 2 {
 		t.Fatalf("segments = %v, want one per process", segs)
 	}
@@ -261,7 +381,7 @@ func TestEmptySegmentRemovedOnClose(t *testing.T) {
 	if err := c.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, _ := filepath.Glob(filepath.Join(dir, "runs-*.jsonl"))
+	segs, _ := filepath.Glob(filepath.Join(dir, "runs-*"))
 	if len(segs) != 0 {
 		t.Fatalf("empty segment left behind: %v", segs)
 	}

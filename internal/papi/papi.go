@@ -96,6 +96,20 @@ func (s *EventSet) Read() ([]float64, error) {
 // Reset re-latches the zero point, like PAPI_reset.
 func (s *EventSet) Reset() { s.Start() }
 
+// Relatch re-latches the zero point like Reset but reuses the existing
+// base slice, keeping periodic sampling allocation-free. Values are
+// identical to Reset's.
+func (s *EventSet) Relatch() {
+	if s.base == nil {
+		s.Start()
+		return
+	}
+	for i, e := range s.events {
+		s.base[i] = s.src.Counter(e)
+	}
+	s.started = true
+}
+
 // Sample is one monitoring-interval measurement, the input to a DUF/DUFP
 // decision.
 type Sample struct {
@@ -210,7 +224,7 @@ func (m *Monitor) Sample() (Sample, error) {
 	if err != nil {
 		return Sample{}, err
 	}
-	m.set.Reset()
+	m.set.Relatch()
 
 	sec := dt.Seconds()
 	s := Sample{
@@ -227,6 +241,21 @@ func (m *Monitor) Sample() (Sample, error) {
 	}
 	m.last = now
 	return s, nil
+}
+
+// Deterministic reports whether Sample is a pure function of the
+// source's counters: no measurement noise, and no fault-injection hook
+// that could drop whole samples. Round-skipping certification requires
+// it — a monitor that may perturb or fail a sample cannot have its
+// rounds replayed unobserved. The fault layer's Source wrapper always
+// carries the sample-failure hook, so any fault-plan session declines
+// here regardless of the plan's probabilities.
+func (m *Monitor) Deterministic() bool {
+	if m.noise > 0 {
+		return false
+	}
+	_, failer := m.set.src.(sampleFailer)
+	return !failer
 }
 
 func (m *Monitor) noisy(v float64) float64 {

@@ -1,4 +1,4 @@
-package powercap
+package powercap_test
 
 import (
 	"strings"
@@ -6,20 +6,21 @@ import (
 
 	"dufp/internal/arch"
 	"dufp/internal/model"
+	"dufp/internal/powercap"
 	"dufp/internal/sim"
 	"dufp/internal/units"
 )
 
 // newNodeTree builds a tree over a live simulated machine, so the energy
 // counters behave.
-func newNodeTree(t *testing.T) (*Tree, *sim.Machine) {
+func newNodeTree(t *testing.T) (*powercap.Tree, *sim.Machine) {
 	t.Helper()
 	cfg := sim.DefaultConfig()
 	m, err := sim.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tree, err := NewTree(m.MSR(), cfg.Topo)
+	tree, err := powercap.NewTree(m.MSR(), cfg.Topo)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestTreeDramZoneReadOnly(t *testing.T) {
 
 func TestTreeValidation(t *testing.T) {
 	_, m := newNodeTree(t)
-	if _, err := NewTree(m.MSR(), arch.Topology{}); err == nil {
+	if _, err := powercap.NewTree(m.MSR(), arch.Topology{}); err == nil {
 		t.Fatal("accepted invalid topology")
 	}
 }

@@ -1,0 +1,142 @@
+package rapl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dufp/internal/arch"
+	"dufp/internal/msr"
+	"dufp/internal/units"
+)
+
+// TestAdvanceMatchesSteps pins Advance's contract: n Advance'd average
+// updates are bit-identical to n consecutive Step calls at the same
+// constant (power, dt) — including the prime path and the gain-cache
+// refresh.
+func TestAdvanceMatchesSteps(t *testing.T) {
+	spec := arch.XeonGold6130()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		ref := NewLimiter(spec)
+		adv := NewLimiter(spec)
+		lim := msr.PkgPowerLimit{
+			PL1: msr.PowerLimit{Limit: units.Power(80 + rng.Float64()*80), Window: 0.5 + rng.Float64()*10, Enabled: true},
+			PL2: msr.PowerLimit{Limit: units.Power(120 + rng.Float64()*80), Window: 0.001 + rng.Float64()*0.1, Enabled: true},
+		}
+		ref.SetLimits(lim)
+		adv.SetLimits(lim)
+		// Optionally pre-run some history so both prime paths are covered.
+		warm := rng.Intn(3)
+		for i := 0; i < warm; i++ {
+			p := units.Power(60 + rng.Float64()*100)
+			ref.Step(p, 1e-3, spec.MaxCoreFreq, spec.MaxCoreFreq)
+			adv.Step(p, 1e-3, spec.MaxCoreFreq, spec.MaxCoreFreq)
+		}
+		p := units.Power(60 + rng.Float64()*100)
+		n := 1 + rng.Intn(5000)
+		for i := 0; i < n; i++ {
+			ref.Step(p, 1e-3, spec.MaxCoreFreq, spec.MaxCoreFreq)
+		}
+		adv.Advance(p, 1e-3, n)
+		r1, r2 := ref.Averages()
+		a1, a2 := adv.Averages()
+		if math.Float64bits(float64(r1)) != math.Float64bits(float64(a1)) ||
+			math.Float64bits(float64(r2)) != math.Float64bits(float64(a2)) {
+			t.Fatalf("trial %d (warm=%d n=%d p=%v): Advance averages %v/%v != Step averages %v/%v",
+				trial, warm, n, p, a1, a2, r1, r2)
+		}
+		if adv.primed != ref.primed || adv.gainPrimed != ref.gainPrimed {
+			t.Fatalf("trial %d: prime state diverges", trial)
+		}
+	}
+}
+
+// TestAdvanceZeroAndPrime covers the edge paths: non-positive n is a
+// no-op, and an unprimed Advance consumes one update priming the EMAs,
+// exactly as Step's prime path does.
+func TestAdvanceZeroAndPrime(t *testing.T) {
+	spec := arch.XeonGold6130()
+	l := NewLimiter(spec)
+	l.Advance(100*units.Watt, 1e-3, 0)
+	l.Advance(100*units.Watt, 1e-3, -3)
+	if l.primed {
+		t.Fatal("no-op Advance primed the limiter")
+	}
+	l.Advance(100*units.Watt, 1e-3, 1)
+	ref := NewLimiter(spec)
+	ref.Step(100*units.Watt, 1e-3, spec.MaxCoreFreq, spec.MaxCoreFreq)
+	r1, r2 := ref.Averages()
+	a1, a2 := l.Averages()
+	if a1 != r1 || a2 != r2 {
+		t.Fatalf("prime Advance averages %v/%v != prime Step %v/%v", a1, a2, r1, r2)
+	}
+}
+
+// TestSteadyCertificateSound fuzzes the certificate: whenever Steady says
+// every future Step is a hold, stepping any number of times at that
+// constant power must indeed return cur unchanged — and leave the
+// certificate still valid (the hull only shrinks).
+func TestSteadyCertificateSound(t *testing.T) {
+	spec := arch.XeonGold6130()
+	rng := rand.New(rand.NewSource(11))
+	certified := 0
+	for trial := 0; trial < 500; trial++ {
+		l := NewLimiter(spec)
+		l.SetLimits(msr.PkgPowerLimit{
+			PL1: msr.PowerLimit{Limit: units.Power(80 + rng.Float64()*60), Window: 1, Enabled: true},
+			PL2: msr.PowerLimit{Limit: units.Power(100 + rng.Float64()*60), Window: 0.01, Enabled: true},
+		})
+		// Random history, then a frozen operating point.
+		for i, k := 0, rng.Intn(50); i < k; i++ {
+			l.Step(units.Power(60+rng.Float64()*120), 1e-3, spec.MaxCoreFreq, spec.MaxCoreFreq)
+		}
+		p := units.Power(60 + rng.Float64()*120)
+		cur := spec.ClampCoreFreq(spec.MaxCoreFreq - units.Frequency(rng.Intn(8))*spec.CoreFreqStep)
+		req := spec.MaxCoreFreq
+		if !l.Steady(p, cur, req) {
+			continue
+		}
+		certified++
+		for i, n := 0, 1+rng.Intn(3000); i < n; i++ {
+			if got := l.Step(p, 1e-3, cur, req); got != cur {
+				t.Fatalf("trial %d: certified hold moved %v -> %v after %d steps (p=%v)", trial, cur, got, i+1, p)
+			}
+		}
+		if !l.Steady(p, cur, req) {
+			t.Fatalf("trial %d: certificate expired under its own trajectory", trial)
+		}
+	}
+	if certified == 0 {
+		t.Fatal("fuzz never certified a steady point; test is vacuous")
+	}
+}
+
+// TestSteadyDeclines pins the decline cases: an unprimed limiter, an
+// average trajectory that can cross a limit, and open raise headroom.
+func TestSteadyDeclines(t *testing.T) {
+	spec := arch.XeonGold6130()
+	l := NewLimiter(spec)
+	if l.Steady(100*units.Watt, spec.MaxCoreFreq, spec.MaxCoreFreq) {
+		t.Fatal("unprimed limiter certified")
+	}
+	l.SetLimits(msr.PkgPowerLimit{
+		PL1: msr.PowerLimit{Limit: 100 * units.Watt, Window: 1, Enabled: true},
+		PL2: msr.PowerLimit{Limit: 120 * units.Watt, Window: 0.01, Enabled: true},
+	})
+	l.Step(90*units.Watt, 1e-3, spec.MaxCoreFreq, spec.MaxCoreFreq)
+	// Power above PL1: the PL1 average will eventually cross the limit.
+	if l.Steady(110*units.Watt, spec.MaxCoreFreq, spec.MaxCoreFreq) {
+		t.Fatal("certified with power above PL1")
+	}
+	// Well under the hysteresis band with cur < request: a raise is
+	// coming, so a hold cannot be certified.
+	low := spec.ClampCoreFreq(spec.MaxCoreFreq - 3*spec.CoreFreqStep)
+	if l.Steady(60*units.Watt, low, spec.MaxCoreFreq) {
+		t.Fatal("certified a pending raise")
+	}
+	// Same point with request == cur: no raise possible, certifiable.
+	if !l.Steady(60*units.Watt, low, low) {
+		t.Fatal("declined a provable hold with request == cur")
+	}
+}

@@ -91,6 +91,13 @@ type Machine struct {
 	fast           []fastSock
 	fastTicksRun   int64
 	fastWindowsRun int64
+	// fastProgress is the global progress rate of the currently
+	// established window, stashed by establish for the window executors.
+	fastProgress float64
+	// skippedRoundsRun counts governor control rounds of the current run
+	// skipped under the steadiness contract (see internal/control),
+	// flushed to telemetry at the end of Run.
+	skippedRoundsRun int64
 }
 
 // New builds a machine and wires the architectural MSRs of every package.

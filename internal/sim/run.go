@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"time"
 
+	"dufp/internal/control"
 	"dufp/internal/obs"
 	"dufp/internal/obs/span"
+	"dufp/internal/papi"
 	"dufp/internal/units"
 )
 
@@ -32,6 +34,8 @@ var (
 		"sim_fast_ticks_total", "physics ticks advanced by the event-horizon macro-step").With()
 	simFastWindowsTotal = obs.Default().Counter(
 		"sim_fast_windows_total", "event-horizon macro-step windows executed").With()
+	simSkippedRoundsTotal = obs.Default().Counter(
+		"sim_skipped_rounds_total", "governor control rounds skipped under the steadiness contract").With()
 )
 
 // The former sim_ticks_per_second gauge is gone: a last-writer-wins gauge
@@ -176,6 +180,38 @@ func (m *Machine) stepPhysics(dt float64) {
 	}
 }
 
+// certify asks every governor's steadiness contract whether its next
+// decision round is a provable no-op under the established window's
+// frozen observables. The sample handed to each certifier is the exact
+// steady-state value its monitor would measure over a full control
+// period of the window — the per-tick rates establish committed — so a
+// certificate extends to every round the window pauses at: the skipped
+// rounds themselves change no observable the certificate depends on.
+func (m *Machine) certify(skippers []control.RoundSkipper, period time.Duration) bool {
+	for i, rs := range skippers {
+		if rs == nil {
+			continue
+		}
+		s := m.sockets[i]
+		f := &m.fast[i]
+		o := control.Observables{
+			Sample: papi.Sample{
+				Interval:  period,
+				FlopRate:  f.fr,
+				Bandwidth: f.bw,
+				PkgPower:  f.avgPower,
+				DramPower: f.dram,
+			},
+			CoreFreq:   s.coreFreq,
+			UncoreFreq: s.uncoreFreq,
+		}
+		if !rs.SteadyNoOp(o) {
+			return false
+		}
+	}
+	return true
+}
+
 // Run executes the loaded workload to completion.
 func (m *Machine) Run(opts RunOpts) (Result, error) {
 	if len(opts.Governors) != 0 && len(opts.Governors) != len(m.sockets) {
@@ -210,51 +246,111 @@ func (m *Machine) Run(opts RunOpts) (Result, error) {
 	maxTicks := int(m.cfg.MaxDuration / m.cfg.Tick)
 	m.clampTicks = 0
 	m.fastTicksRun, m.fastWindowsRun = 0, 0
+	m.skippedRoundsRun = 0
 	// The macro-step is only sound when no per-tick actor can perturb the
 	// window: power jitter draws from the RNG every tick, and ExactLoop is
 	// the explicit opt-out (fault plans, reference runs).
 	fastOK := !opts.ExactLoop && m.cfg.PowerJitterSD == 0
+
+	// Round skipping needs every governor to speak the steadiness
+	// contract, and no per-round side channel: a monitoring stall would
+	// perturb the physics of the skipped rounds, and a trace needs the
+	// real per-tick cadence anyway.
+	var skippers []control.RoundSkipper
+	skipOK := fastOK && ctrlTicks > 0 && opts.GovernorOverhead == 0 && opts.Trace == nil
+	if skipOK {
+		skippers = make([]control.RoundSkipper, len(opts.Governors))
+		for i, g := range opts.Governors {
+			if g == nil {
+				continue
+			}
+			rs, ok := g.(control.RoundSkipper)
+			if !ok {
+				skipOK = false
+				skippers = nil
+				break
+			}
+			skippers[i] = rs
+		}
+	}
+	roundPeriod := time.Duration(ctrlTicks) * m.cfg.Tick
+	// skippedSince counts certified rounds advanced past since the last
+	// real round, for the span record; onRound replays each governor's
+	// round-skip hook with the machine paused bit-identically at the
+	// round instant.
+	skippedSince := 0
+	onRound := func() error {
+		for i, rs := range skippers {
+			if rs == nil {
+				continue
+			}
+			if err := rs.SkipRound(m.now); err != nil {
+				return fmt.Errorf("sim: skipping round for socket %d at %v: %w", i, m.now, err)
+			}
+		}
+		skippedSince++
+		m.skippedRoundsRun++
+		return nil
+	}
+
 	wallStart := time.Now()
 	tick := 0
+	checkCancel := false
 	for ; !m.done(); tick++ {
 		if tick >= maxTicks {
 			return Result{}, fmt.Errorf("sim: run exceeded MaxDuration %v", m.cfg.MaxDuration)
 		}
-		if opts.Ctx != nil && tick%cancelTicks == 0 {
+		if opts.Ctx != nil && (checkCancel || tick%cancelTicks == 0) {
+			checkCancel = false
 			if err := opts.Ctx.Err(); err != nil {
 				return Result{}, err
 			}
 		}
 		stepped := false
-		if fastOK && m.stall == 0 {
+		if fastOK && m.stall == 0 && m.establish() {
 			// Event horizon: ticks until the next loop-level event. The
 			// window may end ON a governor or trace tick — both fire after
 			// that tick's physics, from state the macro-step fully
 			// materialises — but must stop short of the next cancellation
-			// check, which runs before its tick.
+			// check, which runs before its tick. A certified window is
+			// exempt from the governor and cancellation clamps: it pauses
+			// at every round instant itself, and the cancellation check
+			// runs as soon as it returns.
 			w := maxTicks - tick
-			if opts.Ctx != nil {
-				if d := cancelTicks - tick%cancelTicks; d < w {
-					w = d
+			roundEvery := 0
+			if skipOK && tick%ctrlTicks == 0 && m.certify(skippers, roundPeriod) {
+				roundEvery = ctrlTicks
+			} else {
+				if opts.Ctx != nil {
+					if d := cancelTicks - tick%cancelTicks; d < w {
+						w = d
+					}
+				}
+				if ctrlTicks > 0 {
+					if d := ctrlTicks - tick%ctrlTicks; d < w {
+						w = d
+					}
+				}
+				if opts.Trace != nil {
+					d := 1
+					if r := tick % traceEvery; r != 0 {
+						d = traceEvery - r + 1
+					}
+					if d < w {
+						w = d
+					}
 				}
 			}
-			if ctrlTicks > 0 {
-				if d := ctrlTicks - tick%ctrlTicks; d < w {
-					w = d
-				}
+			n, err := m.window(w, roundEvery, onRound)
+			if err != nil {
+				return Result{}, err
 			}
-			if opts.Trace != nil {
-				d := 1
-				if r := tick % traceEvery; r != 0 {
-					d = traceEvery - r + 1
-				}
-				if d < w {
-					w = d
-				}
-			}
-			if n := m.fastTicks(w); n > 0 {
+			if n > 0 {
 				tick += n - 1
 				stepped = true
+				if roundEvery > 0 {
+					checkCancel = true
+				}
 			}
 		}
 		if !stepped {
@@ -295,7 +391,11 @@ func (m *Machine) Run(opts RunOpts) (Result, error) {
 					OI:       oi,
 					CapW:     lim.PL1.Limit.Watts(),
 					UncoreHz: float64(s0.uncoreFreq),
+					Skipped:  skippedSince,
 				})
+			}
+			if ran {
+				skippedSince = 0
 			}
 		}
 		if opts.Trace != nil && tick%traceEvery == 0 {
@@ -316,11 +416,19 @@ func (m *Machine) Run(opts RunOpts) (Result, error) {
 		}
 	}
 
+	// Skips after the last real round have no Round record to ride on.
+	if opts.Spans != nil && skippedSince > 0 {
+		opts.Spans.AddSkippedRounds(skippedSince)
+	}
+
 	simRunsTotal.Inc()
 	simTicksTotal.Add(float64(tick))
 	simClampTicksTotal.Add(float64(m.clampTicks))
 	simFastTicksTotal.Add(float64(m.fastTicksRun))
 	simFastWindowsTotal.Add(float64(m.fastWindowsRun))
+	if m.skippedRoundsRun > 0 {
+		simSkippedRoundsTotal.Add(float64(m.skippedRoundsRun))
+	}
 	if wall := time.Since(wallStart).Seconds(); wall > 0 {
 		simWallSecondsTotal.Add(wall)
 	}

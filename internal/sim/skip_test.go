@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dufp/internal/control"
+	"dufp/internal/model"
+	"dufp/internal/obs/span"
+	"dufp/internal/units"
+)
+
+var _ control.RoundSkipper = (*steadyCapGov)(nil)
+
+// countingSkipGov wraps steadyCapGov with call accounting, to pin down
+// exactly which rounds ran for real and which were skipped.
+type countingSkipGov struct {
+	*steadyCapGov
+	ticks   []time.Duration
+	skips   []time.Duration
+	decline bool
+}
+
+func (g *countingSkipGov) Tick(now time.Duration) error {
+	g.ticks = append(g.ticks, now)
+	return g.steadyCapGov.Tick(now)
+}
+
+func (g *countingSkipGov) SteadyNoOp(o control.Observables) bool {
+	if g.decline {
+		return false
+	}
+	return g.steadyCapGov.SteadyNoOp(o)
+}
+
+func (g *countingSkipGov) SkipRound(now time.Duration) error {
+	g.skips = append(g.skips, now)
+	return nil
+}
+
+// TestRoundSkippingBitIdentical runs the same governed scenario with the
+// fast path free to skip certified rounds and with the pinned reference
+// loop, asserting bit-identical outcomes while rounds were actually
+// skipped.
+func TestRoundSkippingBitIdentical(t *testing.T) {
+	const d = 2 * time.Second
+	run := func(exact bool) (Result, []socketState, *Machine, *countingSkipGov) {
+		m := newMachine(t, steadyShape(d))
+		govs := make([]Governor, m.Sockets())
+		var g0 *countingSkipGov
+		for i := range govs {
+			g := &countingSkipGov{steadyCapGov: newSteadyCapGov(m, i, 110*units.Watt, 130*units.Watt)}
+			if i == 0 {
+				g0 = g
+			}
+			govs[i] = g
+		}
+		res, err := m.Run(RunOpts{
+			ControlPeriod: 200 * time.Millisecond,
+			Governors:     govs,
+			ExactLoop:     exact,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, snapshot(m), m, g0
+	}
+
+	resFast, stFast, mFast, gFast := run(false)
+	resExact, stExact, mExact, gExact := run(true)
+
+	if fmt.Sprintf("%+v", resFast) != fmt.Sprintf("%+v", resExact) {
+		t.Fatalf("results diverge:\nfast:  %+v\nexact: %+v", resFast, resExact)
+	}
+	for i := range stFast {
+		if stFast[i] != stExact[i] {
+			t.Fatalf("socket %d state diverges:\nfast:  %+v\nexact: %+v", i, stFast[i], stExact[i])
+		}
+	}
+	if mFast.SkippedRounds() == 0 {
+		t.Fatal("steady governed run skipped no rounds")
+	}
+	if mExact.SkippedRounds() != 0 {
+		t.Fatalf("exact run skipped %d rounds", mExact.SkippedRounds())
+	}
+	// Round 1 (200 ms) programs the cap for real; every later round is a
+	// certified no-op. Real ticks plus skips must cover the reference
+	// cadence exactly, in order.
+	var merged []time.Duration
+	merged = append(merged, gFast.ticks...)
+	merged = append(merged, gFast.skips...)
+	if len(merged) != len(gExact.ticks) {
+		t.Fatalf("fast rounds %d (%d real + %d skipped) != exact rounds %d",
+			len(merged), len(gFast.ticks), len(gFast.skips), len(gExact.ticks))
+	}
+	seen := make(map[time.Duration]bool, len(merged))
+	for _, ts := range merged {
+		seen[ts] = true
+	}
+	for _, want := range gExact.ticks {
+		if !seen[want] {
+			t.Fatalf("round at %v missing from fast run (real %v, skipped %v)",
+				want, gFast.ticks, gFast.skips)
+		}
+	}
+	if len(gFast.ticks) == 0 || gFast.ticks[0] != 200*time.Millisecond {
+		t.Fatalf("first round must run for real, got real rounds %v", gFast.ticks)
+	}
+}
+
+// TestRoundSkippingDeclined pins the default: a governor that does not
+// certify (or does not implement the contract) gets every round for
+// real.
+func TestRoundSkippingDeclined(t *testing.T) {
+	for _, mode := range []string{"declines", "no-contract"} {
+		m := newMachine(t, steadyShape(time.Second))
+		govs := make([]Governor, m.Sockets())
+		var rounds int
+		switch mode {
+		case "declines":
+			for i := range govs {
+				govs[i] = &countingSkipGov{
+					steadyCapGov: newSteadyCapGov(m, i, 110*units.Watt, 130*units.Watt),
+					decline:      true,
+				}
+			}
+		case "no-contract":
+			govs[0] = governorFunc(func(time.Duration) error { rounds++; return nil })
+		}
+		if _, err := m.Run(RunOpts{ControlPeriod: 200 * time.Millisecond, Governors: govs}); err != nil {
+			t.Fatal(err)
+		}
+		if m.SkippedRounds() != 0 {
+			t.Fatalf("%s: skipped %d rounds", mode, m.SkippedRounds())
+		}
+		if mode == "no-contract" && rounds != 4 {
+			t.Fatalf("no-contract governor ran %d rounds, want 4", rounds)
+		}
+		if mode == "declines" {
+			g := govs[0].(*countingSkipGov)
+			if len(g.ticks) != 4 || len(g.skips) != 0 {
+				t.Fatalf("declining governor: %d real, %d skipped, want 4/0", len(g.ticks), len(g.skips))
+			}
+		}
+	}
+}
+
+// TestRoundSkippingSpanAccounting verifies skipped rounds surface in the
+// span flight recorder: recorded rounds carry the skip counts and the
+// summary totals them.
+func TestRoundSkippingSpanAccounting(t *testing.T) {
+	m := newMachine(t, steadyShape(2*time.Second))
+	govs := make([]Governor, m.Sockets())
+	for i := range govs {
+		govs[i] = newSteadyCapGov(m, i, 110*units.Watt, 130*units.Watt)
+	}
+	tr := span.New("skip-test")
+	if _, err := m.Run(RunOpts{
+		ControlPeriod: 200 * time.Millisecond,
+		Governors:     govs,
+		Spans:         tr,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tr.Finish()
+	if m.SkippedRounds() == 0 {
+		t.Fatal("no rounds skipped")
+	}
+	var fromRounds int
+	for _, r := range tr.Rounds() {
+		fromRounds += r.Skipped
+	}
+	sum := tr.Summary()
+	if int64(sum.SkippedRounds) != m.SkippedRounds() {
+		t.Fatalf("span skip accounting: summary=%d machine=%d", sum.SkippedRounds, m.SkippedRounds())
+	}
+	if int64(fromRounds) > m.SkippedRounds() {
+		t.Fatalf("per-round skips %d exceed machine total %d", fromRounds, m.SkippedRounds())
+	}
+	// Real rounds + skipped rounds = the reference cadence (9 rounds on a
+	// 2 s run at 200 ms; the run ends on the 2 s boundary).
+	if got := int64(sum.Rounds) + m.SkippedRounds(); got != 9 {
+		t.Fatalf("rounds %d + skipped %d = %d, want 9", sum.Rounds, m.SkippedRounds(), got)
+	}
+}
+
+// TestRoundSkippingGovernorError propagates a SkipRound failure with the
+// round's simulation timestamp.
+func TestRoundSkippingGovernorError(t *testing.T) {
+	m := newMachine(t, steadyShape(time.Second))
+	govs := make([]Governor, m.Sockets())
+	for i := range govs {
+		govs[i] = &failingSkipGov{steadyCapGov: newSteadyCapGov(m, i, 110*units.Watt, 130*units.Watt)}
+	}
+	_, err := m.Run(RunOpts{ControlPeriod: 200 * time.Millisecond, Governors: govs})
+	if err == nil {
+		t.Fatal("SkipRound error swallowed")
+	}
+}
+
+type failingSkipGov struct {
+	*steadyCapGov
+}
+
+func (g *failingSkipGov) SkipRound(time.Duration) error { return errBoom }
+
+// TestRoundSkippingPhaseBreak: a multi-phase workload must still skip in
+// steady stretches while running the rounds around each phase boundary
+// for real — and stay bit-identical.
+func TestRoundSkippingPhaseBreak(t *testing.T) {
+	phases := []model.PhaseShape{
+		steadyShape(700 * time.Millisecond),
+		{
+			Name:         "hot",
+			FlopFrac:     0.6,
+			MemFrac:      0.15,
+			ComputeShare: 0.9,
+			Overlap:      0.3,
+			Duration:     700 * time.Millisecond,
+		},
+	}
+	run := func(exact bool) (Result, []socketState, *Machine) {
+		m := newMachine(t, phases...)
+		govs := make([]Governor, m.Sockets())
+		for i := range govs {
+			govs[i] = newSteadyCapGov(m, i, 115*units.Watt, 135*units.Watt)
+		}
+		res, err := m.Run(RunOpts{
+			ControlPeriod: 200 * time.Millisecond,
+			Governors:     govs,
+			ExactLoop:     exact,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, snapshot(m), m
+	}
+	resFast, stFast, mFast := run(false)
+	resExact, stExact, _ := run(true)
+	if fmt.Sprintf("%+v", resFast) != fmt.Sprintf("%+v", resExact) {
+		t.Fatalf("results diverge:\nfast:  %+v\nexact: %+v", resFast, resExact)
+	}
+	for i := range stFast {
+		if stFast[i] != stExact[i] {
+			t.Fatalf("socket %d state diverges", i)
+		}
+	}
+	if mFast.SkippedRounds() == 0 {
+		t.Fatal("no rounds skipped across steady stretches")
+	}
+}

@@ -7,8 +7,10 @@
 // produces it, and aggregates in O(1) memory per run — Reservoir,
 // Summarizer, WindowStats, CSVSink, JSONLSink, composed with Tee. The
 // slice model — Recorder accumulating full per-socket series — remains
-// for consumers that genuinely need every sample after the run, and its
-// slice accessors are deprecated in favour of the Points/All iterators.
+// for consumers that genuinely need every sample after the run; access
+// goes through the Points/All iterators (the slice accessors
+// Recorder.Socket and FromSeries served their one-release deprecation
+// window and are gone).
 package trace
 
 import (
@@ -78,34 +80,8 @@ func (r *Recorder) Hook() func(socket int, p sim.TracePoint) {
 // out-of-range sockets.
 func (r *Recorder) Dropped() int64 { return r.dropped.Load() }
 
-// FromSeries wraps already-recorded per-socket series in a Recorder; the
-// wire codec uses it to reconstruct a recorder from its serialized form.
-// The recorder takes ownership of the slices.
-//
-// Deprecated: raw [][]sim.TracePoint plumbing belongs to the slice era
-// of the results pipeline. New code should stream samples into a Sink
-// (Reservoir, Summarizer, …) instead of materialising full series and
-// wrapping them afterwards. The wire codec keeps using it internally;
-// the wrapper will be removed one release after its last public caller.
-func FromSeries(series [][]sim.TracePoint) *Recorder {
-	return &Recorder{series: series}
-}
-
 // Sockets returns the number of sockets the recorder was sized for.
 func (r *Recorder) Sockets() int { return len(r.series) }
-
-// Socket returns the recorded series of one socket.
-//
-// Deprecated: use Points for iteration — it does not leak the backing
-// slice and has a streaming-counterpart shape (Reservoir.Points), so
-// consumers written against it work on bounded views too. Socket remains
-// a thin wrapper for one release.
-func (r *Recorder) Socket(i int) []sim.TracePoint {
-	if i < 0 || i >= len(r.series) {
-		return nil
-	}
-	return r.series[i]
-}
 
 // Points returns an iterator over one socket's recorded series, in time
 // order.

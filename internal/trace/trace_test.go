@@ -2,6 +2,7 @@ package trace
 
 import (
 	"math"
+	"slices"
 	"strings"
 	"testing"
 	"time"
@@ -38,10 +39,10 @@ func TestRecorderCollects(t *testing.T) {
 	if r.Len() != 10 {
 		t.Fatalf("Len = %d, want 10", r.Len())
 	}
-	if got := len(r.Socket(3)); got != 10 {
+	if got := len(slices.Collect(r.Points(3))); got != 10 {
 		t.Fatalf("socket 3 has %d points", got)
 	}
-	if r.Socket(7) != nil || r.Socket(-1) != nil {
+	if slices.Collect(r.Points(7)) != nil || slices.Collect(r.Points(-1)) != nil {
 		t.Fatal("out-of-range socket returned points")
 	}
 	// Out-of-range hook calls are dropped, not panicking.

@@ -2,6 +2,7 @@ package dufp
 
 import (
 	"context"
+	"slices"
 
 	"dufp/internal/control"
 	"dufp/internal/fault"
@@ -236,7 +237,7 @@ func (s Session) Run(ctx context.Context, spec RunSpec, opts ...RunOption) (RunR
 		}
 	}
 	if o.timeline {
-		res.Timeline = timeline.Build(res.Events, p.rec.Socket(0))
+		res.Timeline = timeline.Build(res.Events, slices.Collect(p.rec.Points(0)))
 	}
 	if o.faultStats {
 		res.FaultStats = p.faults

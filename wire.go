@@ -34,7 +34,6 @@ import (
 	"time"
 
 	"dufp/internal/control"
-	"dufp/internal/sim"
 	"dufp/internal/trace"
 	"dufp/internal/units"
 )
@@ -581,14 +580,16 @@ func (r *RunResult) UnmarshalJSON(b []byte) error {
 		out.Events = append(out.Events, e)
 	}
 	if in.Trace != nil {
-		series := make([][]sim.TracePoint, len(in.Trace))
+		rec := trace.NewRecorder(len(in.Trace))
+		if len(in.Trace) > 0 {
+			rec.Reserve(len(in.Trace[0]))
+		}
 		for i, sj := range in.Trace {
-			series[i] = make([]sim.TracePoint, len(sj))
-			for j, pj := range sj {
-				series[i][j] = pointFromJSON(pj)
+			for _, pj := range sj {
+				rec.Consume(i, pointFromJSON(pj))
 			}
 		}
-		out.Trace = trace.FromSeries(series)
+		out.Trace = rec
 	}
 	if in.Timeline != nil {
 		out.Timeline = *in.Timeline

@@ -3,6 +3,7 @@ package dufp_test
 import (
 	"context"
 	"encoding/json"
+	"slices"
 	"strings"
 	"testing"
 	"time"
@@ -141,7 +142,7 @@ func TestRunResultRoundTrip(t *testing.T) {
 		t.Fatal("trace lost over the wire")
 	}
 	for s := 0; s < res.Trace.Sockets(); s++ {
-		a, b := res.Trace.Socket(s), back.Trace.Socket(s)
+		a, b := slices.Collect(res.Trace.Points(s)), slices.Collect(back.Trace.Points(s))
 		if len(a) != len(b) {
 			t.Fatalf("socket %d: %d points -> %d", s, len(a), len(b))
 		}
