@@ -63,9 +63,13 @@ bench:
 
 # bench-api drives the Run API end to end: a private daemon warmed with
 # a Fig-3 grid, then concurrent HTTP clients over a submit/poll mix;
-# throughput and per-route latency percentiles land in BENCH_api.json.
+# throughput, per-route latency percentiles, dispatch width and the
+# queue-depth high-water mark land in BENCH_api.json. The queue-wait
+# budget GATES the warm campaign's span-derived queue wait: a p99 past
+# 600ms (~3x the measured figure at 32 clients) means queued jobs are
+# starving behind dispatch and fails the build.
 bench-api:
-	$(GO) run ./cmd/dufpbench -loadgen 32 -apps CG -runs 2 -loadgen-duration 3s -loadgen-out BENCH_api.json
+	$(GO) run ./cmd/dufpbench -loadgen 32 -apps CG -runs 2 -loadgen-duration 3s -loadgen-queue-wait-budget 600ms -loadgen-out BENCH_api.json
 
 # bench-mem measures the streaming pipeline's memory trajectory — the
 # live heap retained by a fully streamed traced run at 1×/10×/100× the
@@ -89,16 +93,18 @@ bench-smoke:
 	$(GO) test -run xxx -bench 'StepPhysics|RunUngoverned|RunGoverned' -benchtime 0.2s -benchmem ./internal/sim/
 	$(GO) run ./cmd/simbench -short -out BENCH_sim.json -compare reports/bench_baseline.json
 
-# bench-scaling exercises the concurrency surface: the sharded
-# scheduler's per-Submit overhead across -cpu values against the
-# single-mutex (shards=1) baseline, then the full simbench report, whose
-# fig3_grid_wall_seconds_p{1,2,4,8} and exec_submit_ns_distinct_p{1,4,16}
-# fields record the scaling trajectory. Meaningful numbers need a
-# multi-core host: on one core the mutex is never contended and the
-# shard layouts converge.
+# bench-scaling exercises the concurrency surface and GATES it: the
+# sharded scheduler's per-Submit overhead across -cpu values, then the
+# 1000-distinct-run fleet grid at 1/4/8/16 workers merged into
+# BENCH_sim.json. On a host with >= 8 CPUs a fleet_grid_speedup_p8
+# below 2.5x fails the build (on smaller hosts the floor is skipped —
+# the measurement is hardware-bound — and the report records bench_cpus
+# so the skip is auditable). The warm fleet replay wall is bounded
+# against the committed baseline's headroom on any host: cache reads do
+# not need cores.
 bench-scaling:
 	$(GO) test -run xxx -bench 'SubmitDistinct|SubmitCached|SubmitAll' -cpu 1,4,16 -benchmem ./internal/exec/
-	$(GO) run ./cmd/simbench -out BENCH_sim.json -compare reports/bench_baseline.json
+	$(GO) run ./cmd/simbench -fleet-grid -out BENCH_sim.json -gate-scaling reports/bench_baseline.json
 
 cover:
 	$(GO) test -coverprofile=cover.out $(COVER_PKGS)

@@ -39,6 +39,15 @@ type loadgenResult struct {
 	TracedRuns int          `json:"traced_runs"`
 	QueueWait  latencyStats `json:"span_queue_wait"`
 	Service    latencyStats `json:"span_service"`
+	// DispatchWidth is the daemon's dispatcher count for the measured
+	// configuration and QueueDepthMax the deepest api_queue_depth
+	// observed during the measurement window — together they say whether
+	// latency came from a queue the dispatchers could not drain.
+	DispatchWidth int `json:"dispatch_width"`
+	QueueDepthMax int `json:"queue_depth_max"`
+	// QueueWaitBudgetMs echoes the -loadgen-queue-wait-budget gate the
+	// invocation ran under (0: report-only).
+	QueueWaitBudgetMs float64 `json:"queue_wait_budget_ms,omitempty"`
 }
 
 type latencyStats struct {
@@ -73,7 +82,11 @@ func statsOf(lat []time.Duration) latencyStats {
 // hammers it with n concurrent HTTP clients alternating run
 // submissions (all warm-cache hits), run lookups and campaign lookups,
 // and writes throughput and latency percentiles to out.
-func runLoadgen(ctx context.Context, opts experiment.Options, n int, dur time.Duration, out string) error {
+// A positive queueWaitBudget turns the report's span_queue_wait p99 into
+// a gate: the invocation fails when queued jobs waited longer than the
+// budget, which is how BENCH_api.json catches dispatch-width regressions
+// that raw request latency hides behind cache hits.
+func runLoadgen(ctx context.Context, opts experiment.Options, n int, dur time.Duration, queueWaitBudget time.Duration, out string) error {
 	if n < 1 {
 		return fmt.Errorf("loadgen: need at least 1 client, got %d", n)
 	}
@@ -143,6 +156,24 @@ func runLoadgen(ctx context.Context, opts experiment.Options, n int, dur time.Du
 	}
 	samples := make([][]sample, n)
 	deadline := time.Now().Add(dur)
+
+	// Sample the queue gauge through the measurement window; the maximum
+	// is the report's queue_depth_max. Warm-campaign submissions also go
+	// through the queue, so sampling starts only now.
+	depthDone := make(chan struct{})
+	var depthMax int
+	go func() {
+		defer close(depthDone)
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for time.Now().Before(deadline) && ctx.Err() == nil {
+			<-tick.C
+			if d := daemon.Health().QueueDepth; d > depthMax {
+				depthMax = d
+			}
+		}
+	}()
+
 	var wg sync.WaitGroup
 	for w := 0; w < n; w++ {
 		wg.Add(1)
@@ -173,16 +204,20 @@ func runLoadgen(ctx context.Context, opts experiment.Options, n int, dur time.Du
 		}(w)
 	}
 	wg.Wait()
+	<-depthDone
 	if ctx.Err() != nil {
 		return ctx.Err()
 	}
 
 	byKind := map[string][]time.Duration{}
 	res := loadgenResult{
-		Clients:   n,
-		DurationS: dur.Seconds(),
-		WarmupS:   warmup.Seconds(),
-		GridRuns:  final.Total,
+		Clients:           n,
+		DurationS:         dur.Seconds(),
+		WarmupS:           warmup.Seconds(),
+		GridRuns:          final.Total,
+		DispatchWidth:     daemon.Workers(),
+		QueueDepthMax:     depthMax,
+		QueueWaitBudgetMs: float64(queueWaitBudget) / float64(time.Millisecond),
 	}
 	for _, batch := range samples {
 		for _, s := range batch {
@@ -226,10 +261,14 @@ func runLoadgen(ctx context.Context, opts experiment.Options, n int, dur time.Du
 	}
 	fmt.Fprintf(os.Stderr, "loadgen: %d requests (%d errors), %.0f req/s; POST /v1/runs p50=%.2fms p99=%.2fms → %s\n",
 		res.Requests, res.Errors, res.Throughput, res.SubmitRun.P50ms, res.SubmitRun.P99ms, out)
-	fmt.Fprintf(os.Stderr, "loadgen: %d traced runs: queue wait p50=%.2fms p99=%.2fms, service p50=%.2fms p99=%.2fms\n",
-		res.TracedRuns, res.QueueWait.P50ms, res.QueueWait.P99ms, res.Service.P50ms, res.Service.P99ms)
+	fmt.Fprintf(os.Stderr, "loadgen: %d traced runs: queue wait p50=%.2fms p99=%.2fms, service p50=%.2fms p99=%.2fms (dispatchers: %d, queue depth max: %d)\n",
+		res.TracedRuns, res.QueueWait.P50ms, res.QueueWait.P99ms, res.Service.P50ms, res.Service.P99ms, res.DispatchWidth, res.QueueDepthMax)
 	if res.Errors > 0 {
 		return fmt.Errorf("loadgen: %d/%d requests failed", res.Errors, res.Requests)
+	}
+	if budgetMs := res.QueueWaitBudgetMs; budgetMs > 0 && res.QueueWait.P99ms > budgetMs {
+		return fmt.Errorf("loadgen: queue wait p99 %.2fms exceeds budget %.0fms (service p99 %.2fms, dispatchers %d) — queued jobs are starving behind dispatch",
+			res.QueueWait.P99ms, budgetMs, res.Service.P99ms, res.DispatchWidth)
 	}
 	return nil
 }

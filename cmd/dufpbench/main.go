@@ -63,6 +63,7 @@ func benchMain() int {
 		loadgen  = flag.Int("loadgen", 0, "benchmark the Run API with this many concurrent clients against an in-process daemon (0: off)")
 		loadDur  = flag.Duration("loadgen-duration", 3*time.Second, "measurement window of the -loadgen benchmark")
 		loadOut  = flag.String("loadgen-out", "BENCH_api.json", "file the -loadgen results are written to")
+		loadWait = flag.Duration("loadgen-queue-wait-budget", 0, "fail the -loadgen benchmark when the daemon's span_queue_wait p99 exceeds this budget (0: report-only)")
 		faults   = flag.Bool("faults", false, "run the fault-injection robustness grid (guarded DUFP under each fault level) instead of a figure")
 		cacheDir = flag.String("cache-dir", os.Getenv("DUFP_CACHE_DIR"), "persist completed runs under this directory and reuse them across invocations (default: $DUFP_CACHE_DIR)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
@@ -165,7 +166,7 @@ func benchMain() int {
 
 	err := func() error {
 		if *loadgen > 0 {
-			return runLoadgen(ctx, opts, *loadgen, *loadDur, *loadOut)
+			return runLoadgen(ctx, opts, *loadgen, *loadDur, *loadWait, *loadOut)
 		}
 		if *faults {
 			return runFaults(opts, *md)

@@ -76,6 +76,9 @@ func daemonMain() int {
 
 	session := dufp.NewSession()
 	session.Seed = *seed
+	// -parallel bounds both layers: the executor's concurrent simulations
+	// and (via api.Config.Workers' 2× default) the dispatchers draining
+	// the queue, so widening one widens the whole path.
 	daemon, err := api.New(api.Config{
 		Session:           session,
 		Executor:          executor,
@@ -101,8 +104,8 @@ func daemonMain() int {
 	srv := &http.Server{Handler: daemon.FullHandler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
-	logger.Printf("serving Run API on %s (data: %s, cache: %s, queue: %d)",
-		ln.Addr(), *dataDir, *cacheDir, *queue)
+	logger.Printf("serving Run API on %s (data: %s, cache: %s, queue: %d, simulations: %d, dispatchers: %d)",
+		ln.Addr(), *dataDir, *cacheDir, *queue, executor.Workers(), daemon.Workers())
 
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)

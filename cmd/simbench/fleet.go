@@ -1,0 +1,112 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"dufp"
+)
+
+// The fleet grid is the multicore scaling benchmark: fleetGridRuns
+// distinct (application, governor) cells — no two share a content
+// address, so the executor can neither coalesce nor memoise and every
+// cell walks the full install → simulate → settle path. That is the
+// shape of a datacenter campaign (FastCap-style cap allocation sweeps,
+// governor tournaments) and exactly the workload on which the Fig-3
+// grid's 36 cells were too few and too cached to show whether N workers
+// buy N× throughput.
+const (
+	fleetGridRuns      = 1000
+	fleetGridRunsShort = 100
+)
+
+// fleetRequests builds n distinct one-run summary requests. Intensity
+// class and duration both cycle so the fleet mixes compute-, memory- and
+// balanced-bound cells of slightly different lengths — distinct
+// fingerprints with realistic, uneven per-cell cost.
+func fleetRequests(n int) ([]dufp.SummaryRequest, error) {
+	classes := []string{"compute", "memory", "balanced"}
+	gov := dufp.DUFP(dufp.DefaultControlConfig(0.10))
+	reqs := make([]dufp.SummaryRequest, n)
+	for i := range reqs {
+		app, err := dufp.SteadyApp(dufp.SteadyConfig{
+			Name:     fmt.Sprintf("fleet-%04d", i),
+			OIClass:  classes[i%len(classes)],
+			Duration: time.Second + time.Duration(i%20)*10*time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		reqs[i] = dufp.SummaryRequest{App: app, Governor: gov}
+	}
+	return reqs, nil
+}
+
+// fleetWall times the n-cell fleet campaign as one SubmitAll batch on a
+// fresh executor bounded to the given worker count. Extra options attach
+// the disk cache for the warm-replay measurement.
+func fleetWall(n, workers int, eopts ...dufp.ExecutorOption) (float64, error) {
+	reqs, err := fleetRequests(n)
+	if err != nil {
+		return 0, err
+	}
+	executor := dufp.NewExecutor(append([]dufp.ExecutorOption{dufp.ExecWorkers(workers)}, eopts...)...)
+	defer executor.Close()
+	if w := executor.DiskWarning(); w != "" {
+		return 0, fmt.Errorf("fleetWall: %s", w)
+	}
+	session := dufp.NewSession(dufp.WithExecutor(executor))
+	start := time.Now()
+	for _, o := range session.SummarizeAll(context.Background(), reqs, 1) {
+		if o.Err != nil {
+			return 0, o.Err
+		}
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+// measureFleetInto fills the fleet-grid fields of the report: cold wall
+// at 1, 4, 8 and 16 workers, the p1/p8 speedup, and a warm disk-cache
+// replay of the same fleet. bench_cpus records how many CPUs the walls
+// were measured on — on hosts with fewer cores than workers the speedup
+// is bounded by the hardware, which is the consumer's context for every
+// scaling field (see gate_scaling.go).
+func measureFleetInto(rep *report, short bool) error {
+	n := fleetGridRuns
+	if short {
+		n = fleetGridRunsShort
+	}
+	rep.BenchCPUs = runtime.NumCPU()
+	rep.FleetGridRuns = n
+	for _, c := range []struct {
+		workers int
+		dst     *float64
+	}{
+		{1, &rep.FleetGridWallSecondsP1},
+		{4, &rep.FleetGridWallSecondsP4},
+		{8, &rep.FleetGridWallSecondsP8},
+		{16, &rep.FleetGridWallSecondsP16},
+	} {
+		var err error
+		if *c.dst, err = fleetWall(n, c.workers); err != nil {
+			return err
+		}
+	}
+	if rep.FleetGridWallSecondsP8 > 0 {
+		rep.FleetGridSpeedupP8 = rep.FleetGridWallSecondsP1 / rep.FleetGridWallSecondsP8
+	}
+
+	dir, err := os.MkdirTemp("", "dufp-simbench-fleet-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	if _, err := fleetWall(n, 8, dufp.ExecDiskCache(dir)); err != nil {
+		return err
+	}
+	rep.FleetGridWallWarmSeconds, err = fleetWall(n, 8, dufp.ExecDiskCache(dir))
+	return err
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Scaling-gate thresholds.
+const (
+	// minFleetSpeedupP8 is the floor on fleet_grid_speedup_p8: with 8
+	// workers on >= 8 CPUs, a fleet of distinct runs must go at least
+	// this much faster than single-worker execution. 2.5× is deliberately
+	// below the >= 4× the engine achieves on an unloaded 8-core host, so
+	// CI noise and neighbourly interference do not flake the gate.
+	minFleetSpeedupP8 = 2.5
+	// minGateCPUs is the core count below which the speedup floor cannot
+	// be enforced honestly: workers time-slice the missing cores and the
+	// measured "speedup" reflects the host, not the engine. The warm-
+	// replay bound still applies — cache reads don't need cores.
+	minGateCPUs = 8
+	// warmFleetHeadroom is the tolerated multiplicative regression of
+	// fleet_grid_wall_warm_seconds against the committed baseline.
+	warmFleetHeadroom = 1.5
+)
+
+// gateScalingAgainst enforces the fleet-grid scaling trajectory: the
+// p1/p8 speedup floor (only on hosts with enough CPUs to make the
+// measurement meaningful — the skip is printed, never silent) and the
+// warm disk-cache fleet replay against the committed baseline.
+func gateScalingAgainst(baselinePath string, cur report) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return err
+	}
+
+	if cur.FleetGridWallSecondsP1 == 0 || cur.FleetGridWallSecondsP8 == 0 {
+		return fmt.Errorf("report has no fleet-grid measurement (run with -fleet-grid or a full measure)")
+	}
+
+	if cur.BenchCPUs >= minGateCPUs {
+		if cur.FleetGridSpeedupP8 < minFleetSpeedupP8 {
+			return fmt.Errorf("fleet_grid_speedup_p8 = %.2fx < %.1fx floor on a %d-CPU host (p1 %.2fs, p8 %.2fs over %d runs)",
+				cur.FleetGridSpeedupP8, minFleetSpeedupP8, cur.BenchCPUs,
+				cur.FleetGridWallSecondsP1, cur.FleetGridWallSecondsP8, cur.FleetGridRuns)
+		}
+		fmt.Printf("scaling gate ok: fleet_grid_speedup_p8 %.2fx (floor %.1fx, %d CPUs, %d runs)\n",
+			cur.FleetGridSpeedupP8, minFleetSpeedupP8, cur.BenchCPUs, cur.FleetGridRuns)
+	} else {
+		fmt.Printf("scaling gate: speedup floor SKIPPED — host has %d CPUs (< %d); measured %.2fx is hardware-bound, not engine-bound\n",
+			cur.BenchCPUs, minGateCPUs, cur.FleetGridSpeedupP8)
+	}
+
+	if base.FleetGridWallWarmSeconds > 0 && cur.FleetGridRuns == base.FleetGridRuns {
+		if limit := base.FleetGridWallWarmSeconds * warmFleetHeadroom; cur.FleetGridWallWarmSeconds > limit {
+			return fmt.Errorf("warm fleet replay regressed: %.3fs > %.3fs (baseline %.3fs x %.1f headroom)",
+				cur.FleetGridWallWarmSeconds, limit, base.FleetGridWallWarmSeconds, warmFleetHeadroom)
+		}
+		fmt.Printf("scaling gate ok: warm fleet replay %.3fs (baseline %.3fs, headroom %.1fx)\n",
+			cur.FleetGridWallWarmSeconds, base.FleetGridWallWarmSeconds, warmFleetHeadroom)
+	} else if base.FleetGridWallWarmSeconds > 0 {
+		fmt.Printf("scaling gate: warm replay bound SKIPPED — fleet size %d differs from baseline %d\n",
+			cur.FleetGridRuns, base.FleetGridRuns)
+	}
+	return nil
+}

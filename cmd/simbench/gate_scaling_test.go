@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, rep report) string {
+	t.Helper()
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func fleetReport(cpus int, speedup, warm float64) report {
+	return report{
+		BenchCPUs:                cpus,
+		FleetGridRuns:            1000,
+		FleetGridWallSecondsP1:   8.0,
+		FleetGridWallSecondsP8:   8.0 / speedup,
+		FleetGridSpeedupP8:       speedup,
+		FleetGridWallWarmSeconds: warm,
+	}
+}
+
+func TestScalingGateEnforcesSpeedupFloor(t *testing.T) {
+	base := writeBaseline(t, fleetReport(8, 4.0, 0.5))
+
+	// Enough CPUs, speedup below floor: must fail.
+	err := gateScalingAgainst(base, fleetReport(8, 1.1, 0.5))
+	if err == nil || !strings.Contains(err.Error(), "fleet_grid_speedup_p8") {
+		t.Fatalf("gate accepted a 1.1x speedup on an 8-CPU host: %v", err)
+	}
+
+	// Enough CPUs, healthy speedup: must pass.
+	if err := gateScalingAgainst(base, fleetReport(8, 3.9, 0.5)); err != nil {
+		t.Fatalf("gate rejected a 3.9x speedup: %v", err)
+	}
+
+	// Too few CPUs: the floor is skipped — the measurement is hardware-
+	// bound — but the gate still runs the warm-replay bound.
+	if err := gateScalingAgainst(base, fleetReport(1, 1.0, 0.5)); err != nil {
+		t.Fatalf("gate enforced the floor on a 1-CPU host: %v", err)
+	}
+}
+
+func TestScalingGateEnforcesWarmReplay(t *testing.T) {
+	base := writeBaseline(t, fleetReport(8, 4.0, 0.5))
+
+	// Warm replay within headroom: pass.
+	if err := gateScalingAgainst(base, fleetReport(1, 1.0, 0.74)); err != nil {
+		t.Fatalf("gate rejected warm replay within headroom: %v", err)
+	}
+	// Past headroom: fail, on any host — cache reads do not need cores.
+	err := gateScalingAgainst(base, fleetReport(1, 1.0, 0.76))
+	if err == nil || !strings.Contains(err.Error(), "warm fleet replay") {
+		t.Fatalf("gate accepted a warm replay past headroom: %v", err)
+	}
+
+	// Different fleet size than baseline: the bound is skipped loudly
+	// rather than comparing incomparable walls.
+	cur := fleetReport(1, 1.0, 99.0)
+	cur.FleetGridRuns = 100
+	if err := gateScalingAgainst(base, cur); err != nil {
+		t.Fatalf("gate compared warm walls across fleet sizes: %v", err)
+	}
+}
+
+func TestScalingGateNeedsFleetMeasurement(t *testing.T) {
+	base := writeBaseline(t, fleetReport(8, 4.0, 0.5))
+	if err := gateScalingAgainst(base, report{BenchCPUs: 8}); err == nil {
+		t.Fatal("gate passed a report with no fleet-grid measurement")
+	}
+}

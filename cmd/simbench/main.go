@@ -3,16 +3,20 @@
 // simulated second on the fast and reference loops, allocations per
 // tick, the wall time of the full Fig-3 experiment grid (plus its
 // scaling across 1–8 executor workers and its warm disk-cache rerun),
-// and the sharded scheduler's per-Submit overhead under 1, 4 and 16
-// concurrent goroutines against the single-mutex layout. CI runs it
-// at short iteration counts and compares against the committed baseline
-// (report-only); locally, `make bench` refreshes the numbers.
+// the sharded scheduler's per-Submit overhead under 1, 4 and 16
+// concurrent goroutines, and the fleet grid — a campaign of distinct
+// governed runs timed at 1/4/8/16 workers, the repo's multicore scaling
+// trajectory (fleet.go). CI runs it at short iteration counts, compares
+// against the committed baseline (report-only) and enforces the scaling
+// gate; locally, `make bench` refreshes the numbers.
 //
 // Usage:
 //
 //	simbench -out BENCH_sim.json            # full measurement
 //	simbench -short -out BENCH_sim.json     # CI smoke (reduced grid)
 //	simbench -out new.json -compare reports/bench_baseline.json
+//	simbench -fleet-grid -out BENCH_sim.json                   # refresh scaling fields only
+//	simbench -fleet-grid -gate-scaling reports/bench_baseline.json
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -42,7 +47,11 @@ import (
 // report is the BENCH_sim.json schema. Lower is better everywhere except
 // the *_speedup_* fields.
 type report struct {
-	GoVersion                     string  `json:"go_version"`
+	GoVersion string `json:"go_version"`
+	// BenchCPUs is runtime.NumCPU() on the measuring host. Every scaling
+	// field below is only meaningful relative to it: 8 workers on 1 CPU
+	// time-slice one core and lawfully show ~1× speedup.
+	BenchCPUs                     int     `json:"bench_cpus"`
 	StepPhysicsNsPerTick          float64 `json:"step_physics_ns_per_tick"`
 	RunUngovernedNsPerSimsec      float64 `json:"run_ungoverned_ns_per_simsec"`
 	RunUngovernedExactNsPerSimsec float64 `json:"run_ungoverned_exact_ns_per_simsec"`
@@ -55,14 +64,15 @@ type report struct {
 
 	// Scheduler overhead: wall nanoseconds per Submit of an
 	// always-distinct key (install, execute a trivial runner, settle)
-	// from 1, 4 and 16 concurrent goroutines on the sharded executor,
-	// plus the 16-goroutine figure with a single shard — the old
-	// one-big-mutex layout — and the resulting speedup.
-	ExecSubmitNsDistinctP1          float64 `json:"exec_submit_ns_distinct_p1"`
-	ExecSubmitNsDistinctP4          float64 `json:"exec_submit_ns_distinct_p4"`
-	ExecSubmitNsDistinctP16         float64 `json:"exec_submit_ns_distinct_p16"`
-	ExecSubmitNsDistinctP16OneShard float64 `json:"exec_submit_ns_distinct_p16_one_shard"`
-	ExecShardSpeedupP16             float64 `json:"exec_shard_speedup_p16"`
+	// from 1, 4 and 16 concurrent goroutines on the sharded executor.
+	// The old exec_submit_ns_distinct_p16_one_shard /
+	// exec_shard_speedup_p16 pair is retired: on a single-CPU host the
+	// goroutines never contended, so the "speedup" it reported (1.0008)
+	// measured the scheduler, not the sharding. The fleet grid below is
+	// the metric that actually exercises shards under load.
+	ExecSubmitNsDistinctP1  float64 `json:"exec_submit_ns_distinct_p1"`
+	ExecSubmitNsDistinctP4  float64 `json:"exec_submit_ns_distinct_p4"`
+	ExecSubmitNsDistinctP16 float64 `json:"exec_submit_ns_distinct_p16"`
 
 	// Grid scaling: the Fig-3 campaign wall time with the executor
 	// bounded to 1, 2, 4 and 8 workers, and the warm rerun of the same
@@ -72,6 +82,20 @@ type report struct {
 	Fig3GridWallSecondsP4   float64 `json:"fig3_grid_wall_seconds_p4"`
 	Fig3GridWallSecondsP8   float64 `json:"fig3_grid_wall_seconds_p8"`
 	Fig3GridWallWarmSeconds float64 `json:"fig3_grid_wall_warm_seconds"`
+
+	// Fleet grid (bench-scaling): wall time of a campaign of
+	// fleet_grid_runs all-distinct governed cells — nothing coalesces,
+	// nothing memoises — submitted as one batch at 1, 4, 8 and 16
+	// workers, the p1/p8 speedup, and a warm replay of the same fleet
+	// against a populated disk cache. Gated by -gate-scaling. See
+	// fleet.go.
+	FleetGridRuns            int     `json:"fleet_grid_runs,omitempty"`
+	FleetGridWallSecondsP1   float64 `json:"fleet_grid_wall_seconds_p1,omitempty"`
+	FleetGridWallSecondsP4   float64 `json:"fleet_grid_wall_seconds_p4,omitempty"`
+	FleetGridWallSecondsP8   float64 `json:"fleet_grid_wall_seconds_p8,omitempty"`
+	FleetGridWallSecondsP16  float64 `json:"fleet_grid_wall_seconds_p16,omitempty"`
+	FleetGridSpeedupP8       float64 `json:"fleet_grid_speedup_p8,omitempty"`
+	FleetGridWallWarmSeconds float64 `json:"fleet_grid_wall_warm_seconds,omitempty"`
 
 	// Disk-cache codec trajectory (bench-cache): cold-write and warm-read
 	// throughput of the binary v3 segment format over a synthetic
@@ -353,14 +377,10 @@ func measure(short bool, cacheDir string) (report, error) {
 		{1, 0, &rep.ExecSubmitNsDistinctP1},
 		{4, 0, &rep.ExecSubmitNsDistinctP4},
 		{16, 0, &rep.ExecSubmitNsDistinctP16},
-		{16, 1, &rep.ExecSubmitNsDistinctP16OneShard},
 	} {
 		if *c.dst, err = execSubmitDistinctNs(c.procs, c.shards, perG); err != nil {
 			return rep, err
 		}
-	}
-	if rep.ExecSubmitNsDistinctP16 > 0 {
-		rep.ExecShardSpeedupP16 = rep.ExecSubmitNsDistinctP16OneShard / rep.ExecSubmitNsDistinctP16
 	}
 
 	for _, c := range []struct {
@@ -377,6 +397,9 @@ func measure(short bool, cacheDir string) (report, error) {
 		}
 	}
 	if rep.Fig3GridWallWarmSeconds, err = gridWallWarm(short); err != nil {
+		return rep, err
+	}
+	if err = measureFleetInto(&rep, short); err != nil {
 		return rep, err
 	}
 	if err = measureCacheInto(&rep, short); err != nil {
@@ -403,49 +426,74 @@ func compare(baselinePath string, cur report) error {
 		name     string
 		old, new float64
 		downGood bool
+		scaling  bool // part of the multicore scaling trajectory
 	}
 	rows := []row{
-		{"step_physics_ns_per_tick", base.StepPhysicsNsPerTick, cur.StepPhysicsNsPerTick, true},
-		{"run_ungoverned_ns_per_simsec", base.RunUngovernedNsPerSimsec, cur.RunUngovernedNsPerSimsec, true},
-		{"run_ungoverned_exact_ns_per_simsec", base.RunUngovernedExactNsPerSimsec, cur.RunUngovernedExactNsPerSimsec, true},
-		{"run_governed_ns_per_simsec", base.RunGovernedNsPerSimsec, cur.RunGovernedNsPerSimsec, true},
-		{"run_governed_spans_ns_per_simsec", base.RunGovernedSpansNsPerSimsec, cur.RunGovernedSpansNsPerSimsec, true},
-		{"span_overhead_pct", base.SpanOverheadPct, cur.SpanOverheadPct, true},
-		{"allocs_per_tick", base.AllocsPerTick, cur.AllocsPerTick, true},
-		{"fig3_grid_wall_seconds", base.Fig3GridWallSeconds, cur.Fig3GridWallSeconds, true},
-		{"fast_speedup_vs_exact", base.FastSpeedupVsExact, cur.FastSpeedupVsExact, false},
-		{"exec_submit_ns_distinct_p1", base.ExecSubmitNsDistinctP1, cur.ExecSubmitNsDistinctP1, true},
-		{"exec_submit_ns_distinct_p4", base.ExecSubmitNsDistinctP4, cur.ExecSubmitNsDistinctP4, true},
-		{"exec_submit_ns_distinct_p16", base.ExecSubmitNsDistinctP16, cur.ExecSubmitNsDistinctP16, true},
-		{"exec_submit_ns_distinct_p16_one_shard", base.ExecSubmitNsDistinctP16OneShard, cur.ExecSubmitNsDistinctP16OneShard, true},
-		{"exec_shard_speedup_p16", base.ExecShardSpeedupP16, cur.ExecShardSpeedupP16, false},
-		{"fig3_grid_wall_seconds_p1", base.Fig3GridWallSecondsP1, cur.Fig3GridWallSecondsP1, true},
-		{"fig3_grid_wall_seconds_p2", base.Fig3GridWallSecondsP2, cur.Fig3GridWallSecondsP2, true},
-		{"fig3_grid_wall_seconds_p4", base.Fig3GridWallSecondsP4, cur.Fig3GridWallSecondsP4, true},
-		{"fig3_grid_wall_seconds_p8", base.Fig3GridWallSecondsP8, cur.Fig3GridWallSecondsP8, true},
-		{"fig3_grid_wall_warm_seconds", base.Fig3GridWallWarmSeconds, cur.Fig3GridWallWarmSeconds, true},
-		{"disk_cache_write_runs_per_s", base.DiskCacheWriteRunsPerS, cur.DiskCacheWriteRunsPerS, false},
-		{"disk_cache_read_runs_per_s", base.DiskCacheReadRunsPerS, cur.DiskCacheReadRunsPerS, false},
-		{"disk_cache_read_mb_per_s", base.DiskCacheReadMBPerS, cur.DiskCacheReadMBPerS, false},
-		{"disk_cache_jsonl_read_runs_per_s", base.DiskCacheJSONLReadRunsPerS, cur.DiskCacheJSONLReadRunsPerS, false},
-		{"disk_cache_read_speedup_vs_jsonl", base.DiskCacheReadSpeedupVsJSONL, cur.DiskCacheReadSpeedupVsJSONL, false},
-		{"run_peak_alloc_bytes_1x", base.RunPeakAllocBytes1x, cur.RunPeakAllocBytes1x, true},
-		{"run_peak_alloc_bytes_10x", base.RunPeakAllocBytes10x, cur.RunPeakAllocBytes10x, true},
-		{"run_peak_alloc_bytes_100x", base.RunPeakAllocBytes100x, cur.RunPeakAllocBytes100x, true},
-		{"campaign_peak_rss_bytes", base.CampaignPeakRSSBytes, cur.CampaignPeakRSSBytes, true},
+		{"step_physics_ns_per_tick", base.StepPhysicsNsPerTick, cur.StepPhysicsNsPerTick, true, false},
+		{"run_ungoverned_ns_per_simsec", base.RunUngovernedNsPerSimsec, cur.RunUngovernedNsPerSimsec, true, false},
+		{"run_ungoverned_exact_ns_per_simsec", base.RunUngovernedExactNsPerSimsec, cur.RunUngovernedExactNsPerSimsec, true, false},
+		{"run_governed_ns_per_simsec", base.RunGovernedNsPerSimsec, cur.RunGovernedNsPerSimsec, true, false},
+		{"run_governed_spans_ns_per_simsec", base.RunGovernedSpansNsPerSimsec, cur.RunGovernedSpansNsPerSimsec, true, false},
+		{"span_overhead_pct", base.SpanOverheadPct, cur.SpanOverheadPct, true, false},
+		{"allocs_per_tick", base.AllocsPerTick, cur.AllocsPerTick, true, false},
+		{"fig3_grid_wall_seconds", base.Fig3GridWallSeconds, cur.Fig3GridWallSeconds, true, false},
+		{"fast_speedup_vs_exact", base.FastSpeedupVsExact, cur.FastSpeedupVsExact, false, false},
+		{"exec_submit_ns_distinct_p1", base.ExecSubmitNsDistinctP1, cur.ExecSubmitNsDistinctP1, true, true},
+		{"exec_submit_ns_distinct_p4", base.ExecSubmitNsDistinctP4, cur.ExecSubmitNsDistinctP4, true, true},
+		{"exec_submit_ns_distinct_p16", base.ExecSubmitNsDistinctP16, cur.ExecSubmitNsDistinctP16, true, true},
+		{"fig3_grid_wall_seconds_p1", base.Fig3GridWallSecondsP1, cur.Fig3GridWallSecondsP1, true, true},
+		{"fig3_grid_wall_seconds_p2", base.Fig3GridWallSecondsP2, cur.Fig3GridWallSecondsP2, true, true},
+		{"fig3_grid_wall_seconds_p4", base.Fig3GridWallSecondsP4, cur.Fig3GridWallSecondsP4, true, true},
+		{"fig3_grid_wall_seconds_p8", base.Fig3GridWallSecondsP8, cur.Fig3GridWallSecondsP8, true, true},
+		{"fig3_grid_wall_warm_seconds", base.Fig3GridWallWarmSeconds, cur.Fig3GridWallWarmSeconds, true, true},
+		{"fleet_grid_wall_seconds_p1", base.FleetGridWallSecondsP1, cur.FleetGridWallSecondsP1, true, true},
+		{"fleet_grid_wall_seconds_p4", base.FleetGridWallSecondsP4, cur.FleetGridWallSecondsP4, true, true},
+		{"fleet_grid_wall_seconds_p8", base.FleetGridWallSecondsP8, cur.FleetGridWallSecondsP8, true, true},
+		{"fleet_grid_wall_seconds_p16", base.FleetGridWallSecondsP16, cur.FleetGridWallSecondsP16, true, true},
+		{"fleet_grid_speedup_p8", base.FleetGridSpeedupP8, cur.FleetGridSpeedupP8, false, true},
+		{"fleet_grid_wall_warm_seconds", base.FleetGridWallWarmSeconds, cur.FleetGridWallWarmSeconds, true, true},
+		{"disk_cache_write_runs_per_s", base.DiskCacheWriteRunsPerS, cur.DiskCacheWriteRunsPerS, false, false},
+		{"disk_cache_read_runs_per_s", base.DiskCacheReadRunsPerS, cur.DiskCacheReadRunsPerS, false, false},
+		{"disk_cache_read_mb_per_s", base.DiskCacheReadMBPerS, cur.DiskCacheReadMBPerS, false, false},
+		{"disk_cache_jsonl_read_runs_per_s", base.DiskCacheJSONLReadRunsPerS, cur.DiskCacheJSONLReadRunsPerS, false, false},
+		{"disk_cache_read_speedup_vs_jsonl", base.DiskCacheReadSpeedupVsJSONL, cur.DiskCacheReadSpeedupVsJSONL, false, false},
+		{"run_peak_alloc_bytes_1x", base.RunPeakAllocBytes1x, cur.RunPeakAllocBytes1x, true, false},
+		{"run_peak_alloc_bytes_10x", base.RunPeakAllocBytes10x, cur.RunPeakAllocBytes10x, true, false},
+		{"run_peak_alloc_bytes_100x", base.RunPeakAllocBytes100x, cur.RunPeakAllocBytes100x, true, false},
+		{"campaign_peak_rss_bytes", base.CampaignPeakRSSBytes, cur.CampaignPeakRSSBytes, true, false},
 	}
+	// Fleet walls are only comparable between equal fleet sizes; a short
+	// (100-run) report against the full (1000-run) baseline would print
+	// a meaningless -90% on every fleet row.
+	fleetComparable := base.FleetGridRuns == cur.FleetGridRuns
 	fmt.Printf("%-36s %12s %12s %9s\n", "metric", "old", "new", "delta")
+	var scalingWorse []string
 	for _, r := range rows {
+		if strings.HasPrefix(r.name, "fleet_grid_wall") && !fleetComparable {
+			fmt.Printf("%-36s %12.1f %12.1f %9s\n", r.name, r.old, r.new,
+				fmt.Sprintf("n/a (%d- vs %d-run fleet)", base.FleetGridRuns, cur.FleetGridRuns))
+			continue
+		}
 		delta := "n/a"
 		if r.old != 0 {
 			pct := (r.new - r.old) / r.old * 100
 			mark := ""
 			if (r.downGood && pct > 10) || (!r.downGood && pct < -10) {
 				mark = "  (worse)"
+				if r.scaling && r.new != 0 {
+					scalingWorse = append(scalingWorse, r.name)
+				}
 			}
 			delta = fmt.Sprintf("%+8.1f%%%s", pct, mark)
 		}
 		fmt.Printf("%-36s %12.1f %12.1f %9s\n", r.name, r.old, r.new, delta)
+	}
+	// Scaling fields get called out explicitly: a quiet "(worse)" in the
+	// table is how the p1==p8 wall went unnoticed for five releases. The
+	// hard stop for CI is -gate-scaling; compare itself stays report-only.
+	if len(scalingWorse) > 0 {
+		fmt.Printf("WARNING: multicore scaling regressed vs baseline: %v (bench_cpus=%d; hard gate: -gate-scaling)\n",
+			scalingWorse, cur.BenchCPUs)
 	}
 	return nil
 }
@@ -460,12 +508,14 @@ func main() {
 		gate          = flag.String("gate", "", "enforce the memory trajectory against this baseline JSON: exit non-zero on a flatness or regression violation")
 		cacheOnly     = flag.Bool("cache-only", false, "measure only the disk-cache codec throughput and merge it into -out, preserving the file's other fields")
 		gateCachePath = flag.String("gate-cache", "", "enforce disk_cache_read_runs_per_s against this baseline JSON: exit non-zero on a regression past headroom")
+		fleetGrid     = flag.Bool("fleet-grid", false, "measure only the fleet-grid scaling trajectory and merge it into -out, preserving the file's other fields")
+		gateScaling   = flag.String("gate-scaling", "", "enforce the fleet-grid scaling trajectory against this baseline JSON: exit non-zero when fleet_grid_speedup_p8 < 2.5 (on hosts with >= 8 CPUs) or the warm fleet replay regresses past headroom")
 	)
 	flag.Parse()
 
 	var rep report
 	var err error
-	if *memOnly || *cacheOnly {
+	if *memOnly || *cacheOnly || *fleetGrid {
 		// Merge mode: keep whatever the existing report already measured.
 		if raw, rerr := os.ReadFile(*out); rerr == nil {
 			if err := json.Unmarshal(raw, &rep); err != nil {
@@ -474,10 +524,13 @@ func main() {
 			}
 		}
 		rep.GoVersion = runtime.Version()
-		if *memOnly {
+		switch {
+		case *memOnly:
 			err = measureMemInto(&rep)
-		} else {
+		case *cacheOnly:
 			err = measureCacheInto(&rep, *short)
+		default:
+			err = measureFleetInto(&rep, *short)
 		}
 	} else {
 		rep, err = measure(*short, *cacheDir)
@@ -519,5 +572,11 @@ func main() {
 		}
 		fmt.Printf("cache gate ok: %.0f runs/s warm read (%.1f MB/s, %.1fx vs JSONL)\n",
 			rep.DiskCacheReadRunsPerS, rep.DiskCacheReadMBPerS, rep.DiskCacheReadSpeedupVsJSONL)
+	}
+	if *gateScaling != "" {
+		if err := gateScalingAgainst(*gateScaling, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "simbench: scaling gate:", err)
+			os.Exit(1)
+		}
 	}
 }

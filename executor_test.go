@@ -328,3 +328,32 @@ func TestSummarizeAllEmptyAndBadRuns(t *testing.T) {
 		t.Fatalf("err = %v, want ErrBadConfig", err)
 	}
 }
+
+// TestPooledMachineRunsBitIdentical pins the worker-scratch pooling
+// contract end to end: with one worker every distinct run of a session
+// reclaims the same pooled simulator, and each result must still be
+// bit-identical to the same run computed on a one-shot executor that
+// built its machine fresh.
+func TestPooledMachineRunsBitIdentical(t *testing.T) {
+	app := fastApp(t)
+	gov := dufp.DUFP(dufp.DefaultControlConfig(0.10))
+	ctx := context.Background()
+
+	// One worker slot: runs 0..3 execute back to back on one arena, so
+	// every run after the first reuses the previous run's machine.
+	pooled := dufp.NewSession(dufp.WithExecutor(dufp.NewExecutor(dufp.ExecWorkers(1))))
+	for idx := 0; idx < 4; idx++ {
+		got, err := pooled.Run(ctx, dufp.RunSpec{App: app, Governor: gov, Idx: idx})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh := dufp.NewSession(dufp.WithExecutor(dufp.NewExecutor(dufp.ExecWorkers(1))))
+		want, err := fresh.Run(ctx, dufp.RunSpec{App: app, Governor: gov, Idx: idx})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Run != want.Run {
+			t.Fatalf("run %d on pooled machine diverged from fresh machine:\n pooled: %+v\n fresh:  %+v", idx, got.Run, want.Run)
+		}
+	}
+}

@@ -185,10 +185,21 @@ type Stats struct {
 // WithCacheSize is absent or non-positive.
 const DefaultCacheSize = 4096
 
-// defaultShards segments the in-flight map and the LRU; must be a power
-// of two. 16 is comfortably past the worker parallelism of the machines
-// this harness targets while keeping per-shard LRU segments large.
+// defaultShards is the floor on the scheduler's shard count; must be a
+// power of two. The effective default scales with the worker bound —
+// 4×workers, rounded up to a power of two, but never below this floor —
+// so wide executors keep roughly four shards per worker and concurrent
+// submissions of distinct keys rarely meet on a mutex.
 const defaultShards = 16
+
+// defaultShardsFor returns the shard count used when WithShards is
+// absent or non-positive.
+func defaultShardsFor(workers int) int {
+	if s := 4 * workers; s > defaultShards {
+		return nextPow2(s)
+	}
+	return defaultShards
+}
 
 // Option configures a new Executor.
 type Option func(*Executor)
@@ -315,9 +326,12 @@ type Executor struct {
 	workers   int
 	cacheSize int
 	nshards   int
-	slots     chan struct{}
-	registry  *obs.Registry
-	metrics   *execMetrics
+	// slots carries the worker-slot tokens 0..workers-1; holding token i
+	// grants exclusive use of scratch[i] for the duration of one run.
+	slots    chan int
+	scratch  []*Scratch
+	registry *obs.Registry
+	metrics  *execMetrics
 
 	shards    []*shard
 	shardMask uint64
@@ -349,11 +363,16 @@ func New(run Runner, opts ...Option) *Executor {
 		e.cacheSize = DefaultCacheSize
 	}
 	if e.nshards <= 0 {
-		e.nshards = defaultShards
+		e.nshards = defaultShardsFor(e.workers)
 	}
 	e.nshards = nextPow2(e.nshards)
 	e.shardMask = uint64(e.nshards - 1)
-	e.slots = make(chan struct{}, e.workers)
+	e.slots = make(chan int, e.workers)
+	e.scratch = make([]*Scratch, e.workers)
+	for i := 0; i < e.workers; i++ {
+		e.scratch[i] = &Scratch{slot: i}
+		e.slots <- i
+	}
 	e.metrics = newExecMetrics(e.registry)
 
 	// Segment capacity rounds up so the shards together hold at least
@@ -617,8 +636,9 @@ func (e *Executor) execute(ctx context.Context, key Key) (metrics.Run, error) {
 		return metrics.Run{}, err
 	}
 	wait := span.FromContext(ctx).Start(span.StageWait)
+	var slot int
 	select {
-	case e.slots <- struct{}{}:
+	case slot = <-e.slots:
 		wait.End()
 	case <-ctx.Done():
 		wait.End()
@@ -626,7 +646,10 @@ func (e *Executor) execute(ctx context.Context, key Key) (metrics.Run, error) {
 		e.metrics.cancelled.Inc()
 		return metrics.Run{}, ctx.Err()
 	}
-	defer func() { <-e.slots }()
+	defer func() { e.slots <- slot }()
+	// The run owns the slot's scratch arena until the deferred release;
+	// see Scratch for the single-owner contract.
+	ctx = withScratch(ctx, e.scratch[slot])
 
 	e.emit(Event{Kind: EventStarted, Key: key, QueueDepth: int(e.queued.Load())})
 
@@ -669,17 +692,53 @@ type Outcome struct {
 // Cancelling ctx resolves the remaining submissions with ctx.Err()
 // rather than abandoning them, so the stream always completes.
 //
-// Unlike spawning one goroutine per key, a batch occupies at most
-// Workers() feeder goroutines no matter its size.
+// The batch is partitioned before anything touches the scheduler's
+// shared state: duplicate content addresses within the batch are grouped
+// up front, one leader per group walks the full Submit path, and its
+// followers copy the leader's outcome without ever taking a shard mutex
+// or installing an in-flight entry — the batch-local equivalent of
+// coalescing, accounted as such in Stats, paid as plain slice reads.
+// Distinct keys are then striped across at most Workers() feeder
+// goroutines (never one goroutine per key), so a batch of N distinct
+// runs performs exactly N scheduler transactions regardless of how many
+// duplicates ride along.
 func (e *Executor) SubmitAll(ctx context.Context, keys []Key) <-chan Outcome {
 	out := make(chan Outcome)
 	if len(keys) == 0 {
 		close(out)
 		return out
 	}
+	// Pre-partition: group the batch by content address. leaders holds
+	// the first key index of each group in batch order; followers[g]
+	// holds the later indices sharing group g's address.
+	groupOf := make(map[ID]int, len(keys))
+	leaders := make([]int, 0, len(keys))
+	var followers [][]int
+	dups := 0
+	for i, k := range keys {
+		id := k.ID()
+		if g, ok := groupOf[id]; ok {
+			if followers == nil {
+				followers = make([][]int, len(keys))
+			}
+			followers[g] = append(followers[g], i)
+			dups++
+			continue
+		}
+		groupOf[id] = len(leaders)
+		leaders = append(leaders, i)
+	}
+	if dups > 0 {
+		// Followers resolve from their leader below; account them once
+		// as a batch instead of once per run.
+		e.cnt.submitted.Add(int64(dups))
+		e.cnt.coalesced.Add(int64(dups))
+		e.metrics.submitted.Add(float64(dups))
+		e.metrics.coalesced.Add(float64(dups))
+	}
 	feeders := e.workers
-	if feeders > len(keys) {
-		feeders = len(keys)
+	if feeders > len(leaders) {
+		feeders = len(leaders)
 	}
 	results := make(chan Outcome, len(keys))
 	var next atomic.Int64
@@ -689,12 +748,19 @@ func (e *Executor) SubmitAll(ctx context.Context, keys []Key) <-chan Outcome {
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(keys) {
+				g := int(next.Add(1)) - 1
+				if g >= len(leaders) {
 					return
 				}
-				run, err := e.Submit(ctx, keys[i])
-				results <- Outcome{Idx: i, Key: keys[i], Run: run, Err: err}
+				li := leaders[g]
+				run, err := e.Submit(ctx, keys[li])
+				results <- Outcome{Idx: li, Key: keys[li], Run: run, Err: err}
+				if followers != nil {
+					for _, fi := range followers[g] {
+						e.emit(Event{Kind: EventCoalesced, Key: keys[fi], QueueDepth: int(e.queued.Load())})
+						results <- Outcome{Idx: fi, Key: keys[fi], Run: run, Err: err}
+					}
+				}
 			}
 		}()
 	}

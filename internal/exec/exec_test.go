@@ -432,8 +432,8 @@ func TestOptionDefaultsRestoredByNonPositive(t *testing.T) {
 		t.Fatalf("Shards() = %d, want 8 (rounded up to a power of two)", e.Shards())
 	}
 	e = New(countRunner(new(atomic.Int64)), WithShards(4), WithShards(0))
-	if e.Shards() != defaultShards {
-		t.Fatalf("Shards() = %d, want default %d", e.Shards(), defaultShards)
+	if want := defaultShardsFor(e.Workers()); e.Shards() != want {
+		t.Fatalf("Shards() = %d, want default %d for %d workers", e.Shards(), want, e.Workers())
 	}
 }
 

@@ -1,0 +1,69 @@
+package exec
+
+import "context"
+
+// Scratch is one worker slot's reusable state arena. The executor owns
+// exactly Workers() of them, one per slot, and threads the executing
+// slot's arena through the runner's context — so a runner that pools
+// expensive per-run state (a simulated machine, presized trace buffers,
+// encode buffers) gets clear single-owner semantics for free:
+//
+//   - at most one runner executes on a slot at any moment, so the arena
+//     is never read or written concurrently;
+//   - whatever a runner leaves in the arena is seen next by whichever
+//     run later lands on the same slot, never by a run in flight;
+//   - pooled state must therefore be fully reset before reuse and must
+//     not be retained by anything that outlives the run (results that
+//     escape the runner must be copies, not views into the arena).
+//
+// Entries are keyed by string so independent layers (simulator pooling,
+// trace buffers, codecs) can share one arena without coordination.
+type Scratch struct {
+	slot int
+	vals map[string]any
+}
+
+// Slot returns the worker-slot index this arena belongs to, in
+// [0, Workers()).
+func (s *Scratch) Slot() int { return s.slot }
+
+// Get returns the value stored under key, or nil.
+func (s *Scratch) Get(key string) any {
+	if s == nil || s.vals == nil {
+		return nil
+	}
+	return s.vals[key]
+}
+
+// Put stores v under key for the next run on this slot; a nil v deletes
+// the entry.
+func (s *Scratch) Put(key string, v any) {
+	if s == nil {
+		return
+	}
+	if s.vals == nil {
+		s.vals = make(map[string]any, 4)
+	}
+	if v == nil {
+		delete(s.vals, key)
+		return
+	}
+	s.vals[key] = v
+}
+
+type scratchCtxKey struct{}
+
+// withScratch attaches the executing slot's arena to the runner's
+// context.
+func withScratch(ctx context.Context, s *Scratch) context.Context {
+	return context.WithValue(ctx, scratchCtxKey{}, s)
+}
+
+// ScratchFromContext returns the worker slot's scratch arena when ctx
+// belongs to a run executing on an executor worker, and nil otherwise
+// (callers must tolerate nil: runs invoked outside the executor have no
+// slot to own state on).
+func ScratchFromContext(ctx context.Context) *Scratch {
+	s, _ := ctx.Value(scratchCtxKey{}).(*Scratch)
+	return s
+}

@@ -88,6 +88,18 @@ func NewSpace(cpus int) *Space {
 // CPUs returns the number of logical CPUs in the space.
 func (s *Space) CPUs() int { return s.cpus }
 
+// Reset discards all written register values and any recorded trace,
+// returning every register to its seeded (or handler-computed) state.
+// Seeds and handlers survive: Reset restores the file to the moment the
+// machine wired its MSRs, which is what pooled-machine reuse needs.
+func (s *Space) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	clear(s.regs)
+	s.trace = nil
+	s.traceCap = 0
+}
+
 // Seed sets the initial value all CPUs report for register addr before any
 // write. Registers already written keep their written value.
 func (s *Space) Seed(addr uint32, value uint64) {

@@ -46,9 +46,18 @@ type Limiter struct {
 // NewLimiter creates an enforcement loop for one package with the factory
 // default limits of spec.
 func NewLimiter(spec arch.Spec) *Limiter {
-	return &Limiter{
-		spec:     spec,
-		limit:    DefaultLimits(spec),
+	l := &Limiter{spec: spec}
+	l.Reset()
+	return l
+}
+
+// Reset restores the limiter to its factory state — programmed defaults,
+// unprimed averages, cold gain cache — exactly as NewLimiter leaves it, so
+// a pooled simulator can reuse the limiter in place without allocating.
+func (l *Limiter) Reset() {
+	*l = Limiter{
+		spec:     l.spec,
+		limit:    DefaultLimits(l.spec),
 		upMargin: 0.02,
 	}
 }

@@ -143,6 +143,39 @@ func New(cfg Config) (*Machine, error) {
 	return m, nil
 }
 
+// Reset returns the machine to its just-constructed state under cfg
+// without allocating: the MSR space, sockets, limiters and RNGs are all
+// reused in place, and every RNG is reseeded exactly as New would, so a
+// Reset machine produces bit-identical runs to a fresh one. It reports
+// false — leaving the machine untouched — when cfg differs from the
+// construction config in anything beyond Seed or PowerJitterSD, since
+// topology, power model and tick are baked into wired handlers and
+// hoisted constants. Callers must Load a workload before Run, as with a
+// new machine.
+func (m *Machine) Reset(cfg Config) bool {
+	same := m.cfg
+	same.Seed = cfg.Seed
+	same.PowerJitterSD = cfg.PowerJitterSD
+	if same != cfg {
+		return false
+	}
+	m.cfg = cfg
+	m.space.Reset()
+	m.rng.Seed(cfg.Seed)
+	m.now, m.stall = 0, 0
+	m.clampTicks = 0
+	m.fastTicksRun, m.fastWindowsRun, m.skippedRoundsRun = 0, 0, 0
+	m.fastProgress = 0
+	for i := range m.fast {
+		m.fast[i] = fastSock{}
+	}
+	for i, s := range m.sockets {
+		s.jitter.Seed(cfg.Seed*1009 + int64(i))
+		s.reset(nil)
+	}
+	return true
+}
+
 // Config returns the machine's configuration.
 func (m *Machine) Config() Config { return m.cfg }
 

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"dufp/internal/model"
+	"dufp/internal/msr"
+	"dufp/internal/units"
+)
+
+// traceCapture records every sample of a run for exact comparison.
+type traceCapture struct {
+	points []TracePoint
+}
+
+func (c *traceCapture) opt() RunOpts {
+	return RunOpts{
+		Trace:      func(_ int, p TracePoint) { c.points = append(c.points, p) },
+		TraceEvery: 5,
+	}
+}
+
+func runOnce(t *testing.T, m *Machine, phases []model.PhaseShape) (Result, []TracePoint) {
+	t.Helper()
+	if err := m.Load(phases); err != nil {
+		t.Fatal(err)
+	}
+	var cap traceCapture
+	res, err := m.Run(cap.opt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, cap.points
+}
+
+// TestMachineResetBitIdentical is the pooling contract: a machine that
+// already executed an unrelated workload and is then Reset must produce
+// runs bit-identical to a factory-fresh machine — including the jittered
+// power draw, whose RNG streams must restart exactly as New seeds them.
+func TestMachineResetBitIdentical(t *testing.T) {
+	cfg := DefaultConfig() // PowerJitterSD > 0: exercise the RNG reseed
+	phases := []model.PhaseShape{steadyShape(1 * time.Second), {
+		Name:         "mem",
+		FlopFrac:     0.05,
+		MemFrac:      0.8,
+		ComputeShare: 0.3,
+		Overlap:      0.2,
+		BWUncoreKnee: 2.2 * units.Gigahertz,
+		Duration:     500 * time.Millisecond,
+	}}
+
+	fresh, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRes, wantTrace := runOnce(t, fresh, phases)
+
+	// Dirty a pooled machine thoroughly: different seed, different
+	// workload, stray MSR writes, an access trace — then reclaim it.
+	dirtyCfg := cfg
+	dirtyCfg.Seed = 99
+	pooled, err := New(dirtyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled.MSR().SetTraceCapacity(64)
+	runOnce(t, pooled, []model.PhaseShape{steadyShape(300 * time.Millisecond)})
+	if err := pooled.MSR().Write(pooled.Socket(0).CPU0(), msr.IA32PerfCtl, 12<<8); err != nil {
+		t.Fatal(err)
+	}
+
+	if !pooled.Reset(cfg) {
+		t.Fatal("Reset rejected a config differing only in seed")
+	}
+	if got := pooled.MSR().Trace(); len(got) != 0 {
+		t.Fatalf("reset machine still has %d traced MSR accesses", len(got))
+	}
+	gotRes, gotTrace := runOnce(t, pooled, phases)
+
+	if !reflect.DeepEqual(gotRes, wantRes) {
+		t.Fatalf("pooled result diverged from fresh machine:\n pooled: %+v\n fresh:  %+v", gotRes, wantRes)
+	}
+	if !reflect.DeepEqual(gotTrace, wantTrace) {
+		t.Fatalf("pooled trace diverged from fresh machine (%d vs %d points)", len(gotTrace), len(wantTrace))
+	}
+
+	// And again: reuse must keep working run after run.
+	if !pooled.Reset(cfg) {
+		t.Fatal("second Reset failed")
+	}
+	gotRes, gotTrace = runOnce(t, pooled, phases)
+	if !reflect.DeepEqual(gotRes, wantRes) || !reflect.DeepEqual(gotTrace, wantTrace) {
+		t.Fatal("second pooled run diverged from fresh machine")
+	}
+}
+
+// TestMachineResetRejectsIncompatibleConfig pins what Reset may absorb:
+// seed and jitter vary freely, anything baked into construction does not.
+func TestMachineResetRejectsIncompatibleConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ok := cfg
+	ok.Seed = 7
+	ok.PowerJitterSD = 0
+	if !m.Reset(ok) {
+		t.Fatal("Reset rejected a seed/jitter-only change")
+	}
+	if m.Config().Seed != 7 || m.Config().PowerJitterSD != 0 {
+		t.Fatalf("config not adopted: %+v", m.Config())
+	}
+
+	bad := cfg
+	bad.Tick = 2 * time.Millisecond
+	if m.Reset(bad) {
+		t.Fatal("Reset accepted a tick change; tick is baked into hoisted constants")
+	}
+	if m.Config().Tick != cfg.Tick {
+		t.Fatal("rejected Reset mutated the machine config")
+	}
+}

@@ -106,7 +106,7 @@ func (s *Socket) reset(phases []model.Kinetics) {
 		Min: msr.FrequencyToRatio(s.spec.MinUncoreFreq),
 		Max: msr.FrequencyToRatio(s.spec.MaxUncoreFreq),
 	}
-	s.limiter = rapl.NewLimiter(s.spec)
+	s.limiter.Reset()
 	s.lastPower, s.lastDram = 0, 0
 	s.lastLoad = model.Load{}
 	s.lastBW = 0

@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"time"
+
+	"dufp/internal/sim"
+	"dufp/internal/units"
+)
+
+// colSeries is one socket's trace series stored struct-of-arrays: one
+// flat slice per TracePoint field instead of a slice of 9-field structs.
+// Appends touch nine small grow-in-place slices rather than moving
+// 72-byte records, field scans (average frequency, power percentiles)
+// walk one dense column, and — the reason it exists — a pooled recorder
+// can Reset by truncating the columns and reuse every backing array on
+// the next run, keeping the fleet-grid hot path allocation-free after
+// the first run on each worker slot.
+type colSeries struct {
+	times      []time.Duration
+	coreFreqs  []units.Frequency
+	uncFreqs   []units.Frequency
+	pkgPowers  []units.Power
+	dramPowers []units.Power
+	capPL1s    []units.Power
+	capPL2s    []units.Power
+	bandwidths []units.Bandwidth
+	flopRates  []units.FlopRate
+}
+
+func (c *colSeries) len() int { return len(c.times) }
+
+func (c *colSeries) append(p sim.TracePoint) {
+	c.times = append(c.times, p.Time)
+	c.coreFreqs = append(c.coreFreqs, p.CoreFreq)
+	c.uncFreqs = append(c.uncFreqs, p.UncoreFreq)
+	c.pkgPowers = append(c.pkgPowers, p.PkgPower)
+	c.dramPowers = append(c.dramPowers, p.DramPower)
+	c.capPL1s = append(c.capPL1s, p.CapPL1)
+	c.capPL2s = append(c.capPL2s, p.CapPL2)
+	c.bandwidths = append(c.bandwidths, p.Bandwidth)
+	c.flopRates = append(c.flopRates, p.FlopRate)
+}
+
+// at reassembles sample i. The columns only ever grow together, so one
+// bounds check on times covers all nine.
+func (c *colSeries) at(i int) sim.TracePoint {
+	return sim.TracePoint{
+		Time:       c.times[i],
+		CoreFreq:   c.coreFreqs[i],
+		UncoreFreq: c.uncFreqs[i],
+		PkgPower:   c.pkgPowers[i],
+		DramPower:  c.dramPowers[i],
+		CapPL1:     c.capPL1s[i],
+		CapPL2:     c.capPL2s[i],
+		Bandwidth:  c.bandwidths[i],
+		FlopRate:   c.flopRates[i],
+	}
+}
+
+// reserve grows each column to capacity n, preserving contents.
+func (c *colSeries) reserve(n int) {
+	growDur(&c.times, n)
+	growFreq(&c.coreFreqs, n)
+	growFreq(&c.uncFreqs, n)
+	growPow(&c.pkgPowers, n)
+	growPow(&c.dramPowers, n)
+	growPow(&c.capPL1s, n)
+	growPow(&c.capPL2s, n)
+	growBW(&c.bandwidths, n)
+	growFR(&c.flopRates, n)
+}
+
+// reset truncates every column to length zero, keeping capacity.
+func (c *colSeries) reset() {
+	c.times = c.times[:0]
+	c.coreFreqs = c.coreFreqs[:0]
+	c.uncFreqs = c.uncFreqs[:0]
+	c.pkgPowers = c.pkgPowers[:0]
+	c.dramPowers = c.dramPowers[:0]
+	c.capPL1s = c.capPL1s[:0]
+	c.capPL2s = c.capPL2s[:0]
+	c.bandwidths = c.bandwidths[:0]
+	c.flopRates = c.flopRates[:0]
+}
+
+// The grow helpers are monomorphic on purpose: a generic grow[T] would
+// work, but these four lines per type keep the call sites inlinable.
+
+func growDur(s *[]time.Duration, n int) {
+	if cap(*s) < n {
+		g := make([]time.Duration, len(*s), n)
+		copy(g, *s)
+		*s = g
+	}
+}
+
+func growFreq(s *[]units.Frequency, n int) {
+	if cap(*s) < n {
+		g := make([]units.Frequency, len(*s), n)
+		copy(g, *s)
+		*s = g
+	}
+}
+
+func growPow(s *[]units.Power, n int) {
+	if cap(*s) < n {
+		g := make([]units.Power, len(*s), n)
+		copy(g, *s)
+		*s = g
+	}
+}
+
+func growBW(s *[]units.Bandwidth, n int) {
+	if cap(*s) < n {
+		g := make([]units.Bandwidth, len(*s), n)
+		copy(g, *s)
+		*s = g
+	}
+}
+
+func growFR(s *[]units.FlopRate, n int) {
+	if cap(*s) < n {
+		g := make([]units.FlopRate, len(*s), n)
+		copy(g, *s)
+		*s = g
+	}
+}

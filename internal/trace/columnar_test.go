@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"dufp/internal/sim"
+	"dufp/internal/units"
+)
+
+func colPoint(i int) sim.TracePoint {
+	return sim.TracePoint{
+		Time:       time.Duration(i) * 10 * time.Millisecond,
+		CoreFreq:   units.Frequency(float64(i)) * units.Gigahertz,
+		UncoreFreq: units.Frequency(float64(i)+0.5) * units.Gigahertz,
+		PkgPower:   units.Power(i) * units.Watt,
+		DramPower:  units.Power(i) / 4 * units.Watt,
+		CapPL1:     105 * units.Watt,
+		CapPL2:     125 * units.Watt,
+		Bandwidth:  units.Bandwidth(i * 1e9),
+		FlopRate:   units.FlopRate(i * 2e9),
+	}
+}
+
+// TestColumnarRoundTrip pins that the struct-of-arrays backing loses no
+// field: every point comes back bit-identical through the iterators.
+func TestColumnarRoundTrip(t *testing.T) {
+	r := NewRecorder(2)
+	var want [2][]sim.TracePoint
+	for i := 0; i < 100; i++ {
+		p := colPoint(i)
+		r.Consume(i%2, p)
+		want[i%2] = append(want[i%2], p)
+	}
+	for s := 0; s < 2; s++ {
+		var got []sim.TracePoint
+		for p := range r.Points(s) {
+			got = append(got, p)
+		}
+		if !reflect.DeepEqual(got, want[s]) {
+			t.Fatalf("socket %d: columnar round trip diverged", s)
+		}
+	}
+}
+
+// TestRecorderResetReusesCapacity is the pooling contract: after Reset
+// the recorder is empty, and re-recording a run of the same length does
+// not grow the columns again.
+func TestRecorderResetReusesCapacity(t *testing.T) {
+	r := NewRecorder(1)
+	r.Reserve(64)
+	for i := 0; i < 64; i++ {
+		r.Consume(0, colPoint(i))
+	}
+	r.Consume(3, colPoint(0)) // out of range: counted as a drop
+	if r.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", r.Dropped())
+	}
+
+	capBefore := cap(r.series[0].times)
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Fatalf("after Reset: len=%d dropped=%d, want 0/0", r.Len(), r.Dropped())
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		r.Reset()
+		for i := 0; i < 64; i++ {
+			r.Consume(0, colPoint(i))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("re-recording after Reset allocated %.1f times per run, want 0", allocs)
+	}
+	if got := cap(r.series[0].times); got != capBefore {
+		t.Fatalf("Reset discarded column capacity: %d -> %d", capBefore, got)
+	}
+}

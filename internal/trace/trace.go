@@ -30,16 +30,19 @@ import (
 var droppedPoints = obs.Default().Counter(
 	"trace_dropped_points_total", "trace points dropped because the socket index was outside the recorder").With()
 
-// Recorder collects trace points for every socket of a machine.
+// Recorder collects trace points for every socket of a machine. Samples
+// are stored struct-of-arrays (see colSeries), so a Recorder held in a
+// worker's scratch arena can be Reset between runs and reuse its column
+// capacity instead of reallocating per run.
 type Recorder struct {
-	series  [][]sim.TracePoint
+	series  []colSeries
 	dropped atomic.Int64
 }
 
 // NewRecorder creates a recorder for a machine with the given socket
 // count.
 func NewRecorder(sockets int) *Recorder {
-	return &Recorder{series: make([][]sim.TracePoint, sockets)}
+	return &Recorder{series: make([]colSeries, sockets)}
 }
 
 // Reserve pre-allocates capacity for about n points per socket, so a run
@@ -50,12 +53,18 @@ func (r *Recorder) Reserve(n int) {
 		return
 	}
 	for i := range r.series {
-		if cap(r.series[i]) < n {
-			s := make([]sim.TracePoint, len(r.series[i]), n)
-			copy(s, r.series[i])
-			r.series[i] = s
-		}
+		r.series[i].reserve(n)
 	}
+}
+
+// Reset discards all recorded samples and the drop count while keeping
+// every column's backing array, so the next run appends into already-
+// sized memory. The socket count is fixed at construction.
+func (r *Recorder) Reset() {
+	for i := range r.series {
+		r.series[i].reset()
+	}
+	r.dropped.Store(0)
 }
 
 // Consume implements Sink: the recorder appends each sample to its
@@ -68,7 +77,7 @@ func (r *Recorder) Consume(socket int, p sim.TracePoint) {
 		droppedPoints.Inc()
 		return
 	}
-	r.series[socket] = append(r.series[socket], p)
+	r.series[socket].append(p)
 }
 
 // Hook returns the callback to pass as sim.RunOpts.Trace.
@@ -90,8 +99,9 @@ func (r *Recorder) Points(socket int) iter.Seq[sim.TracePoint] {
 		if socket < 0 || socket >= len(r.series) {
 			return
 		}
-		for _, p := range r.series[socket] {
-			if !yield(p) {
+		c := &r.series[socket]
+		for i := 0; i < c.len(); i++ {
+			if !yield(c.at(i)) {
 				return
 			}
 		}
@@ -103,9 +113,10 @@ func (r *Recorder) Points(socket int) iter.Seq[sim.TracePoint] {
 // would produce.
 func (r *Recorder) All() iter.Seq2[int, sim.TracePoint] {
 	return func(yield func(int, sim.TracePoint) bool) {
-		for s, series := range r.series {
-			for _, p := range series {
-				if !yield(s, p) {
+		for s := range r.series {
+			c := &r.series[s]
+			for i := 0; i < c.len(); i++ {
+				if !yield(s, c.at(i)) {
 					return
 				}
 			}
@@ -118,10 +129,11 @@ func (r *Recorder) All() iter.Seq2[int, sim.TracePoint] {
 // bit-identical to a Summarizer that streamed the same run.
 func (r *Recorder) Summary() Summary {
 	var s Summarizer
-	for i, series := range r.series {
+	for i := range r.series {
 		s.grow(i)
-		for _, p := range series {
-			s.Consume(i, p)
+		c := &r.series[i]
+		for j := 0; j < c.len(); j++ {
+			s.Consume(i, c.at(j))
 		}
 	}
 	return s.Summary()
@@ -132,7 +144,7 @@ func (r *Recorder) Len() int {
 	if len(r.series) == 0 {
 		return 0
 	}
-	return len(r.series[0])
+	return r.series[0].len()
 }
 
 // AvgCoreFreq returns the average delivered core frequency of a socket's

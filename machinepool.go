@@ -1,0 +1,38 @@
+package dufp
+
+import (
+	"context"
+
+	"dufp/internal/exec"
+	"dufp/internal/sim"
+)
+
+// scratchMachineKey is the facade's entry in a worker slot's scratch
+// arena (see exec.Scratch): the pooled simulator for that slot.
+const scratchMachineKey = "sim.machine"
+
+// machineFor returns a machine configured as cfg. When ctx belongs to a
+// run executing on an executor worker, the worker slot's pooled machine
+// is reclaimed in place — MSR space, sockets, limiters, RNG streams all
+// reset to factory state, bit-identical to a fresh build (see
+// sim.Machine.Reset and its identity test) — which removes the dominant
+// per-run allocation from campaign hot paths. A pooled machine whose
+// construction-time config is incompatible with cfg, or a run outside
+// the executor, falls back to sim.New; the fresh machine is parked in
+// the arena for the slot's next run.
+//
+// The machine never escapes the run that reclaimed it: results are
+// values and run artifacts own their state, so handing the same machine
+// to the slot's next run is safe under the scratch single-owner rule.
+func machineFor(ctx context.Context, cfg sim.Config) (*sim.Machine, error) {
+	sc := exec.ScratchFromContext(ctx)
+	if m, ok := sc.Get(scratchMachineKey).(*sim.Machine); ok && m.Reset(cfg) {
+		return m, nil
+	}
+	m, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sc.Put(scratchMachineKey, m) // nil-safe no-op outside a worker
+	return m, nil
+}

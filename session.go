@@ -169,7 +169,7 @@ func (s Session) execute(ctx context.Context, app App, mk GovernorFunc, idx int,
 
 	cfg := s.Sim
 	cfg.Seed = seed
-	m, err := sim.New(cfg)
+	m, err := machineFor(ctx, cfg)
 	if err != nil {
 		return Run{}, runArtifacts{}, err
 	}
